@@ -1,0 +1,123 @@
+// Command arrow-catalog prints the study's inventory: the 18-type VM
+// catalog with its published characteristics and the paper's numeric
+// encoding, and the Table I application/workload inventory with resolved
+// resource demands and study-set membership.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/cloud"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "arrow-catalog:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("arrow-catalog", flag.ContinueOnError)
+	var (
+		showVMs       = fs.Bool("vms", true, "print the VM catalog")
+		showApps      = fs.Bool("apps", true, "print the Table I application inventory")
+		showWorkloads = fs.Bool("workloads", false, "print every workload with resolved demands")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	catalog := cloud.DefaultCatalog()
+	simulator := sim.New(catalog)
+
+	if *showVMs {
+		if err := printVMs(out, catalog); err != nil {
+			return err
+		}
+	}
+	if *showApps {
+		if err := printApps(out, simulator); err != nil {
+			return err
+		}
+	}
+	if *showWorkloads {
+		if err := printWorkloads(out, simulator); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printVMs(out io.Writer, catalog *cloud.Catalog) error {
+	fmt.Fprintf(out, "VM catalog (%d types; late-2017 us-east-1 on-demand pricing)\n\n", catalog.Len())
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NAME\tVCPUS\tMEM_GIB\tUSD/HR\tEBS_MIBPS\tSPEED\tENCODING\tDESCRIPTION")
+	for i := 0; i < catalog.Len(); i++ {
+		vm := catalog.VM(i)
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.3f\t%.0f\t%.2f\t%v\t%s\n",
+			vm.Name(), vm.VCPUs, vm.MemGiB, vm.PricePerHr, vm.EBSMiBps, vm.CoreSpeed, vm.Encode(), vm.Description)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	return nil
+}
+
+func printApps(out io.Writer, simulator *sim.Simulator) error {
+	study := map[string]bool{}
+	for _, w := range simulator.StudyWorkloads() {
+		study[w.ID()] = true
+	}
+	apps := workloads.Applications()
+	fmt.Fprintf(out, "Table I application inventory (%d applications; %d study workloads)\n\n",
+		len(apps), len(study))
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "APPLICATION\tCATEGORY\tSYSTEMS\tIN_STUDY/CANDIDATES\tDESCRIPTION")
+	for _, app := range apps {
+		candidates, inStudy := 0, 0
+		systems := ""
+		for i, system := range app.Systems {
+			if i > 0 {
+				systems += ","
+			}
+			systems += system.String()
+			for _, size := range workloads.Sizes() {
+				candidates++
+				if study[workloads.Resolve(app, system, size).ID()] {
+					inStudy++
+				}
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d/%d\t%s\n", app.Name, app.Category, systems, inStudy, candidates, app.Description)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	return nil
+}
+
+func printWorkloads(out io.Writer, simulator *sim.Simulator) error {
+	fmt.Fprintln(out, "Workloads (resolved demands; EXCL = OOM-excluded from the study set)")
+	fmt.Fprintln(out)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "WORKLOAD\tCPU_CORE_S\tSERIAL\tWSET_GIB\tIO_GIB\tSTATUS")
+	for _, w := range workloads.All() {
+		status := "study"
+		if !simulator.RunsEverywhere(w) {
+			status = "EXCL"
+		}
+		d := w.Demands
+		fmt.Fprintf(tw, "%s\t%.0f\t%.2f\t%.2f\t%.1f\t%s\n",
+			w.ID(), d.CPUCoreSeconds, d.SerialFraction, d.WorkingSetGiB, d.IOGiB, status)
+	}
+	return tw.Flush()
+}

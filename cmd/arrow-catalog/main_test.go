@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefault(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"VM catalog (18 types", "Table I", "c4.2xlarge", "als", "107 study workloads"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunWorkloads(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-vms=false", "-apps=false", "-workloads"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "EXCL") {
+		t.Error("excluded workloads not marked")
+	}
+	if !strings.Contains(out, "classification/spark1.5/large") {
+		t.Error("candidate workload missing")
+	}
+	// 135 candidates + headers.
+	if lines := strings.Count(out, "\n"); lines < 135 {
+		t.Errorf("only %d lines", lines)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-nope"}, &sb); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}

@@ -1,0 +1,513 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/study"
+	"repro/internal/textplot"
+	"repro/internal/workloads"
+)
+
+func runTable1(c *ctx, out io.Writer) error {
+	studySet := map[string]bool{}
+	for _, w := range c.runner.Workloads() {
+		studySet[w.ID()] = true
+	}
+	var rows [][]string
+	for _, w := range workloads.All() {
+		status := "study"
+		if !studySet[w.ID()] {
+			status = "excluded"
+		}
+		d := w.Demands
+		rows = append(rows, []string{
+			w.ID(), w.AppName, w.Category.String(), w.System.String(), w.Size.String(),
+			f(d.CPUCoreSeconds), f(d.SerialFraction), f(d.WorkingSetGiB), f(d.IOGiB), status,
+		})
+	}
+	if err := c.writeCSV("table1_inventory.csv",
+		[]string{"workload", "app", "category", "system", "size",
+			"cpu_core_s", "serial_frac", "working_set_gib", "io_gib", "status"}, rows); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%d applications, %d candidate workloads, %d in the study set\n",
+		workloads.NumApplications, len(workloads.All()), len(c.runner.Workloads()))
+	return nil
+}
+
+func runFig1(c *ctx, out io.Writer) error {
+	cdfs, err := c.runner.SearchCostCDF([]study.MethodConfig{{Method: study.MethodNaive}}, core.MinimizeTime, c.seeds)
+	if err != nil {
+		return err
+	}
+	cdf := cdfs[0]
+	var rows [][]string
+	for m, frac := range cdf.FractionByBudget {
+		rows = append(rows, []string{fmt.Sprint(m + 1), f(frac)})
+	}
+	if err := c.writeCSV("fig1_naive_cdf.csv", []string{"measurements", "fraction_of_workloads"}, rows); err != nil {
+		return err
+	}
+
+	regions, err := c.regionsFor(core.MinimizeTime)
+	if err != nil {
+		return err
+	}
+	counts := map[study.Region]int{}
+	for _, r := range regions {
+		counts[r]++
+	}
+	fmt.Fprintf(out, "within 6 measurements (Region I boundary): %.0f%% of workloads\n", 100*cdf.FractionWithin(6))
+	fmt.Fprintf(out, "within 12 measurements (Region II boundary): %.0f%% of workloads\n", 100*cdf.FractionWithin(12))
+	fmt.Fprintf(out, "regions: I=%d II=%d III=%d\n", counts[study.RegionI], counts[study.RegionII], counts[study.RegionIII])
+	return plotCDFs(out, "Fig 1: Naive BO search-cost CDF (time objective)", cdfs)
+}
+
+func plotCDFs(out io.Writer, title string, cdfs []study.MethodCDF) error {
+	var series []textplot.Series
+	for _, cdf := range cdfs {
+		s := textplot.Series{Name: cdf.Label}
+		for m, frac := range cdf.FractionByBudget {
+			s.X = append(s.X, float64(m+1))
+			s.Y = append(s.Y, 100*frac)
+		}
+		series = append(series, s)
+	}
+	chart, err := textplot.Line(title, series, 60, 12)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(out, chart)
+	return err
+}
+
+func runFig2(c *ctx, out io.Writer) error {
+	w, err := c.runner.WorkloadByID("als/spark2.1/medium")
+	if err != nil {
+		return err
+	}
+	rep, err := c.runner.Trajectories(study.MethodConfig{Method: study.MethodNaive}, w, core.MinimizeTime, c.seeds)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, p := range rep.Points {
+		rows = append(rows, []string{fmt.Sprint(p.Step), f(p.Median), f(p.Q1), f(p.Q3)})
+	}
+	if err := c.writeCSV("fig2_als_trajectory.csv", []string{"step", "median_norm_time", "q1", "q3"}, rows); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "median measurements to reach the optimal VM: %.1f\n", rep.MedianStepOptimal)
+	return plotTrajectories(out, "Fig 2: Naive BO on als/spark2.1 (normalized time)", []*study.TrajectoryReport{rep})
+}
+
+func plotTrajectories(out io.Writer, title string, reps []*study.TrajectoryReport) error {
+	var series []textplot.Series
+	for _, rep := range reps {
+		s := textplot.Series{Name: rep.Label}
+		for _, p := range rep.Points {
+			s.X = append(s.X, float64(p.Step))
+			s.Y = append(s.Y, p.Median)
+		}
+		series = append(series, s)
+	}
+	chart, err := textplot.Line(title, series, 60, 12)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(out, chart)
+	return err
+}
+
+func runFig3(c *ctx, out io.Writer) error {
+	rows, err := c.runner.Spread(nil)
+	if err != nil {
+		return err
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].TimeRatio > rows[j].TimeRatio })
+	var csvRows [][]string
+	for _, r := range rows {
+		csvRows = append(csvRows, []string{r.WorkloadID, f(r.TimeRatio), f(r.CostRatio)})
+	}
+	if err := c.writeCSV("fig3_spread.csv", []string{"workload", "time_worst_over_best", "cost_worst_over_best"}, csvRows); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "largest time spread: %s at %.1fx\n", rows[0].WorkloadID, rows[0].TimeRatio)
+	byCost := append([]study.SpreadRow(nil), rows...)
+	sort.Slice(byCost, func(i, j int) bool { return byCost[i].CostRatio > byCost[j].CostRatio })
+	fmt.Fprintf(out, "largest cost spread: %s at %.1fx\n", byCost[0].WorkloadID, byCost[0].CostRatio)
+	var bars []textplot.Bar
+	for _, r := range rows[:6] {
+		bars = append(bars, textplot.Bar{Label: r.WorkloadID, Value: r.TimeRatio, Annotation: fmt.Sprintf("cost %.1fx", r.CostRatio)})
+	}
+	chart, err := textplot.HBar("Fig 3: worst/best execution-time ratio (top workloads)", bars, 40)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(out, chart)
+	return err
+}
+
+func runFig4(c *ctx, out io.Writer) error {
+	expensive, err := c.runner.FixedVMDistribution([]string{"c4.2xlarge", "m4.2xlarge", "r4.2xlarge"}, core.MinimizeTime)
+	if err != nil {
+		return err
+	}
+	cheap, err := c.runner.FixedVMDistribution([]string{"c4.large", "m4.large", "r4.large"}, core.MinimizeCost)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, group := range []struct {
+		panel  string
+		series []study.FixedVMSeries
+	}{{"a_time_most_expensive", expensive}, {"b_cost_least_expensive", cheap}} {
+		for _, s := range group.series {
+			for i, v := range s.NormalizedSorted {
+				rows = append(rows, []string{group.panel, s.VMName, fmt.Sprint(i), f(v)})
+			}
+		}
+	}
+	if err := c.writeCSV("fig4_fixed_vm.csv", []string{"panel", "vm", "workload_rank", "normalized"}, rows); err != nil {
+		return err
+	}
+	for _, s := range expensive {
+		fmt.Fprintf(out, "time: %s is (near-)optimal for %.0f%% of workloads\n", s.VMName, 100*s.OptimalFraction)
+	}
+	for _, s := range cheap {
+		fmt.Fprintf(out, "cost: %s is (near-)optimal for %.0f%% of workloads\n", s.VMName, 100*s.OptimalFraction)
+	}
+	return nil
+}
+
+func runFig5(c *ctx, out io.Writer) error {
+	pairs := []study.AppSystem{
+		{App: "pagerank", System: workloads.Hadoop27},
+		{App: "bayes", System: workloads.Spark21},
+		{App: "als", System: workloads.Spark21},
+		{App: "wordcount", System: workloads.Spark21},
+		{App: "terasort", System: workloads.Hadoop27},
+		{App: "kmeans", System: workloads.Spark15},
+	}
+	rows, err := c.runner.InputSizeEffect(pairs, "m4.xlarge", core.MinimizeCost)
+	if err != nil {
+		return err
+	}
+	var csvRows [][]string
+	changed := 0
+	for _, r := range rows {
+		if r.BestVMChanges {
+			changed++
+		}
+		for _, size := range workloads.Sizes() {
+			cell := r.PerSize[size]
+			if cell == nil {
+				continue
+			}
+			csvRows = append(csvRows, []string{r.AppName, r.System.String(), size.String(), cell.BestVM, f(cell.RefNormalized)})
+		}
+	}
+	if err := c.writeCSV("fig5_input_size.csv", []string{"app", "system", "size", "best_vm", "m4.xlarge_normalized_cost"}, csvRows); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "best VM changes with input size for %d of %d app/system pairs\n", changed, len(rows))
+	for _, r := range rows {
+		fmt.Fprintf(out, "  %s/%s:", r.AppName, r.System)
+		for _, size := range workloads.Sizes() {
+			if cell := r.PerSize[size]; cell != nil {
+				fmt.Fprintf(out, " %s=%s", size, cell.BestVM)
+			}
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+func runFig6(c *ctx, out io.Writer) error {
+	lf, err := c.runner.LevelPlayingField("regression/spark1.5/medium")
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, r := range lf.Rows {
+		rows = append(rows, []string{r.VMName, f(r.NormTime), f(r.NormCost)})
+	}
+	if err := c.writeCSV("fig6_level_playing_field.csv", []string{"vm", "normalized_time", "normalized_cost"}, rows); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "time spread %.1fx vs cost spread %.1fx — cost compresses differences\n", lf.TimeSpread, lf.CostSpread)
+	var bars []textplot.Bar
+	for _, r := range lf.Rows {
+		bars = append(bars, textplot.Bar{Label: r.VMName, Value: r.NormCost, Annotation: fmt.Sprintf("time %.2f", r.NormTime)})
+	}
+	chart, err := textplot.HBar("Fig 6: normalized deployment cost per VM (regression/spark1.5)", bars, 40)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(out, chart)
+	return err
+}
+
+func runFig7(c *ctx, out io.Writer) error {
+	type panel struct {
+		id        string
+		workload  string
+		objective core.Objective
+		csv       string
+	}
+	for _, p := range []panel{
+		{"a", "als/spark2.1/medium", core.MinimizeTime, "fig7a_kernels_als_time.csv"},
+		{"b", "bayes/spark2.1/medium", core.MinimizeCost, "fig7b_kernels_bayes_cost.csv"},
+	} {
+		w, err := c.runner.WorkloadByID(p.workload)
+		if err != nil {
+			return err
+		}
+		reports, err := c.runner.KernelComparison(w, p.objective, kernel.All(), c.seeds)
+		if err != nil {
+			return err
+		}
+		var rows [][]string
+		for _, rep := range reports {
+			for _, pt := range rep.Points {
+				rows = append(rows, []string{rep.Label, fmt.Sprint(pt.Step), f(pt.Median), f(pt.Q1), f(pt.Q3)})
+			}
+		}
+		if err := c.writeCSV(p.csv, []string{"kernel", "step", "median_normalized", "q1", "q3"}, rows); err != nil {
+			return err
+		}
+		for _, rep := range reports {
+			fmt.Fprintf(out, "panel %s (%s, %s): %-11s median steps to optimum %.1f\n",
+				p.id, p.workload, p.objective, rep.Label, rep.MedianStepOptimal)
+		}
+		if err := plotTrajectories(out, fmt.Sprintf("Fig 7(%s): kernels on %s (%s)", p.id, p.workload, p.objective), reports); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFig8(c *ctx, out io.Writer) error {
+	rows, err := c.runner.BottleneckProfile("lr/spark1.5/medium")
+	if err != nil {
+		return err
+	}
+	var csvRows [][]string
+	for _, r := range rows {
+		csvRows = append(csvRows, []string{r.VMName, f(r.NormTime), f(r.CPUUser), f(r.IOWait), f(r.MemCommit)})
+	}
+	if err := c.writeCSV("fig8_memory_bottleneck.csv",
+		[]string{"vm", "normalized_time", "cpu_user_pct", "iowait_pct", "mem_commit_pct"}, csvRows); err != nil {
+		return err
+	}
+	var bars []textplot.Bar
+	for _, r := range rows {
+		bars = append(bars, textplot.Bar{
+			Label:      r.VMName,
+			Value:      r.MemCommit,
+			Annotation: fmt.Sprintf("iowait %4.1f%%  time %.1fx", r.IOWait, r.NormTime),
+		})
+	}
+	chart, err := textplot.HBar("Fig 8: %commit per VM for lr/spark1.5 (slowest first)", bars, 40)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(out, chart)
+	return err
+}
+
+func runFig9(c *ctx, out io.Writer) error {
+	methods := []study.MethodConfig{
+		{Method: study.MethodNaive},
+		{Method: study.MethodAugmented},
+		{Method: study.MethodHybrid},
+	}
+	for _, p := range []struct {
+		panel     string
+		objective core.Objective
+		csv       string
+	}{
+		{"a", core.MinimizeTime, "fig9a_cdf_time.csv"},
+		{"b", core.MinimizeCost, "fig9b_cdf_cost.csv"},
+	} {
+		cdfs, err := c.runner.SearchCostCDF(methods, p.objective, c.seeds)
+		if err != nil {
+			return err
+		}
+		var rows [][]string
+		for _, cdf := range cdfs {
+			for m, frac := range cdf.FractionByBudget {
+				rows = append(rows, []string{cdf.Label, fmt.Sprint(m + 1), f(frac)})
+			}
+		}
+		if err := c.writeCSV(p.csv, []string{"method", "measurements", "fraction_of_workloads"}, rows); err != nil {
+			return err
+		}
+		for _, cdf := range cdfs {
+			fmt.Fprintf(out, "panel %s (%s): %-12s within 6: %3.0f%%  within 10: %3.0f%%  within 12: %3.0f%%\n",
+				p.panel, p.objective, cdf.Label,
+				100*cdf.FractionWithin(6), 100*cdf.FractionWithin(10), 100*cdf.FractionWithin(12))
+		}
+		if err := plotCDFs(out, fmt.Sprintf("Fig 9(%s): search-cost CDF (%s)", p.panel, p.objective), cdfs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFig10(c *ctx, out io.Writer) error {
+	panels := []struct {
+		id        string
+		workload  string
+		objective core.Objective
+		csv       string
+	}{
+		{"a", "pagerank/hadoop2.7/medium", core.MinimizeTime, "fig10a_pagerank.csv"},
+		{"b", "als/spark2.1/medium", core.MinimizeTime, "fig10b_als.csv"},
+		{"c", "lr/spark1.5/medium", core.MinimizeCost, "fig10c_lr.csv"},
+	}
+	for _, p := range panels {
+		w, err := c.runner.WorkloadByID(p.workload)
+		if err != nil {
+			return err
+		}
+		var reports []*study.TrajectoryReport
+		var rows [][]string
+		for _, mc := range []study.MethodConfig{{Method: study.MethodNaive}, {Method: study.MethodAugmented}} {
+			rep, err := c.runner.Trajectories(mc, w, p.objective, c.seeds)
+			if err != nil {
+				return err
+			}
+			reports = append(reports, rep)
+			for _, pt := range rep.Points {
+				rows = append(rows, []string{rep.Label, fmt.Sprint(pt.Step), f(pt.Median), f(pt.Q1), f(pt.Q3)})
+			}
+			iqrSum := 0.0
+			for _, pt := range rep.Points {
+				iqrSum += pt.Q3 - pt.Q1
+			}
+			fmt.Fprintf(out, "panel %s %s: %-12s median steps %.1f, mean IQR %.3f\n",
+				p.id, p.workload, rep.Label, rep.MedianStepOptimal, iqrSum/float64(len(rep.Points)))
+		}
+		if err := c.writeCSV(p.csv, []string{"method", "step", "median_normalized", "q1", "q3"}, rows); err != nil {
+			return err
+		}
+		if err := plotTrajectories(out, fmt.Sprintf("Fig 10(%s): %s (%s)", p.id, p.workload, p.objective), reports); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFig11(c *ctx, out io.Writer) error {
+	regions, err := c.regionsFor(core.MinimizeCost)
+	if err != nil {
+		return err
+	}
+	points, err := c.runner.StoppingSweep(core.MinimizeCost, c.seeds,
+		[]float64{0.05, 0.10, 0.15, 0.20},
+		[]float64{0.9, 0.95, 1.0, 1.05, 1.1, 1.15, 1.2, 1.25, 1.3},
+		regions)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{p.Region.String(), p.Label, f(p.Threshold), f(p.SearchCost), f(p.FoundNorm)})
+	}
+	if err := c.writeCSV("fig11_stopping_tradeoff.csv",
+		[]string{"region", "method", "threshold", "mean_search_cost", "mean_normalized_cost"}, rows); err != nil {
+		return err
+	}
+	for _, reg := range []study.Region{study.RegionI, study.RegionII, study.RegionIII} {
+		fmt.Fprintf(out, "%s:\n", reg)
+		for _, p := range points {
+			if p.Region == reg {
+				fmt.Fprintf(out, "  %-28s search %.2f  cost %.3f\n", p.Label, p.SearchCost, p.FoundNorm)
+			}
+		}
+	}
+	return nil
+}
+
+func runFig12(c *ctx, out io.Writer) error {
+	return runCompare(c, out, core.MinimizeCost, 1.1, "fig12_win_loss_cost.csv",
+		"Fig 12: Augmented (delta 1.1) vs Naive (EI 10%) on deployment cost")
+}
+
+func runFig13(c *ctx, out io.Writer) error {
+	return runCompare(c, out, core.MinimizeTimeCostProduct, 1.05, "fig13_win_loss_product.csv",
+		"Fig 13: Augmented (delta 1.05) vs Naive (EI 10%) on the time-cost product")
+}
+
+func runCompare(c *ctx, out io.Writer, objective core.Objective, delta float64, csvName, title string) error {
+	regions, err := c.regionsFor(core.MinimizeCost)
+	if err != nil {
+		return err
+	}
+	rep, err := c.runner.Compare(
+		study.MethodConfig{Method: study.MethodNaive, EIStop: 0.10},
+		study.MethodConfig{Method: study.MethodAugmented, Delta: delta},
+		objective, c.seeds, regions)
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, p := range rep.Points {
+		rows = append(rows, []string{p.WorkloadID, p.Region.String(), f(p.SearchCostReduction), f(p.ValueImprovement), p.Class.String()})
+	}
+	if err := c.writeCSV(csvName,
+		[]string{"workload", "region", "search_cost_reduction_pct", "value_improvement_pct", "class"}, rows); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s\n", title)
+	fmt.Fprintf(out, "win=%d same=%d draw=%d loss=%d (paper cost objective: 46/39/17/5)\n",
+		rep.Counts[study.Win], rep.Counts[study.Same], rep.Counts[study.Draw], rep.Counts[study.Loss])
+	return nil
+}
+
+func runInitPoints(c *ctx, out io.Writer) error {
+	reports, err := c.runner.InitialPointSensitivity(core.MinimizeCost, map[string][]string{
+		"paper-triplet(c4.xlarge,m4.large,r3.2xlarge)": {"c4.xlarge", "m4.large", "r3.2xlarge"},
+		"diverse(c3.large,m4.xlarge,r4.2xlarge)":       {"c3.large", "m4.xlarge", "r4.2xlarge"},
+		"all-large(c4,m4,r4)":                          {"c4.large", "m4.large", "r4.large"},
+		"all-2xlarge(c4,m4,r4)":                        {"c4.2xlarge", "m4.2xlarge", "r4.2xlarge"},
+	})
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, rep := range reports {
+		for _, id := range sortedIDs(rep.PerWorkloadStep) {
+			rows = append(rows, []string{rep.Label, id, fmt.Sprint(rep.PerWorkloadStep[id])})
+		}
+		fmt.Fprintf(out, "%-46s miss-within-6 rate: %.0f%%\n", rep.Label, 100*rep.FailFraction)
+	}
+	return c.writeCSV("initpoints_sensitivity.csv", []string{"design", "workload", "step_optimal"}, rows)
+}
+
+func runBreakdown(c *ctx, out io.Writer) error {
+	var rows [][]string
+	for _, group := range []study.GroupBy{study.ByCategory, study.BySystem, study.ByInputSize} {
+		for _, mc := range []study.MethodConfig{{Method: study.MethodNaive}, {Method: study.MethodAugmented}} {
+			stats, err := c.runner.BreakdownByGroup(mc, core.MinimizeCost, c.seeds, group)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%s by %s:\n", mc.Label(), group)
+			for _, gs := range stats {
+				fmt.Fprintf(out, "  %-22s n=%-3d mean %.2f median %.1f  regions I/II/III %d/%d/%d\n",
+					gs.Group, gs.Workloads, gs.MeanStep, gs.MedianStep,
+					gs.RegionCounts[study.RegionI], gs.RegionCounts[study.RegionII], gs.RegionCounts[study.RegionIII])
+				rows = append(rows, []string{group.String(), mc.Label(), gs.Group,
+					fmt.Sprint(gs.Workloads), f(gs.MeanStep), f(gs.MedianStep)})
+			}
+		}
+	}
+	return c.writeCSV("breakdown_groups.csv",
+		[]string{"group_by", "method", "group", "workloads", "mean_step", "median_step"}, rows)
+}

@@ -1,0 +1,190 @@
+// Command arrow-study regenerates the paper's evaluation: every figure's
+// data series is recomputed on the simulator substrate, written as CSV
+// into the output directory, and sketched as an ASCII chart on stdout.
+//
+// Usage:
+//
+//	arrow-study                      # all experiments, 30 seeds
+//	arrow-study -figures fig9,fig12  # a subset
+//	arrow-study -seeds 100           # the paper's repeat count
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/study"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "arrow-study:", err)
+		os.Exit(1)
+	}
+}
+
+// ctx carries the shared state of one study invocation.
+type ctx struct {
+	runner *study.Runner
+	seeds  int
+	outDir string
+
+	// regions caches the Figure 1 classification, which several
+	// experiments reuse.
+	regions map[core.Objective]map[string]study.Region
+}
+
+type experiment struct {
+	name string
+	desc string
+	run  func(*ctx, io.Writer) error
+}
+
+// experiments in paper order.
+var experiments = []experiment{
+	{"table1", "Table I: application and workload inventory", runTable1},
+	{"fig1", "Fig 1: Naive BO search-cost CDF and regions", runFig1},
+	{"fig2", "Fig 2: Naive BO trajectory for ALS on Spark", runFig2},
+	{"fig3", "Fig 3: best-to-worst spread in time and cost", runFig3},
+	{"fig4", "Fig 4: fixed most/least expensive VM distributions", runFig4},
+	{"fig5", "Fig 5: input size changes the best VM", runFig5},
+	{"fig6", "Fig 6: cost levels the playing field (regression)", runFig6},
+	{"fig7", "Fig 7: kernel choice changes BO effectiveness", runFig7},
+	{"fig8", "Fig 8: low-level metrics expose a memory bottleneck", runFig8},
+	{"fig9", "Fig 9: search-cost CDFs, Naive vs Augmented vs Hybrid", runFig9},
+	{"fig10", "Fig 10: trajectories with IQR bands", runFig10},
+	{"fig11", "Fig 11: stopping-criterion trade-off per region", runFig11},
+	{"fig12", "Fig 12: win/same/draw/loss under the cost objective", runFig12},
+	{"fig13", "Fig 13: win/same/draw/loss under the time-cost product", runFig13},
+	{"initpoints", "Sec III-C: initial-point sensitivity", runInitPoints},
+	{"breakdown", "extension: search cost per category/system/size", runBreakdown},
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("arrow-study", flag.ContinueOnError)
+	var (
+		seeds   = fs.Int("seeds", 30, "independent repetitions per workload (paper uses 100)")
+		outDir  = fs.String("out", "results", "directory for CSV output")
+		figures = fs.String("figures", "all", "comma-separated experiment list (see -list)")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		workers = fs.Int("concurrency", 0, "worker-pool size (0 = GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range experiments {
+			fmt.Fprintf(out, "%-12s %s\n", e.name, e.desc)
+		}
+		return nil
+	}
+	if *seeds < 1 {
+		return fmt.Errorf("seeds must be positive, got %d", *seeds)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return fmt.Errorf("creating output dir: %w", err)
+	}
+
+	var opts []study.Option
+	if *workers > 0 {
+		opts = append(opts, study.WithConcurrency(*workers))
+	}
+	c := &ctx{
+		runner:  study.NewRunner(sim.New(cloud.DefaultCatalog()), opts...),
+		seeds:   *seeds,
+		outDir:  *outDir,
+		regions: map[core.Objective]map[string]study.Region{},
+	}
+
+	selected := map[string]bool{}
+	if *figures == "all" {
+		for _, e := range experiments {
+			selected[e.name] = true
+		}
+	} else {
+		for _, name := range strings.Split(*figures, ",") {
+			selected[strings.TrimSpace(name)] = true
+		}
+	}
+	known := map[string]bool{}
+	for _, e := range experiments {
+		known[e.name] = true
+	}
+	for name := range selected {
+		if !known[name] {
+			return fmt.Errorf("unknown experiment %q (see -list)", name)
+		}
+	}
+
+	for _, e := range experiments {
+		if !selected[e.name] {
+			continue
+		}
+		start := time.Now()
+		fmt.Fprintf(out, "=== %s: %s\n", e.name, e.desc)
+		if err := e.run(c, out); err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Fprintf(out, "--- %s done in %v\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// regionsFor computes (and caches) the Figure 1 region classification.
+func (c *ctx) regionsFor(objective core.Objective) (map[string]study.Region, error) {
+	if r, ok := c.regions[objective]; ok {
+		return r, nil
+	}
+	r, err := c.runner.ClassifyRegions(objective, c.seeds)
+	if err != nil {
+		return nil, err
+	}
+	c.regions[objective] = r
+	return r, nil
+}
+
+// writeCSV writes one CSV file into the output directory.
+func (c *ctx) writeCSV(name string, header []string, rows [][]string) error {
+	path := filepath.Join(c.outDir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating %s: %w", path, err)
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		_ = f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func f(v float64) string { return fmt.Sprintf("%.6g", v) }
+
+// sortedIDs returns map keys in stable order.
+func sortedIDs[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

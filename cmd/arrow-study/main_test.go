@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{"table1", "fig1", "fig9", "fig13", "initpoints"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("experiment %s missing from list", name)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-figures", "fig99", "-out", t.TempDir()}, &sb); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestRunBadSeeds(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-seeds", "0", "-out", t.TempDir()}, &sb); err == nil {
+		t.Error("zero seeds should fail")
+	}
+}
+
+func TestRunCheapFigures(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	err := run([]string{"-figures", "table1,fig3,fig6,fig8", "-seeds", "2", "-out", dir}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, csv := range []string{
+		"table1_inventory.csv",
+		"fig3_spread.csv",
+		"fig6_level_playing_field.csv",
+		"fig8_memory_bottleneck.csv",
+	} {
+		data, err := os.ReadFile(filepath.Join(dir, csv))
+		if err != nil {
+			t.Errorf("missing %s: %v", csv, err)
+			continue
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", csv)
+		}
+	}
+	out := sb.String()
+	if !strings.Contains(out, "107 in the study set") {
+		t.Error("table1 summary missing")
+	}
+	if !strings.Contains(out, "cost compresses differences") {
+		t.Error("fig6 summary missing")
+	}
+}
+
+func TestRunFig5And7(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-figures", "fig5,fig7", "-seeds", "2", "-out", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, csv := range []string{"fig5_input_size.csv", "fig7a_kernels_als_time.csv", "fig7b_kernels_bayes_cost.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, csv)); err != nil {
+			t.Errorf("missing %s: %v", csv, err)
+		}
+	}
+	out := sb.String()
+	if !strings.Contains(out, "MATERN 5/2") {
+		t.Error("kernel rows missing")
+	}
+	if !strings.Contains(out, "best VM changes with input size") {
+		t.Error("fig5 summary missing")
+	}
+}
+
+func TestRunFig4(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-figures", "fig4", "-seeds", "2", "-out", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "c4.2xlarge is (near-)optimal") {
+		t.Error("fig4 summary missing")
+	}
+}
+
+func TestRunFig2WritesTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-figures", "fig2", "-seeds", "2", "-out", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig2_als_trajectory.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	// Header + 18 steps.
+	if len(lines) != 19 {
+		t.Errorf("%d CSV lines, want 19", len(lines))
+	}
+	if lines[0] != "step,median_norm_time,q1,q3" {
+		t.Errorf("header = %q", lines[0])
+	}
+}

@@ -1,0 +1,165 @@
+// Command arrow searches for the best cloud VM for one workload using the
+// public API: Naive BO (CherryPick), Arrow's Augmented BO, Hybrid BO, or
+// random search, against the built-in simulator substrate.
+//
+// Usage:
+//
+//	arrow -workload als/spark2.1/medium -method augmented -objective cost
+//	arrow -list                 # list the 107 study workloads
+//	arrow -vms                  # list the 18-type VM catalog
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	arrow "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "arrow:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("arrow", flag.ContinueOnError)
+	var (
+		workloadID = fs.String("workload", "als/spark2.1/medium", "study workload ID (app/system/size)")
+		method     = fs.String("method", "augmented", "search method: naive | augmented | hybrid | random")
+		objective  = fs.String("objective", "cost", "objective: time | cost | product")
+		kernelName = fs.String("kernel", "matern52", "GP kernel for naive BO: rbf | matern12 | matern32 | matern52")
+		seed       = fs.Int64("seed", 1, "search seed (initial design + surrogate randomization)")
+		trial      = fs.Int64("trial", 1, "measurement-noise trial index")
+		delta      = fs.Float64("delta", 1.1, "prediction-delta stop threshold for augmented BO (negative disables)")
+		eiStop     = fs.Float64("ei", 0.10, "EI stop fraction for naive BO (negative disables)")
+		maxMeas    = fs.Int("max", 0, "maximum measurements (0 = whole catalog)")
+		slo        = fs.Float64("slo", 0, "maximum execution time SLO in seconds (0 = unconstrained)")
+		list       = fs.Bool("list", false, "list the study workloads and exit")
+		vms        = fs.Bool("vms", false, "list the VM catalog and exit")
+		asJSON     = fs.Bool("json", false, "emit the search result as JSON instead of a table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, id := range arrow.WorkloadIDs() {
+			fmt.Fprintln(out, id)
+		}
+		return nil
+	}
+	if *vms {
+		tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "NAME\tVCPUS\tMEM_GIB\tUSD_PER_HR\tFEATURES")
+		for _, vm := range arrow.CatalogVMs() {
+			fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.3f\t%v\n", vm.Name, vm.VCPUs, vm.MemGiB, vm.PricePerHr, vm.Features)
+		}
+		return tw.Flush()
+	}
+
+	opts, err := buildOptions(*method, *objective, *kernelName, *seed, *delta, *eiStop, *maxMeas)
+	if err != nil {
+		return err
+	}
+	if *slo > 0 {
+		opts = append(opts, arrow.WithMaxTimeSLO(*slo))
+	}
+	opt, err := arrow.New(opts...)
+	if err != nil {
+		return err
+	}
+	target, err := arrow.NewSimulatedTarget(*workloadID, *trial)
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		res, err := opt.Search(target)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+
+	fmt.Fprintf(out, "searching %s for the best VM (%s, objective %s)\n\n", *workloadID, opt.Method(), opt.Objective())
+	res, err := opt.Search(target)
+	if err != nil {
+		return err
+	}
+
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "STEP\tVM\tTIME_S\tCOST_USD\tOBJECTIVE")
+	for i, obs := range res.Observations {
+		fmt.Fprintf(tw, "%d\t%s\t%.1f\t%.4f\t%.5g\n", i+1, obs.Name, obs.Outcome.TimeSec, obs.Outcome.CostUSD, obs.Value)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nbest VM: %s (objective %.5g) after %d measurements\n", res.BestName, res.BestValue, res.NumMeasurements())
+	if res.StoppedEarly {
+		fmt.Fprintf(out, "stopped early: %s\n", res.StopReason)
+	}
+	if !res.SLOSatisfied {
+		fmt.Fprintf(out, "WARNING: no VM met the %.0fs SLO; showing the fastest VM observed\n", *slo)
+	}
+	return nil
+}
+
+func buildOptions(method, objective, kernelName string, seed int64, delta, eiStop float64, maxMeas int) ([]arrow.Option, error) {
+	var opts []arrow.Option
+
+	switch method {
+	case "naive":
+		opts = append(opts, arrow.WithMethod(arrow.MethodNaiveBO))
+	case "augmented":
+		opts = append(opts, arrow.WithMethod(arrow.MethodAugmentedBO))
+	case "hybrid":
+		opts = append(opts, arrow.WithMethod(arrow.MethodHybridBO))
+	case "random":
+		opts = append(opts, arrow.WithMethod(arrow.MethodRandomSearch))
+	default:
+		return nil, fmt.Errorf("unknown method %q", method)
+	}
+
+	switch objective {
+	case "time":
+		opts = append(opts, arrow.WithObjective(arrow.MinimizeTime))
+	case "cost":
+		opts = append(opts, arrow.WithObjective(arrow.MinimizeCost))
+	case "product":
+		opts = append(opts, arrow.WithObjective(arrow.MinimizeTimeCostProduct))
+	default:
+		return nil, fmt.Errorf("unknown objective %q", objective)
+	}
+
+	switch kernelName {
+	case "rbf":
+		opts = append(opts, arrow.WithKernel(arrow.KernelRBF))
+	case "matern12":
+		opts = append(opts, arrow.WithKernel(arrow.KernelMatern12))
+	case "matern32":
+		opts = append(opts, arrow.WithKernel(arrow.KernelMatern32))
+	case "matern52":
+		opts = append(opts, arrow.WithKernel(arrow.KernelMatern52))
+	default:
+		return nil, fmt.Errorf("unknown kernel %q", kernelName)
+	}
+
+	opts = append(opts,
+		arrow.WithSeed(seed),
+		arrow.WithDeltaThreshold(delta),
+		arrow.WithEIStopFraction(eiStop),
+	)
+	if maxMeas > 0 {
+		opts = append(opts, arrow.WithMaxMeasurements(maxMeas))
+	}
+	return opts, nil
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 107 {
+		t.Errorf("%d workloads listed, want 107", len(lines))
+	}
+}
+
+func TestRunVMs(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-vms"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, vm := range []string{"c4.2xlarge", "m4.large", "r3.xlarge"} {
+		if !strings.Contains(out, vm) {
+			t.Errorf("VM %s missing from listing", vm)
+		}
+	}
+}
+
+func TestRunSearch(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-workload", "kmeans/spark2.1/medium",
+		"-method", "augmented",
+		"-objective", "cost",
+		"-seed", "3",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "best VM:") {
+		t.Errorf("result line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "STEP") {
+		t.Error("step table missing")
+	}
+}
+
+func TestRunSearchEveryMethod(t *testing.T) {
+	for _, method := range []string{"naive", "hybrid", "random"} {
+		var sb strings.Builder
+		err := run([]string{
+			"-workload", "pearson/spark2.1/medium",
+			"-method", method,
+			"-max", "6",
+		}, &sb)
+		if err != nil {
+			t.Errorf("%s: %v", method, err)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	tests := [][]string{
+		{"-method", "genetic"},
+		{"-objective", "latency"},
+		{"-kernel", "cubic"},
+		{"-workload", "no/such/workload"},
+	}
+	for _, args := range tests {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-workload", "kmeans/spark2.1/medium",
+		"-method", "naive",
+		"-max", "5",
+		"-json",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Method       string `json:"method"`
+		BestName     string `json:"best_name"`
+		Observations []any  `json:"observations"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &res); err != nil {
+		t.Fatalf("invalid JSON output: %v", err)
+	}
+	if res.Method != "naive-bo" || res.BestName == "" || len(res.Observations) == 0 {
+		t.Errorf("unexpected JSON payload: %+v", res)
+	}
+}
+
+func TestBuildOptions(t *testing.T) {
+	opts, err := buildOptions("naive", "time", "rbf", 1, 1.1, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) == 0 {
+		t.Error("no options built")
+	}
+}

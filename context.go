@@ -1,0 +1,65 @@
+package arrow
+
+import (
+	"context"
+	"fmt"
+)
+
+// This file adds the deployment conveniences a real (non-simulated) cloud
+// target needs: context cancellation between measurements and progress
+// observation during long searches, where a single Measure call can take
+// tens of minutes of wall-clock time on a live cluster.
+
+// ProgressFunc receives each observation as it is measured, with the
+// 1-based step number. It runs synchronously on the search goroutine, so
+// it must not block.
+type ProgressFunc func(step int, obs Observation)
+
+// SearchContext runs the configured optimizer against target, checking
+// ctx between measurements: when ctx is canceled the search stops before
+// issuing the next measurement and returns ctx's error. The optional
+// progress callback fires after every completed measurement.
+func (o *Optimizer) SearchContext(ctx context.Context, target Target, progress ProgressFunc) (*Result, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("arrow: nil context")
+	}
+	wrapped := &ctxTarget{ctx: ctx, t: target, progress: progress}
+	res, err := o.Search(wrapped)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, fmt.Errorf("arrow: search canceled after %d measurements: %w", wrapped.steps, ctxErr)
+		}
+		return nil, err
+	}
+	return res, nil
+}
+
+// ctxTarget wraps a Target with cancellation checks and progress
+// reporting.
+type ctxTarget struct {
+	ctx      context.Context
+	t        Target
+	progress ProgressFunc
+	steps    int
+}
+
+var _ Target = (*ctxTarget)(nil)
+
+func (c *ctxTarget) NumCandidates() int       { return c.t.NumCandidates() }
+func (c *ctxTarget) Features(i int) []float64 { return c.t.Features(i) }
+func (c *ctxTarget) Name(i int) string        { return c.t.Name(i) }
+
+func (c *ctxTarget) Measure(i int) (Outcome, error) {
+	if err := c.ctx.Err(); err != nil {
+		return Outcome{}, err
+	}
+	out, err := c.t.Measure(i)
+	if err != nil {
+		return Outcome{}, err
+	}
+	c.steps++
+	if c.progress != nil {
+		c.progress(c.steps, Observation{Index: i, Name: c.t.Name(i), Outcome: out})
+	}
+	return out, nil
+}

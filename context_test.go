@@ -1,0 +1,99 @@
+package arrow
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSearchContextCompletes(t *testing.T) {
+	target, err := NewSimulatedTarget("pearson/spark2.1/medium", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := New(WithMethod(MethodAugmentedBO), WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var steps atomic.Int64
+	res, err := opt.SearchContext(context.Background(), target, func(step int, obs Observation) {
+		steps.Add(1)
+		if obs.Name == "" {
+			t.Error("empty observation name in progress callback")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(steps.Load()) != res.NumMeasurements() {
+		t.Errorf("progress fired %d times for %d measurements", steps.Load(), res.NumMeasurements())
+	}
+}
+
+func TestSearchContextNilProgress(t *testing.T) {
+	target, err := NewSimulatedTarget("pearson/spark2.1/medium", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := New(WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opt.SearchContext(context.Background(), target, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchContextCanceledImmediately(t *testing.T) {
+	target, err := NewSimulatedTarget("pearson/spark2.1/medium", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := New(WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := opt.SearchContext(ctx, target, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("error = %v, want context.Canceled", err)
+	}
+}
+
+func TestSearchContextCanceledMidway(t *testing.T) {
+	target, err := NewSimulatedTarget("pearson/spark2.1/medium", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := New(WithMethod(MethodNaiveBO), WithEIStopFraction(-1), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	count := 0
+	_, err = opt.SearchContext(ctx, target, func(step int, obs Observation) {
+		count++
+		if count == 5 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if count != 5 {
+		t.Errorf("measured %d times after cancellation at 5", count)
+	}
+}
+
+func TestSearchContextNil(t *testing.T) {
+	opt, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	//nolint:staticcheck // deliberately passing nil to test the guard.
+	if _, err := opt.SearchContext(nil, nil, nil); err == nil {
+		t.Error("nil context should fail")
+	}
+}

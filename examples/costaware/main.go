@@ -1,0 +1,99 @@
+// Costaware demonstrates the practical-implications study of the paper's
+// Section VI on one workload:
+//
+//  1. the search-cost / solution-quality trade-off exposed by Augmented
+//     BO's Prediction-Delta stopping threshold (Figure 11), and
+//  2. the time-cost product objective that finds a VM balancing both
+//     (Figure 13) instead of optimizing one dimension alone.
+//
+// Run with:
+//
+//	go run ./examples/costaware
+package main
+
+import (
+	"fmt"
+	"log"
+
+	arrow "repro"
+)
+
+const workload = "bayes/spark2.1/medium"
+
+func main() {
+	if err := demoThresholdTradeoff(); err != nil {
+		log.Fatal(err)
+	}
+	if err := demoTimeCostProduct(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func demoThresholdTradeoff() error {
+	fmt.Printf("stopping-threshold trade-off on %s (cost objective)\n", workload)
+	fmt.Println("threshold | measurements | best found ($) — averaged over 20 seeds")
+	for _, threshold := range []float64{0.9, 1.0, 1.1, 1.2, 1.3} {
+		var sumCost, sumMeas float64
+		const seeds = 20
+		for seed := int64(0); seed < seeds; seed++ {
+			target, err := arrow.NewSimulatedTarget(workload, seed)
+			if err != nil {
+				return err
+			}
+			opt, err := arrow.New(
+				arrow.WithMethod(arrow.MethodAugmentedBO),
+				arrow.WithObjective(arrow.MinimizeCost),
+				arrow.WithDeltaThreshold(threshold),
+				arrow.WithSeed(seed),
+			)
+			if err != nil {
+				return err
+			}
+			res, err := opt.Search(target)
+			if err != nil {
+				return err
+			}
+			sumCost += res.BestValue
+			sumMeas += float64(res.NumMeasurements())
+		}
+		fmt.Printf("  %5.2f   | %12.1f | %.4f\n", threshold, sumMeas/20, sumCost/20)
+	}
+	fmt.Println()
+	return nil
+}
+
+func demoTimeCostProduct() error {
+	fmt.Printf("objective comparison on %s (seed 7)\n", workload)
+	for _, objective := range []arrow.Objective{
+		arrow.MinimizeTime,
+		arrow.MinimizeCost,
+		arrow.MinimizeTimeCostProduct,
+	} {
+		target, err := arrow.NewSimulatedTarget(workload, 7)
+		if err != nil {
+			return err
+		}
+		opt, err := arrow.New(
+			arrow.WithMethod(arrow.MethodAugmentedBO),
+			arrow.WithObjective(objective),
+			arrow.WithDeltaThreshold(1.05),
+			arrow.WithSeed(7),
+		)
+		if err != nil {
+			return err
+		}
+		res, err := opt.Search(target)
+		if err != nil {
+			return err
+		}
+		var best arrow.Observation
+		for _, obs := range res.Observations {
+			if obs.Index == res.BestIndex {
+				best = obs
+			}
+		}
+		fmt.Printf("  minimize %-18s -> %-12s time %7.1fs  cost $%.4f  (%d measurements)\n",
+			objective, res.BestName, best.Outcome.TimeSec, best.Outcome.CostUSD, res.NumMeasurements())
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+// Customworkload shows how to plug your own measurable system into the
+// public API: anything that can run a job on a candidate configuration and
+// report its time, cost, and (optionally) low-level metrics implements
+// arrow.Target.
+//
+// The example models a small fleet of self-managed build servers: four
+// machine shapes with different core counts and disks. The "measurement"
+// here is a toy analytic model standing in for a real CI run — replace
+// Measure with an SSH command, a Kubernetes job, or a cloud API call.
+//
+// Run with:
+//
+//	go run ./examples/customworkload
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	arrow "repro"
+)
+
+// buildServer is one candidate configuration of the fleet.
+type buildServer struct {
+	name      string
+	cores     float64
+	diskMBps  float64
+	hourlyUSD float64
+}
+
+// ciFleet implements arrow.Target over the fleet. Each measurement
+// "runs" a build: compile time scales with cores (Amdahl), artifact I/O
+// with disk speed.
+type ciFleet struct {
+	servers []buildServer
+	runs    int
+}
+
+// Compile-time check that ciFleet satisfies the public interface.
+var _ arrow.Target = (*ciFleet)(nil)
+
+func (f *ciFleet) NumCandidates() int { return len(f.servers) }
+
+func (f *ciFleet) Features(i int) []float64 {
+	s := f.servers[i]
+	return []float64{s.cores, s.diskMBps}
+}
+
+func (f *ciFleet) Name(i int) string { return f.servers[i].name }
+
+func (f *ciFleet) Measure(i int) (arrow.Outcome, error) {
+	s := f.servers[i]
+	f.runs++
+
+	// A toy build: 1200 core-seconds of compilation with a 25% serial
+	// linker phase, plus 3 GB of artifact I/O.
+	const (
+		compileWork = 1200.0
+		serialFrac  = 0.25
+		artifactMB  = 3000.0
+	)
+	effCores := 1 / (serialFrac + (1-serialFrac)/s.cores)
+	compileSec := compileWork / effCores
+	ioSec := artifactMB / s.diskMBps
+	totalSec := compileSec + ioSec
+
+	// Low-level metrics in arrow.MetricNames() order: %user, %iowait,
+	// task count, %commit, %util, await-ms. A real deployment would read
+	// these from sysstat on the build server.
+	utilization := effCores / s.cores
+	metrics := []float64{
+		100 * (compileSec / totalSec) * utilization, // %user
+		100 * (ioSec / totalSec),                    // %iowait
+		4 + 2*s.cores,                               // tasks
+		55,                                          // %commit
+		100 * math.Min(1, ioSec/totalSec*1.5),       // %util
+		5 + ioSec/totalSec*20,                       // await-ms
+	}
+
+	return arrow.Outcome{
+		TimeSec: totalSec,
+		CostUSD: totalSec / 3600 * s.hourlyUSD,
+		Metrics: metrics,
+	}, nil
+}
+
+func main() {
+	fleet := &ciFleet{servers: []buildServer{
+		{name: "small-hdd", cores: 2, diskMBps: 120, hourlyUSD: 0.08},
+		{name: "small-ssd", cores: 2, diskMBps: 500, hourlyUSD: 0.11},
+		{name: "medium-ssd", cores: 4, diskMBps: 500, hourlyUSD: 0.20},
+		{name: "large-ssd", cores: 8, diskMBps: 500, hourlyUSD: 0.38},
+		{name: "large-nvme", cores: 8, diskMBps: 2000, hourlyUSD: 0.45},
+		{name: "xlarge-nvme", cores: 16, diskMBps: 2000, hourlyUSD: 0.88},
+	}}
+
+	opt, err := arrow.New(
+		arrow.WithMethod(arrow.MethodAugmentedBO),
+		arrow.WithObjective(arrow.MinimizeCost),
+		arrow.WithNumInitial(2),
+		arrow.WithDeltaThreshold(1.1),
+		arrow.WithSeed(3),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := opt.Search(fleet)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("searched the CI fleet for the cheapest build server:")
+	for i, obs := range res.Observations {
+		fmt.Printf("  %d. %-12s build %6.1fs  $%.5f/build\n",
+			i+1, obs.Name, obs.Outcome.TimeSec, obs.Outcome.CostUSD)
+	}
+	fmt.Printf("\ncheapest: %s at $%.5f per build (%d of %d servers measured)\n",
+		res.BestName, res.BestValue, res.NumMeasurements(), fleet.NumCandidates())
+}

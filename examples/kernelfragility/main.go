@@ -1,0 +1,115 @@
+// Kernelfragility reproduces the Section III demonstration that Naive BO
+// is fragile: the same GP-based optimizer ranks differently depending on
+// the covariance kernel, and no kernel wins on both workloads (Figure 7).
+// Arrow side-steps the choice entirely with its tree-based surrogate.
+//
+// Run with:
+//
+//	go run ./examples/kernelfragility
+package main
+
+import (
+	"fmt"
+	"log"
+
+	arrow "repro"
+)
+
+func main() {
+	panels := []struct {
+		workload  string
+		objective arrow.Objective
+	}{
+		{"als/spark2.1/medium", arrow.MinimizeTime},
+		{"bayes/spark2.1/medium", arrow.MinimizeCost},
+	}
+	kernels := []arrow.Kernel{
+		arrow.KernelRBF,
+		arrow.KernelMatern12,
+		arrow.KernelMatern32,
+		arrow.KernelMatern52,
+	}
+
+	for _, panel := range panels {
+		fmt.Printf("minimizing %s for %s (mean over 20 seeds)\n", panel.objective, panel.workload)
+
+		for _, k := range kernels {
+			meas, err := meanSearchCost(panel.workload, panel.objective, k, 20)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-11s mean measurements to find the best VM: %.1f\n", k, meas)
+		}
+
+		// Arrow needs no kernel at all.
+		meas, err := meanAugmentedCost(panel.workload, panel.objective, 20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-11s mean measurements to find the best VM: %.1f (no kernel needed)\n\n", "Augmented", meas)
+	}
+}
+
+// meanSearchCost runs Naive BO with the given kernel until it has measured
+// the eventual best VM, averaging the step at which that VM was found.
+func meanSearchCost(workload string, objective arrow.Objective, k arrow.Kernel, seeds int64) (float64, error) {
+	total := 0.0
+	for seed := int64(0); seed < seeds; seed++ {
+		opt, err := arrow.New(
+			arrow.WithMethod(arrow.MethodNaiveBO),
+			arrow.WithObjective(objective),
+			arrow.WithKernel(k),
+			arrow.WithEIStopFraction(-1), // disable stopping: measure the full catalog
+			arrow.WithSeed(seed),
+		)
+		if err != nil {
+			return 0, err
+		}
+		step, err := stepBestFound(opt, workload, seed)
+		if err != nil {
+			return 0, err
+		}
+		total += float64(step)
+	}
+	return total / float64(seeds), nil
+}
+
+func meanAugmentedCost(workload string, objective arrow.Objective, seeds int64) (float64, error) {
+	total := 0.0
+	for seed := int64(0); seed < seeds; seed++ {
+		opt, err := arrow.New(
+			arrow.WithMethod(arrow.MethodAugmentedBO),
+			arrow.WithObjective(objective),
+			arrow.WithDeltaThreshold(-1),
+			arrow.WithSeed(seed),
+		)
+		if err != nil {
+			return 0, err
+		}
+		step, err := stepBestFound(opt, workload, seed)
+		if err != nil {
+			return 0, err
+		}
+		total += float64(step)
+	}
+	return total / float64(seeds), nil
+}
+
+// stepBestFound exhausts the catalog and returns the 1-based step at which
+// the overall-best VM was first measured.
+func stepBestFound(opt *arrow.Optimizer, workload string, trial int64) (int, error) {
+	target, err := arrow.NewSimulatedTarget(workload, trial)
+	if err != nil {
+		return 0, err
+	}
+	res, err := opt.Search(target)
+	if err != nil {
+		return 0, err
+	}
+	for i, obs := range res.Observations {
+		if obs.Index == res.BestIndex {
+			return i + 1, nil
+		}
+	}
+	return len(res.Observations), nil
+}

@@ -1,0 +1,48 @@
+// Quickstart: find the most cost-effective VM for one workload with
+// Arrow's low-level augmented Bayesian optimization.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	arrow "repro"
+)
+
+func main() {
+	// The built-in simulated target reproduces the paper's testbed: 18
+	// AWS VM types running an ALS recommender on Spark 2.1. Swap in your
+	// own arrow.Target to measure a real system.
+	target, err := arrow.NewSimulatedTarget("als/spark2.1/medium", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opt, err := arrow.New(
+		arrow.WithMethod(arrow.MethodAugmentedBO),
+		arrow.WithObjective(arrow.MinimizeCost),
+		arrow.WithDeltaThreshold(1.1), // the paper's recommended stop rule
+		arrow.WithSeed(42),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	result, err := opt.Search(target)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("measured %d of %d VM types:\n", result.NumMeasurements(), target.NumCandidates())
+	for i, obs := range result.Observations {
+		fmt.Printf("  %2d. %-12s %7.1fs  $%.4f\n", i+1, obs.Name, obs.Outcome.TimeSec, obs.Outcome.CostUSD)
+	}
+	fmt.Printf("\nbest VM: %s at $%.4f per run\n", result.BestName, result.BestValue)
+	if result.StoppedEarly {
+		fmt.Printf("stopped early: %s\n", result.StopReason)
+	}
+}

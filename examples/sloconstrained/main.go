@@ -1,0 +1,60 @@
+// Sloconstrained demonstrates CherryPick's original problem formulation,
+// which the paper's unconstrained study simplifies away: minimize
+// deployment cost SUBJECT TO a maximum execution time. Tightening the SLO
+// walks the answer from the cheapest VM toward faster, pricier ones.
+//
+// Run with:
+//
+//	go run ./examples/sloconstrained
+package main
+
+import (
+	"fmt"
+	"log"
+
+	arrow "repro"
+)
+
+const workload = "terasort/hadoop2.7/large"
+
+func main() {
+	fmt.Printf("minimizing deployment cost for %s under a time SLO\n\n", workload)
+	for _, slo := range []float64{0, 5000, 3000, 2000, 600} {
+		opts := []arrow.Option{
+			arrow.WithMethod(arrow.MethodAugmentedBO),
+			arrow.WithObjective(arrow.MinimizeCost),
+			arrow.WithDeltaThreshold(1.1),
+			arrow.WithSeed(11),
+		}
+		label := "unconstrained"
+		if slo > 0 {
+			opts = append(opts, arrow.WithMaxTimeSLO(slo))
+			label = fmt.Sprintf("time <= %4.0fs", slo)
+		}
+		opt, err := arrow.New(opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		target, err := arrow.NewSimulatedTarget(workload, 11)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := opt.Search(target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var best arrow.Observation
+		for _, obs := range res.Observations {
+			if obs.Index == res.BestIndex {
+				best = obs
+			}
+		}
+		status := ""
+		if !res.SLOSatisfied {
+			status = "  [SLO unsatisfiable: fastest VM shown]"
+		}
+		fmt.Printf("  %-14s -> %-12s %7.1fs  $%.4f  (%d measurements)%s\n",
+			label, res.BestName, best.Outcome.TimeSec, best.Outcome.CostUSD,
+			res.NumMeasurements(), status)
+	}
+}

@@ -1,0 +1,110 @@
+// Warmstart demonstrates the paper's stated future work: seeding
+// Augmented BO's surrogate with historical performance data. A recurring
+// job was profiled at its old (small) input size; when the input grows,
+// the search for the new best VM starts from that history instead of from
+// scratch. The history shapes early predictions but costs no measurements.
+//
+// The example shows both sides: history usually transfers (logistic
+// regression keeps its bottleneck structure across sizes, so the warm
+// search converges much faster), but when input growth moves the workload
+// onto a different bottleneck, stale history can mislead the early steps.
+//
+// Run with:
+//
+//	go run ./examples/warmstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	arrow "repro"
+)
+
+func main() {
+	cases := []struct {
+		newWorkload string
+		oldWorkload string
+		note        string
+	}{
+		{"lr/spark1.5/medium", "lr/spark1.5/small", "bottleneck structure transfers"},
+		{"terasort/hadoop2.7/large", "terasort/hadoop2.7/medium", "I/O-bound at both sizes"},
+		{"kmeans/spark2.1/medium", "kmeans/spark2.1/small", "growth shifts the bottleneck: stale history can mislead"},
+	}
+	for _, tc := range cases {
+		history, err := recordHistory(tc.oldWorkload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cold, err := meanSearchCost(tc.newWorkload, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		warm, err := meanSearchCost(tc.newWorkload, history)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s, history from %s\n", tc.newWorkload, tc.oldWorkload)
+		fmt.Printf("  cold start: %.1f measurements to the best VM\n", cold)
+		fmt.Printf("  warm start: %.1f measurements  (%s)\n\n", warm, tc.note)
+	}
+}
+
+// recordHistory measures the old workload on every VM — in production this
+// would be read back from the job's past deployment logs.
+func recordHistory(workloadID string) ([]arrow.PriorRun, error) {
+	target, err := arrow.NewSimulatedTarget(workloadID, 77)
+	if err != nil {
+		return nil, err
+	}
+	history := make([]arrow.PriorRun, 0, target.NumCandidates())
+	for i := 0; i < target.NumCandidates(); i++ {
+		out, err := target.Measure(i)
+		if err != nil {
+			return nil, err
+		}
+		history = append(history, arrow.PriorRun{
+			Features: target.Features(i),
+			Metrics:  out.Metrics,
+			Value:    out.CostUSD,
+		})
+	}
+	return history, nil
+}
+
+// meanSearchCost averages the step at which the eventual best VM was
+// measured across seeds, with or without warm starting.
+func meanSearchCost(workloadID string, history []arrow.PriorRun) (float64, error) {
+	const seeds = 20
+	total := 0.0
+	for seed := int64(0); seed < seeds; seed++ {
+		opts := []arrow.Option{
+			arrow.WithMethod(arrow.MethodAugmentedBO),
+			arrow.WithObjective(arrow.MinimizeCost),
+			arrow.WithDeltaThreshold(-1), // exhaust: measure cost-to-best exactly
+			arrow.WithSeed(seed),
+		}
+		if history != nil {
+			opts = append(opts, arrow.WithWarmStart(history...))
+		}
+		opt, err := arrow.New(opts...)
+		if err != nil {
+			return 0, err
+		}
+		target, err := arrow.NewSimulatedTarget(workloadID, seed)
+		if err != nil {
+			return 0, err
+		}
+		res, err := opt.Search(target)
+		if err != nil {
+			return 0, err
+		}
+		for i, obs := range res.Observations {
+			if obs.Index == res.BestIndex {
+				total += float64(i + 1)
+				break
+			}
+		}
+	}
+	return total / seeds, nil
+}

@@ -1,0 +1,352 @@
+package arrow
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAcquisitionOptions(t *testing.T) {
+	for _, acq := range []Acquisition{AcquisitionEI, AcquisitionPI, AcquisitionUCB, AcquisitionMES} {
+		t.Run(acq.String(), func(t *testing.T) {
+			target, err := NewSimulatedTarget("pearson/spark2.1/medium", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt, err := New(
+				WithMethod(MethodNaiveBO),
+				WithObjective(MinimizeTime),
+				WithAcquisition(acq),
+				WithEIStopFraction(-1),
+				WithSeed(2),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := opt.Search(target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.NumMeasurements() != 18 {
+				t.Errorf("measured %d", res.NumMeasurements())
+			}
+		})
+	}
+	if _, err := New(WithAcquisition(Acquisition(0))); err == nil {
+		t.Error("invalid acquisition should fail")
+	}
+}
+
+func TestAutoKernelOption(t *testing.T) {
+	target, err := NewSimulatedTarget("svd/spark2.1/medium", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := New(
+		WithMethod(MethodNaiveBO),
+		WithObjective(MinimizeCost),
+		WithAutoKernel(),
+		WithSeed(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opt.Search(target); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationOption(t *testing.T) {
+	target, err := NewSimulatedTarget("lr/spark1.5/medium", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := New(
+		WithMethod(MethodAugmentedBO),
+		WithObjective(MinimizeCost),
+		WithoutLowLevelMetrics(),
+		WithDeltaThreshold(-1),
+		WithSeed(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Search(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumMeasurements() != 18 {
+		t.Errorf("measured %d", res.NumMeasurements())
+	}
+}
+
+func TestWarmStartOption(t *testing.T) {
+	// Record a full history of the same workload under a different trial.
+	historyTarget, err := NewSimulatedTarget("als/spark2.1/medium", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var history []PriorRun
+	for i := 0; i < historyTarget.NumCandidates(); i++ {
+		out, err := historyTarget.Measure(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		history = append(history, PriorRun{
+			Features: historyTarget.Features(i),
+			Metrics:  out.Metrics,
+			Value:    out.CostUSD,
+		})
+	}
+
+	target, err := NewSimulatedTarget("als/spark2.1/medium", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := New(
+		WithMethod(MethodAugmentedBO),
+		WithObjective(MinimizeCost),
+		WithWarmStart(history...),
+		WithSeed(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Search(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumMeasurements() == 0 {
+		t.Error("no measurements")
+	}
+}
+
+func TestWarmStartValidationPublic(t *testing.T) {
+	if _, err := New(WithWarmStart()); err == nil {
+		t.Error("empty history should fail")
+	}
+	if _, err := New(WithWarmStart(PriorRun{Features: []float64{1}, Value: -1})); err == nil {
+		t.Error("negative value should fail")
+	}
+	if _, err := New(WithWarmStart(PriorRun{Features: []float64{1}, Metrics: []float64{1}, Value: 1})); err == nil {
+		t.Error("short metric vector should fail")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	target, err := NewSimulatedTarget("lr/spark1.5/medium", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := New(
+		WithMethod(MethodAugmentedBO),
+		WithObjective(MinimizeCost),
+		WithDeltaThreshold(-1),
+		WithSeed(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Search(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights, err := opt.Explain(target, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 src features + 6 metrics + 4 dst features.
+	if len(weights) != 14 {
+		t.Fatalf("%d weights, want 14", len(weights))
+	}
+	total := 0.0
+	metricWeight := 0.0
+	for _, w := range weights {
+		total += w.Fraction
+		if strings.Contains(w.Name, "%") || strings.Contains(w.Name, "await") || strings.Contains(w.Name, "task") {
+			metricWeight += w.Fraction
+		}
+	}
+	if total < 0.99 || total > 1.01 {
+		t.Errorf("weights sum to %v", total)
+	}
+	if metricWeight == 0 {
+		t.Error("surrogate never split on a low-level metric for a memory-bound workload")
+	}
+}
+
+func TestExplainRequiresAugmented(t *testing.T) {
+	target, err := NewSimulatedTarget("lr/spark1.5/medium", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := New(WithMethod(MethodNaiveBO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opt.Explain(target, &Result{}); err == nil {
+		t.Error("Explain on naive BO should fail")
+	}
+}
+
+func TestARDOptionSearch(t *testing.T) {
+	target, err := NewSimulatedTarget("als/spark2.1/medium", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := New(
+		WithMethod(MethodNaiveBO),
+		WithObjective(MinimizeCost),
+		WithARD(),
+		WithSeed(5),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Search(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumMeasurements() == 0 {
+		t.Error("no measurements")
+	}
+}
+
+func TestInitialDesignOptions(t *testing.T) {
+	for _, d := range []Design{DesignMaxMin, DesignRandom, DesignSobol} {
+		t.Run(d.String(), func(t *testing.T) {
+			target, err := NewSimulatedTarget("pearson/spark2.1/medium", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt, err := New(
+				WithMethod(MethodNaiveBO),
+				WithInitialDesign(d),
+				WithEIStopFraction(-1),
+				WithSeed(4),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := opt.Search(target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.NumMeasurements() != 18 {
+				t.Errorf("measured %d", res.NumMeasurements())
+			}
+		})
+	}
+	if _, err := New(WithInitialDesign(Design(0))); err == nil {
+		t.Error("invalid design should fail")
+	}
+}
+
+func TestMaxTimeSLOOption(t *testing.T) {
+	if _, err := New(WithMaxTimeSLO(0)); err == nil {
+		t.Error("zero SLO should fail")
+	}
+	// lr/spark1.5/medium: small VMs thrash and take thousands of seconds;
+	// an SLO forces the search toward fast-enough VMs.
+	for _, method := range []Method{MethodNaiveBO, MethodAugmentedBO, MethodHybridBO} {
+		t.Run(method.String(), func(t *testing.T) {
+			target, err := NewSimulatedTarget("lr/spark1.5/medium", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt, err := New(
+				WithMethod(method),
+				WithObjective(MinimizeCost),
+				WithMaxTimeSLO(1200),
+				WithSeed(2),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := opt.Search(target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.SLOSatisfied {
+				t.Fatal("1200s SLO should be satisfiable for lr/spark1.5/medium")
+			}
+			for _, obs := range res.Observations {
+				if obs.Index == res.BestIndex && obs.Outcome.TimeSec > 1200 {
+					t.Errorf("chosen VM %s takes %.0fs, violating the SLO", obs.Name, obs.Outcome.TimeSec)
+				}
+			}
+		})
+	}
+}
+
+func TestMaxTimeSLOUnsatisfiable(t *testing.T) {
+	target, err := NewSimulatedTarget("lr/spark1.5/medium", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := New(
+		WithMethod(MethodAugmentedBO),
+		WithObjective(MinimizeCost),
+		WithMaxTimeSLO(1), // one second: impossible
+		WithSeed(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Search(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SLOSatisfied {
+		t.Error("1s SLO cannot be satisfiable")
+	}
+	if res.BestName == "" {
+		t.Error("fallback best missing")
+	}
+}
+
+func TestSimulatedClusterTarget(t *testing.T) {
+	target, err := NewSimulatedClusterTarget("als/spark2.1/medium", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target.NumCandidates() != 72 {
+		t.Fatalf("%d candidates, want 72 (18 VM types x 4 node counts)", target.NumCandidates())
+	}
+	if len(target.Features(0)) != 5 {
+		t.Errorf("%d features, want 5", len(target.Features(0)))
+	}
+	out, err := target.Measure(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TimeSec <= 0 || out.CostUSD <= 0 || len(out.Metrics) != NumMetrics {
+		t.Errorf("bad outcome %+v", out)
+	}
+	opt, err := New(WithMethod(MethodAugmentedBO), WithObjective(MinimizeCost), WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Search(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestName == "" {
+		t.Error("no best cluster")
+	}
+}
+
+func TestSimulatedClusterTargetCustomCounts(t *testing.T) {
+	target, err := NewSimulatedClusterTarget("pearson/spark2.1/medium", 1, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target.NumCandidates() != 36 {
+		t.Errorf("%d candidates, want 36", target.NumCandidates())
+	}
+	if _, err := NewSimulatedClusterTarget("pearson/spark2.1/medium", 1, 0); err == nil {
+		t.Error("zero node count should fail")
+	}
+	if _, err := NewSimulatedClusterTarget("nope/x/y", 1); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}

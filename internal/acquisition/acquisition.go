@@ -1,0 +1,139 @@
+// Package acquisition implements the acquisition functions discussed in
+// Section III-A of the paper: Expected Improvement (EI, CherryPick's
+// choice), Probability of Improvement (PI), the Gaussian-process upper
+// confidence bound (GP-UCB), and Arrow's Prediction Delta.
+//
+// All functions are written for MINIMIZATION: "best" is the smallest
+// observed objective value, and improvement means predicting something
+// smaller still.
+package acquisition
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInvalid reports out-of-domain inputs (negative variance, NaNs).
+var ErrInvalid = errors.New("acquisition: invalid input")
+
+// Kind enumerates the acquisition functions.
+type Kind int
+
+// Acquisition kinds; enums start at one so the zero value is invalid.
+const (
+	ExpectedImprovement Kind = iota + 1
+	ProbabilityOfImprovement
+	UpperConfidenceBound
+	PredictionDelta
+	EntropySearch
+)
+
+// String names the acquisition kind.
+func (k Kind) String() string {
+	switch k {
+	case ExpectedImprovement:
+		return "EI"
+	case ProbabilityOfImprovement:
+		return "PI"
+	case UpperConfidenceBound:
+		return "GP-UCB"
+	case PredictionDelta:
+		return "PredictionDelta"
+	case EntropySearch:
+		return "MES"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+func validate(mean, variance float64) error {
+	if math.IsNaN(mean) || math.IsInf(mean, 0) {
+		return fmt.Errorf("acquisition: non-finite mean %v: %w", mean, ErrInvalid)
+	}
+	if variance < 0 || math.IsNaN(variance) || math.IsInf(variance, 0) {
+		return fmt.Errorf("acquisition: invalid variance %v: %w", variance, ErrInvalid)
+	}
+	return nil
+}
+
+// EI returns the expected improvement of a candidate with posterior mean
+// and variance over the current best (smallest) observation. It is always
+// non-negative and zero when the variance is zero and the mean is no better
+// than best.
+func EI(mean, variance, best float64) (float64, error) {
+	if err := validate(mean, variance); err != nil {
+		return 0, err
+	}
+	sigma := math.Sqrt(variance)
+	if sigma < 1e-12 {
+		if imp := best - mean; imp > 0 {
+			return imp, nil
+		}
+		return 0, nil
+	}
+	z := (best - mean) / sigma
+	ei := (best-mean)*stdNormCDF(z) + sigma*stdNormPDF(z)
+	if ei < 0 {
+		ei = 0 // clamp floating-point cancellation for far-worse means
+	}
+	return ei, nil
+}
+
+// PI returns the probability that a candidate improves on best by at least
+// margin (margin >= 0 trades exploration for exploitation).
+func PI(mean, variance, best, margin float64) (float64, error) {
+	if err := validate(mean, variance); err != nil {
+		return 0, err
+	}
+	if margin < 0 || math.IsNaN(margin) {
+		return 0, fmt.Errorf("acquisition: negative margin %v: %w", margin, ErrInvalid)
+	}
+	sigma := math.Sqrt(variance)
+	if sigma < 1e-12 {
+		if mean < best-margin {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	z := (best - margin - mean) / sigma
+	return stdNormCDF(z), nil
+}
+
+// LCB returns the lower confidence bound mean - beta*sigma. For
+// minimization the candidate with the SMALLEST LCB is the UCB-rule choice,
+// so callers should negate it when they maximize an acquisition score.
+func LCB(mean, variance, beta float64) (float64, error) {
+	if err := validate(mean, variance); err != nil {
+		return 0, err
+	}
+	if beta < 0 || math.IsNaN(beta) {
+		return 0, fmt.Errorf("acquisition: negative beta %v: %w", beta, ErrInvalid)
+	}
+	return mean - beta*math.Sqrt(variance), nil
+}
+
+// Delta returns Arrow's Prediction Delta score: the predicted improvement
+// factor best/mean of a candidate over the current best observation.
+// Values above 1 predict an improvement; the candidate maximizing Delta is
+// the next measurement, and the search stops when no candidate's Delta
+// exceeds the configured threshold (Section IV-B, "Acquisition Function").
+func Delta(mean, best float64) (float64, error) {
+	if math.IsNaN(mean) || math.IsInf(mean, 0) || mean <= 0 {
+		return 0, fmt.Errorf("acquisition: prediction delta needs positive finite mean, got %v: %w", mean, ErrInvalid)
+	}
+	if math.IsNaN(best) || math.IsInf(best, 0) || best <= 0 {
+		return 0, fmt.Errorf("acquisition: prediction delta needs positive finite best, got %v: %w", best, ErrInvalid)
+	}
+	return best / mean, nil
+}
+
+// stdNormPDF is the standard normal density.
+func stdNormPDF(z float64) float64 {
+	return math.Exp(-0.5*z*z) / math.Sqrt(2*math.Pi)
+}
+
+// stdNormCDF is the standard normal cumulative distribution, via erf.
+func stdNormCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}

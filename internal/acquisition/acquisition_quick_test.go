@@ -1,0 +1,97 @@
+package acquisition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// clampPos maps arbitrary floats into (0, 1000].
+func clampPos(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 1
+	}
+	v = math.Abs(math.Mod(v, 1000))
+	if v == 0 {
+		return 1
+	}
+	return v
+}
+
+// clampVar maps arbitrary floats into [0, 100].
+func clampVar(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 1
+	}
+	return math.Abs(math.Mod(v, 100))
+}
+
+// TestQuickEIDominatesDeterministicImprovement: EI is at least the
+// certain improvement max(best-mean, 0): uncertainty can only add value.
+func TestQuickEIDominatesDeterministicImprovement(t *testing.T) {
+	f := func(meanRaw, varRaw, bestRaw float64) bool {
+		mean := math.Mod(clampPos(meanRaw), 100)
+		variance := clampVar(varRaw)
+		best := math.Mod(clampPos(bestRaw), 100)
+		ei, err := EI(mean, variance, best)
+		if err != nil {
+			return false
+		}
+		certain := best - mean
+		if certain < 0 {
+			certain = 0
+		}
+		return ei >= certain-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPIMonotoneInMean: improving the predicted mean never lowers the
+// probability of improvement.
+func TestQuickPIMonotoneInMean(t *testing.T) {
+	f := func(meanRaw, varRaw, bestRaw, shiftRaw float64) bool {
+		mean := math.Mod(clampPos(meanRaw), 100)
+		variance := clampVar(varRaw) + 0.01
+		best := math.Mod(clampPos(bestRaw), 100)
+		shift := clampVar(shiftRaw) // non-negative
+		hi, err1 := PI(mean, variance, best, 0)
+		lo, err2 := PI(mean+shift, variance, best, 0)
+		return err1 == nil && err2 == nil && hi >= lo-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDeltaInverse: Delta(mean, best) * Delta(best, mean) == 1.
+func TestQuickDeltaInverse(t *testing.T) {
+	f := func(meanRaw, bestRaw float64) bool {
+		mean := clampPos(meanRaw)
+		best := clampPos(bestRaw)
+		ab, err1 := Delta(mean, best)
+		ba, err2 := Delta(best, mean)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(ab*ba-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLCBBelowMean: the lower confidence bound never exceeds the mean.
+func TestQuickLCBBelowMean(t *testing.T) {
+	f := func(meanRaw, varRaw, betaRaw float64) bool {
+		mean := math.Mod(clampPos(meanRaw), 100)
+		variance := clampVar(varRaw)
+		beta := clampVar(betaRaw)
+		lcb, err := LCB(mean, variance, beta)
+		return err == nil && lcb <= mean+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,215 @@
+package acquisition
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		want string
+	}{
+		{ExpectedImprovement, "EI"},
+		{ProbabilityOfImprovement, "PI"},
+		{UpperConfidenceBound, "GP-UCB"},
+		{PredictionDelta, "PredictionDelta"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestEINonNegativeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 1000; trial++ {
+		mean := rng.NormFloat64() * 10
+		variance := rng.Float64() * 25
+		best := rng.NormFloat64() * 10
+		ei, err := EI(mean, variance, best)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ei < 0 || math.IsNaN(ei) {
+			t.Fatalf("EI(%v, %v, %v) = %v", mean, variance, best, ei)
+		}
+	}
+}
+
+func TestEIZeroVariance(t *testing.T) {
+	// Deterministic candidate better than best: EI = improvement.
+	ei, err := EI(3, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ei != 2 {
+		t.Errorf("EI = %v, want 2", ei)
+	}
+	// Deterministic candidate worse than best: EI = 0.
+	ei, err = EI(7, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ei != 0 {
+		t.Errorf("EI = %v, want 0", ei)
+	}
+}
+
+func TestEIGrowsWithVariance(t *testing.T) {
+	// A candidate at the incumbent's level gains EI purely from
+	// uncertainty.
+	low, err := EI(5, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := EI(5, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high <= low {
+		t.Errorf("EI should grow with variance: %v vs %v", low, high)
+	}
+}
+
+func TestEIGrowsWithBetterMean(t *testing.T) {
+	worse, _ := EI(5, 1, 5)
+	better, _ := EI(3, 1, 5)
+	if better <= worse {
+		t.Errorf("EI should grow as mean improves: %v vs %v", worse, better)
+	}
+}
+
+func TestEIKnownValue(t *testing.T) {
+	// With mean == best and sigma = 1: EI = phi(0) = 1/sqrt(2*pi).
+	ei, err := EI(0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / math.Sqrt(2*math.Pi)
+	if math.Abs(ei-want) > 1e-12 {
+		t.Errorf("EI = %v, want %v", ei, want)
+	}
+}
+
+func TestEIInvalidInputs(t *testing.T) {
+	if _, err := EI(math.NaN(), 1, 0); !errors.Is(err, ErrInvalid) {
+		t.Errorf("NaN mean error = %v", err)
+	}
+	if _, err := EI(0, -1, 0); !errors.Is(err, ErrInvalid) {
+		t.Errorf("negative variance error = %v", err)
+	}
+	if _, err := EI(0, math.Inf(1), 0); !errors.Is(err, ErrInvalid) {
+		t.Errorf("infinite variance error = %v", err)
+	}
+}
+
+func TestPIBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 1000; trial++ {
+		pi, err := PI(rng.NormFloat64(), rng.Float64()*4, rng.NormFloat64(), rng.Float64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pi < 0 || pi > 1 {
+			t.Fatalf("PI = %v out of [0,1]", pi)
+		}
+	}
+}
+
+func TestPIZeroVariance(t *testing.T) {
+	if pi, _ := PI(1, 0, 5, 0); pi != 1 {
+		t.Errorf("certain improvement: PI = %v, want 1", pi)
+	}
+	if pi, _ := PI(9, 0, 5, 0); pi != 0 {
+		t.Errorf("certain non-improvement: PI = %v, want 0", pi)
+	}
+}
+
+func TestPISymmetricAtMean(t *testing.T) {
+	// Candidate centered exactly at best-margin: PI = 0.5.
+	pi, err := PI(4, 1, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi-0.5) > 1e-12 {
+		t.Errorf("PI = %v, want 0.5", pi)
+	}
+}
+
+func TestPINegativeMargin(t *testing.T) {
+	if _, err := PI(0, 1, 0, -0.5); !errors.Is(err, ErrInvalid) {
+		t.Errorf("negative margin error = %v", err)
+	}
+}
+
+func TestLCB(t *testing.T) {
+	got, err := LCB(10, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 6 {
+		t.Errorf("LCB = %v, want 10 - 2*2 = 6", got)
+	}
+	if _, err := LCB(0, 1, -1); !errors.Is(err, ErrInvalid) {
+		t.Errorf("negative beta error = %v", err)
+	}
+}
+
+func TestLCBZeroBetaIsMean(t *testing.T) {
+	got, err := LCB(3.5, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3.5 {
+		t.Errorf("LCB with beta 0 = %v, want mean", got)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	tests := []struct {
+		mean, best, want float64
+	}{
+		{1, 2, 2},   // predicted twice as good
+		{2, 2, 1},   // tie
+		{4, 2, 0.5}, // predicted twice as bad
+		{0.5, 1, 2}, // fractional values
+	}
+	for _, tt := range tests {
+		got, err := Delta(tt.mean, tt.best)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Delta(%v, %v) = %v, want %v", tt.mean, tt.best, got, tt.want)
+		}
+	}
+}
+
+func TestDeltaInvalid(t *testing.T) {
+	for _, tc := range []struct{ mean, best float64 }{
+		{0, 1}, {-1, 1}, {1, 0}, {1, -1},
+		{math.NaN(), 1}, {1, math.NaN()}, {math.Inf(1), 1},
+	} {
+		if _, err := Delta(tc.mean, tc.best); !errors.Is(err, ErrInvalid) {
+			t.Errorf("Delta(%v, %v) error = %v, want ErrInvalid", tc.mean, tc.best, err)
+		}
+	}
+}
+
+func TestStdNormConsistency(t *testing.T) {
+	// CDF should integrate the PDF: check via finite differences.
+	for z := -3.0; z <= 3; z += 0.5 {
+		h := 1e-6
+		dcdf := (stdNormCDF(z+h) - stdNormCDF(z-h)) / (2 * h)
+		if math.Abs(dcdf-stdNormPDF(z)) > 1e-6 {
+			t.Errorf("d/dz CDF(%v) = %v, PDF = %v", z, dcdf, stdNormPDF(z))
+		}
+	}
+	if math.Abs(stdNormCDF(0)-0.5) > 1e-15 {
+		t.Errorf("CDF(0) = %v", stdNormCDF(0))
+	}
+}

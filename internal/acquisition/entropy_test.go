@@ -1,0 +1,137 @@
+package acquisition
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSampleMinValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	means := []float64{10, 20, 30}
+	variances := []float64{1, 1, 1}
+	samples, err := SampleMinValues(rng, means, variances, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 200 {
+		t.Fatalf("%d samples", len(samples))
+	}
+	// The minimum over candidates is dominated by the mean-10 candidate:
+	// samples should concentrate well below 20.
+	count := 0
+	for _, s := range samples {
+		if s < 15 {
+			count++
+		}
+	}
+	if count < 190 {
+		t.Errorf("only %d/200 samples below 15", count)
+	}
+}
+
+func TestSampleMinValuesDeterministicVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	samples, err := SampleMinValues(rng, []float64{5}, []float64{0}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if s != 5 {
+			t.Fatalf("zero-variance sample = %v", s)
+		}
+	}
+}
+
+func TestSampleMinValuesInvalid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := SampleMinValues(rng, nil, nil, 10); !errors.Is(err, ErrInvalid) {
+		t.Errorf("empty error = %v", err)
+	}
+	if _, err := SampleMinValues(rng, []float64{1}, []float64{1, 2}, 10); !errors.Is(err, ErrInvalid) {
+		t.Errorf("mismatch error = %v", err)
+	}
+	if _, err := SampleMinValues(rng, []float64{1}, []float64{1}, 0); !errors.Is(err, ErrInvalid) {
+		t.Errorf("zero samples error = %v", err)
+	}
+	if _, err := SampleMinValues(rng, []float64{math.NaN()}, []float64{1}, 10); !errors.Is(err, ErrInvalid) {
+		t.Errorf("NaN mean error = %v", err)
+	}
+}
+
+func TestMESNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	samples := []float64{1, 1.5, 0.8, 1.2}
+	for trial := 0; trial < 200; trial++ {
+		mean := 1 + rng.Float64()*5
+		variance := rng.Float64() * 4
+		score, err := MES(mean, variance, samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if score < 0 || math.IsNaN(score) || math.IsInf(score, 0) {
+			t.Fatalf("MES(%v, %v) = %v", mean, variance, score)
+		}
+	}
+}
+
+func TestMESZeroVarianceIsZero(t *testing.T) {
+	score, err := MES(5, 0, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score != 0 {
+		t.Errorf("deterministic candidate MES = %v, want 0", score)
+	}
+}
+
+func TestMESPrefersInformativeCandidates(t *testing.T) {
+	// A candidate whose distribution straddles the sampled optimum is
+	// more informative than one far above it with the same variance.
+	samples := []float64{1.0, 1.05, 0.95}
+	nearOpt, err := MES(1.1, 0.25, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	farAbove, err := MES(10, 0.25, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nearOpt <= farAbove {
+		t.Errorf("near-optimum candidate MES %v should exceed far candidate %v", nearOpt, farAbove)
+	}
+}
+
+func TestMESGrowsWithVarianceNearOptimum(t *testing.T) {
+	samples := []float64{1.0}
+	low, err := MES(1.2, 0.01, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := MES(1.2, 1.0, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high <= low {
+		t.Errorf("MES should grow with variance near the optimum: %v vs %v", low, high)
+	}
+}
+
+func TestMESInvalid(t *testing.T) {
+	if _, err := MES(1, 1, nil); !errors.Is(err, ErrInvalid) {
+		t.Errorf("no samples error = %v", err)
+	}
+	if _, err := MES(math.NaN(), 1, []float64{1}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("NaN mean error = %v", err)
+	}
+	if _, err := MES(1, 1, []float64{math.Inf(1)}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("bad sample error = %v", err)
+	}
+}
+
+func TestEntropySearchKindString(t *testing.T) {
+	if EntropySearch.String() != "MES" {
+		t.Errorf("String() = %q", EntropySearch.String())
+	}
+}

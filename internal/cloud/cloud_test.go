@@ -1,0 +1,257 @@
+package cloud
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestDefaultCatalogSize(t *testing.T) {
+	cat := DefaultCatalog()
+	if cat.Len() != 18 {
+		t.Fatalf("catalog has %d VMs, want 18 (6 families x 3 sizes)", cat.Len())
+	}
+}
+
+func TestCatalogNamesUniqueAndWellFormed(t *testing.T) {
+	cat := DefaultCatalog()
+	seen := map[string]bool{}
+	for i := 0; i < cat.Len(); i++ {
+		name := cat.VM(i).Name()
+		if seen[name] {
+			t.Errorf("duplicate VM name %q", name)
+		}
+		seen[name] = true
+		if !strings.Contains(name, ".") {
+			t.Errorf("malformed name %q", name)
+		}
+	}
+}
+
+func TestCatalogCoversAllFamilySizeCombos(t *testing.T) {
+	cat := DefaultCatalog()
+	for _, fam := range []string{"c3", "c4", "m3", "m4", "r3", "r4"} {
+		for _, size := range []string{"large", "xlarge", "2xlarge"} {
+			name := fam + "." + size
+			if _, err := cat.Index(name); err != nil {
+				t.Errorf("missing %s: %v", name, err)
+			}
+		}
+	}
+}
+
+func TestIndexUnknown(t *testing.T) {
+	cat := DefaultCatalog()
+	if _, err := cat.Index("c5.large"); !errors.Is(err, ErrUnknownVM) {
+		t.Errorf("error = %v, want ErrUnknownVM", err)
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	cat := DefaultCatalog()
+	for i := 0; i < cat.Len(); i++ {
+		idx, err := cat.Index(cat.VM(i).Name())
+		if err != nil || idx != i {
+			t.Errorf("Index(%s) = %d, %v; want %d", cat.VM(i).Name(), idx, err, i)
+		}
+	}
+}
+
+func TestPublishedSpecs(t *testing.T) {
+	cat := DefaultCatalog()
+	tests := []struct {
+		name   string
+		vcpus  int
+		memGiB float64
+		price  float64
+	}{
+		{"c4.large", 2, 3.75, 0.100},
+		{"c4.xlarge", 4, 7.5, 0.200},
+		{"c4.2xlarge", 8, 15, 0.400},
+		{"m4.large", 2, 8, 0.100},
+		{"m4.2xlarge", 8, 32, 0.400},
+		{"r3.large", 2, 15.25, 0.166},
+		{"r4.2xlarge", 8, 61, 0.532},
+		{"m3.large", 2, 7.5, 0.133},
+		{"c3.large", 2, 3.75, 0.105},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			idx, err := cat.Index(tt.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vm := cat.VM(idx)
+			if vm.VCPUs != tt.vcpus {
+				t.Errorf("vCPUs = %d, want %d", vm.VCPUs, tt.vcpus)
+			}
+			if vm.MemGiB != tt.memGiB {
+				t.Errorf("MemGiB = %v, want %v", vm.MemGiB, tt.memGiB)
+			}
+			if diff := vm.PricePerHr - tt.price; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("PricePerHr = %v, want %v", vm.PricePerHr, tt.price)
+			}
+		})
+	}
+}
+
+func TestSizeCores(t *testing.T) {
+	if Large.Cores() != 2 || XLarge.Cores() != 4 || XXLarge.Cores() != 8 {
+		t.Errorf("core counts: %d %d %d", Large.Cores(), XLarge.Cores(), XXLarge.Cores())
+	}
+}
+
+func TestEncodeMatchesPaperRanges(t *testing.T) {
+	cat := DefaultCatalog()
+	for i := 0; i < cat.Len(); i++ {
+		vm := cat.VM(i)
+		f := vm.Encode()
+		if len(f) != NumFeatures {
+			t.Fatalf("%s: %d features, want %d", vm.Name(), len(f), NumFeatures)
+		}
+		if f[0] < 1 || f[0] > 6 {
+			t.Errorf("%s: cpu-type %v out of 1..6", vm.Name(), f[0])
+		}
+		if f[1] != 2 && f[1] != 4 && f[1] != 8 {
+			t.Errorf("%s: cores %v not in {2,4,8}", vm.Name(), f[1])
+		}
+		if f[2] != 2 && f[2] != 4 && f[2] != 8 {
+			t.Errorf("%s: ram-per-core %v not in {2,4,8}", vm.Name(), f[2])
+		}
+		if f[3] < 1 || f[3] > 3 {
+			t.Errorf("%s: ebs-class %v out of 1..3", vm.Name(), f[3])
+		}
+	}
+}
+
+func TestEncodeDistinct(t *testing.T) {
+	cat := DefaultCatalog()
+	seen := map[[4]float64]string{}
+	for i := 0; i < cat.Len(); i++ {
+		vm := cat.VM(i)
+		f := vm.Encode()
+		key := [4]float64{f[0], f[1], f[2], f[3]}
+		if prev, ok := seen[key]; ok {
+			t.Errorf("%s and %s share encoding %v", prev, vm.Name(), f)
+		}
+		seen[key] = vm.Name()
+	}
+}
+
+func TestCPUTypeEncodingOrdersFamilies(t *testing.T) {
+	// The paper encodes CPU types 1..6 in order; each family must map to
+	// one distinct value shared by its three sizes.
+	cat := DefaultCatalog()
+	famValue := map[string]float64{}
+	for i := 0; i < cat.Len(); i++ {
+		vm := cat.VM(i)
+		fam := vm.Family.String()
+		v := vm.Encode()[0]
+		if prev, ok := famValue[fam]; ok && prev != v {
+			t.Errorf("family %s has inconsistent cpu-type %v vs %v", fam, prev, v)
+		}
+		famValue[fam] = v
+	}
+	if len(famValue) != 6 {
+		t.Errorf("%d families, want 6", len(famValue))
+	}
+}
+
+func TestPricesScaleWithSize(t *testing.T) {
+	cat := DefaultCatalog()
+	for _, fam := range []string{"c3", "c4", "m3", "m4", "r3", "r4"} {
+		li, _ := cat.Index(fam + ".large")
+		xi, _ := cat.Index(fam + ".xlarge")
+		xxi, _ := cat.Index(fam + ".2xlarge")
+		l, x, xx := cat.VM(li).PricePerHr, cat.VM(xi).PricePerHr, cat.VM(xxi).PricePerHr
+		if x < 1.9*l || x > 2.1*l {
+			t.Errorf("%s.xlarge price %v not ~2x large %v", fam, x, l)
+		}
+		if xx < 3.8*l || xx > 4.2*l {
+			t.Errorf("%s.2xlarge price %v not ~4x large %v", fam, xx, l)
+		}
+	}
+}
+
+func TestMemoryScalesWithSize(t *testing.T) {
+	cat := DefaultCatalog()
+	for i := 0; i < cat.Len(); i++ {
+		vm := cat.VM(i)
+		perCore := vm.MemGiB / float64(vm.VCPUs)
+		// r-family has the most memory per core, c-family the least.
+		switch vm.Family {
+		case C3, C4:
+			if perCore > 2 {
+				t.Errorf("%s: %v GiB/core too much for compute-optimized", vm.Name(), perCore)
+			}
+		case R3, R4:
+			if perCore < 7 {
+				t.Errorf("%s: %v GiB/core too little for memory-optimized", vm.Name(), perCore)
+			}
+		}
+	}
+}
+
+func TestComputeOptimizedIsFastest(t *testing.T) {
+	cat := DefaultCatalog()
+	var c4Speed, others float64
+	others = 10
+	for i := 0; i < cat.Len(); i++ {
+		vm := cat.VM(i)
+		if vm.Family == C4 {
+			c4Speed = vm.CoreSpeed
+		} else if vm.CoreSpeed < others {
+			others = vm.CoreSpeed
+		}
+	}
+	if c4Speed <= others {
+		t.Errorf("c4 speed %v should exceed the slowest family %v", c4Speed, others)
+	}
+	for i := 0; i < cat.Len(); i++ {
+		vm := cat.VM(i)
+		if vm.CoreSpeed <= 0 || vm.EBSMiBps <= 0 {
+			t.Errorf("%s: non-positive speed %v or EBS %v", vm.Name(), vm.CoreSpeed, vm.EBSMiBps)
+		}
+	}
+}
+
+func TestEBSThroughputGrowsWithSize(t *testing.T) {
+	cat := DefaultCatalog()
+	for _, fam := range []string{"c3", "c4", "m3", "m4", "r3", "r4"} {
+		li, _ := cat.Index(fam + ".large")
+		xxi, _ := cat.Index(fam + ".2xlarge")
+		if cat.VM(li).EBSMiBps >= cat.VM(xxi).EBSMiBps {
+			t.Errorf("%s: EBS should grow with size", fam)
+		}
+	}
+}
+
+func TestVMsReturnsCopy(t *testing.T) {
+	cat := DefaultCatalog()
+	vms := cat.VMs()
+	vms[0].VCPUs = 999
+	if cat.VM(0).VCPUs == 999 {
+		t.Error("VMs() aliases catalog data")
+	}
+}
+
+func TestFeaturesAndNames(t *testing.T) {
+	cat := DefaultCatalog()
+	feats := cat.Features()
+	names := cat.Names()
+	if len(feats) != cat.Len() || len(names) != cat.Len() {
+		t.Fatalf("lengths %d %d", len(feats), len(names))
+	}
+	if len(FeatureNames()) != NumFeatures {
+		t.Errorf("FeatureNames has %d entries", len(FeatureNames()))
+	}
+}
+
+func TestFamilySizeStrings(t *testing.T) {
+	if C4.String() != "c4" || R3.String() != "r3" {
+		t.Error("family names wrong")
+	}
+	if Large.String() != "large" || XXLarge.String() != "2xlarge" {
+		t.Error("size names wrong")
+	}
+}

@@ -1,0 +1,237 @@
+// Package cluster extends the search space from single VM types to whole
+// cluster configurations (VM type x node count), the setting CherryPick
+// originally targeted. The paper fixes the cluster shape and searches VM
+// types only; this package shows the same optimizers scaling to the
+// larger, joint space with no changes — the catalog grows from 18 to
+// 18 x len(nodeCounts) candidates.
+//
+// # Distributed-execution model
+//
+// A cluster run is reduced to an equivalent single-VM run on the
+// internal/sim substrate plus distributed-systems overheads:
+//
+//   - CPU work spreads over nodes x cores, but coordination adds to the
+//     Amdahl serial fraction (barriers, the driver, stragglers);
+//   - the working set partitions across nodes with a hot-partition skew,
+//     so doubling nodes does not halve per-node memory pressure;
+//   - input I/O partitions across nodes, while shuffle traffic grows with
+//     the node count ((n-1)/n of shuffled bytes cross the network);
+//   - a fixed startup plus per-node agent overhead is added to every run.
+//
+// Deployment cost is wall-clock time x hourly price x node count: bigger
+// clusters finish sooner but bill more machine-hours, recreating the
+// paper's "level playing field" along a second axis.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cloud"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Model constants.
+const (
+	// serialPerNode is the additional Amdahl serial fraction each extra
+	// node contributes (coordination, barriers, stragglers).
+	serialPerNode = 0.008
+	// maxSerialFraction caps the coordination penalty.
+	maxSerialFraction = 0.6
+	// hotPartitionSkew: the busiest node holds (1 + skew x (n-1)/n) of an
+	// even share of the working set.
+	hotPartitionSkew = 0.35
+	// shuffleFraction of the I/O volume is shuffled between stages, of
+	// which (n-1)/n crosses node boundaries.
+	shuffleFraction = 0.4
+	// startupSec + perNodeStartupSec model cluster spin-up and agent
+	// registration time, billed like any other second.
+	startupSec        = 25.0
+	perNodeStartupSec = 1.5
+)
+
+// Config is one cluster candidate: a VM type replicated across nodes.
+type Config struct {
+	VM    cloud.VM
+	Nodes int
+}
+
+// Name renders e.g. "c4.xlarge x4".
+func (c Config) Name() string {
+	return fmt.Sprintf("%s x%d", c.VM.Name(), c.Nodes)
+}
+
+// Encode appends the node count to the paper's 4-feature VM encoding.
+func (c Config) Encode() []float64 {
+	return append(c.VM.Encode(), float64(c.Nodes))
+}
+
+// NumFeatures is the encoded dimensionality.
+const NumFeatures = cloud.NumFeatures + 1
+
+// Catalog is the cluster-configuration candidate space.
+type Catalog struct {
+	configs []Config
+}
+
+// DefaultNodeCounts spans small to medium clusters.
+func DefaultNodeCounts() []int { return []int{2, 4, 6, 8} }
+
+// NewCatalog crosses every VM type with every node count.
+func NewCatalog(base *cloud.Catalog, nodeCounts []int) (*Catalog, error) {
+	if len(nodeCounts) == 0 {
+		nodeCounts = DefaultNodeCounts()
+	}
+	for _, n := range nodeCounts {
+		if n < 1 {
+			return nil, fmt.Errorf("cluster: node count %d < 1", n)
+		}
+	}
+	counts := append([]int(nil), nodeCounts...)
+	sort.Ints(counts)
+	var configs []Config
+	for i := 0; i < base.Len(); i++ {
+		for _, n := range counts {
+			configs = append(configs, Config{VM: base.VM(i), Nodes: n})
+		}
+	}
+	return &Catalog{configs: configs}, nil
+}
+
+// Len returns the candidate count.
+func (c *Catalog) Len() int { return len(c.configs) }
+
+// Config returns the i-th candidate.
+func (c *Catalog) Config(i int) Config { return c.configs[i] }
+
+// Index finds a configuration by name.
+func (c *Catalog) Index(name string) (int, error) {
+	for i, cfg := range c.configs {
+		if cfg.Name() == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: unknown configuration %q", name)
+}
+
+// Simulator evaluates workloads on cluster configurations by reducing
+// them to single-VM runs with distributed overheads.
+type Simulator struct {
+	single *sim.Simulator
+}
+
+// NewSimulator wraps a single-VM simulator.
+func NewSimulator(single *sim.Simulator) *Simulator {
+	return &Simulator{single: single}
+}
+
+// perNodeWorkload derives the equivalent single-node workload of running
+// w on a cluster of n nodes. The derived workload's identity includes the
+// node count so the simulator's per-(workload, VM) affinity and noise
+// streams stay distinct per configuration.
+func perNodeWorkload(w workloads.Workload, n int) workloads.Workload {
+	if n <= 1 {
+		return w
+	}
+	nodes := float64(n)
+	out := w
+	out.AppName = fmt.Sprintf("%s@x%d", w.AppName, n)
+
+	// CPU work divides evenly; coordination raises the serial fraction.
+	out.Demands.CPUCoreSeconds = w.Demands.CPUCoreSeconds / nodes
+	serial := w.Demands.SerialFraction + serialPerNode*(nodes-1)
+	if serial > maxSerialFraction {
+		serial = maxSerialFraction
+	}
+	out.Demands.SerialFraction = serial
+
+	// The busiest node carries an uneven share of the working set.
+	evenShare := w.Demands.WorkingSetGiB / nodes
+	out.Demands.WorkingSetGiB = evenShare * (1 + hotPartitionSkew*(nodes-1)/nodes)
+
+	// Input I/O partitions; shuffle traffic crossing nodes is re-paid.
+	inputShare := w.Demands.IOGiB / nodes
+	shuffleCross := w.Demands.IOGiB * shuffleFraction * (nodes - 1) / nodes / nodes
+	out.Demands.IOGiB = inputShare + shuffleCross
+
+	return out
+}
+
+// Feasible reports whether w fits on the cluster (per-node working set
+// within the OOM bound of the node's VM type).
+func (s *Simulator) Feasible(w workloads.Workload, cfg Config) bool {
+	return s.single.Feasible(perNodeWorkload(w, cfg.Nodes), cfg.VM)
+}
+
+// Truth returns the noise-free cluster execution time and cost.
+func (s *Simulator) Truth(w workloads.Workload, cfg Config) (sim.Result, error) {
+	return s.eval(w, cfg, 0, false)
+}
+
+// Measure returns a noisy measurement of w on cfg.
+func (s *Simulator) Measure(w workloads.Workload, cfg Config, trial int64) (sim.Result, error) {
+	return s.eval(w, cfg, trial, true)
+}
+
+func (s *Simulator) eval(w workloads.Workload, cfg Config, trial int64, noisy bool) (sim.Result, error) {
+	if cfg.Nodes < 1 {
+		return sim.Result{}, fmt.Errorf("cluster: node count %d < 1", cfg.Nodes)
+	}
+	derived := perNodeWorkload(w, cfg.Nodes)
+	var (
+		res sim.Result
+		err error
+	)
+	if noisy {
+		res, err = s.single.Measure(derived, cfg.VM, trial)
+	} else {
+		res, err = s.single.Truth(derived, cfg.VM)
+	}
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("cluster: %s on %s: %w", w.ID(), cfg.Name(), err)
+	}
+	res.TimeSec += startupSec + perNodeStartupSec*float64(cfg.Nodes)
+	res.CostUSD = res.TimeSec / 3600 * cfg.VM.PricePerHr * float64(cfg.Nodes)
+	return res, nil
+}
+
+// StudyWorkloads returns the single-VM study set filtered to workloads
+// feasible on EVERY cluster configuration (mirroring the paper's
+// exclusion rule at cluster scale). With multi-node options available,
+// per-node memory pressure drops, so this is a superset of what a
+// single-node-only catalog would admit; the filter matters only when
+// 1-node configurations are present.
+func (s *Simulator) StudyWorkloads(catalog *Catalog) []workloads.Workload {
+	var out []workloads.Workload
+	for _, w := range s.single.StudyWorkloads() {
+		ok := true
+		for i := 0; i < catalog.Len(); i++ {
+			if !s.Feasible(w, catalog.Config(i)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Speedup returns the cluster's noise-free speedup over a single node of
+// the same VM type (for model sanity checks and reporting).
+func (s *Simulator) Speedup(w workloads.Workload, cfg Config) (float64, error) {
+	single, err := s.Truth(w, Config{VM: cfg.VM, Nodes: 1})
+	if err != nil {
+		return 0, err
+	}
+	clustered, err := s.Truth(w, cfg)
+	if err != nil {
+		return 0, err
+	}
+	if clustered.TimeSec <= 0 {
+		return 0, fmt.Errorf("cluster: non-positive time for %s", cfg.Name())
+	}
+	return single.TimeSec / clustered.TimeSec, nil
+}

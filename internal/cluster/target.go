@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// Target adapts one (cluster simulator, workload) pair to core.Target:
+// the candidates are cluster configurations and the optimizers search the
+// joint (VM type, node count) space unchanged.
+type Target struct {
+	sim      *Simulator
+	catalog  *Catalog
+	workload workloads.Workload
+	trial    int64
+}
+
+// Compile-time interface check.
+var _ core.Target = (*Target)(nil)
+
+// NewTarget builds a measurable cluster target for w.
+func (s *Simulator) NewTarget(catalog *Catalog, w workloads.Workload, trial int64) *Target {
+	return &Target{sim: s, catalog: catalog, workload: w, trial: trial}
+}
+
+// NumCandidates implements core.Target.
+func (t *Target) NumCandidates() int { return t.catalog.Len() }
+
+// Features implements core.Target with the 5-feature cluster encoding.
+func (t *Target) Features(i int) []float64 { return t.catalog.Config(i).Encode() }
+
+// Name implements core.Target.
+func (t *Target) Name(i int) string { return t.catalog.Config(i).Name() }
+
+// Measure implements core.Target.
+func (t *Target) Measure(i int) (core.Outcome, error) {
+	res, err := t.sim.Measure(t.workload, t.catalog.Config(i), t.trial)
+	if err != nil {
+		return core.Outcome{}, fmt.Errorf("cluster: target measure: %w", err)
+	}
+	return core.Outcome{TimeSec: res.TimeSec, CostUSD: res.CostUSD, Metrics: res.Metrics}, nil
+}

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/acquisition"
+	"repro/internal/forest"
+	"repro/internal/lowlevel"
+)
+
+// AugmentedBOConfig configures Arrow's low-level augmented optimizer.
+type AugmentedBOConfig struct {
+	// Objective selects what to minimize. Required.
+	Objective Objective
+	// DeltaThreshold is the Prediction-Delta stopping threshold theta:
+	// the search stops once every unmeasured VM's predicted objective
+	// exceeds theta x the incumbent, i.e. no VM is predicted to be worth
+	// exploring. The paper sweeps theta in [0.9, 1.3] and recommends 1.1
+	// (Section VI-A). Zero means DefaultDeltaThreshold; negative disables
+	// early stopping.
+	DeltaThreshold float64
+	// MaxTimeSLO, when positive, constrains the search to VMs whose
+	// execution time stays within the SLO (CherryPick's constrained
+	// formulation): a second pairwise model predicts execution time,
+	// candidates predicted to violate the SLO are deprioritized, and only
+	// SLO-meeting observations can become the incumbent.
+	MaxTimeSLO float64
+	// MinObservations is the smallest number of measurements before the
+	// stopping rule may fire. Zero means the design size plus one.
+	MinObservations int
+	// MaxMeasurements caps the search cost. Zero means the whole catalog.
+	MaxMeasurements int
+	// Forest configures the Extra-Trees surrogate. Zero values use the
+	// forest package defaults (100 trees, sqrt(d) split candidates).
+	Forest forest.Config
+	// Design configures the initial sample.
+	Design DesignConfig
+	// Seed drives the initial design and the tree randomization.
+	Seed int64
+	// DisableLowLevel is the ablation switch: the pairwise surrogate is
+	// trained on instance features only, zeroing out the low-level
+	// metrics. Used to quantify how much of Arrow's advantage comes from
+	// the low-level augmentation versus the tree surrogate + pairwise
+	// encoding alone.
+	DisableLowLevel bool
+	// WarmStart seeds the surrogate with observations from a previous
+	// run of a *related* workload on the same candidate catalog (the
+	// paper's stated future work: "augment Bayesian Optimizer with
+	// historical performance data"). Prior observations contribute
+	// (src -> dst) training pairs among themselves but are never used as
+	// prediction sources, so stale history can bias early picks at worst
+	// — it cannot fabricate measurements.
+	WarmStart []PriorObservation
+}
+
+// PriorObservation is one historical measurement used for warm starting.
+type PriorObservation struct {
+	// Features is the candidate's instance-space encoding (must use the
+	// same encoding as the target).
+	Features []float64
+	// Metrics is the low-level vector collected during the historical run.
+	Metrics lowlevel.Vector
+	// Value is the historical objective value (must be positive).
+	Value float64
+}
+
+// DefaultDeltaThreshold is the paper's recommended Prediction-Delta
+// stopping threshold.
+const DefaultDeltaThreshold = 1.1
+
+// AugmentedBO is Arrow: Bayesian optimization whose surrogate sees not
+// just the instance space but the low-level performance metrics of every
+// VM measured so far (Algorithm 2 in the paper).
+//
+// The surrogate is trained on ordered pairs of measured VMs: the feature
+// row [features(src) || lowlevel(src) || features(dst)] has target y(dst).
+// Predicting an unmeasured candidate averages the model output over all
+// measured source VMs — "what does the workload's behaviour on src say
+// about its performance on dst?" — which is how the model exploits
+// low-level information about VMs the workload has never run on.
+type AugmentedBO struct {
+	cfg AugmentedBOConfig
+}
+
+// Compile-time interface check.
+var _ Optimizer = (*AugmentedBO)(nil)
+
+// NewAugmentedBO validates the configuration and builds the optimizer.
+func NewAugmentedBO(cfg AugmentedBOConfig) (*AugmentedBO, error) {
+	if cfg.DeltaThreshold == 0 {
+		cfg.DeltaThreshold = DefaultDeltaThreshold
+	}
+	if cfg.DeltaThreshold > 0 && cfg.DeltaThreshold < 0.5 {
+		return nil, fmt.Errorf("core: delta threshold %v is below any sensible value: %w", cfg.DeltaThreshold, ErrBadConfig)
+	}
+	if cfg.MaxTimeSLO < 0 || math.IsNaN(cfg.MaxTimeSLO) || math.IsInf(cfg.MaxTimeSLO, 0) {
+		return nil, fmt.Errorf("core: time SLO %v invalid: %w", cfg.MaxTimeSLO, ErrBadConfig)
+	}
+	for i, prior := range cfg.WarmStart {
+		if len(prior.Features) == 0 {
+			return nil, fmt.Errorf("core: warm-start observation %d has no features: %w", i, ErrBadConfig)
+		}
+		if prior.Value <= 0 || math.IsNaN(prior.Value) || math.IsInf(prior.Value, 0) {
+			return nil, fmt.Errorf("core: warm-start observation %d has invalid value %v: %w", i, prior.Value, ErrBadConfig)
+		}
+		if err := prior.Metrics.Validate(); err != nil {
+			return nil, fmt.Errorf("core: warm-start observation %d: %w", i, err)
+		}
+	}
+	return &AugmentedBO{cfg: cfg}, nil
+}
+
+// Name implements Optimizer.
+func (a *AugmentedBO) Name() string { return "augmented-bo" }
+
+// Search implements Optimizer.
+func (a *AugmentedBO) Search(target Target) (*Result, error) {
+	st, err := newSearchState(target, a.cfg.Objective)
+	if err != nil {
+		return nil, err
+	}
+	st.sloTime = a.cfg.MaxTimeSLO
+	rng := rand.New(rand.NewSource(a.cfg.Seed))
+
+	design, err := initialDesign(a.cfg.Design, rng, st.features)
+	if err != nil {
+		return nil, err
+	}
+	for _, idx := range design {
+		if err := st.measure(idx, 0, true); err != nil {
+			return nil, err
+		}
+	}
+	return a.continueSearch(st, len(design)+1, rng)
+}
+
+// continueSearch runs the augmented loop on an already seeded state. It is
+// shared with HybridBO, which hands over a state seeded by Naive BO.
+func (a *AugmentedBO) continueSearch(st *searchState, defaultMinObs int, rng *rand.Rand) (*Result, error) {
+	minObs := a.cfg.MinObservations
+	if minObs == 0 {
+		minObs = defaultMinObs
+	}
+	maxMeas := a.cfg.MaxMeasurements
+	if maxMeas == 0 || maxMeas > st.target.NumCandidates() {
+		maxMeas = st.target.NumCandidates()
+	}
+
+	for len(st.obs) < maxMeas {
+		remaining := st.unmeasured()
+		if len(remaining) == 0 {
+			break
+		}
+		next, predicted, err := a.selectByDelta(st, remaining, rng.Int63())
+		if err != nil {
+			return nil, err
+		}
+		// Prediction Delta doubles as the stopping criterion: if even the
+		// most promising unmeasured VM is predicted worse than
+		// theta x incumbent, there is nothing left worth paying for. With
+		// a time SLO the rule only fires once something feasible exists.
+		if a.cfg.DeltaThreshold > 0 && len(st.obs) >= minObs && st.hasIncumbent() &&
+			predicted > a.cfg.DeltaThreshold*st.bestVal {
+			return st.result(a.Name(), true,
+				fmt.Sprintf("best predicted %.4g exceeds %.2f x incumbent %.4g", predicted, a.cfg.DeltaThreshold, st.bestVal)), nil
+		}
+		score := 0.0
+		if st.hasIncumbent() {
+			score, err = acquisition.Delta(predicted, st.bestVal)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := st.measure(next, score, false); err != nil {
+			return nil, err
+		}
+	}
+	return st.result(a.Name(), false, "search space exhausted"), nil
+}
+
+// selectByDelta fits the pairwise Extra-Trees surrogate and returns the
+// unmeasured candidate with the smallest predicted objective, plus that
+// prediction. Under a time SLO a second pairwise model predicts execution
+// time: candidates predicted feasible are ranked by predicted objective;
+// if none are, the candidate predicted fastest is chosen to hunt for
+// feasibility.
+func (a *AugmentedBO) selectByDelta(st *searchState, remaining []int, treeSeed int64) (next int, predicted float64, err error) {
+	model, err := a.fitPairModel(st, treeSeed)
+	if err != nil {
+		return 0, 0, err
+	}
+	var timeModel *forest.Regressor
+	if a.cfg.MaxTimeSLO > 0 {
+		timeModel, err = a.fitPairModelFor(st, treeSeed+1, func(obs Observation) float64 {
+			return obs.Outcome.TimeSec
+		}, false)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+
+	next = -1
+	predicted = math.Inf(1)
+	fallback, fallbackTime := -1, math.Inf(1)
+	for _, idx := range remaining {
+		pred, err := a.predictCandidate(model, st, idx)
+		if err != nil {
+			return 0, 0, err
+		}
+		if timeModel != nil {
+			predTime, err := a.predictCandidateWith(timeModel, st, idx)
+			if err != nil {
+				return 0, 0, err
+			}
+			if predTime < fallbackTime {
+				fallbackTime = predTime
+				fallback = idx
+			}
+			if predTime > a.cfg.MaxTimeSLO {
+				continue // predicted to violate the SLO
+			}
+		}
+		if pred < predicted {
+			predicted = pred
+			next = idx
+		}
+	}
+	if next == -1 {
+		// Every remaining candidate is predicted infeasible: measure the
+		// one predicted fastest; its predicted objective keeps the
+		// stopping rule from firing spuriously.
+		next = fallback
+		predicted, err = a.predictCandidate(model, st, next)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return next, predicted, nil
+}
+
+// fitPairModel builds the training set of all ordered measured pairs and
+// fits the Extra-Trees regressor. Targets are modeled in log space: the
+// response surface is multiplicative (thrash factors, speed ratios) and
+// averaging source predictions in log space takes a geometric mean, which
+// is robust to one source predicting a blow-up.
+func (a *AugmentedBO) fitPairModel(st *searchState, treeSeed int64) (*forest.Regressor, error) {
+	return a.fitPairModelFor(st, treeSeed, func(obs Observation) float64 { return obs.Value }, true)
+}
+
+// fitPairModelFor builds the pairwise training set with an arbitrary
+// target (objective value or execution time, both modeled in log space)
+// and fits the Extra-Trees regressor. Warm-start history carries objective
+// values only, so it contributes rows only when the target is the
+// objective (withHistory).
+func (a *AugmentedBO) fitPairModelFor(st *searchState, treeSeed int64, target func(Observation) float64, withHistory bool) (*forest.Regressor, error) {
+	if len(st.obs) < 2 {
+		return nil, fmt.Errorf("core: pairwise surrogate needs >= 2 observations, have %d: %w", len(st.obs), ErrBadConfig)
+	}
+	var xs [][]float64
+	var ys []float64
+	for _, src := range st.obs {
+		for _, dst := range st.obs {
+			if src.Index == dst.Index {
+				continue
+			}
+			xs = append(xs, a.row(st.features[src.Index], src.Outcome.Metrics, st.features[dst.Index]))
+			ys = append(ys, math.Log(target(dst)))
+		}
+	}
+	// Historical warm-start pairs teach the src->dst transfer structure
+	// before the current search has enough of its own observations.
+	if withHistory {
+		for i, src := range a.cfg.WarmStart {
+			for j, dst := range a.cfg.WarmStart {
+				if i == j {
+					continue
+				}
+				xs = append(xs, a.row(src.Features, src.Metrics, dst.Features))
+				ys = append(ys, math.Log(dst.Value))
+			}
+		}
+	}
+	cfg := a.cfg.Forest
+	cfg.Seed = treeSeed
+	model, err := forest.Fit(cfg, xs, ys)
+	if err != nil {
+		return nil, fmt.Errorf("core: fitting Extra-Trees surrogate: %w", err)
+	}
+	return model, nil
+}
+
+// row builds a pair feature row, honoring the low-level ablation switch.
+func (a *AugmentedBO) row(srcFeat []float64, srcMetrics lowlevel.Vector, dstFeat []float64) []float64 {
+	if a.cfg.DisableLowLevel {
+		srcMetrics = lowlevel.Vector{}
+	}
+	return pairRow(srcFeat, srcMetrics, dstFeat)
+}
+
+// predictCandidate averages the model's prediction of candidate idx over
+// every measured source VM, per the paper's "Surrogate Model Update"
+// design: multiple (src -> dst) estimates exist, so they are averaged.
+func (a *AugmentedBO) predictCandidate(model *forest.Regressor, st *searchState, idx int) (float64, error) {
+	return a.predictCandidateWith(model, st, idx)
+}
+
+// predictCandidateWith is predictCandidate for an arbitrary pairwise model
+// (objective or execution time).
+func (a *AugmentedBO) predictCandidateWith(model *forest.Regressor, st *searchState, idx int) (float64, error) {
+	sum := 0.0
+	for _, src := range st.obs {
+		row := a.row(st.features[src.Index], src.Outcome.Metrics, st.features[idx])
+		pred, err := model.Predict(row)
+		if err != nil {
+			return 0, fmt.Errorf("core: surrogate prediction for %s: %w", st.target.Name(idx), err)
+		}
+		sum += pred
+	}
+	return math.Exp(sum / float64(len(st.obs))), nil
+}
+
+// FeatureImportance is one entry of the surrogate explanation.
+type FeatureImportance struct {
+	// Name identifies the pair-row column: "src:f<i>" and "dst:f<i>" for
+	// instance features, "src:<metric>" for low-level metrics.
+	Name string
+	// Fraction is the share of ensemble split nodes using this column.
+	Fraction float64
+}
+
+// ExplainSurrogate refits the pairwise surrogate on a finished search and
+// reports which columns its trees split on — a cheap view of whether the
+// model leans on the low-level metrics (Section IV-A's feature-selection
+// discussion). The result must come from a search over target.
+func (a *AugmentedBO) ExplainSurrogate(target Target, res *Result) ([]FeatureImportance, error) {
+	st, err := newSearchState(target, res.Objective)
+	if err != nil {
+		return nil, err
+	}
+	for _, obs := range res.Observations {
+		if obs.Index < 0 || obs.Index >= len(st.features) {
+			return nil, fmt.Errorf("core: observation index %d outside target: %w", obs.Index, ErrBadConfig)
+		}
+		st.measured[obs.Index] = true
+		st.obs = append(st.obs, obs)
+	}
+	model, err := a.fitPairModel(st, a.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	numFeat := len(st.features[0])
+	names := make([]string, 0, 2*numFeat+int(lowlevel.NumMetrics))
+	for i := 0; i < numFeat; i++ {
+		names = append(names, fmt.Sprintf("src:f%d", i))
+	}
+	for _, m := range lowlevel.Names() {
+		names = append(names, "src:"+m)
+	}
+	for i := 0; i < numFeat; i++ {
+		names = append(names, fmt.Sprintf("dst:f%d", i))
+	}
+	imps := model.FeatureImportance()
+	if len(imps) != len(names) {
+		return nil, fmt.Errorf("core: importance length %d, want %d", len(imps), len(names))
+	}
+	out := make([]FeatureImportance, len(names))
+	for i := range names {
+		out[i] = FeatureImportance{Name: names[i], Fraction: imps[i]}
+	}
+	return out, nil
+}
+
+// pairRow assembles the augmented feature row
+// [features(src) || lowlevel(src) || features(dst)].
+func pairRow(srcFeat []float64, srcMetrics lowlevel.Vector, dstFeat []float64) []float64 {
+	row := make([]float64, 0, len(srcFeat)+int(lowlevel.NumMetrics)+len(dstFeat))
+	row = append(row, srcFeat...)
+	row = append(row, srcMetrics.Slice()...)
+	row = append(row, dstFeat...)
+	return row
+}

@@ -1,0 +1,316 @@
+// Package core implements the paper's contribution: sequential model-based
+// optimization (SMBO) over a finite VM catalog, in three flavors —
+//
+//   - NaiveBO: CherryPick-style Bayesian optimization with a Gaussian-
+//     process surrogate and Expected Improvement (Section III);
+//   - AugmentedBO: Arrow's low-level augmented Bayesian optimization with
+//     an Extra-Trees surrogate trained on (source VM, source low-level
+//     metrics, destination VM) pairs and a Prediction-Delta acquisition
+//     and stopping rule (Section IV);
+//   - HybridBO: Naive BO for the first few measurements, Augmented BO
+//     afterwards, curing Augmented BO's slow start (Section V-B).
+//
+// A RandomSearch baseline is included for calibration. All optimizers
+// minimize: smaller objective values are better.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/lowlevel"
+)
+
+// Objective selects what the search minimizes.
+type Objective int
+
+// The paper's three optimization objectives.
+const (
+	MinimizeTime Objective = iota + 1
+	MinimizeCost
+	MinimizeTimeCostProduct
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	switch o {
+	case MinimizeTime:
+		return "time"
+	case MinimizeCost:
+		return "cost"
+	case MinimizeTimeCostProduct:
+		return "time-cost-product"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// ParseObjective maps CLI names to an Objective.
+func ParseObjective(name string) (Objective, error) {
+	switch name {
+	case "time":
+		return MinimizeTime, nil
+	case "cost":
+		return MinimizeCost, nil
+	case "product", "time-cost-product", "timecost":
+		return MinimizeTimeCostProduct, nil
+	default:
+		return 0, fmt.Errorf("core: unknown objective %q", name)
+	}
+}
+
+// Outcome is what one measurement of a candidate yields: the raw
+// performance plus the low-level metric vector a sysstat daemon would have
+// collected during the run.
+type Outcome struct {
+	TimeSec float64
+	CostUSD float64
+	Metrics lowlevel.Vector
+}
+
+// Value projects the outcome onto an objective.
+func (out Outcome) Value(o Objective) (float64, error) {
+	switch o {
+	case MinimizeTime:
+		return out.TimeSec, nil
+	case MinimizeCost:
+		return out.CostUSD, nil
+	case MinimizeTimeCostProduct:
+		return out.TimeSec * out.CostUSD, nil
+	default:
+		return 0, fmt.Errorf("core: invalid objective %d", int(o))
+	}
+}
+
+// Target abstracts the system under optimization: a finite catalog of
+// candidates (VM types), each with a published feature encoding, that can
+// be measured at a cost. internal/sim provides the simulator-backed
+// implementation; anything that can run a workload can implement it.
+type Target interface {
+	// NumCandidates returns the catalog size.
+	NumCandidates() int
+	// Features returns the instance-space encoding of candidate i.
+	Features(i int) []float64
+	// Name returns a human-readable name for candidate i.
+	Name(i int) string
+	// Measure runs the workload on candidate i and reports the outcome.
+	Measure(i int) (Outcome, error)
+}
+
+// Observation is one measured candidate.
+type Observation struct {
+	Index   int     // candidate index in the Target
+	Value   float64 // objective value (smaller is better)
+	Outcome Outcome
+}
+
+// Step records one search iteration for trace analysis.
+type Step struct {
+	Index      int     // measured candidate
+	Value      float64 // its objective value
+	BestSoFar  float64 // best objective value after this measurement
+	Score      float64 // acquisition score that selected it (0 for initial design)
+	FromDesign bool    // true if part of the initial design
+}
+
+// Result is a completed search.
+type Result struct {
+	Method       string
+	Objective    Objective
+	Observations []Observation
+	Steps        []Step
+	BestIndex    int
+	BestValue    float64
+	StoppedEarly bool
+	StopReason   string
+
+	// SLOSatisfied is false only when a time SLO was configured and no
+	// measured VM met it — BestIndex then points at the fastest VM
+	// observed (the closest to feasibility) and BestValue is its
+	// objective value.
+	SLOSatisfied bool
+}
+
+// NumMeasurements returns the search cost.
+func (r *Result) NumMeasurements() int { return len(r.Observations) }
+
+// MeasuredAtStep returns the 1-based step at which candidate idx was
+// measured, or 0 if it never was.
+func (r *Result) MeasuredAtStep(idx int) int {
+	for i, obs := range r.Observations {
+		if obs.Index == idx {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// BestAfter returns the best (smallest) objective value among the first k
+// measurements. It errors if k is out of range.
+func (r *Result) BestAfter(k int) (float64, error) {
+	if k < 1 || k > len(r.Observations) {
+		return 0, fmt.Errorf("core: step %d out of [1,%d]", k, len(r.Observations))
+	}
+	best := math.Inf(1)
+	for _, obs := range r.Observations[:k] {
+		if obs.Value < best {
+			best = obs.Value
+		}
+	}
+	return best, nil
+}
+
+// Optimizer is a search method over a Target.
+type Optimizer interface {
+	// Name identifies the method ("naive-bo", "augmented-bo", ...).
+	Name() string
+	// Search runs the full optimization loop against the target.
+	Search(target Target) (*Result, error)
+}
+
+// ErrTargetEmpty reports a target with no candidates.
+var ErrTargetEmpty = errors.New("core: target has no candidates")
+
+// ErrBadConfig reports an invalid optimizer configuration.
+var ErrBadConfig = errors.New("core: invalid configuration")
+
+// searchState carries the bookkeeping shared by every optimizer.
+type searchState struct {
+	target    Target
+	objective Objective
+
+	// sloTime, when positive, constrains the search: only observations
+	// with TimeSec <= sloTime may become the incumbent (CherryPick's
+	// "minimize cost subject to a performance SLO" formulation).
+	sloTime float64
+
+	features [][]float64 // candidate features, cached
+	measured []bool
+	obs      []Observation
+	steps    []Step
+
+	bestIdx int
+	bestVal float64
+
+	// fastestIdx/fastestTime track the minimum observed execution time,
+	// the fallback answer when nothing meets the SLO.
+	fastestIdx  int
+	fastestTime float64
+}
+
+func newSearchState(target Target, objective Objective) (*searchState, error) {
+	n := target.NumCandidates()
+	if n == 0 {
+		return nil, ErrTargetEmpty
+	}
+	switch objective {
+	case MinimizeTime, MinimizeCost, MinimizeTimeCostProduct:
+	default:
+		return nil, fmt.Errorf("core: objective %d: %w", int(objective), ErrBadConfig)
+	}
+	features := make([][]float64, n)
+	dims := -1
+	for i := 0; i < n; i++ {
+		f := target.Features(i)
+		if dims == -1 {
+			dims = len(f)
+		}
+		if len(f) != dims || dims == 0 {
+			return nil, fmt.Errorf("core: candidate %d has %d features, want %d: %w", i, len(f), dims, ErrBadConfig)
+		}
+		features[i] = append([]float64(nil), f...)
+	}
+	return &searchState{
+		target:      target,
+		objective:   objective,
+		features:    features,
+		measured:    make([]bool, n),
+		bestIdx:     -1,
+		bestVal:     math.Inf(1),
+		fastestIdx:  -1,
+		fastestTime: math.Inf(1),
+	}, nil
+}
+
+// feasible reports whether an outcome satisfies the SLO (trivially true
+// without one).
+func (s *searchState) feasible(out Outcome) bool {
+	return s.sloTime <= 0 || out.TimeSec <= s.sloTime
+}
+
+// hasIncumbent reports whether any feasible observation exists yet.
+func (s *searchState) hasIncumbent() bool { return s.bestIdx >= 0 }
+
+// measure runs one measurement, updating observations and the incumbent.
+func (s *searchState) measure(idx int, score float64, fromDesign bool) error {
+	if s.measured[idx] {
+		return fmt.Errorf("core: candidate %d (%s) measured twice", idx, s.target.Name(idx))
+	}
+	out, err := s.target.Measure(idx)
+	if err != nil {
+		return fmt.Errorf("core: measuring %s: %w", s.target.Name(idx), err)
+	}
+	val, err := out.Value(s.objective)
+	if err != nil {
+		return err
+	}
+	if val <= 0 || math.IsNaN(val) || math.IsInf(val, 0) {
+		return fmt.Errorf("core: measurement of %s yielded invalid objective %v", s.target.Name(idx), val)
+	}
+	s.measured[idx] = true
+	s.obs = append(s.obs, Observation{Index: idx, Value: val, Outcome: out})
+	if s.feasible(out) && val < s.bestVal {
+		s.bestVal = val
+		s.bestIdx = idx
+	}
+	if out.TimeSec < s.fastestTime {
+		s.fastestTime = out.TimeSec
+		s.fastestIdx = idx
+	}
+	s.steps = append(s.steps, Step{
+		Index:      idx,
+		Value:      val,
+		BestSoFar:  s.bestVal,
+		Score:      score,
+		FromDesign: fromDesign,
+	})
+	return nil
+}
+
+// unmeasured returns the indices not yet measured.
+func (s *searchState) unmeasured() []int {
+	var out []int
+	for i, m := range s.measured {
+		if !m {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// result finalizes the search.
+func (s *searchState) result(method string, stoppedEarly bool, reason string) *Result {
+	res := &Result{
+		Method:       method,
+		Objective:    s.objective,
+		Observations: append([]Observation(nil), s.obs...),
+		Steps:        append([]Step(nil), s.steps...),
+		BestIndex:    s.bestIdx,
+		BestValue:    s.bestVal,
+		StoppedEarly: stoppedEarly,
+		StopReason:   reason,
+		SLOSatisfied: true,
+	}
+	if !s.hasIncumbent() {
+		// An SLO was set and nothing met it: report the fastest VM seen.
+		res.SLOSatisfied = false
+		res.BestIndex = s.fastestIdx
+		for _, obs := range s.obs {
+			if obs.Index == s.fastestIdx {
+				res.BestValue = obs.Value
+			}
+		}
+	}
+	return res
+}

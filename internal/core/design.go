@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sampling"
+	"repro/internal/stats"
+)
+
+// DesignKind selects the initial-sampling strategy (Section III-C).
+type DesignKind int
+
+// The initial-design strategies.
+const (
+	// DesignQuasiRandom greedily picks maximally distant VMs — the
+	// CherryPick-prescribed quasi-random design.
+	DesignQuasiRandom DesignKind = iota + 1
+	// DesignUniform picks uniformly at random without replacement.
+	DesignUniform
+	// DesignFixed uses caller-provided indices (the paper's
+	// initial-point-sensitivity experiment).
+	DesignFixed
+	// DesignSobol snaps points of the Sobol' low-discrepancy sequence
+	// (the paper's reference [25]) to the nearest unused candidates; the
+	// seed selects the sequence offset.
+	DesignSobol
+)
+
+// String names the design kind.
+func (d DesignKind) String() string {
+	switch d {
+	case DesignQuasiRandom:
+		return "quasi-random"
+	case DesignUniform:
+		return "uniform"
+	case DesignFixed:
+		return "fixed"
+	case DesignSobol:
+		return "sobol"
+	default:
+		return fmt.Sprintf("DesignKind(%d)", int(d))
+	}
+}
+
+// DesignConfig configures the initial sample shared by all optimizers.
+type DesignConfig struct {
+	// Kind selects the strategy. Zero value means DesignQuasiRandom.
+	Kind DesignKind
+	// NumInitial is the design size. Zero means DefaultNumInitial.
+	NumInitial int
+	// Fixed holds the indices for DesignFixed.
+	Fixed []int
+}
+
+// DefaultNumInitial is the initial-sample size used by CherryPick and by
+// the paper's experiments.
+const DefaultNumInitial = 3
+
+// initialDesign resolves the configured design against the candidate set.
+// Quasi-random designs operate on min-max-scaled features so no dimension
+// dominates the distance metric.
+func initialDesign(cfg DesignConfig, rng *rand.Rand, features [][]float64) ([]int, error) {
+	k := cfg.NumInitial
+	if k == 0 {
+		k = DefaultNumInitial
+	}
+	kind := cfg.Kind
+	if kind == 0 {
+		kind = DesignQuasiRandom
+	}
+	switch kind {
+	case DesignQuasiRandom:
+		scaled, _, _, err := stats.MinMaxScale(features)
+		if err != nil {
+			return nil, fmt.Errorf("core: scaling features for design: %w", err)
+		}
+		idx, err := sampling.MaxMin(rng, scaled, k)
+		if err != nil {
+			return nil, fmt.Errorf("core: quasi-random design: %w", err)
+		}
+		return idx, nil
+	case DesignUniform:
+		idx, err := sampling.Uniform(rng, len(features), k)
+		if err != nil {
+			return nil, fmt.Errorf("core: uniform design: %w", err)
+		}
+		return idx, nil
+	case DesignFixed:
+		idx, err := sampling.Fixed(len(features), cfg.Fixed)
+		if err != nil {
+			return nil, fmt.Errorf("core: fixed design: %w", err)
+		}
+		return idx, nil
+	case DesignSobol:
+		scaled, _, _, err := stats.MinMaxScale(features)
+		if err != nil {
+			return nil, fmt.Errorf("core: scaling features for design: %w", err)
+		}
+		// Derive a small sequence offset from the run's RNG so different
+		// seeds see different (but individually deterministic) designs.
+		skip := rng.Intn(64)
+		idx, err := sampling.SobolDesign(scaled, k, skip)
+		if err != nil {
+			return nil, fmt.Errorf("core: sobol design: %w", err)
+		}
+		return idx, nil
+	default:
+		return nil, fmt.Errorf("core: design kind %d: %w", int(kind), ErrBadConfig)
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/stats"
+)
+
+// HybridBOConfig configures the combination method of Section V-B: Naive
+// BO picks the first measurements (it has no slow start), then Augmented
+// BO takes over with every observation collected so far.
+type HybridBOConfig struct {
+	// Naive configures the opening phase. Its stopping rule is ignored —
+	// the handover point is SwitchAfter.
+	Naive NaiveBOConfig
+	// Augmented configures the closing phase (and the overall stopping
+	// rule).
+	Augmented AugmentedBOConfig
+	// SwitchAfter is the number of measurements (including the initial
+	// design) after which Augmented BO takes over. Zero means
+	// DefaultSwitchAfter.
+	SwitchAfter int
+}
+
+// DefaultSwitchAfter hands over after the initial design plus one EI-guided
+// measurement — the region where Figure 9 shows Naive BO ahead.
+const DefaultSwitchAfter = 4
+
+// HybridBO combines Naive BO's strong start with Augmented BO's strong
+// finish; Figure 9 shows it dominating Naive BO everywhere.
+type HybridBO struct {
+	cfg       HybridBOConfig
+	naive     *NaiveBO
+	augmented *AugmentedBO
+}
+
+// Compile-time interface check.
+var _ Optimizer = (*HybridBO)(nil)
+
+// NewHybridBO validates the configuration and builds the optimizer.
+func NewHybridBO(cfg HybridBOConfig) (*HybridBO, error) {
+	if cfg.SwitchAfter == 0 {
+		cfg.SwitchAfter = DefaultSwitchAfter
+	}
+	if cfg.SwitchAfter < 2 {
+		return nil, fmt.Errorf("core: switch-after %d leaves the pairwise surrogate without data: %w", cfg.SwitchAfter, ErrBadConfig)
+	}
+	if cfg.Naive.Objective != cfg.Augmented.Objective {
+		return nil, fmt.Errorf("core: phases optimize different objectives (%v vs %v): %w",
+			cfg.Naive.Objective, cfg.Augmented.Objective, ErrBadConfig)
+	}
+	if cfg.Naive.MaxTimeSLO != cfg.Augmented.MaxTimeSLO {
+		return nil, fmt.Errorf("core: phases disagree on the time SLO (%v vs %v): %w",
+			cfg.Naive.MaxTimeSLO, cfg.Augmented.MaxTimeSLO, ErrBadConfig)
+	}
+	naive, err := NewNaiveBO(cfg.Naive)
+	if err != nil {
+		return nil, err
+	}
+	augmented, err := NewAugmentedBO(cfg.Augmented)
+	if err != nil {
+		return nil, err
+	}
+	return &HybridBO{cfg: cfg, naive: naive, augmented: augmented}, nil
+}
+
+// Name implements Optimizer.
+func (h *HybridBO) Name() string { return "hybrid-bo" }
+
+// Search implements Optimizer.
+func (h *HybridBO) Search(target Target) (*Result, error) {
+	st, err := newSearchState(target, h.cfg.Naive.Objective)
+	if err != nil {
+		return nil, err
+	}
+	st.sloTime = h.cfg.Naive.MaxTimeSLO
+	rng := rand.New(rand.NewSource(h.cfg.Naive.Seed))
+
+	design, err := initialDesign(h.cfg.Naive.Design, rng, st.features)
+	if err != nil {
+		return nil, err
+	}
+	for _, idx := range design {
+		if err := st.measure(idx, 0, true); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 1: EI-guided measurements up to the handover point.
+	scaledAll, err := scaleFeatures(st.features)
+	if err != nil {
+		return nil, err
+	}
+	switchAfter := h.cfg.SwitchAfter
+	if switchAfter > target.NumCandidates() {
+		switchAfter = target.NumCandidates()
+	}
+	for len(st.obs) < switchAfter {
+		remaining := st.unmeasured()
+		if len(remaining) == 0 {
+			break
+		}
+		next, score, _, err := h.naive.selectCandidate(st, scaledAll, remaining, rng)
+		if err != nil {
+			return nil, err
+		}
+		if err := st.measure(next, score, false); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: Augmented BO finishes the search with the full history.
+	res, err := h.augmented.continueSearch(st, len(st.obs)+1, rng)
+	if err != nil {
+		return nil, err
+	}
+	res.Method = h.Name()
+	return res, nil
+}
+
+// scaleFeatures is a small wrapper so HybridBO shares NaiveBO's scaling.
+func scaleFeatures(features [][]float64) ([][]float64, error) {
+	scaled, _, _, err := stats.MinMaxScale(features)
+	if err != nil {
+		return nil, fmt.Errorf("core: scaling features: %w", err)
+	}
+	return scaled, nil
+}

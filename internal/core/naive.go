@@ -1,0 +1,379 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/acquisition"
+	"repro/internal/gp"
+	"repro/internal/kernel"
+	"repro/internal/stats"
+)
+
+// NaiveBOConfig configures the CherryPick-style baseline.
+type NaiveBOConfig struct {
+	// Objective selects what to minimize. Required.
+	Objective Objective
+	// Kernel is the GP covariance family. Zero means kernel.Matern52,
+	// CherryPick's prescribed choice. Ignored when AutoKernel is set.
+	Kernel kernel.Kind
+	// AutoKernel selects the kernel family per fit by log marginal
+	// likelihood across RBF and the Matérn family — the "automatic model
+	// selection" practice Section III-B cites as the engineering
+	// alternative to hand-picking a kernel.
+	AutoKernel bool
+	// Acquisition selects the acquisition function. Zero means Expected
+	// Improvement (CherryPick's choice); acquisition.ProbabilityOfImprovement
+	// and acquisition.UpperConfidenceBound are provided for comparison.
+	// The EI-fraction stopping rule only applies to Expected Improvement;
+	// other acquisitions run until MaxMeasurements.
+	Acquisition acquisition.Kind
+	// UCBBeta is the exploration weight for UpperConfidenceBound.
+	// Zero means DefaultUCBBeta.
+	UCBBeta float64
+	// MESSamples is the number of posterior-minimum samples drawn per
+	// iteration by the EntropySearch acquisition. Zero means
+	// DefaultMESSamples.
+	MESSamples int
+	// ARD enables per-dimension GP length scales (automatic relevance
+	// determination), letting the surrogate discount instance features
+	// that do not matter for the workload at hand.
+	ARD bool
+	// MaxTimeSLO, when positive, constrains the search to VMs whose
+	// execution time stays within the SLO — CherryPick's original
+	// formulation ("minimize cost subject to a performance constraint").
+	// The surrogate gains a second GP modeling execution time, and the
+	// acquisition becomes constrained EI: EI x P(time <= SLO). Only
+	// supported with the ExpectedImprovement acquisition.
+	MaxTimeSLO float64
+	// EIStopFraction stops the search once the maximum Expected
+	// Improvement falls below this fraction of the best observation
+	// (CherryPick uses 10%). Zero means DefaultEIStopFraction; negative
+	// disables early stopping.
+	EIStopFraction float64
+	// MinObservations is the smallest number of measurements before the
+	// stopping rule may fire. Zero means the design size plus one.
+	MinObservations int
+	// MaxMeasurements caps the search cost. Zero means "the whole
+	// catalog".
+	MaxMeasurements int
+	// Design configures the initial sample.
+	Design DesignConfig
+	// Seed drives the initial design (and nothing else; the GP is
+	// deterministic given the observations).
+	Seed int64
+	// FitLogObjective models log(y) instead of y. Multiplicative
+	// response surfaces (ours and the paper's) are easier for a GP in
+	// log space; CherryPick makes the same transformation.
+	// DisableLogObjective turns it off.
+	DisableLogObjective bool
+}
+
+// DefaultEIStopFraction is CherryPick's stopping threshold: stop once no
+// candidate's expected improvement reaches 10% of the incumbent.
+const DefaultEIStopFraction = 0.10
+
+// DefaultUCBBeta is the exploration weight used by the GP-UCB acquisition
+// when none is configured.
+const DefaultUCBBeta = 2.0
+
+// DefaultMESSamples is the posterior-minimum sample count for the
+// entropy-search acquisition.
+const DefaultMESSamples = 64
+
+// NaiveBO is the Gaussian-process Bayesian optimizer the paper calls
+// "Naive BO" (the CherryPick method).
+type NaiveBO struct {
+	cfg NaiveBOConfig
+}
+
+// Compile-time interface check.
+var _ Optimizer = (*NaiveBO)(nil)
+
+// NewNaiveBO validates the configuration and builds the optimizer.
+func NewNaiveBO(cfg NaiveBOConfig) (*NaiveBO, error) {
+	if cfg.Kernel == 0 {
+		cfg.Kernel = kernel.Matern52
+	}
+	if cfg.EIStopFraction == 0 {
+		cfg.EIStopFraction = DefaultEIStopFraction
+	}
+	if cfg.EIStopFraction > 1 {
+		return nil, fmt.Errorf("core: EI stop fraction %v > 1: %w", cfg.EIStopFraction, ErrBadConfig)
+	}
+	if cfg.Acquisition == 0 {
+		cfg.Acquisition = acquisition.ExpectedImprovement
+	}
+	switch cfg.Acquisition {
+	case acquisition.ExpectedImprovement, acquisition.ProbabilityOfImprovement,
+		acquisition.UpperConfidenceBound, acquisition.EntropySearch:
+	default:
+		return nil, fmt.Errorf("core: acquisition %v unsupported for naive BO: %w", cfg.Acquisition, ErrBadConfig)
+	}
+	if cfg.MESSamples == 0 {
+		cfg.MESSamples = DefaultMESSamples
+	}
+	if cfg.MESSamples < 1 {
+		return nil, fmt.Errorf("core: MES samples %d: %w", cfg.MESSamples, ErrBadConfig)
+	}
+	if cfg.UCBBeta == 0 {
+		cfg.UCBBeta = DefaultUCBBeta
+	}
+	if cfg.UCBBeta < 0 {
+		return nil, fmt.Errorf("core: UCB beta %v negative: %w", cfg.UCBBeta, ErrBadConfig)
+	}
+	if cfg.MaxTimeSLO < 0 || math.IsNaN(cfg.MaxTimeSLO) || math.IsInf(cfg.MaxTimeSLO, 0) {
+		return nil, fmt.Errorf("core: time SLO %v invalid: %w", cfg.MaxTimeSLO, ErrBadConfig)
+	}
+	if cfg.MaxTimeSLO > 0 && cfg.Acquisition != acquisition.ExpectedImprovement {
+		return nil, fmt.Errorf("core: time SLO requires the EI acquisition, have %v: %w", cfg.Acquisition, ErrBadConfig)
+	}
+	return &NaiveBO{cfg: cfg}, nil
+}
+
+// Name implements Optimizer.
+func (n *NaiveBO) Name() string { return "naive-bo" }
+
+// Search implements Optimizer.
+func (n *NaiveBO) Search(target Target) (*Result, error) {
+	st, err := newSearchState(target, n.cfg.Objective)
+	if err != nil {
+		return nil, err
+	}
+	st.sloTime = n.cfg.MaxTimeSLO
+	rng := rand.New(rand.NewSource(n.cfg.Seed))
+
+	design, err := initialDesign(n.cfg.Design, rng, st.features)
+	if err != nil {
+		return nil, err
+	}
+	for _, idx := range design {
+		if err := st.measure(idx, 0, true); err != nil {
+			return nil, err
+		}
+	}
+
+	minObs := n.cfg.MinObservations
+	if minObs == 0 {
+		minObs = len(design) + 1
+	}
+	maxMeas := n.cfg.MaxMeasurements
+	if maxMeas == 0 || maxMeas > target.NumCandidates() {
+		maxMeas = target.NumCandidates()
+	}
+
+	// Scale the full candidate feature set once; the catalog is known up
+	// front, so this leaks no measurement information.
+	scaled, _, _, err := stats.MinMaxScale(st.features)
+	if err != nil {
+		return nil, fmt.Errorf("core: scaling features: %w", err)
+	}
+
+	for len(st.obs) < maxMeas {
+		remaining := st.unmeasured()
+		if len(remaining) == 0 {
+			break
+		}
+		next, score, maxEI, err := n.selectCandidate(st, scaled, remaining, rng)
+		if err != nil {
+			return nil, err
+		}
+		if n.cfg.EIStopFraction > 0 && len(st.obs) >= minObs && st.hasIncumbent() &&
+			maxEI < n.cfg.EIStopFraction*st.bestVal {
+			return st.result(n.Name(), true,
+				fmt.Sprintf("max EI %.4g below %.0f%% of incumbent %.4g", maxEI, 100*n.cfg.EIStopFraction, st.bestVal)), nil
+		}
+		if err := st.measure(next, score, false); err != nil {
+			return nil, err
+		}
+	}
+	return st.result(n.Name(), false, "search space exhausted"), nil
+}
+
+// feasibilityProbs fits a GP on log execution time and returns, per
+// remaining candidate, the posterior probability that its time meets the
+// SLO.
+func (n *NaiveBO) feasibilityProbs(st *searchState, scaled [][]float64, remaining []int) ([]float64, error) {
+	xs := make([][]float64, len(st.obs))
+	ys := make([]float64, len(st.obs))
+	for i, obs := range st.obs {
+		xs[i] = scaled[obs.Index]
+		ys[i] = math.Log(obs.Outcome.TimeSec)
+	}
+	model, err := n.fitSurrogate(xs, ys)
+	if err != nil {
+		return nil, fmt.Errorf("core: fitting time GP for SLO: %w", err)
+	}
+	logSLO := math.Log(n.cfg.MaxTimeSLO)
+	out := make([]float64, len(remaining))
+	for i, idx := range remaining {
+		mean, variance, err := model.Predict(scaled[idx])
+		if err != nil {
+			return nil, fmt.Errorf("core: time prediction for %s: %w", st.target.Name(idx), err)
+		}
+		if variance < 1e-12 {
+			if mean <= logSLO {
+				out[i] = 1
+			}
+			continue
+		}
+		// P(logTime <= logSLO) via the PI helper, which computes exactly
+		// Phi((threshold - mean) / sigma).
+		p, err := acquisition.PI(mean, variance, logSLO, 0)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// fitSurrogate trains the GP on the observations, choosing the kernel
+// family by log marginal likelihood when AutoKernel is set.
+func (n *NaiveBO) fitSurrogate(xs [][]float64, ys []float64) (*gp.GP, error) {
+	if !n.cfg.AutoKernel {
+		model, err := gp.Fit(gp.Config{Kernel: n.cfg.Kernel, ARD: n.cfg.ARD}, xs, ys)
+		if err != nil {
+			return nil, fmt.Errorf("core: fitting GP surrogate: %w", err)
+		}
+		return model, nil
+	}
+	var best *gp.GP
+	var errs []error
+	for _, kind := range kernel.All() {
+		model, err := gp.Fit(gp.Config{Kernel: kind, ARD: n.cfg.ARD}, xs, ys)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if best == nil || model.LogMarginalLikelihood() > best.LogMarginalLikelihood() {
+			best = model
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: auto kernel selection: every family failed: %w", errors.Join(errs...))
+	}
+	return best, nil
+}
+
+// selectCandidate fits the GP surrogate and returns the unmeasured
+// candidate maximizing the configured acquisition. maxEI is the best
+// Expected Improvement in objective units (+Inf for non-EI acquisitions,
+// so the EI stopping rule never fires for them).
+func (n *NaiveBO) selectCandidate(st *searchState, scaled [][]float64, remaining []int, rng *rand.Rand) (next int, score, maxEI float64, err error) {
+	xs := make([][]float64, len(st.obs))
+	ys := make([]float64, len(st.obs))
+	logSpace := !n.cfg.DisableLogObjective
+	for i, obs := range st.obs {
+		xs[i] = scaled[obs.Index]
+		if logSpace {
+			ys[i] = math.Log(obs.Value)
+		} else {
+			ys[i] = obs.Value
+		}
+	}
+	model, err := n.fitSurrogate(xs, ys)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+
+	best := st.bestVal
+	if logSpace {
+		best = math.Log(st.bestVal)
+	}
+
+	// Pass 1: posterior moments for every unmeasured candidate.
+	means := make([]float64, len(remaining))
+	variances := make([]float64, len(remaining))
+	for i, idx := range remaining {
+		mean, variance, err := model.Predict(scaled[idx])
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("core: GP prediction for %s: %w", st.target.Name(idx), err)
+		}
+		means[i] = mean
+		variances[i] = variance
+	}
+
+	// Under a time SLO, a second GP models log execution time and turns
+	// EI into constrained EI: EI x P(time <= SLO).
+	var pFeas []float64
+	if n.cfg.MaxTimeSLO > 0 {
+		pFeas, err = n.feasibilityProbs(st, scaled, remaining)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+	}
+
+	// Entropy search needs samples of the posterior minimum over the
+	// domain; the incumbent floors every sample (its value is known).
+	var minSamples []float64
+	if n.cfg.Acquisition == acquisition.EntropySearch {
+		minSamples, err = acquisition.SampleMinValues(rng, means, variances, n.cfg.MESSamples)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		for i, v := range minSamples {
+			if best < v {
+				minSamples[i] = best
+			}
+		}
+	}
+
+	// Pass 2: score candidates.
+	next = -1
+	score = math.Inf(-1)
+	for i, idx := range remaining {
+		mean, variance := means[i], variances[i]
+		var s float64
+		switch n.cfg.Acquisition {
+		case acquisition.ExpectedImprovement:
+			if pFeas != nil && !st.hasIncumbent() {
+				// No feasible incumbent yet: hunt for feasibility first.
+				s = pFeas[i]
+				break
+			}
+			s, err = acquisition.EI(mean, variance, best)
+			if err == nil && pFeas != nil {
+				s *= pFeas[i]
+			}
+		case acquisition.ProbabilityOfImprovement:
+			s, err = acquisition.PI(mean, variance, best, 0)
+		case acquisition.UpperConfidenceBound:
+			// For minimization the UCB rule picks the smallest lower
+			// confidence bound; negate so "maximize score" still applies.
+			var lcb float64
+			lcb, err = acquisition.LCB(mean, variance, n.cfg.UCBBeta)
+			s = -lcb
+		case acquisition.EntropySearch:
+			s, err = acquisition.MES(mean, variance, minSamples)
+		default:
+			return 0, 0, 0, fmt.Errorf("core: acquisition %v: %w", n.cfg.Acquisition, ErrBadConfig)
+		}
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if s > score {
+			score = s
+			next = idx
+		}
+	}
+	if n.cfg.Acquisition != acquisition.ExpectedImprovement {
+		return next, score, math.Inf(1), nil
+	}
+	if pFeas != nil && !st.hasIncumbent() {
+		// The score is a feasibility probability, not an improvement:
+		// never let the EI stopping rule fire on it.
+		return next, score, math.Inf(1), nil
+	}
+	maxEI = score
+	if logSpace {
+		// Convert the log-space improvement into objective units so the
+		// stopping rule "EI < fraction x incumbent" stays meaningful:
+		// an improvement of delta in log space shrinks the incumbent to
+		// incumbent*exp(-delta), i.e. improves it by incumbent*(1-exp(-delta)).
+		maxEI = st.bestVal * (1 - math.Exp(-maxEI))
+	}
+	return next, maxEI, maxEI, nil
+}

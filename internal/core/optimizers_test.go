@@ -1,0 +1,335 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/forest"
+	"repro/internal/kernel"
+	"repro/internal/lowlevel"
+)
+
+func TestNewNaiveBOValidation(t *testing.T) {
+	if _, err := NewNaiveBO(NaiveBOConfig{EIStopFraction: 1.5}); err == nil {
+		t.Error("EI fraction > 1 should fail")
+	}
+	nb, err := NewNaiveBO(NaiveBOConfig{Objective: MinimizeTime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.cfg.Kernel != kernel.Matern52 {
+		t.Errorf("default kernel = %v, want Matérn 5/2 (CherryPick)", nb.cfg.Kernel)
+	}
+	if nb.cfg.EIStopFraction != DefaultEIStopFraction {
+		t.Errorf("default EI stop = %v", nb.cfg.EIStopFraction)
+	}
+}
+
+func TestNewAugmentedBOValidation(t *testing.T) {
+	if _, err := NewAugmentedBO(AugmentedBOConfig{DeltaThreshold: 0.2}); err == nil {
+		t.Error("absurd delta threshold should fail")
+	}
+	ab, err := NewAugmentedBO(AugmentedBOConfig{Objective: MinimizeCost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.cfg.DeltaThreshold != DefaultDeltaThreshold {
+		t.Errorf("default delta = %v, want %v", ab.cfg.DeltaThreshold, DefaultDeltaThreshold)
+	}
+}
+
+func TestNewHybridBOValidation(t *testing.T) {
+	if _, err := NewHybridBO(HybridBOConfig{
+		Naive:       NaiveBOConfig{Objective: MinimizeTime},
+		Augmented:   AugmentedBOConfig{Objective: MinimizeCost},
+		SwitchAfter: 4,
+	}); !errors.Is(err, ErrBadConfig) {
+		t.Error("mismatched phase objectives should fail")
+	}
+	if _, err := NewHybridBO(HybridBOConfig{
+		Naive:       NaiveBOConfig{Objective: MinimizeTime},
+		Augmented:   AugmentedBOConfig{Objective: MinimizeTime},
+		SwitchAfter: 1,
+	}); !errors.Is(err, ErrBadConfig) {
+		t.Error("switch-after 1 should fail")
+	}
+}
+
+func TestOptimizerNames(t *testing.T) {
+	for want, opt := range allOptimizers(t, MinimizeTime, 1, true) {
+		if opt.Name() != want {
+			t.Errorf("Name() = %q, want %q", opt.Name(), want)
+		}
+	}
+}
+
+// steppedTarget returns a target whose value cliff correlates perfectly
+// with a low-level metric: candidates with feature[0] >= 5 are 10x worse,
+// and their MemCommit metric says so. Instance features alone (feature 1)
+// carry no signal about the cliff.
+func steppedTarget() *fakeTarget {
+	values := []float64{2, 2.2, 1.8, 2.1, 1.5, 20, 22, 21, 19, 23}
+	t := newFakeTarget(values)
+	for i := range t.metrics {
+		if values[i] > 10 {
+			t.metrics[i][lowlevel.MemCommit] = 140
+			t.metrics[i][lowlevel.IOWait] = 80
+			t.metrics[i][lowlevel.CPUUser] = 15
+		} else {
+			t.metrics[i][lowlevel.MemCommit] = 35
+			t.metrics[i][lowlevel.IOWait] = 5
+			t.metrics[i][lowlevel.CPUUser] = 85
+		}
+	}
+	return t
+}
+
+func TestAugmentedBOStopsEarlyWithDelta(t *testing.T) {
+	aug, err := NewAugmentedBO(AugmentedBOConfig{
+		Objective:      MinimizeTime,
+		DeltaThreshold: 1.1,
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := aug.Search(steppedTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.StoppedEarly {
+		t.Fatal("expected early stop on a flat-bottomed landscape")
+	}
+	if res.NumMeasurements() >= 10 {
+		t.Errorf("measured %d, expected early stop to save measurements", res.NumMeasurements())
+	}
+	if !strings.Contains(res.StopReason, "predicted") {
+		t.Errorf("stop reason %q should mention prediction", res.StopReason)
+	}
+	// The found VM should be in the good cluster.
+	if res.BestValue > 10 {
+		t.Errorf("stopped on a bad VM: %v", res.BestValue)
+	}
+}
+
+func TestNaiveBOStopsEarlyWithEI(t *testing.T) {
+	naive, err := NewNaiveBO(NaiveBOConfig{
+		Objective:      MinimizeTime,
+		EIStopFraction: 0.10,
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A perfectly flat landscape: EI collapses immediately.
+	flat := newFakeTarget([]float64{5, 5, 5, 5, 5, 5, 5, 5})
+	res, err := naive.Search(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.StoppedEarly {
+		t.Error("expected early stop on flat landscape")
+	}
+	if res.NumMeasurements() >= 8 {
+		t.Errorf("measured %d of 8 despite flat landscape", res.NumMeasurements())
+	}
+}
+
+func TestNaiveBOAllKernels(t *testing.T) {
+	for _, k := range kernel.All() {
+		t.Run(k.String(), func(t *testing.T) {
+			naive, err := NewNaiveBO(NaiveBOConfig{Objective: MinimizeTime, Kernel: k, EIStopFraction: -1, Seed: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := naive.Search(newFakeTarget(exhaustiveValues()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.BestValue != 1 {
+				t.Errorf("best = %v", res.BestValue)
+			}
+		})
+	}
+}
+
+func TestNaiveBODisableLogObjective(t *testing.T) {
+	naive, err := NewNaiveBO(NaiveBOConfig{
+		Objective:           MinimizeTime,
+		DisableLogObjective: true,
+		EIStopFraction:      -1,
+		Seed:                2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := naive.Search(newFakeTarget(exhaustiveValues()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestValue != 1 {
+		t.Errorf("best = %v", res.BestValue)
+	}
+}
+
+// TestAugmentedBOExploitsLowLevelSignal is the paper's core claim in
+// miniature: when the response cliff is invisible in the instance space
+// but perfectly flagged by the low-level metrics of measured VMs, the
+// pairwise surrogate should steer the search away from the bad cluster
+// faster than chance. We check that once two good and one bad VM are
+// measured, the next augmented pick is in the good cluster.
+func TestAugmentedBOExploitsLowLevelSignal(t *testing.T) {
+	goodPicks, trials := 0, 0
+	for seed := int64(0); seed < 20; seed++ {
+		target := steppedTarget()
+		aug, err := NewAugmentedBO(AugmentedBOConfig{
+			Objective:      MinimizeTime,
+			DeltaThreshold: -1,
+			Seed:           seed,
+			Design:         DesignConfig{Kind: DesignFixed, Fixed: []int{0, 5, 2}, NumInitial: 3},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := aug.Search(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trials++
+		if res.Observations[3].Value < 10 {
+			goodPicks++
+		}
+	}
+	if goodPicks < trials*3/4 {
+		t.Errorf("augmented BO picked a good VM after the design in only %d/%d trials", goodPicks, trials)
+	}
+}
+
+func TestAugmentedBOForestConfigRespected(t *testing.T) {
+	aug, err := NewAugmentedBO(AugmentedBOConfig{
+		Objective:      MinimizeTime,
+		DeltaThreshold: -1,
+		Forest:         forest.Config{NumTrees: 10},
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aug.Search(newFakeTarget(exhaustiveValues())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHybridSwitchAfter(t *testing.T) {
+	// With SwitchAfter = 6, the first 6 measurements must match Naive BO's
+	// choices exactly (same seed), since the hybrid runs Naive first.
+	seed := int64(9)
+	naive, err := NewNaiveBO(NaiveBOConfig{Objective: MinimizeTime, Seed: seed, EIStopFraction: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, err := NewHybridBO(HybridBOConfig{
+		Naive:       NaiveBOConfig{Objective: MinimizeTime, Seed: seed},
+		Augmented:   AugmentedBOConfig{Objective: MinimizeTime, DeltaThreshold: -1},
+		SwitchAfter: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn := newFakeTarget(exhaustiveValues())
+	if _, err := naive.Search(tn); err != nil {
+		t.Fatal(err)
+	}
+	th := newFakeTarget(exhaustiveValues())
+	if _, err := hybrid.Search(th); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if tn.measured[i] != th.measured[i] {
+			t.Fatalf("hybrid step %d = %d, naive = %d", i, th.measured[i], tn.measured[i])
+		}
+	}
+}
+
+func TestHybridResultMethodName(t *testing.T) {
+	hybrid, err := NewHybridBO(HybridBOConfig{
+		Naive:     NaiveBOConfig{Objective: MinimizeTime},
+		Augmented: AugmentedBOConfig{Objective: MinimizeTime},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hybrid.Search(newFakeTarget(exhaustiveValues()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != "hybrid-bo" {
+		t.Errorf("method = %q", res.Method)
+	}
+}
+
+func TestRandomSearchOrderVariesWithSeed(t *testing.T) {
+	order := func(seed int64) []int {
+		opt, err := NewRandomSearch(RandomSearchConfig{Objective: MinimizeTime, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := newFakeTarget(exhaustiveValues())
+		if _, err := opt.Search(target); err != nil {
+			t.Fatal(err)
+		}
+		return target.measured
+	}
+	a, b := order(1), order(2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical random order")
+	}
+}
+
+func TestPairRowLayout(t *testing.T) {
+	src := []float64{1, 2}
+	dst := []float64{3, 4}
+	var m lowlevel.Vector
+	for i := range m {
+		m[i] = float64(10 + i)
+	}
+	row := pairRow(src, m, dst)
+	wantLen := len(src) + int(lowlevel.NumMetrics) + len(dst)
+	if len(row) != wantLen {
+		t.Fatalf("row len %d, want %d", len(row), wantLen)
+	}
+	if row[0] != 1 || row[1] != 2 {
+		t.Error("source features misplaced")
+	}
+	if row[2] != 10 {
+		t.Error("metrics misplaced")
+	}
+	if row[wantLen-2] != 3 || row[wantLen-1] != 4 {
+		t.Error("destination features misplaced")
+	}
+}
+
+func TestAugmentedBONeedsTwoObservationsForPairs(t *testing.T) {
+	st, err := newSearchState(newFakeTarget(exhaustiveValues()), MinimizeTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug, err := NewAugmentedBO(AugmentedBOConfig{Objective: MinimizeTime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.measure(0, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aug.fitPairModel(st, 1); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("error = %v, want ErrBadConfig with one observation", err)
+	}
+}

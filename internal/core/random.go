@@ -1,0 +1,52 @@
+package core
+
+import (
+	"math/rand"
+)
+
+// RandomSearchConfig configures the random-search baseline.
+type RandomSearchConfig struct {
+	// Objective selects what to minimize. Required.
+	Objective Objective
+	// MaxMeasurements caps the search cost. Zero means the whole catalog.
+	MaxMeasurements int
+	// Seed drives the measurement order.
+	Seed int64
+}
+
+// RandomSearch measures candidates in a uniformly random order. It is not
+// part of the paper's comparison but calibrates how much structure the BO
+// methods actually exploit.
+type RandomSearch struct {
+	cfg RandomSearchConfig
+}
+
+// Compile-time interface check.
+var _ Optimizer = (*RandomSearch)(nil)
+
+// NewRandomSearch builds the baseline.
+func NewRandomSearch(cfg RandomSearchConfig) (*RandomSearch, error) {
+	return &RandomSearch{cfg: cfg}, nil
+}
+
+// Name implements Optimizer.
+func (r *RandomSearch) Name() string { return "random-search" }
+
+// Search implements Optimizer.
+func (r *RandomSearch) Search(target Target) (*Result, error) {
+	st, err := newSearchState(target, r.cfg.Objective)
+	if err != nil {
+		return nil, err
+	}
+	maxMeas := r.cfg.MaxMeasurements
+	if maxMeas == 0 || maxMeas > target.NumCandidates() {
+		maxMeas = target.NumCandidates()
+	}
+	rng := rand.New(rand.NewSource(r.cfg.Seed))
+	for _, idx := range rng.Perm(target.NumCandidates())[:maxMeas] {
+		if err := st.measure(idx, 0, false); err != nil {
+			return nil, err
+		}
+	}
+	return st.result(r.Name(), false, "measurement budget exhausted"), nil
+}

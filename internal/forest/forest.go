@@ -1,0 +1,340 @@
+// Package forest implements the Extra-Trees (extremely randomized trees)
+// regression ensemble that Arrow uses as its surrogate model instead of a
+// Gaussian process (Section IV-B, "Surrogate Model").
+//
+// Extra-Trees differ from random forests in two ways: each tree is grown on
+// the full training set (no bootstrap) and split thresholds are drawn
+// uniformly at random between the observed feature minimum and maximum,
+// with the best of K random (feature, threshold) candidates chosen by
+// variance reduction. This makes the model robust on the small, highly
+// non-smooth response surfaces that break GP kernels — precisely the
+// fragility the paper targets.
+package forest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrNoData is returned when fitting with no samples.
+var ErrNoData = errors.New("forest: no training data")
+
+// Config controls ensemble growth.
+type Config struct {
+	// NumTrees is the ensemble size. Zero means DefaultNumTrees.
+	NumTrees int
+	// MinSamplesSplit is the smallest node that may be split further.
+	// Zero means DefaultMinSamplesSplit.
+	MinSamplesSplit int
+	// MaxFeatures is K, the number of random split candidates per node.
+	// Zero means round(sqrt(d)) where d is the feature count.
+	MaxFeatures int
+	// MaxDepth bounds tree depth. Zero means unbounded.
+	MaxDepth int
+	// Seed seeds the (deterministic) tree randomization.
+	Seed int64
+}
+
+// Defaults for Config's zero values.
+const (
+	DefaultNumTrees        = 100
+	DefaultMinSamplesSplit = 2
+)
+
+// Regressor is a fitted Extra-Trees ensemble.
+type Regressor struct {
+	trees   []*node
+	numDims int
+}
+
+type node struct {
+	// Leaf payload.
+	leaf  bool
+	value float64
+
+	// Internal-node payload.
+	feature   int
+	threshold float64
+	left      *node
+	right     *node
+}
+
+// Fit grows the ensemble on feature rows xs and targets ys.
+func Fit(cfg Config, xs [][]float64, ys []float64) (*Regressor, error) {
+	if len(xs) == 0 {
+		return nil, ErrNoData
+	}
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("forest: %d rows but %d targets", len(xs), len(ys))
+	}
+	dims := len(xs[0])
+	if dims == 0 {
+		return nil, errors.New("forest: zero-dimensional features")
+	}
+	for i, row := range xs {
+		if len(row) != dims {
+			return nil, fmt.Errorf("forest: ragged row %d (len %d, want %d)", i, len(row), dims)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("forest: non-finite feature at row %d col %d: %v", i, j, v)
+			}
+		}
+	}
+	for i, y := range ys {
+		if math.IsNaN(y) || math.IsInf(y, 0) {
+			return nil, fmt.Errorf("forest: non-finite target at row %d: %v", i, y)
+		}
+	}
+
+	numTrees := cfg.NumTrees
+	if numTrees == 0 {
+		numTrees = DefaultNumTrees
+	}
+	minSplit := cfg.MinSamplesSplit
+	if minSplit == 0 {
+		minSplit = DefaultMinSamplesSplit
+	}
+	if minSplit < 2 {
+		return nil, fmt.Errorf("forest: MinSamplesSplit %d < 2", minSplit)
+	}
+	maxFeatures := cfg.MaxFeatures
+	if maxFeatures == 0 {
+		maxFeatures = int(math.Round(math.Sqrt(float64(dims))))
+		if maxFeatures < 1 {
+			maxFeatures = 1
+		}
+	}
+	if maxFeatures > dims {
+		maxFeatures = dims
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := grower{
+		xs:          xs,
+		ys:          ys,
+		minSplit:    minSplit,
+		maxFeatures: maxFeatures,
+		maxDepth:    cfg.MaxDepth,
+		rng:         rng,
+	}
+	trees := make([]*node, numTrees)
+	indices := make([]int, len(xs))
+	for i := range indices {
+		indices[i] = i
+	}
+	for t := range trees {
+		trees[t] = g.grow(indices, 0)
+	}
+	return &Regressor{trees: trees, numDims: dims}, nil
+}
+
+type grower struct {
+	xs          [][]float64
+	ys          []float64
+	minSplit    int
+	maxFeatures int
+	maxDepth    int
+	rng         *rand.Rand
+}
+
+func (g *grower) grow(indices []int, depth int) *node {
+	if len(indices) < g.minSplit || (g.maxDepth > 0 && depth >= g.maxDepth) || g.constantTargets(indices) {
+		return &node{leaf: true, value: g.meanTarget(indices)}
+	}
+
+	bestScore := math.Inf(-1)
+	bestFeature := -1
+	bestThreshold := 0.0
+	dims := len(g.xs[0])
+
+	// Draw K distinct candidate features (without replacement when K < d).
+	candidates := g.sampleFeatures(dims)
+	for _, f := range candidates {
+		lo, hi := g.featureRange(indices, f)
+		if hi <= lo {
+			continue // constant feature in this node
+		}
+		threshold := lo + g.rng.Float64()*(hi-lo)
+		score := g.varianceReduction(indices, f, threshold)
+		if score > bestScore {
+			bestScore = score
+			bestFeature = f
+			bestThreshold = threshold
+		}
+	}
+	if bestFeature < 0 {
+		// Every candidate feature was constant in this node.
+		return &node{leaf: true, value: g.meanTarget(indices)}
+	}
+
+	var left, right []int
+	for _, i := range indices {
+		if g.xs[i][bestFeature] <= bestThreshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return &node{leaf: true, value: g.meanTarget(indices)}
+	}
+	return &node{
+		feature:   bestFeature,
+		threshold: bestThreshold,
+		left:      g.grow(left, depth+1),
+		right:     g.grow(right, depth+1),
+	}
+}
+
+func (g *grower) sampleFeatures(dims int) []int {
+	if g.maxFeatures >= dims {
+		out := make([]int, dims)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	perm := g.rng.Perm(dims)
+	out := perm[:g.maxFeatures]
+	sort.Ints(out)
+	return out
+}
+
+func (g *grower) featureRange(indices []int, f int) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, i := range indices {
+		v := g.xs[i][f]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+func (g *grower) constantTargets(indices []int) bool {
+	first := g.ys[indices[0]]
+	for _, i := range indices[1:] {
+		if g.ys[i] != first {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *grower) meanTarget(indices []int) float64 {
+	sum := 0.0
+	for _, i := range indices {
+		sum += g.ys[i]
+	}
+	return sum / float64(len(indices))
+}
+
+// varianceReduction scores a candidate split by the decrease in
+// target variance, weighted by child sizes (a.k.a. the CART regression
+// criterion). Larger is better.
+func (g *grower) varianceReduction(indices []int, f int, threshold float64) float64 {
+	var (
+		nL, nR         float64
+		sumL, sumR     float64
+		sumSqL, sumSqR float64
+	)
+	for _, i := range indices {
+		y := g.ys[i]
+		if g.xs[i][f] <= threshold {
+			nL++
+			sumL += y
+			sumSqL += y * y
+		} else {
+			nR++
+			sumR += y
+			sumSqR += y * y
+		}
+	}
+	if nL == 0 || nR == 0 {
+		return math.Inf(-1)
+	}
+	n := nL + nR
+	total := sumL + sumR
+	totalSq := sumSqL + sumSqR
+	parentVar := totalSq/n - (total/n)*(total/n)
+	leftVar := sumSqL/nL - (sumL/nL)*(sumL/nL)
+	rightVar := sumSqR/nR - (sumR/nR)*(sumR/nR)
+	return parentVar - (nL/n)*leftVar - (nR/n)*rightVar
+}
+
+// Predict returns the ensemble mean at x.
+func (r *Regressor) Predict(x []float64) (float64, error) {
+	mean, _, err := r.PredictWithVariance(x)
+	return mean, err
+}
+
+// PredictWithVariance returns the mean and variance of the per-tree
+// predictions at x. The variance is the ensemble's (epistemic) disagreement
+// and plays the role the GP posterior variance plays for Naive BO.
+func (r *Regressor) PredictWithVariance(x []float64) (mean, variance float64, err error) {
+	if len(x) != r.numDims {
+		return 0, 0, fmt.Errorf("forest: query dim %d, want %d", len(x), r.numDims)
+	}
+	sum, sumSq := 0.0, 0.0
+	for _, t := range r.trees {
+		v := t.eval(x)
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(r.trees))
+	mean = sum / n
+	variance = sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance, nil
+}
+
+func (n *node) eval(x []float64) float64 {
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// NumTrees returns the ensemble size.
+func (r *Regressor) NumTrees() int { return len(r.trees) }
+
+// FeatureImportance returns, per feature, the fraction of internal nodes
+// across the ensemble that split on it. It is a cheap diagnostic used by
+// the study harness to report which low-level metrics the surrogate leans
+// on (Section IV-A's feature-selection discussion).
+func (r *Regressor) FeatureImportance() []float64 {
+	counts := make([]float64, r.numDims)
+	total := 0.0
+	var walk func(*node)
+	walk = func(n *node) {
+		if n == nil || n.leaf {
+			return
+		}
+		counts[n.feature]++
+		total++
+		walk(n.left)
+		walk(n.right)
+	}
+	for _, t := range r.trees {
+		walk(t)
+	}
+	if total > 0 {
+		for i := range counts {
+			counts[i] /= total
+		}
+	}
+	return counts
+}

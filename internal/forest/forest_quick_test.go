@@ -1,0 +1,82 @@
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickEnsembleMeanWithinLeafBounds: for random small datasets, the
+// ensemble prediction stays inside the convex hull of targets and the
+// variance stays non-negative.
+func TestQuickEnsembleInvariants(t *testing.T) {
+	f := func(seed int64, nRaw, dRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		d := int(dRaw%5) + 1
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([][]float64, n)
+		ys := make([]float64, n)
+		minY, maxY := math.Inf(1), math.Inf(-1)
+		for i := range xs {
+			xs[i] = make([]float64, d)
+			for j := range xs[i] {
+				xs[i][j] = rng.NormFloat64()
+			}
+			ys[i] = rng.NormFloat64() * 5
+			minY = math.Min(minY, ys[i])
+			maxY = math.Max(maxY, ys[i])
+		}
+		r, err := Fit(Config{NumTrees: 12, Seed: seed}, xs, ys)
+		if err != nil {
+			return false
+		}
+		for q := 0; q < 5; q++ {
+			x := make([]float64, d)
+			for j := range x {
+				x[j] = rng.NormFloat64() * 2
+			}
+			mean, variance, err := r.PredictWithVariance(x)
+			if err != nil {
+				return false
+			}
+			if mean < minY-1e-9 || mean > maxY+1e-9 || variance < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickImportancesSumToOne: whenever any split exists, the feature
+// importances form a distribution.
+func TestQuickImportancesSumToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([][]float64, 20)
+		ys := make([]float64, 20)
+		for i := range xs {
+			xs[i] = []float64{rng.Float64(), rng.Float64()}
+			ys[i] = xs[i][0]
+		}
+		r, err := Fit(Config{NumTrees: 10, Seed: seed}, xs, ys)
+		if err != nil {
+			return false
+		}
+		imp := r.FeatureImportance()
+		sum := 0.0
+		for _, v := range imp {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

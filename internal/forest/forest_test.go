@@ -1,0 +1,329 @@
+package forest
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitEmpty(t *testing.T) {
+	if _, err := Fit(Config{}, nil, nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("error = %v, want ErrNoData", err)
+	}
+}
+
+func TestFitLengthMismatch(t *testing.T) {
+	if _, err := Fit(Config{}, [][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+}
+
+func TestFitRaggedRows(t *testing.T) {
+	if _, err := Fit(Config{}, [][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Error("ragged rows should fail")
+	}
+}
+
+func TestFitRejectsNaN(t *testing.T) {
+	if _, err := Fit(Config{}, [][]float64{{math.NaN()}}, []float64{1}); err == nil {
+		t.Error("NaN feature should fail")
+	}
+	if _, err := Fit(Config{}, [][]float64{{1}}, []float64{math.Inf(1)}); err == nil {
+		t.Error("Inf target should fail")
+	}
+}
+
+func TestFitRejectsBadMinSamplesSplit(t *testing.T) {
+	if _, err := Fit(Config{MinSamplesSplit: 1}, [][]float64{{1}}, []float64{1}); err == nil {
+		t.Error("MinSamplesSplit=1 should fail")
+	}
+}
+
+func TestSingleSamplePredictsConstant(t *testing.T) {
+	r, err := Fit(Config{NumTrees: 10, Seed: 1}, [][]float64{{3, 4}}, []float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Predict([]float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Errorf("Predict = %v, want 7", got)
+	}
+}
+
+func TestConstantTargets(t *testing.T) {
+	xs := [][]float64{{1}, {2}, {3}, {4}}
+	ys := []float64{5, 5, 5, 5}
+	r, err := Fit(Config{NumTrees: 20, Seed: 2}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, variance, err := r.PredictWithVariance([]float64{2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean != 5 || variance != 0 {
+		t.Errorf("constant targets: mean=%v var=%v, want 5, 0", mean, variance)
+	}
+}
+
+func TestPredictDimensionMismatch(t *testing.T) {
+	r, err := Fit(Config{NumTrees: 5, Seed: 3}, [][]float64{{1, 2}}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Predict([]float64{1}); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([][]float64, 30)
+	ys := make([]float64, 30)
+	for i := range xs {
+		xs[i] = []float64{rng.Float64(), rng.Float64()}
+		ys[i] = xs[i][0]*2 + rng.NormFloat64()*0.1
+	}
+	a, err := Fit(Config{NumTrees: 25, Seed: 77}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(Config{NumTrees: 25, Seed: 77}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := []float64{rng.Float64(), rng.Float64()}
+		pa, _ := a.Predict(q)
+		pb, _ := b.Predict(q)
+		if pa != pb {
+			t.Fatalf("same seed, different predictions: %v vs %v", pa, pb)
+		}
+	}
+}
+
+// TestPredictionWithinTargetRangeProperty: tree leaves average training
+// targets, so every prediction must lie inside [min(y), max(y)].
+func TestPredictionWithinTargetRangeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(40)
+		dim := 1 + rng.Intn(5)
+		xs := make([][]float64, n)
+		ys := make([]float64, n)
+		minY, maxY := math.Inf(1), math.Inf(-1)
+		for i := range xs {
+			xs[i] = make([]float64, dim)
+			for j := range xs[i] {
+				xs[i][j] = rng.NormFloat64()
+			}
+			ys[i] = rng.NormFloat64() * 10
+			minY = math.Min(minY, ys[i])
+			maxY = math.Max(maxY, ys[i])
+		}
+		r, err := Fit(Config{NumTrees: 15, Seed: int64(trial)}, xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 10; q++ {
+			x := make([]float64, dim)
+			for j := range x {
+				x[j] = rng.NormFloat64() * 2
+			}
+			pred, err := r.Predict(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pred < minY-1e-9 || pred > maxY+1e-9 {
+				t.Fatalf("prediction %v outside target range [%v, %v]", pred, minY, maxY)
+			}
+		}
+	}
+}
+
+func TestVarianceNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([][]float64, 40)
+	ys := make([]float64, 40)
+	for i := range xs {
+		xs[i] = []float64{rng.Float64() * 4}
+		ys[i] = math.Sin(xs[i][0]) + rng.NormFloat64()*0.2
+	}
+	r, err := Fit(Config{NumTrees: 30, Seed: 12}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0.0; q < 4; q += 0.1 {
+		_, variance, err := r.PredictWithVariance([]float64{q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if variance < 0 {
+			t.Fatalf("variance %v < 0 at %v", variance, q)
+		}
+	}
+}
+
+// TestLearnsStepFunction: Extra-Trees should capture a sharp cliff — the
+// exact shape GP kernels smooth over, and the reason the paper picks trees.
+func TestLearnsStepFunction(t *testing.T) {
+	var xs [][]float64
+	var ys []float64
+	for x := 0.0; x <= 1.0; x += 0.02 {
+		xs = append(xs, []float64{x})
+		y := 1.0
+		if x > 0.6 {
+			y = 10.0
+		}
+		ys = append(ys, y)
+	}
+	r, err := Fit(Config{NumTrees: 50, Seed: 13}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := r.Predict([]float64{0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := r.Predict([]float64{0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low > 2 {
+		t.Errorf("below cliff: predicted %v, want ~1", low)
+	}
+	if high < 8 {
+		t.Errorf("above cliff: predicted %v, want ~10", high)
+	}
+}
+
+func TestLearnsInteraction(t *testing.T) {
+	// y depends on x0 only when x1 > 0.5 — requires axis splits on both.
+	rng := rand.New(rand.NewSource(14))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 400; i++ {
+		x0, x1 := rng.Float64(), rng.Float64()
+		y := 0.0
+		if x1 > 0.5 {
+			y = 5 * x0
+		}
+		xs = append(xs, []float64{x0, x1})
+		ys = append(ys, y)
+	}
+	r, err := Fit(Config{NumTrees: 60, Seed: 15, MaxFeatures: 2}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, _ := r.Predict([]float64{0.9, 0.9})
+	off, _ := r.Predict([]float64{0.9, 0.1})
+	if on < 3 {
+		t.Errorf("interaction on: %v, want ~4.5", on)
+	}
+	if off > 1.5 {
+		t.Errorf("interaction off: %v, want ~0", off)
+	}
+}
+
+func TestMaxDepthLimitsTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	xs := make([][]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i] = []float64{rng.Float64()}
+		ys[i] = rng.Float64()
+	}
+	shallow, err := Fit(Config{NumTrees: 10, Seed: 17, MaxDepth: 1}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A depth-1 tree has at most 2 leaves -> predictions take few values.
+	seen := map[float64]bool{}
+	for q := 0.0; q < 1; q += 0.01 {
+		p, _ := shallow.Predict([]float64{q})
+		seen[p] = true
+	}
+	// 10 trees x 2 leaves each -> at most 2^10 combinations, but in
+	// practice the ensemble mean over a 1-D grid takes far fewer values
+	// than an unbounded forest would; sanity-check it's collapsed.
+	if len(seen) > 40 {
+		t.Errorf("depth-1 ensemble produced %d distinct predictions", len(seen))
+	}
+}
+
+func TestNumTrees(t *testing.T) {
+	r, err := Fit(Config{NumTrees: 7, Seed: 18}, [][]float64{{1}, {2}}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumTrees() != 7 {
+		t.Errorf("NumTrees = %d", r.NumTrees())
+	}
+	rDefault, err := Fit(Config{Seed: 18}, [][]float64{{1}, {2}}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rDefault.NumTrees() != DefaultNumTrees {
+		t.Errorf("default NumTrees = %d, want %d", rDefault.NumTrees(), DefaultNumTrees)
+	}
+}
+
+func TestFeatureImportanceIdentifiesSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 300; i++ {
+		signal := rng.Float64()
+		noise := rng.Float64()
+		xs = append(xs, []float64{signal, noise})
+		ys = append(ys, signal*10)
+	}
+	r, err := Fit(Config{NumTrees: 40, Seed: 20, MaxFeatures: 2}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := r.FeatureImportance()
+	if len(imp) != 2 {
+		t.Fatalf("importance len %d", len(imp))
+	}
+	if imp[0] <= imp[1] {
+		t.Errorf("signal feature importance %v should exceed noise %v", imp[0], imp[1])
+	}
+	if sum := imp[0] + imp[1]; math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importances sum to %v", sum)
+	}
+}
+
+func TestFitAccuracyOnSmoothFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var xs [][]float64
+	var ys []float64
+	f := func(x0, x1 float64) float64 { return 3*x0 - 2*x1 + x0*x1 }
+	for i := 0; i < 500; i++ {
+		x0, x1 := rng.Float64(), rng.Float64()
+		xs = append(xs, []float64{x0, x1})
+		ys = append(ys, f(x0, x1))
+	}
+	r, err := Fit(Config{NumTrees: 80, Seed: 22, MaxFeatures: 2}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sse, n float64
+	for i := 0; i < 100; i++ {
+		x0, x1 := rng.Float64(), rng.Float64()
+		pred, err := r.Predict([]float64{x0, x1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := pred - f(x0, x1)
+		sse += d * d
+		n++
+	}
+	if rmse := math.Sqrt(sse / n); rmse > 0.25 {
+		t.Errorf("RMSE %v too high on smooth function", rmse)
+	}
+}

@@ -1,0 +1,142 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// anisotropicData generates y = f(x0) with x1 pure noise: an ARD fit
+// should discover that dimension 1 is irrelevant.
+func anisotropicData(n int, seed int64) (xs [][]float64, ys []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		x0 := rng.Float64()
+		x1 := rng.Float64()
+		xs = append(xs, []float64{x0, x1})
+		ys = append(ys, math.Sin(4*x0))
+	}
+	return xs, ys
+}
+
+func TestARDImprovesLogML(t *testing.T) {
+	xs, ys := anisotropicData(25, 1)
+	iso, err := Fit(Config{Kernel: kernel.Matern52}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ard, err := Fit(Config{Kernel: kernel.Matern52, ARD: true}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ard.LogMarginalLikelihood() < iso.LogMarginalLikelihood() {
+		t.Errorf("ARD logML %.3f below isotropic %.3f — coordinate ascent must not regress",
+			ard.LogMarginalLikelihood(), iso.LogMarginalLikelihood())
+	}
+}
+
+func TestARDDiscoversIrrelevantDimension(t *testing.T) {
+	xs, ys := anisotropicData(30, 2)
+	ard, err := Fit(Config{Kernel: kernel.Matern52, ARD: true}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scales := ard.ARDScales()
+	if scales == nil {
+		// ARD may keep the isotropic fit when it already maximizes the
+		// marginal likelihood; for this data it should not.
+		t.Fatal("ARD fit kept the isotropic kernel")
+	}
+	if scales[1] <= scales[0] {
+		t.Errorf("irrelevant dimension scale %.3f should exceed signal dimension %.3f", scales[1], scales[0])
+	}
+}
+
+func TestARDImprovesHeldOutPrediction(t *testing.T) {
+	xs, ys := anisotropicData(30, 3)
+	iso, err := Fit(Config{Kernel: kernel.Matern52}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ard, err := Fit(Config{Kernel: kernel.Matern52, ARD: true}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	var sseIso, sseARD float64
+	for i := 0; i < 60; i++ {
+		x0, x1 := rng.Float64(), rng.Float64()
+		want := math.Sin(4 * x0)
+		mi, _, err := iso.Predict([]float64{x0, x1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ma, _, err := ard.Predict([]float64{x0, x1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sseIso += (mi - want) * (mi - want)
+		sseARD += (ma - want) * (ma - want)
+	}
+	// ARD should not be materially worse; usually it is clearly better.
+	if sseARD > sseIso*1.2 {
+		t.Errorf("ARD SSE %.4f much worse than isotropic %.4f", sseARD, sseIso)
+	}
+}
+
+func TestARDSingleDimensionIsNoop(t *testing.T) {
+	xs := [][]float64{{0}, {0.5}, {1}}
+	ys := []float64{1, 2, 3}
+	g, err := Fit(Config{Kernel: kernel.RBF, ARD: true}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.ARDScales() != nil {
+		t.Error("1-D ARD should fall back to isotropic")
+	}
+}
+
+func TestNewARDValidation(t *testing.T) {
+	if _, err := kernel.NewARD(kernel.RBF, nil, 1); err == nil {
+		t.Error("empty scales should fail")
+	}
+	if _, err := kernel.NewARD(kernel.RBF, []float64{1, -1}, 1); err == nil {
+		t.Error("negative scale should fail")
+	}
+	if _, err := kernel.NewARD(kernel.Kind(0), []float64{1}, 1); err == nil {
+		t.Error("bad kind should fail")
+	}
+}
+
+func TestARDKernelDimMismatch(t *testing.T) {
+	k, err := kernel.NewARD(kernel.RBF, []float64{1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Eval([]float64{1}, []float64{2}); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+}
+
+func TestARDKernelAnisotropy(t *testing.T) {
+	// With a long scale on dim 1, movement along dim 1 decays correlation
+	// far less than equal movement along dim 0.
+	k, err := kernel.NewARD(kernel.Matern52, []float64{0.5, 5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := []float64{0, 0}
+	alongFast, err := k.Eval(origin, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alongSlow, err := k.Eval(origin, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alongSlow <= alongFast {
+		t.Errorf("long-scale dimension should retain more correlation: %v vs %v", alongSlow, alongFast)
+	}
+}

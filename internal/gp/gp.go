@@ -1,0 +1,350 @@
+// Package gp implements Gaussian-process regression, the surrogate model of
+// Naive BO (CherryPick, Section III of the paper).
+//
+// The regressor standardizes its targets, factors the jittered kernel Gram
+// matrix with a Cholesky decomposition, and exposes the posterior mean and
+// variance at arbitrary points. Hyperparameters (length scale, signal
+// variance, noise variance) are selected by maximizing the log marginal
+// likelihood over a small grid, mirroring the "automatic model selection"
+// practice the paper cites; the kernel family itself remains a caller
+// choice because that choice is exactly what Figure 7 studies.
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/kernel"
+	"repro/internal/mat"
+)
+
+// ErrNoData is returned when fitting with no observations.
+var ErrNoData = errors.New("gp: no training data")
+
+// Config controls a GP fit.
+type Config struct {
+	// Kernel selects the covariance family. Zero value is invalid; use
+	// kernel.Matern52 for the CherryPick default.
+	Kernel kernel.Kind
+
+	// LengthScales is the grid of candidate length scales. Empty means
+	// DefaultLengthScales. Features are expected to be min-max scaled to
+	// [0,1] by the caller, so scales around 0.1–2 cover the useful range.
+	LengthScales []float64
+
+	// NoiseVars is the grid of candidate noise variances relative to unit
+	// target variance. Empty means DefaultNoiseVars.
+	NoiseVars []float64
+
+	// FixedLengthScale skips the grid search and uses exactly this scale
+	// (with unit signal variance and the first noise candidate). Zero
+	// means "search the grid".
+	FixedLengthScale float64
+
+	// ARD turns on automatic relevance determination: after the isotropic
+	// grid fit, per-dimension length scales are refined by coordinate
+	// ascent on the log marginal likelihood. Dimensions that do not
+	// matter get long scales and stop influencing the posterior.
+	ARD bool
+	// ARDPasses is the number of coordinate-ascent sweeps (zero means
+	// DefaultARDPasses).
+	ARDPasses int
+}
+
+// DefaultARDPasses is the coordinate-ascent sweep count for ARD.
+const DefaultARDPasses = 2
+
+// ardMultipliers is the per-dimension scale grid, relative to the
+// isotropic optimum.
+func ardMultipliers() []float64 {
+	return []float64{0.25, 0.5, 1, 2, 4, 8}
+}
+
+// DefaultLengthScales is the length-scale grid used when Config leaves it
+// empty.
+func DefaultLengthScales() []float64 {
+	return []float64{0.1, 0.2, 0.35, 0.5, 0.75, 1, 1.5, 2.5}
+}
+
+// DefaultNoiseVars is the noise grid used when Config leaves it empty.
+func DefaultNoiseVars() []float64 {
+	return []float64{1e-4, 1e-3, 1e-2, 5e-2}
+}
+
+// GP is a fitted Gaussian-process regressor.
+type GP struct {
+	kern    *kernel.Kernel
+	x       [][]float64
+	alpha   []float64 // (K + sigma_n^2 I)^{-1} (y - mean), in standardized units
+	chol    *mat.Cholesky
+	yMean   float64
+	yStd    float64
+	noise   float64
+	logML   float64
+	numObs  int
+	numDims int
+}
+
+// Fit trains a GP on xs (feature rows, ideally scaled to [0,1]) and targets
+// ys. It searches the configured hyperparameter grid and keeps the fit with
+// the highest log marginal likelihood.
+func Fit(cfg Config, xs [][]float64, ys []float64) (*GP, error) {
+	if len(xs) == 0 {
+		return nil, ErrNoData
+	}
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("gp: %d rows but %d targets: %w", len(xs), len(ys), mat.ErrShape)
+	}
+	dims := len(xs[0])
+	for i, row := range xs {
+		if len(row) != dims {
+			return nil, fmt.Errorf("gp: ragged row %d: %w", i, mat.ErrShape)
+		}
+	}
+
+	yMean, yStd := standardizeParams(ys)
+	standardized := make([]float64, len(ys))
+	for i, y := range ys {
+		standardized[i] = (y - yMean) / yStd
+	}
+
+	scales := cfg.LengthScales
+	if cfg.FixedLengthScale > 0 {
+		scales = []float64{cfg.FixedLengthScale}
+	} else if len(scales) == 0 {
+		scales = DefaultLengthScales()
+	}
+	noises := cfg.NoiseVars
+	if len(noises) == 0 {
+		noises = DefaultNoiseVars()
+	}
+	if cfg.FixedLengthScale > 0 {
+		noises = noises[:1]
+	}
+
+	var best *GP
+	for _, ls := range scales {
+		for _, nv := range noises {
+			cand, err := fitOnce(cfg.Kernel, ls, nv, xs, standardized)
+			if err != nil {
+				// A non-SPD Gram matrix at this hyperparameter is expected
+				// occasionally (duplicate points, tiny noise); skip it.
+				if errors.Is(err, mat.ErrNotSPD) {
+					continue
+				}
+				return nil, err
+			}
+			if best == nil || cand.logML > best.logML {
+				best = cand
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("gp: no hyperparameter candidate produced an SPD kernel matrix: %w", mat.ErrNotSPD)
+	}
+	if cfg.ARD && dims > 1 {
+		refined, err := refineARD(cfg, best, xs, standardized)
+		if err != nil {
+			return nil, err
+		}
+		best = refined
+	}
+	best.yMean = yMean
+	best.yStd = yStd
+	return best, nil
+}
+
+// refineARD runs coordinate ascent over per-dimension length scales,
+// starting from the isotropic optimum and keeping its noise level.
+func refineARD(cfg Config, isotropic *GP, xs [][]float64, ys []float64) (*GP, error) {
+	dims := len(xs[0])
+	base := isotropic.kern.LengthScale
+	noise := isotropic.noise
+	scales := make([]float64, dims)
+	for i := range scales {
+		scales[i] = base
+	}
+	best := isotropic
+	passes := cfg.ARDPasses
+	if passes == 0 {
+		passes = DefaultARDPasses
+	}
+	for pass := 0; pass < passes; pass++ {
+		improved := false
+		for dim := 0; dim < dims; dim++ {
+			bestScale := scales[dim]
+			for _, mult := range ardMultipliers() {
+				candidate := base * mult
+				if candidate == scales[dim] {
+					continue
+				}
+				trial := append([]float64(nil), scales...)
+				trial[dim] = candidate
+				kern, err := kernel.NewARD(cfg.Kernel, trial, 1.0)
+				if err != nil {
+					return nil, err
+				}
+				model, err := fitKernel(kern, noise, xs, ys)
+				if err != nil {
+					if errors.Is(err, mat.ErrNotSPD) {
+						continue
+					}
+					return nil, err
+				}
+				if model.logML > best.logML {
+					best = model
+					bestScale = candidate
+					improved = true
+				}
+			}
+			scales[dim] = bestScale
+		}
+		if !improved {
+			break
+		}
+	}
+	return best, nil
+}
+
+// standardizeParams returns the mean and a safe (non-zero) standard
+// deviation of ys.
+func standardizeParams(ys []float64) (mean, std float64) {
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	for _, y := range ys {
+		d := y - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(ys)))
+	if std < 1e-12 {
+		std = 1 // constant targets: predict the constant with unit scale
+	}
+	return mean, std
+}
+
+func fitOnce(kind kernel.Kind, lengthScale, noiseVar float64, xs [][]float64, ys []float64) (*GP, error) {
+	kern, err := kernel.New(kind, lengthScale, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	return fitKernel(kern, noiseVar, xs, ys)
+}
+
+// fitKernel factors the jittered Gram matrix of an arbitrary (possibly
+// ARD) kernel and assembles the fitted GP in standardized-target units.
+func fitKernel(kern *kernel.Kernel, noiseVar float64, xs [][]float64, ys []float64) (*GP, error) {
+	n := len(xs)
+	gram, err := kern.Gram(xs)
+	if err != nil {
+		return nil, err
+	}
+	k := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := gram[i][j]
+			if i == j {
+				v += noiseVar + jitter
+			}
+			k.Set(i, j, v)
+		}
+	}
+	chol, err := mat.NewCholesky(k)
+	if err != nil {
+		return nil, err
+	}
+	alpha, err := chol.SolveVec(ys)
+	if err != nil {
+		return nil, err
+	}
+	// log p(y|X) = -1/2 yᵀ alpha - 1/2 log|K| - n/2 log(2 pi)
+	yAlpha, err := mat.Dot(ys, alpha)
+	if err != nil {
+		return nil, err
+	}
+	logML := -0.5*yAlpha - 0.5*chol.LogDet() - 0.5*float64(n)*math.Log(2*math.Pi)
+
+	xcopy := make([][]float64, n)
+	for i, row := range xs {
+		xcopy[i] = append([]float64(nil), row...)
+	}
+	return &GP{
+		kern:    kern,
+		x:       xcopy,
+		alpha:   alpha,
+		chol:    chol,
+		yStd:    1,
+		noise:   noiseVar,
+		logML:   logML,
+		numObs:  n,
+		numDims: len(xs[0]),
+	}, nil
+}
+
+// jitter is added to the Gram diagonal for numerical stability.
+const jitter = 1e-8
+
+// Predict returns the posterior mean and variance at x, in the original
+// (unstandardized) target units. The variance includes the kernel posterior
+// only (not the observation noise), matching the convention acquisition
+// functions expect.
+func (g *GP) Predict(x []float64) (mean, variance float64, err error) {
+	if len(x) != g.numDims {
+		return 0, 0, fmt.Errorf("gp: query dim %d, want %d: %w", len(x), g.numDims, mat.ErrShape)
+	}
+	kStar := make([]float64, g.numObs)
+	for i, xi := range g.x {
+		v, err := g.kern.Eval(x, xi)
+		if err != nil {
+			return 0, 0, err
+		}
+		kStar[i] = v
+	}
+	mu, err := mat.Dot(kStar, g.alpha)
+	if err != nil {
+		return 0, 0, err
+	}
+	// var = k(x,x) - k*ᵀ (K + sigma^2 I)^{-1} k*, computed via the Cholesky
+	// factor: solve L v = k*, var = k(x,x) - vᵀv.
+	v, err := mat.ForwardSolve(g.chol.L(), kStar)
+	if err != nil {
+		return 0, 0, err
+	}
+	selfCov, err := g.kern.Eval(x, x)
+	if err != nil {
+		return 0, 0, err
+	}
+	vv, err := mat.Dot(v, v)
+	if err != nil {
+		return 0, 0, err
+	}
+	sigma2 := selfCov - vv
+	if sigma2 < 0 {
+		sigma2 = 0 // clamp tiny negative round-off
+	}
+	return g.yMean + g.yStd*mu, g.yStd * g.yStd * sigma2, nil
+}
+
+// LogMarginalLikelihood returns the (standardized-target) log marginal
+// likelihood of the selected hyperparameters.
+func (g *GP) LogMarginalLikelihood() float64 { return g.logML }
+
+// LengthScale returns the selected length scale.
+func (g *GP) LengthScale() float64 { return g.kern.LengthScale }
+
+// ARDScales returns the per-dimension length scales of an ARD fit, or nil
+// for an isotropic fit. Longer scale means the dimension matters less.
+func (g *GP) ARDScales() []float64 {
+	if g.kern.ARDScales == nil {
+		return nil
+	}
+	return append([]float64(nil), g.kern.ARDScales...)
+}
+
+// NoiseVariance returns the selected relative noise variance.
+func (g *GP) NoiseVariance() float64 { return g.noise }
+
+// NumObservations returns the training-set size.
+func (g *GP) NumObservations() int { return g.numObs }

@@ -1,0 +1,273 @@
+package gp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+func fitSimple(t *testing.T, xs [][]float64, ys []float64) *GP {
+	t.Helper()
+	g, err := Fit(Config{Kernel: kernel.Matern52}, xs, ys)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	return g
+}
+
+func TestFitEmpty(t *testing.T) {
+	if _, err := Fit(Config{Kernel: kernel.RBF}, nil, nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("error = %v, want ErrNoData", err)
+	}
+}
+
+func TestFitLengthMismatch(t *testing.T) {
+	if _, err := Fit(Config{Kernel: kernel.RBF}, [][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+}
+
+func TestFitRaggedRows(t *testing.T) {
+	if _, err := Fit(Config{Kernel: kernel.RBF}, [][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("ragged rows should fail")
+	}
+}
+
+func TestPosteriorInterpolatesTrainingPoints(t *testing.T) {
+	xs := [][]float64{{0}, {0.25}, {0.5}, {0.75}, {1}}
+	ys := []float64{1, 2, 0.5, 3, 2.5}
+	g := fitSimple(t, xs, ys)
+	for i, x := range xs {
+		mean, _, err := g.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mean-ys[i]) > 0.35 {
+			t.Errorf("posterior at training point %d = %v, want near %v", i, mean, ys[i])
+		}
+	}
+}
+
+func TestPosteriorVarianceSmallerAtTrainingPoints(t *testing.T) {
+	xs := [][]float64{{0}, {0.5}, {1}}
+	ys := []float64{1, 2, 3}
+	g := fitSimple(t, xs, ys)
+	_, varAtTrain, err := g.Predict([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, varAway, err := g.Predict([]float64{0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if varAtTrain >= varAway {
+		t.Errorf("variance at training point (%v) should be below variance away (%v)", varAtTrain, varAway)
+	}
+}
+
+func TestPosteriorVarianceNonNegativeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(10)
+		dim := 1 + rng.Intn(3)
+		xs := make([][]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = make([]float64, dim)
+			for j := range xs[i] {
+				xs[i][j] = rng.Float64()
+			}
+			ys[i] = rng.NormFloat64()
+		}
+		g, err := Fit(Config{Kernel: kernel.Matern32}, xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 20; q++ {
+			x := make([]float64, dim)
+			for j := range x {
+				x[j] = rng.Float64() * 1.5
+			}
+			_, variance, err := g.Predict(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if variance < 0 || math.IsNaN(variance) {
+				t.Fatalf("variance = %v", variance)
+			}
+		}
+	}
+}
+
+func TestPredictDimensionMismatch(t *testing.T) {
+	g := fitSimple(t, [][]float64{{0, 0}, {1, 1}}, []float64{1, 2})
+	if _, _, err := g.Predict([]float64{0}); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+}
+
+func TestConstantTargets(t *testing.T) {
+	xs := [][]float64{{0}, {0.5}, {1}}
+	ys := []float64{5, 5, 5}
+	g := fitSimple(t, xs, ys)
+	mean, _, err := g.Predict([]float64{0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-5) > 0.2 {
+		t.Errorf("constant-target posterior = %v, want ~5", mean)
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	g := fitSimple(t, [][]float64{{0.5}}, []float64{7})
+	mean, _, err := g.Predict([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-7) > 0.5 {
+		t.Errorf("single-point posterior = %v, want ~7", mean)
+	}
+}
+
+func TestDuplicateInputsDoNotBreakFit(t *testing.T) {
+	xs := [][]float64{{0.5}, {0.5}, {1}}
+	ys := []float64{1, 1.05, 3}
+	g, err := Fit(Config{Kernel: kernel.RBF}, xs, ys)
+	if err != nil {
+		t.Fatalf("duplicate inputs should be handled by noise/jitter: %v", err)
+	}
+	if g.NumObservations() != 3 {
+		t.Errorf("NumObservations = %d", g.NumObservations())
+	}
+}
+
+func TestHyperparameterSelectionPrefersSmoothFit(t *testing.T) {
+	// Data from a smooth function: the selected length scale should not be
+	// the smallest candidate (which would imply white-noise-like fit).
+	xs := make([][]float64, 9)
+	ys := make([]float64, 9)
+	for i := range xs {
+		x := float64(i) / 8
+		xs[i] = []float64{x}
+		ys[i] = math.Sin(2 * x)
+	}
+	g := fitSimple(t, xs, ys)
+	if g.LengthScale() <= DefaultLengthScales()[0] {
+		t.Errorf("selected length scale %v suspiciously small for smooth data", g.LengthScale())
+	}
+}
+
+func TestFixedLengthScaleSkipsGrid(t *testing.T) {
+	xs := [][]float64{{0}, {1}}
+	ys := []float64{1, 2}
+	g, err := Fit(Config{Kernel: kernel.RBF, FixedLengthScale: 0.42}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.LengthScale() != 0.42 {
+		t.Errorf("LengthScale = %v, want fixed 0.42", g.LengthScale())
+	}
+}
+
+func TestLogMarginalLikelihoodFinite(t *testing.T) {
+	g := fitSimple(t, [][]float64{{0}, {0.4}, {0.9}}, []float64{1, 1.5, 0.5})
+	if lml := g.LogMarginalLikelihood(); math.IsNaN(lml) || math.IsInf(lml, 0) {
+		t.Errorf("log ML = %v", lml)
+	}
+	if g.NoiseVariance() <= 0 {
+		t.Errorf("noise variance = %v", g.NoiseVariance())
+	}
+}
+
+func TestAllKernelsFit(t *testing.T) {
+	xs := [][]float64{{0}, {0.3}, {0.7}, {1}}
+	ys := []float64{1, 3, 2, 4}
+	for _, kind := range kernel.All() {
+		t.Run(kind.String(), func(t *testing.T) {
+			g, err := Fit(Config{Kernel: kind}, xs, ys)
+			if err != nil {
+				t.Fatalf("Fit with %v: %v", kind, err)
+			}
+			mean, variance, err := g.Predict([]float64{0.5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.IsNaN(mean) || variance < 0 {
+				t.Errorf("prediction mean=%v var=%v", mean, variance)
+			}
+		})
+	}
+}
+
+func TestInvalidKernelKind(t *testing.T) {
+	if _, err := Fit(Config{}, [][]float64{{0}}, []float64{1}); err == nil {
+		t.Error("zero kernel kind should fail")
+	}
+}
+
+// TestPredictionsImproveWithData is the property BO relies on: with more
+// observations of a deterministic function the posterior mean error at a
+// held-out point shrinks.
+func TestPredictionsImproveWithData(t *testing.T) {
+	f := func(x float64) float64 { return 2*x*x + 1 }
+	query := []float64{0.55}
+	want := f(0.55)
+
+	errAt := func(n int) float64 {
+		xs := make([][]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x := float64(i) / float64(n-1)
+			xs[i] = []float64{x}
+			ys[i] = f(x)
+		}
+		g, err := Fit(Config{Kernel: kernel.Matern52}, xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean, _, err := g.Predict(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(mean - want)
+	}
+
+	coarse := errAt(3)
+	fine := errAt(12)
+	if fine > coarse {
+		t.Errorf("error grew with data: 3 pts -> %v, 12 pts -> %v", coarse, fine)
+	}
+	if fine > 0.1 {
+		t.Errorf("12-point fit error %v too large", fine)
+	}
+}
+
+func TestCustomGrids(t *testing.T) {
+	xs := [][]float64{{0}, {0.5}, {1}}
+	ys := []float64{1, 2, 3}
+	g, err := Fit(Config{
+		Kernel:       kernel.RBF,
+		LengthScales: []float64{0.3},
+		NoiseVars:    []float64{1e-3},
+	}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.LengthScale() != 0.3 {
+		t.Errorf("LengthScale = %v, want the only candidate 0.3", g.LengthScale())
+	}
+	if g.NoiseVariance() != 1e-3 {
+		t.Errorf("NoiseVariance = %v", g.NoiseVariance())
+	}
+}
+
+func TestARDScalesNilForIsotropic(t *testing.T) {
+	g := fitSimple(t, [][]float64{{0, 0}, {1, 1}}, []float64{1, 2})
+	if g.ARDScales() != nil {
+		t.Error("isotropic fit should have nil ARD scales")
+	}
+}

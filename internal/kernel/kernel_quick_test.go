@@ -1,0 +1,82 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// point3 clamps arbitrary float inputs into a well-behaved 3-d point.
+func point3(a, b, c float64) []float64 {
+	clamp := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return math.Mod(v, 100)
+	}
+	return []float64{clamp(a), clamp(b), clamp(c)}
+}
+
+// TestQuickKernelBounds: for every kernel and any pair of points,
+// 0 <= k(a,b) <= k(a,a) = variance.
+func TestQuickKernelBounds(t *testing.T) {
+	for _, kind := range All() {
+		k, err := New(kind, 1.3, 2.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := func(a1, a2, a3, b1, b2, b3 float64) bool {
+			a := point3(a1, a2, a3)
+			b := point3(b1, b2, b3)
+			v, err := k.Eval(a, b)
+			if err != nil {
+				return false
+			}
+			return v >= 0 && v <= 2.0+1e-12
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%v: %v", kind, err)
+		}
+	}
+}
+
+// TestQuickKernelSymmetry: k(a,b) == k(b,a) for arbitrary points.
+func TestQuickKernelSymmetry(t *testing.T) {
+	for _, kind := range All() {
+		k, err := New(kind, 0.8, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := func(a1, a2, a3, b1, b2, b3 float64) bool {
+			a := point3(a1, a2, a3)
+			b := point3(b1, b2, b3)
+			ab, err1 := k.Eval(a, b)
+			ba, err2 := k.Eval(b, a)
+			return err1 == nil && err2 == nil && ab == ba
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%v: %v", kind, err)
+		}
+	}
+}
+
+// TestQuickKernelTriangleLike: correlation with itself dominates any other
+// pairing — k(a,a) >= k(a,b).
+func TestQuickKernelSelfDominates(t *testing.T) {
+	for _, kind := range All() {
+		k, err := New(kind, 2.2, 1.7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := func(a1, a2, a3, b1, b2, b3 float64) bool {
+			a := point3(a1, a2, a3)
+			b := point3(b1, b2, b3)
+			self, err1 := k.Eval(a, a)
+			cross, err2 := k.Eval(a, b)
+			return err1 == nil && err2 == nil && self >= cross-1e-12
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%v: %v", kind, err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package lowlevel defines the low-level performance-metric vector that
+// Arrow collects from each measured VM (Section IV-A of the paper) and
+// that the simulator emits. Keeping the definition in one place guarantees
+// the simulator, the surrogate model, and the reporting code agree on the
+// metric order.
+//
+// The paper's effective metric set, gathered by a sysstat daemon during the
+// run, covers three concerns:
+//
+//   - workload progress: CPU utilization on user time, I/O wait time, and
+//     the number of tasks in the task list;
+//   - memory pressure: % of commits in memory;
+//   - I/O pressure: disk utilization and disk wait time.
+package lowlevel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Metric indexes one entry of a Vector.
+type Metric int
+
+// The metric indices, in the canonical order used by Vector.
+const (
+	CPUUser   Metric = iota // %user: CPU utilization in user mode, 0-100
+	IOWait                  // %iowait: CPU time waiting on I/O, 0-100
+	TaskCount               // tasks in the run queue / task list (count)
+	MemCommit               // %commit: committed memory vs. RAM, can exceed 100
+	DiskUtil                // %util: device bandwidth utilization, 0-100
+	DiskAwait               // await: average I/O service time, milliseconds
+
+	// NumMetrics is the vector length; keep it last.
+	NumMetrics
+)
+
+// String returns the sysstat-style name of the metric.
+func (m Metric) String() string {
+	switch m {
+	case CPUUser:
+		return "%user"
+	case IOWait:
+		return "%iowait"
+	case TaskCount:
+		return "task-list"
+	case MemCommit:
+		return "%commit"
+	case DiskUtil:
+		return "%util"
+	case DiskAwait:
+		return "await-ms"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Names returns the metric names in canonical order, for report headers.
+func Names() []string {
+	names := make([]string, NumMetrics)
+	for m := Metric(0); m < NumMetrics; m++ {
+		names[m] = m.String()
+	}
+	return names
+}
+
+// Vector is one VM's low-level measurement, indexed by Metric.
+type Vector [NumMetrics]float64
+
+// ErrInvalid reports a malformed metric vector.
+var ErrInvalid = errors.New("lowlevel: invalid metric vector")
+
+// Validate checks ranges: percentages non-negative (commit may exceed 100
+// under overcommit), counts and latencies non-negative, everything finite.
+func (v Vector) Validate() error {
+	for m := Metric(0); m < NumMetrics; m++ {
+		x := v[m]
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("lowlevel: %s is %v: %w", m, x, ErrInvalid)
+		}
+		if x < 0 {
+			return fmt.Errorf("lowlevel: %s is negative (%v): %w", m, x, ErrInvalid)
+		}
+	}
+	for _, m := range []Metric{CPUUser, IOWait, DiskUtil} {
+		if v[m] > 100+1e-9 {
+			return fmt.Errorf("lowlevel: %s exceeds 100%% (%v): %w", m, v[m], ErrInvalid)
+		}
+	}
+	return nil
+}
+
+// Slice returns the vector as a fresh []float64 in canonical order, ready
+// to be appended to a surrogate feature row.
+func (v Vector) Slice() []float64 {
+	out := make([]float64, NumMetrics)
+	copy(out, v[:])
+	return out
+}
+
+// FromSlice converts a canonical-order slice back into a Vector.
+func FromSlice(xs []float64) (Vector, error) {
+	var v Vector
+	if len(xs) != int(NumMetrics) {
+		return v, fmt.Errorf("lowlevel: slice len %d, want %d: %w", len(xs), NumMetrics, ErrInvalid)
+	}
+	copy(v[:], xs)
+	return v, v.Validate()
+}

@@ -1,0 +1,121 @@
+package lowlevel
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNamesMatchMetrics(t *testing.T) {
+	names := Names()
+	if len(names) != int(NumMetrics) {
+		t.Fatalf("Names() has %d entries, want %d", len(names), NumMetrics)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "" || seen[n] {
+			t.Errorf("bad or duplicate metric name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	tests := []struct {
+		m    Metric
+		want string
+	}{
+		{CPUUser, "%user"},
+		{IOWait, "%iowait"},
+		{TaskCount, "task-list"},
+		{MemCommit, "%commit"},
+		{DiskUtil, "%util"},
+		{DiskAwait, "await-ms"},
+	}
+	for _, tt := range tests {
+		if got := tt.m.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", tt.m, got, tt.want)
+		}
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	var v Vector
+	v[CPUUser] = 80
+	v[IOWait] = 20
+	v[TaskCount] = 12
+	v[MemCommit] = 140 // overcommit beyond 100% is legal
+	v[DiskUtil] = 99
+	v[DiskAwait] = 12.5
+	if err := v.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mk := func(m Metric, val float64) Vector {
+		var v Vector
+		v[m] = val
+		return v
+	}
+	tests := []struct {
+		name string
+		v    Vector
+	}{
+		{"NaN", mk(CPUUser, math.NaN())},
+		{"Inf", mk(DiskAwait, math.Inf(1))},
+		{"negative", mk(IOWait, -1)},
+		{"cpu over 100", mk(CPUUser, 101)},
+		{"iowait over 100", mk(IOWait, 120)},
+		{"disk util over 100", mk(DiskUtil, 150)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.v.Validate(); !errors.Is(err, ErrInvalid) {
+				t.Errorf("Validate = %v, want ErrInvalid", err)
+			}
+		})
+	}
+}
+
+func TestSliceRoundTrip(t *testing.T) {
+	var v Vector
+	for m := Metric(0); m < NumMetrics; m++ {
+		v[m] = float64(m) + 1
+	}
+	s := v.Slice()
+	if len(s) != int(NumMetrics) {
+		t.Fatalf("Slice len %d", len(s))
+	}
+	back, err := FromSlice(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != v {
+		t.Errorf("round trip: %v vs %v", back, v)
+	}
+}
+
+func TestSliceIsCopy(t *testing.T) {
+	var v Vector
+	v[CPUUser] = 5
+	s := v.Slice()
+	s[0] = 99
+	if v[CPUUser] != 5 {
+		t.Error("Slice aliases vector")
+	}
+}
+
+func TestFromSliceWrongLength(t *testing.T) {
+	if _, err := FromSlice([]float64{1, 2}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("error = %v, want ErrInvalid", err)
+	}
+}
+
+func TestFromSliceValidates(t *testing.T) {
+	s := make([]float64, NumMetrics)
+	s[0] = -5
+	if _, err := FromSlice(s); !errors.Is(err, ErrInvalid) {
+		t.Errorf("error = %v, want ErrInvalid", err)
+	}
+}

@@ -1,0 +1,282 @@
+// Package mat implements the small dense linear-algebra kernel needed by
+// the Gaussian-process surrogate: column-major-free row-major matrices,
+// Cholesky factorization of symmetric positive-definite matrices, and
+// triangular solves.
+//
+// The GP in this repository never factors anything larger than the VM
+// catalog (18x18 plus jitter), so the implementation favors clarity and
+// numerical robustness over blocked performance.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrShape reports incompatible matrix dimensions.
+var ErrShape = errors.New("mat: dimension mismatch")
+
+// ErrNotSPD reports that a Cholesky factorization failed because the input
+// matrix is not (numerically) symmetric positive definite.
+var ErrNotSPD = errors.New("mat: matrix is not positive definite")
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense returns a zeroed rows x cols matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: non-positive dimensions %dx%d", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// NewDenseFrom builds a matrix from a slice of equal-length rows, copying
+// the data.
+func NewDenseFrom(rows [][]float64) (*Dense, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("mat: empty input: %w", ErrShape)
+	}
+	m := NewDense(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			return nil, fmt.Errorf("mat: ragged row %d (len %d, want %d): %w", i, len(r), m.cols, ErrShape)
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m, nil
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns the element at (i, j).
+func (m *Dense) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at (i, j).
+func (m *Dense) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Dense) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of bounds %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// Row returns a copy of row i.
+func (m *Dense) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: row %d out of bounds %d", i, m.rows))
+	}
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// MulVec returns m * x for a vector x of length Cols().
+func (m *Dense) MulVec(x []float64) ([]float64, error) {
+	if len(x) != m.cols {
+		return nil, fmt.Errorf("mat: MulVec len %d, want %d: %w", len(x), m.cols, ErrShape)
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		sum := 0.0
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		out[i] = sum
+	}
+	return out, nil
+}
+
+// Mul returns the matrix product m * b.
+func (m *Dense) Mul(b *Dense) (*Dense, error) {
+	if m.cols != b.rows {
+		return nil, fmt.Errorf("mat: Mul %dx%d by %dx%d: %w", m.rows, m.cols, b.rows, b.cols, ErrShape)
+	}
+	out := NewDense(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.data[i*m.cols+k]
+			if a == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			orow := out.data[i*out.cols : (i+1)*out.cols]
+			for j, v := range brow {
+				orow[j] += a * v
+			}
+		}
+	}
+	return out, nil
+}
+
+// Transpose returns a copy of m transposed.
+func (m *Dense) Transpose() *Dense {
+	out := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// String renders the matrix for debugging.
+func (m *Dense) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%10.4g", m.At(i, j))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Cholesky holds the lower-triangular factor L of an SPD matrix A = L Lᵀ.
+type Cholesky struct {
+	l *Dense
+}
+
+// NewCholesky factors the symmetric positive-definite matrix a. Only the
+// lower triangle of a is read; symmetry of the upper triangle is assumed.
+// It returns ErrNotSPD when a pivot is non-positive, which for GP kernel
+// matrices signals that more jitter is required.
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("mat: Cholesky of %dx%d: %w", a.rows, a.cols, ErrShape)
+	}
+	n := a.rows
+	l := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, fmt.Errorf("mat: pivot %d is %v: %w", i, sum, ErrNotSPD)
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// L returns a copy of the lower-triangular factor.
+func (c *Cholesky) L() *Dense { return c.l.Clone() }
+
+// SolveVec solves A x = b where A = L Lᵀ, via forward then backward
+// substitution.
+func (c *Cholesky) SolveVec(b []float64) ([]float64, error) {
+	n := c.l.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("mat: SolveVec len %d, want %d: %w", len(b), n, ErrShape)
+	}
+	y, err := ForwardSolve(c.l, b)
+	if err != nil {
+		return nil, err
+	}
+	return BackwardSolveTranspose(c.l, y)
+}
+
+// LogDet returns log |A| = 2 * sum(log L_ii).
+func (c *Cholesky) LogDet() float64 {
+	sum := 0.0
+	for i := 0; i < c.l.rows; i++ {
+		sum += math.Log(c.l.At(i, i))
+	}
+	return 2 * sum
+}
+
+// ForwardSolve solves L y = b for lower-triangular L.
+func ForwardSolve(l *Dense, b []float64) ([]float64, error) {
+	n := l.rows
+	if l.cols != n || len(b) != n {
+		return nil, fmt.Errorf("mat: ForwardSolve shape: %w", ErrShape)
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l.At(i, k) * y[k]
+		}
+		d := l.At(i, i)
+		if d == 0 {
+			return nil, fmt.Errorf("mat: zero diagonal at %d: %w", i, ErrNotSPD)
+		}
+		y[i] = sum / d
+	}
+	return y, nil
+}
+
+// BackwardSolveTranspose solves Lᵀ x = y for lower-triangular L.
+func BackwardSolveTranspose(l *Dense, y []float64) ([]float64, error) {
+	n := l.rows
+	if l.cols != n || len(y) != n {
+		return nil, fmt.Errorf("mat: BackwardSolveTranspose shape: %w", ErrShape)
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l.At(k, i) * x[k]
+		}
+		d := l.At(i, i)
+		if d == 0 {
+			return nil, fmt.Errorf("mat: zero diagonal at %d: %w", i, ErrNotSPD)
+		}
+		x[i] = sum / d
+	}
+	return x, nil
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("mat: Dot %d vs %d: %w", len(a), len(b), ErrShape)
+	}
+	sum := 0.0
+	for i, v := range a {
+		sum += v * b[i]
+	}
+	return sum, nil
+}

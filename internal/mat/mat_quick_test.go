@@ -1,0 +1,130 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sanitize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			out[i] = 0
+			continue
+		}
+		out[i] = math.Mod(x, 1e6)
+	}
+	return out
+}
+
+// TestQuickDotSymmetric: a · b == b · a.
+func TestQuickDotSymmetric(t *testing.T) {
+	f := func(raw1, raw2 []float64) bool {
+		n := len(raw1)
+		if len(raw2) < n {
+			n = len(raw2)
+		}
+		if n == 0 {
+			return true
+		}
+		a := sanitize(raw1[:n])
+		b := sanitize(raw2[:n])
+		ab, err1 := Dot(a, b)
+		ba, err2 := Dot(b, a)
+		return err1 == nil && err2 == nil && ab == ba
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDotLinearity: (ka) · b == k (a · b) up to round-off.
+func TestQuickDotLinearity(t *testing.T) {
+	f := func(raw []float64, kRaw float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		a := sanitize(raw)
+		k := math.Mod(kRaw, 100)
+		if math.IsNaN(k) {
+			k = 2
+		}
+		b := make([]float64, len(a))
+		for i := range b {
+			b[i] = 1
+		}
+		scaled := make([]float64, len(a))
+		for i := range a {
+			scaled[i] = k * a[i]
+		}
+		lhs, err1 := Dot(scaled, b)
+		rhs, err2 := Dot(a, b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		diff := math.Abs(lhs - k*rhs)
+		scale := math.Abs(lhs) + math.Abs(k*rhs) + 1
+		return diff <= 1e-9*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTransposeInvolution: (Aᵀ)ᵀ == A.
+func TestQuickTransposeInvolution(t *testing.T) {
+	f := func(raw []float64, colsRaw uint8) bool {
+		cols := int(colsRaw%4) + 1
+		if len(raw) < cols {
+			return true
+		}
+		rows := len(raw) / cols
+		if rows == 0 || rows > 20 {
+			return true
+		}
+		m := NewDense(rows, cols)
+		vals := sanitize(raw)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				m.Set(i, j, vals[i*cols+j])
+			}
+		}
+		tt := m.Transpose().Transpose()
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if tt.At(i, j) != m.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickIdentityMulVec: I x == x.
+func TestQuickIdentityMulVec(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 || len(raw) > 30 {
+			return true
+		}
+		x := sanitize(raw)
+		id := Identity(len(x))
+		got, err := id.MulVec(x)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if got[i] != x[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

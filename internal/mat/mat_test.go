@@ -1,0 +1,324 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewDenseFrom(t *testing.T) {
+	m, err := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 2 || m.Cols() != 2 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %v", m.At(1, 0))
+	}
+}
+
+func TestNewDenseFromRagged(t *testing.T) {
+	if _, err := NewDenseFrom([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrShape) {
+		t.Errorf("error = %v, want ErrShape", err)
+	}
+}
+
+func TestNewDenseFromEmpty(t *testing.T) {
+	if _, err := NewDenseFrom(nil); !errors.Is(err, ErrShape) {
+		t.Errorf("error = %v, want ErrShape", err)
+	}
+}
+
+func TestNewDenseFromCopies(t *testing.T) {
+	src := [][]float64{{1, 2}}
+	m, err := NewDenseFrom(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src[0][0] = 99
+	if m.At(0, 0) != 1 {
+		t.Error("NewDenseFrom aliased caller data")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Errorf("I[%d][%d] = %v", i, j, id.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSetAt(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Errorf("At(1,2) = %v", m.At(1, 2))
+	}
+}
+
+func TestAtPanicsOutOfBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewDense(2, 2).At(2, 0)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 5)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestRowCopies(t *testing.T) {
+	m := NewDense(1, 2)
+	m.Set(0, 0, 3)
+	r := m.Row(0)
+	r[0] = 9
+	if m.At(0, 0) != 3 {
+		t.Error("Row aliases matrix data")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m, _ := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	got, err := m.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 3 || got[1] != 7 {
+		t.Errorf("MulVec = %v", got)
+	}
+}
+
+func TestMulVecShapeError(t *testing.T) {
+	m := NewDense(2, 2)
+	if _, err := m.MulVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("error = %v, want ErrShape", err)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	b, _ := NewDenseFrom([][]float64{{0, 1}, {1, 0}})
+	got, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{2, 1}, {4, 3}}
+	for i := range want {
+		for j := range want[i] {
+			if got.At(i, j) != want[i][j] {
+				t.Errorf("Mul[%d][%d] = %v, want %v", i, j, got.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulShapeError(t *testing.T) {
+	a := NewDense(2, 3)
+	b := NewDense(2, 3)
+	if _, err := a.Mul(b); !errors.Is(err, ErrShape) {
+		t.Errorf("error = %v, want ErrShape", err)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a, _ := NewDenseFrom([][]float64{{1, 2, 3}})
+	tr := a.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 1 || tr.At(2, 0) != 3 {
+		t.Errorf("Transpose wrong: %v", tr)
+	}
+}
+
+// randomSPD builds a random symmetric positive definite matrix A = B Bᵀ + nI.
+func randomSPD(rng *rand.Rand, n int) *Dense {
+	b := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Set(i, j, rng.NormFloat64())
+		}
+	}
+	bt := b.Transpose()
+	a, err := b.Mul(bt)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	return a
+}
+
+func TestCholeskyReconstructionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		a := randomSPD(rng, n)
+		chol, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		l := chol.L()
+		lt := l.Transpose()
+		recon, err := l.Mul(lt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if diff := math.Abs(recon.At(i, j) - a.At(i, j)); diff > 1e-8 {
+					t.Fatalf("trial %d: |LLᵀ - A|[%d][%d] = %v", trial, i, j, diff)
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskySolveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		a := randomSPD(rng, n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b, err := a.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chol, err := NewCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := chol.SolveVec(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if diff := math.Abs(got[i] - x[i]); diff > 1e-6 {
+				t.Fatalf("trial %d: solve error at %d: %v", trial, i, diff)
+			}
+		}
+	}
+}
+
+func TestCholeskyLowerTriangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	a := randomSPD(rng, 5)
+	chol, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := chol.L()
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			if l.At(i, j) != 0 {
+				t.Errorf("L[%d][%d] = %v, want 0", i, j, l.At(i, j))
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsNonSPD(t *testing.T) {
+	// Negative definite.
+	a, _ := NewDenseFrom([][]float64{{-1, 0}, {0, -1}})
+	if _, err := NewCholesky(a); !errors.Is(err, ErrNotSPD) {
+		t.Errorf("error = %v, want ErrNotSPD", err)
+	}
+	// Indefinite with zero pivot.
+	b, _ := NewDenseFrom([][]float64{{0, 0}, {0, 1}})
+	if _, err := NewCholesky(b); !errors.Is(err, ErrNotSPD) {
+		t.Errorf("error = %v, want ErrNotSPD", err)
+	}
+}
+
+func TestCholeskyRejectsNonSquare(t *testing.T) {
+	if _, err := NewCholesky(NewDense(2, 3)); !errors.Is(err, ErrShape) {
+		t.Errorf("error = %v, want ErrShape", err)
+	}
+}
+
+func TestCholeskyLogDet(t *testing.T) {
+	// Diagonal matrix: log|A| = sum(log d_i).
+	a, _ := NewDenseFrom([][]float64{{4, 0}, {0, 9}})
+	chol, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(36)
+	if got := chol.LogDet(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("LogDet = %v, want %v", got, want)
+	}
+}
+
+func TestForwardBackwardSolve(t *testing.T) {
+	l, _ := NewDenseFrom([][]float64{{2, 0}, {1, 3}})
+	y, err := ForwardSolve(l, []float64{4, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2*y0 = 4 -> y0 = 2; 1*2 + 3*y1 = 7 -> y1 = 5/3.
+	if math.Abs(y[0]-2) > 1e-12 || math.Abs(y[1]-5.0/3) > 1e-12 {
+		t.Errorf("ForwardSolve = %v", y)
+	}
+	x, err := BackwardSolveTranspose(l, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check Lᵀ x = y.
+	lt := l.Transpose()
+	chk, _ := lt.MulVec(x)
+	for i := range y {
+		if math.Abs(chk[i]-y[i]) > 1e-12 {
+			t.Errorf("backward solve residual %v", chk)
+		}
+	}
+}
+
+func TestSolveZeroDiagonal(t *testing.T) {
+	l, _ := NewDenseFrom([][]float64{{0, 0}, {1, 1}})
+	if _, err := ForwardSolve(l, []float64{1, 1}); !errors.Is(err, ErrNotSPD) {
+		t.Errorf("error = %v, want ErrNotSPD", err)
+	}
+	if _, err := BackwardSolveTranspose(l, []float64{1, 1}); !errors.Is(err, ErrNotSPD) {
+		t.Errorf("error = %v, want ErrNotSPD", err)
+	}
+}
+
+func TestDot(t *testing.T) {
+	got, err := Dot([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 32 {
+		t.Errorf("Dot = %v", got)
+	}
+	if _, err := Dot([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Errorf("error = %v, want ErrShape", err)
+	}
+}
+
+func TestString(t *testing.T) {
+	m, _ := NewDenseFrom([][]float64{{1, 2}})
+	if s := m.String(); s == "" {
+		t.Error("String() empty")
+	}
+}

@@ -1,0 +1,330 @@
+// Package paris implements a PARIS-style offline performance-model
+// baseline (Yadwadkar et al., SoCC'17), the data-driven alternative the
+// paper contrasts with search-based optimization in Section II-D.
+//
+// PARIS splits the work in two phases:
+//
+//   - an OFFLINE phase run once by the service operator: a set of
+//     benchmark workloads is executed on every VM type, recording both
+//     the performance and the low-level "fingerprint" each workload
+//     produces on a small set of reference VMs;
+//   - an ONLINE phase per user workload: the workload is executed only on
+//     the reference VMs, its fingerprint is assembled, and a learned
+//     model predicts its performance on every other VM type.
+//
+// The online search cost is therefore fixed (the number of reference VMs)
+// — cheaper than Bayesian optimization — but accuracy is bounded by how
+// well the offline benchmark suite covers the user workload. The paper
+// argues this is the method's weakness ("PARIS shows up to 50% RMSE"),
+// and this package exists to make that comparison reproducible: the
+// HoldOneOut evaluation reports exactly that error distribution on the
+// simulator substrate.
+package paris
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cloud"
+	"repro/internal/forest"
+	"repro/internal/lowlevel"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// ErrNotTrained is returned when predicting before Train.
+var ErrNotTrained = errors.New("paris: model not trained")
+
+// Config controls the offline model.
+type Config struct {
+	// ReferenceVMs are the VM names measured online to fingerprint a new
+	// workload. Empty means DefaultReferenceVMs.
+	ReferenceVMs []string
+	// Forest configures the regression ensemble.
+	Forest forest.Config
+	// Trial seeds the measurement noise of offline benchmark runs.
+	Trial int64
+}
+
+// DefaultReferenceVMs follow PARIS's choice of two very different
+// reference machines: a small general-purpose and a large
+// memory-optimized instance.
+func DefaultReferenceVMs() []string {
+	return []string{"m4.large", "r4.2xlarge"}
+}
+
+// Model is a trained PARIS-style predictor.
+type Model struct {
+	sim      *sim.Simulator
+	catalog  *cloud.Catalog
+	refIdx   []int
+	refNames []string
+	// perVM holds one regressor per target VM index, mapping a workload
+	// fingerprint to log(performance) on that VM. PARIS trains one model
+	// per (metric, VM-type) pair; we do the same per objective value.
+	timeModels []*forest.Regressor
+	costModels []*forest.Regressor
+	trial      int64
+	forestCfg  forest.Config
+}
+
+// New prepares an untrained model over the simulator's catalog.
+func New(s *sim.Simulator, cfg Config) (*Model, error) {
+	names := cfg.ReferenceVMs
+	if len(names) == 0 {
+		names = DefaultReferenceVMs()
+	}
+	catalog := s.Catalog()
+	m := &Model{
+		sim:       s,
+		catalog:   catalog,
+		refNames:  append([]string(nil), names...),
+		trial:     cfg.Trial,
+		forestCfg: cfg.Forest,
+	}
+	for _, name := range names {
+		idx, err := catalog.Index(name)
+		if err != nil {
+			return nil, err
+		}
+		m.refIdx = append(m.refIdx, idx)
+	}
+	return m, nil
+}
+
+// Fingerprint is a workload's online signature: its measured time, cost
+// and low-level metrics on every reference VM.
+type Fingerprint struct {
+	features []float64
+}
+
+// Fingerprint measures w on the reference VMs. This is the entire online
+// measurement cost of the method.
+func (m *Model) Fingerprint(w workloads.Workload) (Fingerprint, error) {
+	var features []float64
+	for _, idx := range m.refIdx {
+		res, err := m.sim.Measure(w, m.catalog.VM(idx), m.trial)
+		if err != nil {
+			return Fingerprint{}, fmt.Errorf("paris: fingerprinting %s on %s: %w", w.ID(), m.catalog.VM(idx).Name(), err)
+		}
+		features = append(features, math.Log(res.TimeSec), math.Log(res.CostUSD))
+		features = append(features, res.Metrics.Slice()...)
+	}
+	return Fingerprint{features: features}, nil
+}
+
+// NumReferenceVMs returns the online search cost of the method.
+func (m *Model) NumReferenceVMs() int { return len(m.refIdx) }
+
+// FingerprintDim returns the fingerprint feature count.
+func (m *Model) FingerprintDim() int {
+	return len(m.refIdx) * (2 + int(lowlevel.NumMetrics))
+}
+
+// Train runs the offline phase over the benchmark workloads: fingerprints
+// each one and fits, per target VM, a regressor from fingerprint to
+// log(time) and log(cost).
+func (m *Model) Train(benchmarks []workloads.Workload) error {
+	if len(benchmarks) == 0 {
+		return errors.New("paris: no benchmark workloads")
+	}
+	fingerprints := make([][]float64, 0, len(benchmarks))
+	times := make([][]float64, m.catalog.Len()) // [vm][workload]
+	costs := make([][]float64, m.catalog.Len())
+	for vmIdx := range times {
+		times[vmIdx] = make([]float64, 0, len(benchmarks))
+		costs[vmIdx] = make([]float64, 0, len(benchmarks))
+	}
+	for _, w := range benchmarks {
+		fp, err := m.Fingerprint(w)
+		if err != nil {
+			return err
+		}
+		fingerprints = append(fingerprints, fp.features)
+		for vmIdx := 0; vmIdx < m.catalog.Len(); vmIdx++ {
+			res, err := m.sim.Measure(w, m.catalog.VM(vmIdx), m.trial)
+			if err != nil {
+				return fmt.Errorf("paris: benchmarking %s: %w", w.ID(), err)
+			}
+			times[vmIdx] = append(times[vmIdx], math.Log(res.TimeSec))
+			costs[vmIdx] = append(costs[vmIdx], math.Log(res.CostUSD))
+		}
+	}
+	m.timeModels = make([]*forest.Regressor, m.catalog.Len())
+	m.costModels = make([]*forest.Regressor, m.catalog.Len())
+	for vmIdx := 0; vmIdx < m.catalog.Len(); vmIdx++ {
+		cfg := m.forestCfg
+		cfg.Seed = int64(vmIdx) + 1
+		tm, err := forest.Fit(cfg, fingerprints, times[vmIdx])
+		if err != nil {
+			return fmt.Errorf("paris: fitting time model for %s: %w", m.catalog.VM(vmIdx).Name(), err)
+		}
+		cfg.Seed = int64(vmIdx) + 1001
+		cm, err := forest.Fit(cfg, fingerprints, costs[vmIdx])
+		if err != nil {
+			return fmt.Errorf("paris: fitting cost model for %s: %w", m.catalog.VM(vmIdx).Name(), err)
+		}
+		m.timeModels[vmIdx] = tm
+		m.costModels[vmIdx] = cm
+	}
+	return nil
+}
+
+// Prediction is the predicted performance of a workload on one VM.
+type Prediction struct {
+	VMName  string
+	VMIndex int
+	TimeSec float64
+	CostUSD float64
+}
+
+// Predict estimates the workload's performance on every VM type from its
+// fingerprint.
+func (m *Model) Predict(fp Fingerprint) ([]Prediction, error) {
+	if m.timeModels == nil {
+		return nil, ErrNotTrained
+	}
+	if len(fp.features) != m.FingerprintDim() {
+		return nil, fmt.Errorf("paris: fingerprint dim %d, want %d", len(fp.features), m.FingerprintDim())
+	}
+	out := make([]Prediction, m.catalog.Len())
+	for vmIdx := 0; vmIdx < m.catalog.Len(); vmIdx++ {
+		logTime, err := m.timeModels[vmIdx].Predict(fp.features)
+		if err != nil {
+			return nil, err
+		}
+		logCost, err := m.costModels[vmIdx].Predict(fp.features)
+		if err != nil {
+			return nil, err
+		}
+		out[vmIdx] = Prediction{
+			VMName:  m.catalog.VM(vmIdx).Name(),
+			VMIndex: vmIdx,
+			TimeSec: math.Exp(logTime),
+			CostUSD: math.Exp(logCost),
+		}
+	}
+	return out, nil
+}
+
+// BestVM returns the predicted-best VM under the given objective
+// ("time" or "cost").
+func (m *Model) BestVM(fp Fingerprint, objective string) (Prediction, error) {
+	preds, err := m.Predict(fp)
+	if err != nil {
+		return Prediction{}, err
+	}
+	best := preds[0]
+	for _, p := range preds[1:] {
+		switch objective {
+		case "time":
+			if p.TimeSec < best.TimeSec {
+				best = p
+			}
+		case "cost":
+			if p.CostUSD < best.CostUSD {
+				best = p
+			}
+		default:
+			return Prediction{}, fmt.Errorf("paris: unknown objective %q", objective)
+		}
+	}
+	return best, nil
+}
+
+// EvalResult summarizes a hold-one-out evaluation.
+type EvalResult struct {
+	// RMSEPct is the root-mean-square relative error (in percent) of the
+	// time predictions across all held-out (workload, VM) pairs — the
+	// metric the paper quotes ("up to 50% RMSE").
+	RMSEPct float64
+	// MeanFoundNorm is the mean true, normalized objective value of the
+	// VM the model would pick per held-out workload (1.0 = optimal).
+	MeanFoundNormTime float64
+	MeanFoundNormCost float64
+	// Workloads is the number of held-out workloads evaluated.
+	Workloads int
+}
+
+// HoldOneOut trains on all workloads whose APPLICATION differs from the
+// held-out one and evaluates prediction error and decision quality on each
+// held-out workload in turn. Grouping by application matters: holding out
+// a single (app, system, size) workload while its siblings stay in
+// training would let the model memorize the application, which is not the
+// situation PARIS faces in production — a genuinely new application
+// arrives. This leave-one-application-out protocol is the experiment
+// behind the paper's Section II-D argument.
+func HoldOneOut(s *sim.Simulator, cfg Config, ws []workloads.Workload) (*EvalResult, error) {
+	if len(ws) < 2 {
+		return nil, errors.New("paris: need at least two workloads for hold-one-out")
+	}
+	apps := make(map[string]bool)
+	for _, w := range ws {
+		apps[w.AppName] = true
+	}
+	if len(apps) < 2 {
+		return nil, errors.New("paris: need at least two distinct applications for leave-one-application-out")
+	}
+	var (
+		sqRelErr  float64
+		numPreds  int
+		sumNormT  float64
+		sumNormC  float64
+		evaluated int
+	)
+	for hold := range ws {
+		model, err := New(s, cfg)
+		if err != nil {
+			return nil, err
+		}
+		held := ws[hold]
+		train := make([]workloads.Workload, 0, len(ws)-1)
+		for _, w := range ws {
+			if w.AppName != held.AppName {
+				train = append(train, w)
+			}
+		}
+		if err := model.Train(train); err != nil {
+			return nil, err
+		}
+		fp, err := model.Fingerprint(held)
+		if err != nil {
+			return nil, err
+		}
+		preds, err := model.Predict(fp)
+		if err != nil {
+			return nil, err
+		}
+		truth, err := s.TruthTable(held)
+		if err != nil {
+			return nil, err
+		}
+		bestT, bestC := math.Inf(1), math.Inf(1)
+		for _, res := range truth {
+			bestT = math.Min(bestT, res.TimeSec)
+			bestC = math.Min(bestC, res.CostUSD)
+		}
+		pickT, pickC := 0, 0
+		for i, p := range preds {
+			rel := (p.TimeSec - truth[i].TimeSec) / truth[i].TimeSec
+			sqRelErr += rel * rel
+			numPreds++
+			if p.TimeSec < preds[pickT].TimeSec {
+				pickT = i
+			}
+			if p.CostUSD < preds[pickC].CostUSD {
+				pickC = i
+			}
+		}
+		sumNormT += truth[pickT].TimeSec / bestT
+		sumNormC += truth[pickC].CostUSD / bestC
+		evaluated++
+	}
+	return &EvalResult{
+		RMSEPct:           100 * math.Sqrt(sqRelErr/float64(numPreds)),
+		MeanFoundNormTime: sumNormT / float64(evaluated),
+		MeanFoundNormCost: sumNormC / float64(evaluated),
+		Workloads:         evaluated,
+	}, nil
+}

@@ -1,0 +1,212 @@
+package paris
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/forest"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func newSim(t *testing.T) *sim.Simulator {
+	t.Helper()
+	return sim.New(cloud.DefaultCatalog())
+}
+
+func pickWorkloads(t *testing.T, n int) []workloads.Workload {
+	t.Helper()
+	s := newSim(t)
+	study := s.StudyWorkloads()
+	if len(study) < n {
+		t.Fatalf("study set too small: %d", len(study))
+	}
+	// Stride through the study set for diversity.
+	var out []workloads.Workload
+	step := len(study) / n
+	for i := 0; i < n; i++ {
+		out = append(out, study[i*step])
+	}
+	return out
+}
+
+func TestNewValidatesReferenceVMs(t *testing.T) {
+	s := newSim(t)
+	if _, err := New(s, Config{ReferenceVMs: []string{"z1.mega"}}); err == nil {
+		t.Error("unknown reference VM should fail")
+	}
+	m, err := New(s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumReferenceVMs() != len(DefaultReferenceVMs()) {
+		t.Errorf("NumReferenceVMs = %d", m.NumReferenceVMs())
+	}
+}
+
+func TestPredictBeforeTrain(t *testing.T) {
+	s := newSim(t)
+	m, err := New(s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := m.Fingerprint(pickWorkloads(t, 2)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Predict(fp); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("error = %v, want ErrNotTrained", err)
+	}
+}
+
+func TestTrainEmpty(t *testing.T) {
+	s := newSim(t)
+	m, err := New(s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Train(nil); err == nil {
+		t.Error("training on nothing should fail")
+	}
+}
+
+func TestFingerprintDim(t *testing.T) {
+	s := newSim(t)
+	m, err := New(s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := m.Fingerprint(pickWorkloads(t, 2)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp.features) != m.FingerprintDim() {
+		t.Errorf("fingerprint has %d features, want %d", len(fp.features), m.FingerprintDim())
+	}
+}
+
+func TestTrainPredict(t *testing.T) {
+	s := newSim(t)
+	m, err := New(s, Config{Forest: forestSmall()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := pickWorkloads(t, 12)
+	if err := m.Train(ws[:10]); err != nil {
+		t.Fatal(err)
+	}
+	fp, err := m.Fingerprint(ws[11])
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := m.Predict(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != s.Catalog().Len() {
+		t.Fatalf("%d predictions", len(preds))
+	}
+	for _, p := range preds {
+		if p.TimeSec <= 0 || p.CostUSD <= 0 {
+			t.Errorf("%s: non-positive prediction %+v", p.VMName, p)
+		}
+	}
+}
+
+func TestBestVM(t *testing.T) {
+	s := newSim(t)
+	m, err := New(s, Config{Forest: forestSmall()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := pickWorkloads(t, 12)
+	if err := m.Train(ws[:10]); err != nil {
+		t.Fatal(err)
+	}
+	fp, err := m.Fingerprint(ws[11])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, obj := range []string{"time", "cost"} {
+		best, err := m.BestVM(fp, obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.VMName == "" {
+			t.Errorf("%s: empty pick", obj)
+		}
+	}
+	if _, err := m.BestVM(fp, "latency"); err == nil {
+		t.Error("unknown objective should fail")
+	}
+}
+
+func TestPredictionsInterpolateTrainingSet(t *testing.T) {
+	// Predicting a workload that WAS in the training set should be close
+	// to its true values — the model memorizes what it saw.
+	s := newSim(t)
+	m, err := New(s, Config{Forest: forestSmall()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := pickWorkloads(t, 10)
+	if err := m.Train(ws); err != nil {
+		t.Fatal(err)
+	}
+	w := ws[0]
+	fp, err := m.Fingerprint(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := m.Predict(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := s.TruthTable(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeEnough := 0
+	for i, p := range preds {
+		rel := p.TimeSec/truth[i].TimeSec - 1
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel < 0.5 {
+			closeEnough++
+		}
+	}
+	if closeEnough < len(preds)/2 {
+		t.Errorf("only %d/%d training-set predictions within 50%%", closeEnough, len(preds))
+	}
+}
+
+func TestHoldOneOut(t *testing.T) {
+	s := newSim(t)
+	res, err := HoldOneOut(s, Config{Forest: forestSmall()}, pickWorkloads(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workloads != 8 {
+		t.Errorf("evaluated %d", res.Workloads)
+	}
+	if res.RMSEPct <= 0 {
+		t.Errorf("RMSE = %v", res.RMSEPct)
+	}
+	if res.MeanFoundNormTime < 1 || res.MeanFoundNormCost < 1 {
+		t.Errorf("normalized picks below 1: %+v", res)
+	}
+}
+
+func TestHoldOneOutTooFew(t *testing.T) {
+	s := newSim(t)
+	if _, err := HoldOneOut(s, Config{}, pickWorkloads(t, 8)[:1]); err == nil {
+		t.Error("hold-one-out on one workload should fail")
+	}
+}
+
+// forestSmall keeps tests fast.
+func forestSmall() forest.Config {
+	return forest.Config{NumTrees: 20}
+}

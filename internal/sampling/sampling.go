@@ -1,0 +1,115 @@
+// Package sampling provides the initial-design strategies for seeding a
+// Bayesian-optimization run (Section III-C of the paper). CherryPick seeds
+// with a quasi-random sample of "very distinct" VMs; the paper also studies
+// how sensitive BO is to that choice, so both a quasi-random (greedy
+// max-min distance, a deterministic stand-in for a Sobol' design on a
+// finite catalog) and a uniform random design are provided.
+package sampling
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrInvalid reports an unsatisfiable design request.
+var ErrInvalid = errors.New("sampling: invalid request")
+
+// Uniform returns k distinct indices drawn uniformly without replacement
+// from [0, n).
+func Uniform(rng *rand.Rand, n, k int) ([]int, error) {
+	if err := check(n, k); err != nil {
+		return nil, err
+	}
+	perm := rng.Perm(n)
+	out := append([]int(nil), perm[:k]...)
+	return out, nil
+}
+
+// MaxMin returns k indices of points that greedily maximize the minimum
+// pairwise Euclidean distance, starting from a random seed point. This is
+// the "quasi-random method which uniformly selects very distinct VMs" the
+// paper attributes to CherryPick: successive picks are as far as possible
+// from everything already chosen, covering the instance space.
+func MaxMin(rng *rand.Rand, points [][]float64, k int) ([]int, error) {
+	n := len(points)
+	if err := check(n, k); err != nil {
+		return nil, err
+	}
+	chosen := make([]int, 0, k)
+	chosen = append(chosen, rng.Intn(n))
+
+	// minDist[i] tracks each point's distance to its nearest chosen point.
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = math.Inf(1)
+	}
+	for len(chosen) < k {
+		last := chosen[len(chosen)-1]
+		for i := range points {
+			if d := euclidean(points[i], points[last]); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+		best, bestDist := -1, math.Inf(-1)
+		for i := range points {
+			if contains(chosen, i) {
+				continue
+			}
+			if minDist[i] > bestDist {
+				best, bestDist = i, minDist[i]
+			}
+		}
+		chosen = append(chosen, best)
+	}
+	return chosen, nil
+}
+
+// Fixed validates and returns a caller-specified design, used by the
+// initial-point-sensitivity experiment (Section III-C) where specific VM
+// triplets such as {c4.xlarge, m4.large, r3.2xlarge} seed the search.
+func Fixed(n int, indices []int) ([]int, error) {
+	if err := check(n, len(indices)); err != nil {
+		return nil, err
+	}
+	seen := make(map[int]bool, len(indices))
+	for _, idx := range indices {
+		if idx < 0 || idx >= n {
+			return nil, fmt.Errorf("sampling: index %d out of [0,%d): %w", idx, n, ErrInvalid)
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("sampling: duplicate index %d: %w", idx, ErrInvalid)
+		}
+		seen[idx] = true
+	}
+	return append([]int(nil), indices...), nil
+}
+
+func check(n, k int) error {
+	if n <= 0 {
+		return fmt.Errorf("sampling: empty domain: %w", ErrInvalid)
+	}
+	if k <= 0 || k > n {
+		return fmt.Errorf("sampling: need 1 <= k <= %d, got %d: %w", n, k, ErrInvalid)
+	}
+	return nil
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func euclidean(a, b []float64) float64 {
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}

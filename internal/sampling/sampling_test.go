@@ -1,0 +1,193 @@
+package sampling
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func distinct(t *testing.T, idx []int, n int) {
+	t.Helper()
+	seen := map[int]bool{}
+	for _, i := range idx {
+		if i < 0 || i >= n {
+			t.Fatalf("index %d out of [0,%d)", i, n)
+		}
+		if seen[i] {
+			t.Fatalf("duplicate index %d", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	idx, err := Uniform(rng, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 4 {
+		t.Fatalf("got %d indices", len(idx))
+	}
+	distinct(t, idx, 10)
+}
+
+func TestUniformFullDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	idx, err := Uniform(rng, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct(t, idx, 5)
+}
+
+func TestUniformInvalid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, tc := range []struct{ n, k int }{{0, 1}, {5, 0}, {5, 6}, {5, -1}} {
+		if _, err := Uniform(rng, tc.n, tc.k); !errors.Is(err, ErrInvalid) {
+			t.Errorf("Uniform(%d, %d) error = %v, want ErrInvalid", tc.n, tc.k, err)
+		}
+	}
+}
+
+func TestUniformCoversDomainOverTrials(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	counts := make([]int, 6)
+	for trial := 0; trial < 600; trial++ {
+		idx, err := Uniform(rng, 6, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[idx[0]]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("index %d never drawn in 600 trials", i)
+		}
+	}
+}
+
+func grid2D() [][]float64 {
+	var pts [][]float64
+	for x := 0.0; x < 4; x++ {
+		for y := 0.0; y < 4; y++ {
+			pts = append(pts, []float64{x, y})
+		}
+	}
+	return pts
+}
+
+func TestMaxMinDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := grid2D()
+	idx, err := MaxMin(rng, pts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct(t, idx, len(pts))
+}
+
+func TestMaxMinSpreadsPoints(t *testing.T) {
+	// On a 4x4 grid, the 3-point max-min design must achieve a minimum
+	// pairwise distance no smaller than what random sampling typically
+	// gets; concretely, points should not be adjacent (distance 1).
+	rng := rand.New(rand.NewSource(6))
+	pts := grid2D()
+	idx, err := MaxMin(rng, pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minDist := math.Inf(1)
+	for i := 0; i < len(idx); i++ {
+		for j := i + 1; j < len(idx); j++ {
+			minDist = math.Min(minDist, euclidean(pts[idx[i]], pts[idx[j]]))
+		}
+	}
+	if minDist < 2 {
+		t.Errorf("max-min design min pairwise distance %v, want >= 2", minDist)
+	}
+}
+
+func TestMaxMinSecondPointIsFarthest(t *testing.T) {
+	// With points on a line, whatever the random seed point is, the second
+	// pick must be one of the two endpoints (the farthest point).
+	pts := [][]float64{{0}, {1}, {2}, {3}, {10}}
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		idx, err := MaxMin(rng, pts, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, second := idx[0], idx[1]
+		// The farthest point from anything in {0..3} is index 4 (x=10);
+		// from index 4 it is index 0.
+		if first == 4 {
+			if second != 0 {
+				t.Errorf("seed %d: from x=10, second pick = %d, want 0", seed, second)
+			}
+		} else if second != 4 {
+			t.Errorf("seed %d: second pick = %d, want 4 (x=10)", seed, second)
+		}
+	}
+}
+
+func TestMaxMinFullDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := grid2D()
+	idx, err := MaxMin(rng, pts, len(pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct(t, idx, len(pts))
+	if len(idx) != len(pts) {
+		t.Errorf("full design has %d points", len(idx))
+	}
+}
+
+func TestMaxMinInvalid(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	if _, err := MaxMin(rng, nil, 1); !errors.Is(err, ErrInvalid) {
+		t.Errorf("empty domain error = %v", err)
+	}
+	if _, err := MaxMin(rng, grid2D(), 17); !errors.Is(err, ErrInvalid) {
+		t.Errorf("k > n error = %v", err)
+	}
+}
+
+func TestFixed(t *testing.T) {
+	idx, err := Fixed(10, []int{3, 1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 3 || idx[0] != 3 || idx[1] != 1 || idx[2] != 4 {
+		t.Errorf("Fixed = %v", idx)
+	}
+}
+
+func TestFixedCopiesInput(t *testing.T) {
+	src := []int{1, 2}
+	idx, err := Fixed(5, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src[0] = 4
+	if idx[0] != 1 {
+		t.Error("Fixed aliases caller slice")
+	}
+}
+
+func TestFixedInvalid(t *testing.T) {
+	if _, err := Fixed(5, []int{5}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("out-of-range error = %v", err)
+	}
+	if _, err := Fixed(5, []int{-1}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("negative error = %v", err)
+	}
+	if _, err := Fixed(5, []int{1, 1}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("duplicate error = %v", err)
+	}
+	if _, err := Fixed(5, nil); !errors.Is(err, ErrInvalid) {
+		t.Errorf("empty error = %v", err)
+	}
+}

@@ -1,0 +1,181 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the Sobol' low-discrepancy sequence the paper cites
+// for quasi-random initial designs (reference [25], Sobol' 1998), using
+// the standard Gray-code construction with Joe–Kuo direction numbers for
+// up to eight dimensions. On a finite VM catalog the continuous Sobol'
+// points are mapped to the nearest unused candidates (SobolDesign).
+
+// sobolMaxDims is the dimensionality covered by the direction-number
+// table below.
+const sobolMaxDims = 8
+
+// sobolBits is the fixed-point resolution of generated coordinates.
+const sobolBits = 30
+
+// joeKuoEntry holds one dimension's primitive polynomial degree s, the
+// polynomial coefficient a, and the initial direction numbers m.
+type joeKuoEntry struct {
+	s int
+	a uint32
+	m []uint32
+}
+
+// The first entries of the new-joe-kuo-6 table (dimension 1 is the van
+// der Corput sequence and needs no entry).
+var joeKuo = []joeKuoEntry{
+	{s: 1, a: 0, m: []uint32{1}},
+	{s: 2, a: 1, m: []uint32{1, 3}},
+	{s: 3, a: 1, m: []uint32{1, 3, 1}},
+	{s: 3, a: 2, m: []uint32{1, 1, 1}},
+	{s: 4, a: 1, m: []uint32{1, 1, 3, 3}},
+	{s: 4, a: 4, m: []uint32{1, 3, 5, 13}},
+	{s: 5, a: 2, m: []uint32{1, 1, 5, 5, 17}},
+}
+
+// Sobol generates points of the d-dimensional Sobol' sequence.
+type Sobol struct {
+	dims  int
+	v     [][]uint32 // direction numbers per dimension, sobolBits entries
+	x     []uint32   // current integer state per dimension
+	index uint32     // points generated so far
+}
+
+// NewSobol builds a generator for 1 <= dims <= 8.
+func NewSobol(dims int) (*Sobol, error) {
+	if dims < 1 || dims > sobolMaxDims {
+		return nil, fmt.Errorf("sampling: sobol supports 1..%d dims, got %d: %w", sobolMaxDims, dims, ErrInvalid)
+	}
+	s := &Sobol{
+		dims: dims,
+		v:    make([][]uint32, dims),
+		x:    make([]uint32, dims),
+	}
+	// Dimension 1: van der Corput — v_k = 1 << (sobolBits - k - 1).
+	s.v[0] = make([]uint32, sobolBits)
+	for k := 0; k < sobolBits; k++ {
+		s.v[0][k] = 1 << (sobolBits - k - 1)
+	}
+	for dim := 1; dim < dims; dim++ {
+		entry := joeKuo[dim-1]
+		v := make([]uint32, sobolBits)
+		deg := entry.s
+		for k := 0; k < deg && k < sobolBits; k++ {
+			v[k] = entry.m[k] << (sobolBits - k - 1)
+		}
+		for k := deg; k < sobolBits; k++ {
+			v[k] = v[k-deg] ^ (v[k-deg] >> uint(deg))
+			for j := 1; j < deg; j++ {
+				if (entry.a>>uint(deg-1-j))&1 == 1 {
+					v[k] ^= v[k-j]
+				}
+			}
+		}
+		s.v[dim] = v
+	}
+	return s, nil
+}
+
+// Next returns the next point of the sequence, each coordinate in [0, 1).
+// The first point is the origin, as in the canonical construction.
+func (s *Sobol) Next() []float64 {
+	out := make([]float64, s.dims)
+	for d := 0; d < s.dims; d++ {
+		out[d] = float64(s.x[d]) / float64(uint32(1)<<sobolBits)
+	}
+	// Gray-code update: flip the direction number of the lowest zero bit
+	// of the index.
+	c := 0
+	idx := s.index
+	for idx&1 == 1 {
+		idx >>= 1
+		c++
+	}
+	for d := 0; d < s.dims; d++ {
+		s.x[d] ^= s.v[d][c]
+	}
+	s.index++
+	return out
+}
+
+// SobolDesign picks k distinct candidate indices by generating Sobol'
+// points in the candidates' bounding box and snapping each to the nearest
+// unused candidate — the finite-catalog version of CherryPick's
+// quasi-random initial sample. The skip parameter discards that many
+// initial sequence points, decorrelating repeated designs.
+func SobolDesign(points [][]float64, k, skip int) ([]int, error) {
+	n := len(points)
+	if err := check(n, k); err != nil {
+		return nil, err
+	}
+	if skip < 0 {
+		return nil, fmt.Errorf("sampling: negative skip %d: %w", skip, ErrInvalid)
+	}
+	dims := len(points[0])
+	if dims == 0 {
+		return nil, fmt.Errorf("sampling: zero-dimensional points: %w", ErrInvalid)
+	}
+	gen, err := NewSobol(min(dims, sobolMaxDims))
+	if err != nil {
+		return nil, err
+	}
+	// Discard the all-zero first point (standard practice), then the
+	// caller-requested skip.
+	gen.Next()
+	for i := 0; i < skip; i++ {
+		gen.Next()
+	}
+
+	// Bounding box for de-normalization.
+	lo := make([]float64, dims)
+	hi := make([]float64, dims)
+	copy(lo, points[0])
+	copy(hi, points[0])
+	for _, p := range points {
+		if len(p) != dims {
+			return nil, fmt.Errorf("sampling: ragged points: %w", ErrInvalid)
+		}
+		for j, v := range p {
+			lo[j] = math.Min(lo[j], v)
+			hi[j] = math.Max(hi[j], v)
+		}
+	}
+
+	used := make([]bool, n)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		u := gen.Next()
+		target := make([]float64, dims)
+		for j := 0; j < dims; j++ {
+			uj := 0.5
+			if j < len(u) {
+				uj = u[j]
+			}
+			target[j] = lo[j] + uj*(hi[j]-lo[j])
+		}
+		bestIdx, bestDist := -1, math.Inf(1)
+		for i, p := range points {
+			if used[i] {
+				continue
+			}
+			if d := euclidean(p, target); d < bestDist {
+				bestIdx, bestDist = i, d
+			}
+		}
+		used[bestIdx] = true
+		out = append(out, bestIdx)
+	}
+	return out, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,168 @@
+package sampling
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNewSobolDims(t *testing.T) {
+	for dims := 1; dims <= 8; dims++ {
+		if _, err := NewSobol(dims); err != nil {
+			t.Errorf("dims %d: %v", dims, err)
+		}
+	}
+	for _, dims := range []int{0, -1, 9} {
+		if _, err := NewSobol(dims); !errors.Is(err, ErrInvalid) {
+			t.Errorf("dims %d: error = %v, want ErrInvalid", dims, err)
+		}
+	}
+}
+
+func TestSobolFirstPointsVanDerCorput(t *testing.T) {
+	// Dimension 1 is the van der Corput sequence: 0, 1/2, 1/4, 3/4, ...
+	s, err := NewSobol(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0.5, 0.75, 0.25, 0.375, 0.875, 0.625, 0.125}
+	for i, w := range want {
+		got := s.Next()[0]
+		if math.Abs(got-w) > 1e-9 {
+			t.Errorf("point %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestSobolRangeAndDistinct(t *testing.T) {
+	s, err := NewSobol(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[4]float64]bool{}
+	for i := 0; i < 256; i++ {
+		p := s.Next()
+		if len(p) != 4 {
+			t.Fatalf("point dim %d", len(p))
+		}
+		var key [4]float64
+		for j, v := range p {
+			if v < 0 || v >= 1 {
+				t.Fatalf("coordinate %v out of [0,1)", v)
+			}
+			key[j] = v
+		}
+		if seen[key] {
+			t.Fatalf("duplicate point at index %d", i)
+		}
+		seen[key] = true
+	}
+}
+
+// TestSobolLowDiscrepancy: 256 Sobol points in 2-D should cover every cell
+// of a 4x4 grid with close-to-uniform counts (16 each) — far tighter than
+// random sampling would guarantee.
+func TestSobolLowDiscrepancy(t *testing.T) {
+	s, err := NewSobol(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := [4][4]int{}
+	for i := 0; i < 256; i++ {
+		p := s.Next()
+		counts[int(p[0]*4)][int(p[1]*4)]++
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if c := counts[i][j]; c < 12 || c > 20 {
+				t.Errorf("cell (%d,%d) has %d points, want ~16", i, j, c)
+			}
+		}
+	}
+}
+
+func TestSobolDesignDistinctAndComplete(t *testing.T) {
+	pts := grid2D()
+	idx, err := SobolDesign(pts, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct(t, idx, len(pts))
+	if len(idx) != 5 {
+		t.Fatalf("%d indices", len(idx))
+	}
+}
+
+func TestSobolDesignFullCatalog(t *testing.T) {
+	pts := grid2D()
+	idx, err := SobolDesign(pts, len(pts), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct(t, idx, len(pts))
+}
+
+func TestSobolDesignSkipChangesDesign(t *testing.T) {
+	pts := grid2D()
+	a, err := SobolDesign(pts, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SobolDesign(pts, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different skips produced identical designs")
+	}
+}
+
+func TestSobolDesignDeterministic(t *testing.T) {
+	pts := grid2D()
+	a, _ := SobolDesign(pts, 4, 3)
+	b, _ := SobolDesign(pts, 4, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("SobolDesign not deterministic")
+		}
+	}
+}
+
+func TestSobolDesignInvalid(t *testing.T) {
+	pts := grid2D()
+	if _, err := SobolDesign(nil, 1, 0); !errors.Is(err, ErrInvalid) {
+		t.Errorf("empty error = %v", err)
+	}
+	if _, err := SobolDesign(pts, 0, 0); !errors.Is(err, ErrInvalid) {
+		t.Errorf("k=0 error = %v", err)
+	}
+	if _, err := SobolDesign(pts, 3, -1); !errors.Is(err, ErrInvalid) {
+		t.Errorf("negative skip error = %v", err)
+	}
+	if _, err := SobolDesign([][]float64{{}}, 1, 0); !errors.Is(err, ErrInvalid) {
+		t.Errorf("zero-dim error = %v", err)
+	}
+}
+
+func TestSobolDesignCoversQuadrants(t *testing.T) {
+	// Sobol' fills space progressively from the center outward, so eight
+	// picks on a 4x4 grid must land in all four quadrants.
+	pts := grid2D()
+	idx, err := SobolDesign(pts, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quadrants := map[[2]bool]bool{}
+	for _, i := range idx {
+		quadrants[[2]bool{pts[i][0] >= 2, pts[i][1] >= 2}] = true
+	}
+	if len(quadrants) < 4 {
+		t.Errorf("8 Sobol picks cover only %d of 4 quadrants", len(quadrants))
+	}
+}

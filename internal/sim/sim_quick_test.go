@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cloud"
+	"repro/internal/workloads"
+)
+
+// TestQuickThrashMonotone: the thrash factor never decreases as memory
+// pressure grows.
+func TestQuickThrashMonotone(t *testing.T) {
+	f := func(aRaw, bRaw float64) bool {
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 1
+			}
+			return math.Abs(math.Mod(v, 10))
+		}
+		a, b := clamp(aRaw), clamp(bRaw)
+		if a > b {
+			a, b = b, a
+		}
+		return thrashFactor(a) <= thrashFactor(b)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickThrashAtLeastOne: the factor is never below 1.
+func TestQuickThrashAtLeastOne(t *testing.T) {
+	f := func(rRaw float64) bool {
+		r := math.Abs(math.Mod(rRaw, 10))
+		if math.IsNaN(r) {
+			r = 0
+		}
+		return thrashFactor(r) >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAmdahlBounds: 1 <= effective cores <= cores for any serial
+// fraction in [0,1].
+func TestQuickAmdahlBounds(t *testing.T) {
+	f := func(serialRaw float64, coresRaw uint8) bool {
+		serial := math.Abs(math.Mod(serialRaw, 1))
+		if math.IsNaN(serial) {
+			serial = 0.5
+		}
+		cores := float64(1 + coresRaw%16)
+		eff := amdahlEffectiveCores(cores, serial)
+		return eff >= 1-1e-12 && eff <= cores+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDemandScalingMonotone: holding everything else fixed, scaling a
+// workload's CPU demand up never makes the simulated run faster.
+func TestQuickDemandScalingMonotone(t *testing.T) {
+	s := New(cloud.DefaultCatalog(), WithNoiseSigma(0))
+	base, err := workloads.ByID("kmeans/spark2.1/medium")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := s.Catalog().VM(3)
+	f := func(scaleRaw float64) bool {
+		scale := 1 + math.Abs(math.Mod(scaleRaw, 4))
+		small := base
+		big := base
+		big.Demands.CPUCoreSeconds *= scale
+		rs, err1 := s.Truth(small, vm)
+		rb, err2 := s.Truth(big, vm)
+		return err1 == nil && err2 == nil && rb.TimeSec >= rs.TimeSec-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNoiseSeedStable: the derived noise seed is a pure function of
+// its inputs and differs across trials.
+func TestQuickNoiseSeedStable(t *testing.T) {
+	f := func(trial int64) bool {
+		a := noiseSeed("w", "vm", trial)
+		b := noiseSeed("w", "vm", trial)
+		c := noiseSeed("w", "vm", trial+1)
+		return a == b && a != c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,293 @@
+// Package stats provides the small set of summary statistics the Arrow
+// study harness needs: means, medians, quantiles, interquartile ranges,
+// empirical CDFs, and feature normalization helpers.
+//
+// All functions treat their inputs as immutable: slices passed in are
+// copied before sorting. NaN inputs are rejected up front so that a bad
+// simulator run fails loudly instead of silently corrupting a summary.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by summary functions that require at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return 0, fmt.Errorf("stats: NaN in sample: %w", errInvalid)
+		}
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+var errInvalid = errors.New("invalid value")
+
+// Variance returns the unbiased (n-1) sample variance of xs.
+// It requires at least two samples.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("stats: variance needs >= 2 samples, got %d: %w", len(xs), ErrEmpty)
+	}
+	mean, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	ss := 0.0
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1), nil
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Quantile returns the q-th quantile of xs (0 <= q <= 1) using linear
+// interpolation between order statistics (the same convention as numpy's
+// default). Quantile(xs, 0.5) is the median.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stats: quantile %v out of [0,1]: %w", q, errInvalid)
+	}
+	sorted := append([]float64(nil), xs...)
+	for _, x := range sorted {
+		if math.IsNaN(x) {
+			return 0, fmt.Errorf("stats: NaN in sample: %w", errInvalid)
+		}
+	}
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) (float64, error) {
+	return Quantile(xs, 0.5)
+}
+
+// IQR returns the first quartile, third quartile and their difference.
+// The paper's trajectory figures (Fig 10) shade exactly this band.
+func IQR(xs []float64) (q1, q3, iqr float64, err error) {
+	q1, err = Quantile(xs, 0.25)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	q3, err = Quantile(xs, 0.75)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return q1, q3, q3 - q1, nil
+}
+
+// Min returns the smallest element of xs.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest element of xs.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// ArgMin returns the index of the smallest element of xs, breaking ties in
+// favor of the lowest index.
+func ArgMin(xs []float64) (int, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best, nil
+}
+
+// ArgMax returns the index of the largest element of xs, breaking ties in
+// favor of the lowest index.
+func ArgMax(xs []float64) (int, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best, nil
+}
+
+// Normalize returns xs scaled so the minimum maps to 1.0 (the paper
+// normalizes every per-workload performance series to the optimum, so the
+// best VM reads 1.0 and a value of 2.0 means "twice as slow/expensive").
+func Normalize(xs []float64) ([]float64, error) {
+	mn, err := Min(xs)
+	if err != nil {
+		return nil, err
+	}
+	if mn <= 0 {
+		return nil, fmt.Errorf("stats: normalize requires positive minimum, got %v: %w", mn, errInvalid)
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / mn
+	}
+	return out, nil
+}
+
+// MinMaxScale maps each column of rows into [0,1] independently. Columns
+// with zero range map to 0.5 (an uninformative constant rather than a NaN).
+// It returns the scaled copy together with the per-column minima and ranges
+// so callers can apply the same transform to new points.
+func MinMaxScale(rows [][]float64) (scaled [][]float64, mins, ranges []float64, err error) {
+	if len(rows) == 0 {
+		return nil, nil, nil, ErrEmpty
+	}
+	d := len(rows[0])
+	mins = make([]float64, d)
+	maxs := make([]float64, d)
+	for j := 0; j < d; j++ {
+		mins[j] = math.Inf(1)
+		maxs[j] = math.Inf(-1)
+	}
+	for _, row := range rows {
+		if len(row) != d {
+			return nil, nil, nil, fmt.Errorf("stats: ragged rows (%d vs %d): %w", len(row), d, errInvalid)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) {
+				return nil, nil, nil, fmt.Errorf("stats: NaN feature: %w", errInvalid)
+			}
+			if v < mins[j] {
+				mins[j] = v
+			}
+			if v > maxs[j] {
+				maxs[j] = v
+			}
+		}
+	}
+	ranges = make([]float64, d)
+	for j := 0; j < d; j++ {
+		ranges[j] = maxs[j] - mins[j]
+	}
+	scaled = make([][]float64, len(rows))
+	for i, row := range rows {
+		scaled[i] = ScaleRow(row, mins, ranges)
+	}
+	return scaled, mins, ranges, nil
+}
+
+// ScaleRow applies a previously computed min-max transform to one row.
+// Zero-range columns map to 0.5.
+func ScaleRow(row, mins, ranges []float64) []float64 {
+	out := make([]float64, len(row))
+	for j, v := range row {
+		if ranges[j] == 0 {
+			out[j] = 0.5
+			continue
+		}
+		out[j] = (v - mins[j]) / ranges[j]
+	}
+	return out
+}
+
+// CDFPoint is one step of an empirical cumulative distribution.
+type CDFPoint struct {
+	X        float64 // the value (e.g. search cost in measurements)
+	Fraction float64 // fraction of samples <= X, in [0,1]
+}
+
+// CDF returns the empirical cumulative distribution of xs evaluated at each
+// distinct sample value, in increasing order of X. The paper's Figures 1
+// and 9 are CDFs of search cost across the 107 workloads.
+func CDF(xs []float64) ([]CDFPoint, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var pts []CDFPoint
+	n := float64(len(sorted))
+	for i := 0; i < len(sorted); i++ {
+		// Emit one point per distinct value, at its last occurrence.
+		if i+1 < len(sorted) && sorted[i+1] == sorted[i] {
+			continue
+		}
+		pts = append(pts, CDFPoint{X: sorted[i], Fraction: float64(i+1) / n})
+	}
+	return pts, nil
+}
+
+// CDFAt evaluates an empirical CDF (as returned by CDF) at x.
+func CDFAt(pts []CDFPoint, x float64) float64 {
+	frac := 0.0
+	for _, p := range pts {
+		if p.X <= x {
+			frac = p.Fraction
+		} else {
+			break
+		}
+	}
+	return frac
+}
+
+// MeanOrZero is a convenience wrapper used in reporting paths where an empty
+// slice should read as zero rather than an error.
+func MeanOrZero(xs []float64) float64 {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0
+	}
+	return m
+}

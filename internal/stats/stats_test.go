@@ -1,0 +1,347 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"single", []float64{4}, 4},
+		{"pair", []float64{2, 4}, 3},
+		{"negative", []float64{-1, 1}, 0},
+		{"many", []float64{1, 2, 3, 4, 5}, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Mean(tt.in)
+			if err != nil {
+				t.Fatalf("Mean(%v) error: %v", tt.in, err)
+			}
+			if !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Mean(nil) error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestMeanNaN(t *testing.T) {
+	if _, err := Mean([]float64{1, math.NaN()}); err == nil {
+		t.Error("Mean with NaN should fail")
+	}
+}
+
+func TestVariance(t *testing.T) {
+	got, err := Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sum of squared deviations = 32, n-1 = 7.
+	if want := 32.0 / 7.0; !almostEqual(got, want, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+}
+
+func TestVarianceTooFew(t *testing.T) {
+	if _, err := Variance([]float64{1}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Variance of one sample error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestStdDevNonNegativeProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) < 2 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true
+			}
+		}
+		sd, err := StdDev(xs)
+		return err == nil && sd >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1},
+		{0.25, 2},
+		{0.5, 3},
+		{0.75, 4},
+		{1, 5},
+		{0.1, 1.4},
+	}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.q)
+		if err != nil {
+			t.Fatalf("Quantile(%v): %v", tt.q, err)
+		}
+		if !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestQuantileOutOfRange(t *testing.T) {
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := Quantile([]float64{1}, q); err == nil {
+			t.Errorf("Quantile(%v) should fail", q)
+		}
+	}
+}
+
+func TestMedianSingleElement(t *testing.T) {
+	got, err := Median([]float64{42})
+	if err != nil || got != 42 {
+		t.Errorf("Median([42]) = %v, %v", got, err)
+	}
+}
+
+func TestMedianBetweenQuartilesProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		q1, q3, iqr, err := IQR(xs)
+		if err != nil {
+			return false
+		}
+		med, err := Median(xs)
+		if err != nil {
+			return false
+		}
+		return q1 <= med && med <= q3 && iqr >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMaxArg(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if m, _ := Min(xs); m != 1 {
+		t.Errorf("Min = %v", m)
+	}
+	if m, _ := Max(xs); m != 5 {
+		t.Errorf("Max = %v", m)
+	}
+	if i, _ := ArgMin(xs); i != 1 {
+		t.Errorf("ArgMin = %v, want 1 (first minimum)", i)
+	}
+	if i, _ := ArgMax(xs); i != 4 {
+		t.Errorf("ArgMax = %v", i)
+	}
+}
+
+func TestArgMinEmptyError(t *testing.T) {
+	if _, err := ArgMin(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got, err := Normalize([]float64{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 4}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Errorf("Normalize[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNormalizeRejectsNonPositive(t *testing.T) {
+	if _, err := Normalize([]float64{0, 1}); err == nil {
+		t.Error("Normalize with zero minimum should fail")
+	}
+	if _, err := Normalize([]float64{-1, 1}); err == nil {
+		t.Error("Normalize with negative minimum should fail")
+	}
+}
+
+func TestNormalizeMinimumIsOneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 0.1 + rng.Float64()*100
+		}
+		norm, err := Normalize(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mn, _ := Min(norm)
+		if !almostEqual(mn, 1, 1e-12) {
+			t.Fatalf("normalized minimum = %v, want 1", mn)
+		}
+	}
+}
+
+func TestMinMaxScale(t *testing.T) {
+	rows := [][]float64{{0, 10}, {5, 20}, {10, 30}}
+	scaled, mins, ranges, err := MinMaxScale(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mins[0] != 0 || mins[1] != 10 || ranges[0] != 10 || ranges[1] != 20 {
+		t.Errorf("mins=%v ranges=%v", mins, ranges)
+	}
+	for i, row := range scaled {
+		for j, v := range row {
+			if v < 0 || v > 1 {
+				t.Errorf("scaled[%d][%d] = %v out of [0,1]", i, j, v)
+			}
+		}
+	}
+	if scaled[1][0] != 0.5 || scaled[1][1] != 0.5 {
+		t.Errorf("midpoint should scale to 0.5: %v", scaled[1])
+	}
+}
+
+func TestMinMaxScaleConstantColumn(t *testing.T) {
+	rows := [][]float64{{7, 1}, {7, 2}}
+	scaled, _, _, err := MinMaxScale(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled[0][0] != 0.5 || scaled[1][0] != 0.5 {
+		t.Errorf("constant column should map to 0.5, got %v %v", scaled[0][0], scaled[1][0])
+	}
+}
+
+func TestMinMaxScaleRaggedRows(t *testing.T) {
+	if _, _, _, err := MinMaxScale([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged rows should fail")
+	}
+}
+
+func TestScaleRowMatchesTrainingTransform(t *testing.T) {
+	rows := [][]float64{{0, 100}, {10, 300}}
+	scaled, mins, ranges, err := MinMaxScale(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range rows {
+		re := ScaleRow(row, mins, ranges)
+		for j := range re {
+			if !almostEqual(re[j], scaled[i][j], 1e-12) {
+				t.Errorf("ScaleRow mismatch at [%d][%d]: %v vs %v", i, j, re[j], scaled[i][j])
+			}
+		}
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts, err := CDF([]float64{3, 1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []CDFPoint{{1, 0.25}, {2, 0.75}, {3, 1.0}}
+	if len(pts) != len(want) {
+		t.Fatalf("got %d points, want %d", len(pts), len(want))
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Errorf("pts[%d] = %+v, want %+v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Floor(rng.Float64() * 10)
+		}
+		pts, err := CDF(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].X < pts[j].X }) {
+			t.Fatal("CDF X values not sorted")
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Fraction < pts[i-1].Fraction {
+				t.Fatalf("CDF not monotone at %d: %v", i, pts)
+			}
+		}
+		if last := pts[len(pts)-1].Fraction; !almostEqual(last, 1, 1e-12) {
+			t.Fatalf("CDF should end at 1, got %v", last)
+		}
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	pts := []CDFPoint{{1, 0.25}, {2, 0.75}, {3, 1.0}}
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0},
+		{1, 0.25},
+		{1.5, 0.25},
+		{2, 0.75},
+		{10, 1.0},
+	}
+	for _, tt := range tests {
+		if got := CDFAt(pts, tt.x); got != tt.want {
+			t.Errorf("CDFAt(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestMeanOrZero(t *testing.T) {
+	if got := MeanOrZero(nil); got != 0 {
+		t.Errorf("MeanOrZero(nil) = %v", got)
+	}
+	if got := MeanOrZero([]float64{2, 4}); got != 3 {
+		t.Errorf("MeanOrZero = %v", got)
+	}
+}

@@ -1,0 +1,109 @@
+package study
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// GroupBy selects how BreakdownByGroup buckets the study workloads.
+type GroupBy int
+
+// The grouping dimensions.
+const (
+	ByCategory GroupBy = iota + 1
+	BySystem
+	ByInputSize
+)
+
+// String names the grouping.
+func (g GroupBy) String() string {
+	switch g {
+	case ByCategory:
+		return "category"
+	case BySystem:
+		return "system"
+	case ByInputSize:
+		return "input-size"
+	default:
+		return fmt.Sprintf("GroupBy(%d)", int(g))
+	}
+}
+
+// GroupStats summarizes one bucket of a breakdown.
+type GroupStats struct {
+	Group     string
+	Workloads int
+	// MeanStep / MedianStep aggregate the per-workload median search
+	// cost (measurements until the optimum was measured).
+	MeanStep   float64
+	MedianStep float64
+	// RegionCounts classifies each workload's median search cost.
+	RegionCounts map[Region]int
+}
+
+// BreakdownByGroup runs the method on every study workload (stopping
+// disabled) and aggregates search cost per workload group — a finer view
+// of Figure 1's "which workloads are hard" than the paper reports.
+func (r *Runner) BreakdownByGroup(mc MethodConfig, objective core.Objective, seeds int, group GroupBy) ([]GroupStats, error) {
+	cdfs, err := r.SearchCostCDF([]MethodConfig{mc}, objective, seeds)
+	if err != nil {
+		return nil, err
+	}
+	byID := make(map[string]workloads.Workload, len(r.workloads))
+	for _, w := range r.workloads {
+		byID[w.ID()] = w
+	}
+	buckets := map[string][]float64{}
+	for _, res := range cdfs[0].PerWorkload {
+		w, ok := byID[res.WorkloadID]
+		if !ok {
+			return nil, fmt.Errorf("study: unknown workload %s in CDF", res.WorkloadID)
+		}
+		var key string
+		switch group {
+		case ByCategory:
+			key = w.Category.String()
+		case BySystem:
+			key = w.System.String()
+		case ByInputSize:
+			key = w.Size.String()
+		default:
+			return nil, fmt.Errorf("study: grouping %d: %w", int(group), core.ErrBadConfig)
+		}
+		buckets[key] = append(buckets[key], res.MedianStep)
+	}
+	keys := make([]string, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	out := make([]GroupStats, 0, len(keys))
+	for _, key := range keys {
+		steps := buckets[key]
+		mean, err := stats.Mean(steps)
+		if err != nil {
+			return nil, err
+		}
+		median, err := stats.Median(steps)
+		if err != nil {
+			return nil, err
+		}
+		gs := GroupStats{
+			Group:        key,
+			Workloads:    len(steps),
+			MeanStep:     mean,
+			MedianStep:   median,
+			RegionCounts: map[Region]int{},
+		}
+		for _, s := range steps {
+			gs.RegionCounts[ClassifyRegion(int(s+0.5))]++
+		}
+		out = append(out, gs)
+	}
+	return out, nil
+}

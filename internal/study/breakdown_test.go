@@ -1,0 +1,56 @@
+package study
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestBreakdownByGroup(t *testing.T) {
+	r := testRunner(t)
+	for _, group := range []GroupBy{ByCategory, BySystem, ByInputSize} {
+		t.Run(group.String(), func(t *testing.T) {
+			statsOut, err := r.BreakdownByGroup(
+				MethodConfig{Method: MethodAugmented}, core.MinimizeCost, 2, group)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(statsOut) == 0 {
+				t.Fatal("no groups")
+			}
+			total := 0
+			for _, gs := range statsOut {
+				if gs.Group == "" {
+					t.Error("empty group name")
+				}
+				if gs.MeanStep < 1 || gs.MedianStep < 1 {
+					t.Errorf("%s: steps below 1: %+v", gs.Group, gs)
+				}
+				total += gs.Workloads
+				regionTotal := 0
+				for _, c := range gs.RegionCounts {
+					regionTotal += c
+				}
+				if regionTotal != gs.Workloads {
+					t.Errorf("%s: region counts sum to %d, want %d", gs.Group, regionTotal, gs.Workloads)
+				}
+			}
+			if total != len(r.Workloads()) {
+				t.Errorf("groups cover %d workloads, want %d", total, len(r.Workloads()))
+			}
+		})
+	}
+}
+
+func TestBreakdownInvalidGroup(t *testing.T) {
+	r := testRunner(t)
+	if _, err := r.BreakdownByGroup(MethodConfig{Method: MethodNaive}, core.MinimizeCost, 1, GroupBy(0)); err == nil {
+		t.Error("invalid grouping should fail")
+	}
+}
+
+func TestGroupByString(t *testing.T) {
+	if ByCategory.String() != "category" || BySystem.String() != "system" || ByInputSize.String() != "input-size" {
+		t.Error("group names wrong")
+	}
+}

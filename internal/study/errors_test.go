@@ -1,0 +1,92 @@
+package study
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+func TestSearchCostCDFInvalidSeeds(t *testing.T) {
+	r := testRunner(t)
+	if _, err := r.SearchCostCDF([]MethodConfig{{Method: MethodNaive}}, core.MinimizeCost, 0); err == nil {
+		t.Error("zero seeds should fail")
+	}
+}
+
+func TestTrajectoriesInvalidSeeds(t *testing.T) {
+	r := testRunner(t)
+	w := r.Workloads()[0]
+	if _, err := r.Trajectories(MethodConfig{Method: MethodNaive}, w, core.MinimizeCost, 0); err == nil {
+		t.Error("zero seeds should fail")
+	}
+}
+
+func TestStoppingSweepInvalidSeeds(t *testing.T) {
+	r := testRunner(t)
+	if _, err := r.StoppingSweep(core.MinimizeCost, 0, nil, nil, nil); err == nil {
+		t.Error("zero seeds should fail")
+	}
+}
+
+func TestCompareInvalidSeeds(t *testing.T) {
+	r := testRunner(t)
+	if _, err := r.Compare(MethodConfig{Method: MethodNaive}, MethodConfig{Method: MethodAugmented},
+		core.MinimizeCost, 0, nil); err == nil {
+		t.Error("zero seeds should fail")
+	}
+}
+
+func TestStoppingSweepMissingRegion(t *testing.T) {
+	r := testRunner(t)
+	// An empty region map must be detected, not silently ignored.
+	if _, err := r.StoppingSweep(core.MinimizeCost, 1, []float64{0.1}, nil, map[string]Region{}); err == nil {
+		t.Error("missing region entries should fail")
+	}
+}
+
+func TestRunSearchUnknownMethod(t *testing.T) {
+	r := testRunner(t)
+	w := r.Workloads()[0]
+	if _, err := r.RunSearch(MethodConfig{}, w, core.MinimizeCost, 1); err == nil {
+		t.Error("zero method should fail")
+	}
+}
+
+func TestKernelComparisonEmptyKinds(t *testing.T) {
+	r := testRunner(t)
+	w := r.Workloads()[0]
+	reports, err := r.KernelComparison(w, core.MinimizeTime, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 0 {
+		t.Errorf("%d reports for no kernels", len(reports))
+	}
+	reports, err = r.KernelComparison(w, core.MinimizeTime, []kernel.Kind{kernel.RBF}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0].Label != "RBF" {
+		t.Errorf("unexpected reports: %+v", reports)
+	}
+}
+
+func TestWithConcurrencyOption(t *testing.T) {
+	r := NewRunner(testRunner(t).Simulator(), WithConcurrency(2), WithWorkloads(testRunner(t).Workloads()[:2]))
+	cdfs, err := r.SearchCostCDF([]MethodConfig{{Method: MethodRandom}}, core.MinimizeCost, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cdfs[0].PerWorkload) != 2 {
+		t.Errorf("%d workloads", len(cdfs[0].PerWorkload))
+	}
+}
+
+func TestWithConcurrencyIgnoresNonPositive(t *testing.T) {
+	// Zero/negative concurrency must fall back to the default, not hang.
+	r := NewRunner(testRunner(t).Simulator(), WithConcurrency(0), WithWorkloads(testRunner(t).Workloads()[:1]))
+	if _, err := r.SearchCostCDF([]MethodConfig{{Method: MethodRandom}}, core.MinimizeCost, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,348 @@
+package study
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Region is the paper's three-way classification of how hard a workload is
+// for Naive BO (Figure 1): Region I needs at most 33% of the search space
+// (6 of 18 measurements), Region II at most 66% (12), Region III more.
+type Region int
+
+// The regions.
+const (
+	RegionI Region = iota + 1
+	RegionII
+	RegionIII
+)
+
+// String names the region.
+func (r Region) String() string {
+	switch r {
+	case RegionI:
+		return "Region I"
+	case RegionII:
+		return "Region II"
+	case RegionIII:
+		return "Region III"
+	default:
+		return fmt.Sprintf("Region(%d)", int(r))
+	}
+}
+
+// Region boundaries for the 18-VM catalog.
+const (
+	RegionIBudget  = 6  // 33% of the search space
+	RegionIIBudget = 12 // 66% of the search space
+)
+
+// ClassifyRegion maps a search cost (measurements to reach the optimum)
+// to its region.
+func ClassifyRegion(searchCost int) Region {
+	switch {
+	case searchCost <= RegionIBudget:
+		return RegionI
+	case searchCost <= RegionIIBudget:
+		return RegionII
+	default:
+		return RegionIII
+	}
+}
+
+// SearchCostResult is the per-workload outcome of a search-cost experiment.
+type SearchCostResult struct {
+	WorkloadID string
+	// MedianStep is the median (over seeds) 1-based step at which the
+	// true optimal VM was measured; searches that never measured it count
+	// as catalog size + 1.
+	MedianStep float64
+	// Steps holds the per-seed raw steps.
+	Steps []float64
+}
+
+// MethodCDF is one method's search-cost distribution across workloads —
+// one line of Figure 1 or Figure 9.
+type MethodCDF struct {
+	Label string
+	// PerWorkload holds each workload's median search cost.
+	PerWorkload []SearchCostResult
+	// FractionByBudget[m-1] is the fraction of workloads whose median
+	// search cost is at most m measurements, for m = 1..catalog size.
+	FractionByBudget []float64
+}
+
+// FractionWithin returns the fraction of workloads solved within budget m.
+func (c *MethodCDF) FractionWithin(m int) float64 {
+	if m < 1 {
+		return 0
+	}
+	if m > len(c.FractionByBudget) {
+		m = len(c.FractionByBudget)
+	}
+	return c.FractionByBudget[m-1]
+}
+
+// SearchCostCDF reruns every study workload with `seeds` independent
+// repetitions per method (stopping disabled so the search can always reach
+// the optimum) and aggregates when each method first measures the true
+// optimal VM. This regenerates Figure 1 (Naive BO alone) and Figure 9
+// (Naive vs Augmented vs Hybrid).
+func (r *Runner) SearchCostCDF(mcs []MethodConfig, objective core.Objective, seeds int) ([]MethodCDF, error) {
+	if seeds < 1 {
+		return nil, fmt.Errorf("study: seeds %d: %w", seeds, core.ErrBadConfig)
+	}
+	out := make([]MethodCDF, len(mcs))
+	for mi, mc := range mcs {
+		mc := disableStopping(mc)
+		results := make([]SearchCostResult, len(r.workloads))
+		type task struct{ wi, seed int }
+		tasks := make([]task, 0, len(r.workloads)*seeds)
+		for wi := range r.workloads {
+			results[wi] = SearchCostResult{
+				WorkloadID: r.workloads[wi].ID(),
+				Steps:      make([]float64, seeds),
+			}
+			for s := 0; s < seeds; s++ {
+				tasks = append(tasks, task{wi, s})
+			}
+		}
+		err := r.forEach(len(tasks), func(i int) error {
+			t := tasks[i]
+			summary, err := r.RunSearch(mc, r.workloads[t.wi], objective, int64(t.seed))
+			if err != nil {
+				return err
+			}
+			step := summary.StepOptimal
+			if step == 0 {
+				step = r.catalog.Len() + 1
+			}
+			results[t.wi].Steps[t.seed] = float64(step)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for wi := range results {
+			med, err := stats.Median(results[wi].Steps)
+			if err != nil {
+				return nil, err
+			}
+			results[wi].MedianStep = med
+		}
+		fractions := make([]float64, r.catalog.Len())
+		for m := 1; m <= r.catalog.Len(); m++ {
+			count := 0
+			for _, res := range results {
+				if res.MedianStep <= float64(m) {
+					count++
+				}
+			}
+			fractions[m-1] = float64(count) / float64(len(results))
+		}
+		out[mi] = MethodCDF{Label: mc.Label(), PerWorkload: results, FractionByBudget: fractions}
+	}
+	return out, nil
+}
+
+// disableStopping strips early-stopping so search-cost-to-optimal is well
+// defined.
+func disableStopping(mc MethodConfig) MethodConfig {
+	mc.EIStop = -1
+	mc.Delta = -1
+	return mc
+}
+
+// ClassifyRegions classifies every study workload by Naive BO's median
+// search cost, reproducing the Region I/II/III split of Figure 1.
+func (r *Runner) ClassifyRegions(objective core.Objective, seeds int) (map[string]Region, error) {
+	cdfs, err := r.SearchCostCDF([]MethodConfig{{Method: MethodNaive}}, objective, seeds)
+	if err != nil {
+		return nil, err
+	}
+	regions := make(map[string]Region, len(cdfs[0].PerWorkload))
+	for _, res := range cdfs[0].PerWorkload {
+		regions[res.WorkloadID] = ClassifyRegion(int(math.Ceil(res.MedianStep)))
+	}
+	return regions, nil
+}
+
+// TrajectoryPoint is one step of an aggregated search trajectory: the
+// median and interquartile band (over seeds) of the normalized
+// best-so-far value — the line and shaded region of Figures 2, 7 and 10.
+type TrajectoryPoint struct {
+	Step   int // 1-based measurement count
+	Median float64
+	Q1     float64
+	Q3     float64
+}
+
+// TrajectoryReport aggregates one method's trajectories on one workload.
+type TrajectoryReport struct {
+	Label      string
+	WorkloadID string
+	Points     []TrajectoryPoint
+	// MedianStepOptimal is the median step at which the optimum was
+	// measured (catalog size + 1 when a run never reached it).
+	MedianStepOptimal float64
+}
+
+// Trajectories runs `seeds` searches of w (stopping disabled) and
+// aggregates the normalized best-so-far trajectory per step.
+func (r *Runner) Trajectories(mc MethodConfig, w workloads.Workload, objective core.Objective, seeds int) (*TrajectoryReport, error) {
+	if seeds < 1 {
+		return nil, fmt.Errorf("study: seeds %d: %w", seeds, core.ErrBadConfig)
+	}
+	mc = disableStopping(mc)
+	summaries := make([]*RunSummary, seeds)
+	err := r.forEach(seeds, func(i int) error {
+		s, err := r.RunSearch(mc, w, objective, int64(i))
+		if err != nil {
+			return err
+		}
+		summaries[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	maxSteps := 0
+	for _, s := range summaries {
+		if len(s.Trajectory) > maxSteps {
+			maxSteps = len(s.Trajectory)
+		}
+	}
+	if maxSteps == 0 {
+		return nil, errNoRuns
+	}
+	report := &TrajectoryReport{Label: mc.Label(), WorkloadID: w.ID()}
+	stepsToOpt := make([]float64, 0, seeds)
+	for _, s := range summaries {
+		step := s.StepOptimal
+		if step == 0 {
+			step = r.catalog.Len() + 1
+		}
+		stepsToOpt = append(stepsToOpt, float64(step))
+	}
+	med, err := stats.Median(stepsToOpt)
+	if err != nil {
+		return nil, err
+	}
+	report.MedianStepOptimal = med
+
+	for step := 1; step <= maxSteps; step++ {
+		vals := make([]float64, 0, seeds)
+		for _, s := range summaries {
+			// A run shorter than `step` keeps its final value: the search
+			// ended; its best no longer changes.
+			idx := step - 1
+			if idx >= len(s.Trajectory) {
+				idx = len(s.Trajectory) - 1
+			}
+			vals = append(vals, s.Trajectory[idx])
+		}
+		median, err := stats.Median(vals)
+		if err != nil {
+			return nil, err
+		}
+		q1, q3, _, err := stats.IQR(vals)
+		if err != nil {
+			return nil, err
+		}
+		report.Points = append(report.Points, TrajectoryPoint{Step: step, Median: median, Q1: q1, Q3: q3})
+	}
+	return report, nil
+}
+
+// KernelComparison reruns Figure 7: Naive BO with each kernel family on
+// one workload, aggregated over seeds.
+func (r *Runner) KernelComparison(w workloads.Workload, objective core.Objective, kinds []kernel.Kind, seeds int) ([]*TrajectoryReport, error) {
+	reports := make([]*TrajectoryReport, 0, len(kinds))
+	for _, k := range kinds {
+		mc := MethodConfig{Method: MethodNaive, Kernel: k}
+		rep, err := r.Trajectories(mc, w, objective, seeds)
+		if err != nil {
+			return nil, err
+		}
+		rep.Label = k.String()
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// InitialPointReport summarizes the Section III-C sensitivity experiment
+// for one initial design.
+type InitialPointReport struct {
+	Label string
+	// FailFraction is the fraction of workloads whose search did not
+	// measure the optimal VM within the Region I budget (6 measurements).
+	FailFraction float64
+	// PerWorkloadStep maps each workload to the step the optimum was
+	// measured (catalog size + 1 if never).
+	PerWorkloadStep map[string]int
+}
+
+// InitialPointSensitivity reruns Naive BO with caller-chosen fixed initial
+// VM triplets (by name) and reports how often the optimum is missed within
+// six measurements — the paper found ~15% of workloads fail with one
+// triplet and succeed with another.
+func (r *Runner) InitialPointSensitivity(objective core.Objective, designs map[string][]string) ([]InitialPointReport, error) {
+	var labels []string
+	for label := range designs {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+
+	var out []InitialPointReport
+	for _, label := range labels {
+		names := designs[label]
+		indices := make([]int, len(names))
+		for i, name := range names {
+			idx, err := r.catalog.Index(name)
+			if err != nil {
+				return nil, err
+			}
+			indices[i] = idx
+		}
+		mc := MethodConfig{
+			Method: MethodNaive,
+			Design: core.DesignConfig{Kind: core.DesignFixed, Fixed: indices, NumInitial: len(indices)},
+		}
+		mc = disableStopping(mc)
+		report := InitialPointReport{Label: label, PerWorkloadStep: make(map[string]int, len(r.workloads))}
+		steps := make([]int, len(r.workloads))
+		err := r.forEach(len(r.workloads), func(i int) error {
+			// The design is fixed, so a single run per workload is
+			// deterministic up to measurement noise; seed by index.
+			summary, err := r.RunSearch(mc, r.workloads[i], objective, int64(i))
+			if err != nil {
+				return err
+			}
+			step := summary.StepOptimal
+			if step == 0 {
+				step = r.catalog.Len() + 1
+			}
+			steps[i] = step
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		failed := 0
+		for i, w := range r.workloads {
+			report.PerWorkloadStep[w.ID()] = steps[i]
+			if steps[i] > RegionIBudget {
+				failed++
+			}
+		}
+		report.FailFraction = float64(failed) / float64(len(r.workloads))
+		out = append(out, report)
+	}
+	return out, nil
+}

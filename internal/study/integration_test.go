@@ -1,0 +1,172 @@
+package study
+
+import (
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// fragileRunner builds a Runner over memory- and I/O-heavy workloads — the
+// kind the paper's Regions II/III are made of.
+func fragileRunner(t *testing.T) *Runner {
+	t.Helper()
+	s := sim.New(cloud.DefaultCatalog())
+	ids := []string{
+		"lr/spark1.5/medium",
+		"lr/spark2.1/medium",
+		"classification/spark2.1/medium",
+		"fp-growth/spark2.1/medium",
+		"lda/spark1.5/medium",
+		"regression/spark1.5/medium",
+		"mm/spark2.1/medium",
+		"df/spark1.5/medium",
+		"scan/hadoop2.7/large",
+		"terasort/hadoop2.7/large",
+	}
+	var ws []workloads.Workload
+	for _, id := range ids {
+		w, err := workloads.ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, w)
+	}
+	return NewRunner(s, WithWorkloads(ws))
+}
+
+// TestIntegrationAugmentedBeatsNaiveOnFragileWorkloads verifies the
+// paper's headline claim at small scale: on hard (memory/I-O bound)
+// workloads under the cost objective, Augmented BO's mean search cost to
+// reach the optimum is no worse than Naive BO's.
+func TestIntegrationAugmentedBeatsNaiveOnFragileWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test: skipped in -short mode")
+	}
+	r := fragileRunner(t)
+	const seeds = 6
+
+	meanCost := func(mc MethodConfig) float64 {
+		cdfs, err := r.SearchCostCDF([]MethodConfig{mc}, core.MinimizeCost, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []float64
+		for _, res := range cdfs[0].PerWorkload {
+			all = append(all, res.MedianStep)
+		}
+		m, err := stats.Mean(all)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	naive := meanCost(MethodConfig{Method: MethodNaive})
+	augmented := meanCost(MethodConfig{Method: MethodAugmented})
+	t.Logf("mean median search cost: naive=%.2f augmented=%.2f", naive, augmented)
+	// Allow a small tolerance: individual subsets and seeds wobble, but
+	// augmented should not be meaningfully worse.
+	if augmented > naive+1.0 {
+		t.Errorf("augmented BO (%.2f) meaningfully worse than naive (%.2f) on fragile workloads", augmented, naive)
+	}
+}
+
+// TestIntegrationStoppingRulesSaveMeasurements verifies that both stopping
+// rules actually cut the search cost versus exhausting the catalog, while
+// landing within 25% of optimal on average.
+func TestIntegrationStoppingRulesSaveMeasurements(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test: skipped in -short mode")
+	}
+	r := fragileRunner(t)
+	const seeds = 4
+	for _, mc := range []MethodConfig{
+		{Method: MethodNaive, EIStop: 0.10},
+		{Method: MethodAugmented, Delta: 1.1},
+	} {
+		var costs, norms []float64
+		for _, w := range r.Workloads() {
+			for seed := 0; seed < seeds; seed++ {
+				summary, err := r.RunSearch(mc, w, core.MinimizeCost, int64(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				costs = append(costs, float64(summary.Measurements))
+				norms = append(norms, summary.FoundNorm)
+			}
+		}
+		meanCost, _ := stats.Mean(costs)
+		meanNorm, _ := stats.Mean(norms)
+		t.Logf("%s: mean search cost %.2f, mean normalized cost %.3f", mc.Label(), meanCost, meanNorm)
+		if meanCost >= float64(r.Catalog().Len()) {
+			t.Errorf("%s: stopping rule never fired", mc.Label())
+		}
+		if meanNorm > 1.25 {
+			t.Errorf("%s: found VMs average %.2fx optimal — stopping too eagerly", mc.Label(), meanNorm)
+		}
+	}
+}
+
+// TestIntegrationRandomSearchIsWorse sanity-checks that the BO methods
+// actually exploit structure: random search needs more measurements on
+// average to hit the optimum than either BO method on the same workloads.
+func TestIntegrationRandomSearchIsWorse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test: skipped in -short mode")
+	}
+	r := fragileRunner(t)
+	const seeds = 6
+
+	mean := func(mc MethodConfig) float64 {
+		cdfs, err := r.SearchCostCDF([]MethodConfig{mc}, core.MinimizeCost, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []float64
+		for _, res := range cdfs[0].PerWorkload {
+			all = append(all, res.MedianStep)
+		}
+		m, err := stats.Mean(all)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	random := mean(MethodConfig{Method: MethodRandom})
+	augmented := mean(MethodConfig{Method: MethodAugmented})
+	t.Logf("mean median search cost: random=%.2f augmented=%.2f", random, augmented)
+	if augmented >= random {
+		t.Errorf("augmented BO (%.2f) not better than random search (%.2f)", augmented, random)
+	}
+}
+
+// TestIntegrationNoisyMeasurementsStillConverge runs the search under
+// heavy (3x default) measurement noise and checks it still finds a
+// near-optimal VM when exhausting the catalog.
+func TestIntegrationNoisyMeasurementsStillConverge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test: skipped in -short mode")
+	}
+	s := sim.New(cloud.DefaultCatalog(), sim.WithNoiseSigma(3*sim.DefaultNoiseSigma))
+	w, err := workloads.ByID("als/spark2.1/medium")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(s, WithWorkloads([]workloads.Workload{w}))
+	for seed := int64(0); seed < 5; seed++ {
+		summary, err := r.RunSearch(MethodConfig{Method: MethodAugmented, Delta: -1}, w, core.MinimizeCost, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Exhaustive search must measure the optimum; under noise the
+		// *measured* incumbent may differ, but the trajectory (computed
+		// against truth) must reach 1.0.
+		if summary.Trajectory[len(summary.Trajectory)-1] != 1.0 {
+			t.Errorf("seed %d: exhaustive search trajectory ends at %v", seed, summary.Trajectory[len(summary.Trajectory)-1])
+		}
+	}
+}

@@ -1,0 +1,363 @@
+// Package study is the empirical-study harness: it reruns the paper's
+// evaluation (Sections II, III, V and VI) on the simulator substrate and
+// produces the data series behind every figure — search-cost CDFs, search
+// trajectories with interquartile bands, kernel comparisons, stopping-
+// criterion sweeps, and the win/draw/loss comparison between Naive BO and
+// Augmented BO.
+//
+// The Runner caches noise-free truth tables per workload and fans
+// independent (workload, seed) searches out over a bounded worker pool.
+package study
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/forest"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Method identifies an optimizer family.
+type Method int
+
+// The search methods under study.
+const (
+	MethodNaive Method = iota + 1
+	MethodAugmented
+	MethodHybrid
+	MethodRandom
+)
+
+// String names the method as in the paper's figures.
+func (m Method) String() string {
+	switch m {
+	case MethodNaive:
+		return "Naive BO"
+	case MethodAugmented:
+		return "Augmented BO"
+	case MethodHybrid:
+		return "Hybrid BO"
+	case MethodRandom:
+		return "Random"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// MethodConfig is a reusable optimizer specification; Build instantiates
+// it for a concrete objective and seed.
+type MethodConfig struct {
+	Method Method
+
+	// Kernel applies to MethodNaive (and Hybrid's opening phase).
+	// Zero means Matérn 5/2.
+	Kernel kernel.Kind
+	// EIStop is Naive BO's stopping fraction; 0 means the CherryPick 10%,
+	// negative disables stopping.
+	EIStop float64
+	// Delta is Augmented BO's Prediction-Delta threshold; 0 means the
+	// recommended 1.1, negative disables stopping.
+	Delta float64
+	// SwitchAfter applies to MethodHybrid; 0 means the default.
+	SwitchAfter int
+	// Forest overrides the Extra-Trees configuration (seed is managed by
+	// the optimizer).
+	Forest forest.Config
+	// Design configures the initial sample; the zero value is the
+	// 3-point quasi-random design.
+	Design core.DesignConfig
+}
+
+// Label renders a short identifier including the stopping threshold.
+func (mc MethodConfig) Label() string {
+	switch mc.Method {
+	case MethodNaive:
+		if mc.EIStop > 0 {
+			return fmt.Sprintf("%s (EI %g%%)", mc.Method, mc.EIStop*100)
+		}
+		return mc.Method.String()
+	case MethodAugmented:
+		if mc.Delta > 0 {
+			return fmt.Sprintf("%s (delta %g)", mc.Method, mc.Delta)
+		}
+		return mc.Method.String()
+	default:
+		return mc.Method.String()
+	}
+}
+
+// Build instantiates the optimizer.
+func (mc MethodConfig) Build(objective core.Objective, seed int64) (core.Optimizer, error) {
+	switch mc.Method {
+	case MethodNaive:
+		return core.NewNaiveBO(core.NaiveBOConfig{
+			Objective:      objective,
+			Kernel:         mc.Kernel,
+			EIStopFraction: mc.EIStop,
+			Design:         mc.Design,
+			Seed:           seed,
+		})
+	case MethodAugmented:
+		return core.NewAugmentedBO(core.AugmentedBOConfig{
+			Objective:      objective,
+			DeltaThreshold: mc.Delta,
+			Forest:         mc.Forest,
+			Design:         mc.Design,
+			Seed:           seed,
+		})
+	case MethodHybrid:
+		return core.NewHybridBO(core.HybridBOConfig{
+			Naive: core.NaiveBOConfig{
+				Objective: objective,
+				Kernel:    mc.Kernel,
+				Design:    mc.Design,
+				Seed:      seed,
+			},
+			Augmented: core.AugmentedBOConfig{
+				Objective:      objective,
+				DeltaThreshold: mc.Delta,
+				Forest:         mc.Forest,
+				Seed:           seed,
+			},
+			SwitchAfter: mc.SwitchAfter,
+		})
+	case MethodRandom:
+		return core.NewRandomSearch(core.RandomSearchConfig{
+			Objective: objective,
+			Seed:      seed,
+		})
+	default:
+		return nil, fmt.Errorf("study: unknown method %d: %w", int(mc.Method), core.ErrBadConfig)
+	}
+}
+
+// Runner executes searches against the simulator and caches ground truth.
+type Runner struct {
+	sim       *sim.Simulator
+	catalog   *cloud.Catalog
+	workloads []workloads.Workload
+
+	concurrency int
+
+	mu    sync.Mutex
+	truth map[truthKey][]float64
+}
+
+type truthKey struct {
+	workloadID string
+	objective  core.Objective
+}
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// WithConcurrency bounds the worker pool (default: GOMAXPROCS).
+func WithConcurrency(n int) Option {
+	return func(r *Runner) {
+		if n > 0 {
+			r.concurrency = n
+		}
+	}
+}
+
+// WithWorkloads restricts the study set (default: the full 107 workloads).
+func WithWorkloads(ws []workloads.Workload) Option {
+	return func(r *Runner) { r.workloads = append([]workloads.Workload(nil), ws...) }
+}
+
+// NewRunner builds a Runner over the simulator's study set.
+func NewRunner(s *sim.Simulator, opts ...Option) *Runner {
+	r := &Runner{
+		sim:         s,
+		catalog:     s.Catalog(),
+		workloads:   s.StudyWorkloads(),
+		concurrency: runtime.GOMAXPROCS(0),
+		truth:       make(map[truthKey][]float64),
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// Workloads returns the study set.
+func (r *Runner) Workloads() []workloads.Workload {
+	return append([]workloads.Workload(nil), r.workloads...)
+}
+
+// Catalog returns the VM catalog.
+func (r *Runner) Catalog() *cloud.Catalog { return r.catalog }
+
+// Simulator returns the underlying simulator.
+func (r *Runner) Simulator() *sim.Simulator { return r.sim }
+
+// WorkloadByID finds a study workload.
+func (r *Runner) WorkloadByID(id string) (workloads.Workload, error) {
+	for _, w := range r.workloads {
+		if w.ID() == id {
+			return w, nil
+		}
+	}
+	return workloads.Workload{}, fmt.Errorf("study: workload %q not in study set", id)
+}
+
+// TruthValues returns the noise-free objective value of w on every VM in
+// catalog order, caching the result.
+func (r *Runner) TruthValues(w workloads.Workload, objective core.Objective) ([]float64, error) {
+	key := truthKey{w.ID(), objective}
+	r.mu.Lock()
+	cached, ok := r.truth[key]
+	r.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	table, err := r.sim.TruthTable(w)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]float64, len(table))
+	for i, res := range table {
+		out := core.Outcome{TimeSec: res.TimeSec, CostUSD: res.CostUSD}
+		v, err := out.Value(objective)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	r.mu.Lock()
+	r.truth[key] = vals
+	r.mu.Unlock()
+	return vals, nil
+}
+
+// Optimal returns the index and value of the true optimum of w.
+func (r *Runner) Optimal(w workloads.Workload, objective core.Objective) (int, float64, error) {
+	vals, err := r.TruthValues(w, objective)
+	if err != nil {
+		return 0, 0, err
+	}
+	idx, err := stats.ArgMin(vals)
+	if err != nil {
+		return 0, 0, err
+	}
+	return idx, vals[idx], nil
+}
+
+// RunSummary condenses one search for aggregate reporting. Normalized
+// values are true (noise-free) objective values divided by the true
+// optimum, so 1.0 means the optimal VM.
+type RunSummary struct {
+	WorkloadID   string
+	Seed         int64
+	Measurements int       // search cost actually paid (respects stopping)
+	StepOptimal  int       // 1-based step the optimal VM was measured, 0 if never
+	FoundNorm    float64   // normalized true value of the returned best VM
+	Trajectory   []float64 // normalized best-so-far true value after each step
+	StoppedEarly bool
+}
+
+// RunSearch executes one search and summarizes it against ground truth.
+func (r *Runner) RunSearch(mc MethodConfig, w workloads.Workload, objective core.Objective, seed int64) (*RunSummary, error) {
+	opt, err := mc.Build(objective, seed)
+	if err != nil {
+		return nil, err
+	}
+	target := r.sim.NewTarget(w, seed)
+	res, err := opt.Search(target)
+	if err != nil {
+		return nil, fmt.Errorf("study: %s on %s (seed %d): %w", mc.Label(), w.ID(), seed, err)
+	}
+	return r.summarize(res, w, objective, seed)
+}
+
+func (r *Runner) summarize(res *core.Result, w workloads.Workload, objective core.Objective, seed int64) (*RunSummary, error) {
+	truth, err := r.TruthValues(w, objective)
+	if err != nil {
+		return nil, err
+	}
+	optIdx, err := stats.ArgMin(truth)
+	if err != nil {
+		return nil, err
+	}
+	optVal := truth[optIdx]
+
+	summary := &RunSummary{
+		WorkloadID:   w.ID(),
+		Seed:         seed,
+		Measurements: res.NumMeasurements(),
+		StepOptimal:  res.MeasuredAtStep(optIdx),
+		StoppedEarly: res.StoppedEarly,
+	}
+	// Best-so-far trajectory in true, normalized units: the observation
+	// order is what the optimizer chose; the value credited is the VM's
+	// true performance (the paper plots measured medians, which converge
+	// to the same thing).
+	best := truth[res.Observations[0].Index]
+	summary.Trajectory = make([]float64, len(res.Observations))
+	for i, obs := range res.Observations {
+		if truth[obs.Index] < best {
+			best = truth[obs.Index]
+		}
+		summary.Trajectory[i] = best / optVal
+	}
+	summary.FoundNorm = best / optVal
+	return summary, nil
+}
+
+// forEach runs fn(i) for i in [0,n) over the worker pool, collecting the
+// first error and waiting for every goroutine to exit before returning.
+func (r *Runner) forEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := r.concurrency
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			break
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+// errNoRuns guards aggregations over empty run sets.
+var errNoRuns = errors.New("study: no runs to aggregate")

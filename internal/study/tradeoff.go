@@ -1,0 +1,262 @@
+package study
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// SweepPoint is one (method, threshold) point of Figure 11: the average
+// search cost actually paid under the stopping rule versus the average
+// normalized value of the VM the search settled on, within one region.
+type SweepPoint struct {
+	Label      string
+	Method     Method
+	Threshold  float64
+	Region     Region
+	SearchCost float64 // mean measurements paid
+	FoundNorm  float64 // mean normalized objective value of the chosen VM
+}
+
+// StoppingSweep reruns the stopping-criterion study: Naive BO across
+// EI-stop fractions and Augmented BO across Prediction-Delta thresholds,
+// reported separately per region. Regions must come from ClassifyRegions
+// (or any caller-supplied mapping).
+func (r *Runner) StoppingSweep(objective core.Objective, seeds int, naiveEIs, augDeltas []float64, regions map[string]Region) ([]SweepPoint, error) {
+	if seeds < 1 {
+		return nil, fmt.Errorf("study: seeds %d: %w", seeds, core.ErrBadConfig)
+	}
+	var mcs []MethodConfig
+	for _, ei := range naiveEIs {
+		mcs = append(mcs, MethodConfig{Method: MethodNaive, EIStop: ei})
+	}
+	for _, d := range augDeltas {
+		mcs = append(mcs, MethodConfig{Method: MethodAugmented, Delta: d})
+	}
+
+	var out []SweepPoint
+	for _, mc := range mcs {
+		// Collect per-run summaries across all workloads and seeds.
+		type cell struct {
+			cost float64
+			norm float64
+			reg  Region
+		}
+		cells := make([]cell, len(r.workloads)*seeds)
+		type task struct{ wi, seed int }
+		tasks := make([]task, 0, len(cells))
+		for wi := range r.workloads {
+			for s := 0; s < seeds; s++ {
+				tasks = append(tasks, task{wi, s})
+			}
+		}
+		err := r.forEach(len(tasks), func(i int) error {
+			t := tasks[i]
+			w := r.workloads[t.wi]
+			summary, err := r.RunSearch(mc, w, objective, int64(t.seed))
+			if err != nil {
+				return err
+			}
+			reg, ok := regions[w.ID()]
+			if !ok {
+				return fmt.Errorf("study: workload %s missing from region map", w.ID())
+			}
+			cells[i] = cell{cost: float64(summary.Measurements), norm: summary.FoundNorm, reg: reg}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, reg := range []Region{RegionI, RegionII, RegionIII} {
+			var costs, norms []float64
+			for _, c := range cells {
+				if c.reg == reg {
+					costs = append(costs, c.cost)
+					norms = append(norms, c.norm)
+				}
+			}
+			if len(costs) == 0 {
+				continue // a region can be empty on small study subsets
+			}
+			meanCost, err := stats.Mean(costs)
+			if err != nil {
+				return nil, err
+			}
+			meanNorm, err := stats.Mean(norms)
+			if err != nil {
+				return nil, err
+			}
+			threshold := mc.EIStop
+			if mc.Method == MethodAugmented {
+				threshold = mc.Delta
+			}
+			out = append(out, SweepPoint{
+				Label:      mc.Label(),
+				Method:     mc.Method,
+				Threshold:  threshold,
+				Region:     reg,
+				SearchCost: meanCost,
+				FoundNorm:  meanNorm,
+			})
+		}
+	}
+	return out, nil
+}
+
+// CompareClass is the paper's four-way outcome of Figures 12 and 13.
+type CompareClass int
+
+// The comparison classes.
+const (
+	// Win: Augmented BO pays no more search cost and finds a VM at least
+	// as good, with a strict improvement in at least one dimension.
+	Win CompareClass = iota + 1
+	// Same: both methods tie in search cost and found value.
+	Same
+	// Draw: a trade-off — Augmented BO searches cheaper but settles on a
+	// worse VM.
+	Draw
+	// Loss: Augmented BO pays more search cost.
+	Loss
+)
+
+// String names the class.
+func (c CompareClass) String() string {
+	switch c {
+	case Win:
+		return "Win"
+	case Same:
+		return "Same"
+	case Draw:
+		return "Draw"
+	case Loss:
+		return "Loss"
+	default:
+		return fmt.Sprintf("CompareClass(%d)", int(c))
+	}
+}
+
+// ComparePoint is one workload of the Figure 12/13 scatter.
+type ComparePoint struct {
+	WorkloadID string
+	Region     Region
+	// SearchCostReduction is (naive - augmented) / naive, in percent;
+	// positive means Augmented BO searched cheaper.
+	SearchCostReduction float64
+	// ValueImprovement is (naiveFound - augFound) / naiveFound over the
+	// normalized found values, in percent; positive means Augmented BO
+	// found a better VM.
+	ValueImprovement float64
+	Class            CompareClass
+}
+
+// CompareReport aggregates the scatter and its class counts.
+type CompareReport struct {
+	Points []ComparePoint
+	Counts map[CompareClass]int
+}
+
+// compareEpsilon: differences below these absolute thresholds count as
+// ties (the paper's "Same" bucket).
+const (
+	costEpsilonPct  = 0.5 // in percent of naive search cost
+	valueEpsilonPct = 0.5 // in percent of naive found value
+)
+
+// Compare reruns Figure 12 (or 13 under the product objective): each
+// method runs WITH its stopping rule, and per workload the median search
+// cost and found value over seeds are compared.
+func (r *Runner) Compare(naive, augmented MethodConfig, objective core.Objective, seeds int, regions map[string]Region) (*CompareReport, error) {
+	if seeds < 1 {
+		return nil, fmt.Errorf("study: seeds %d: %w", seeds, core.ErrBadConfig)
+	}
+	type agg struct {
+		costs []float64
+		norms []float64
+	}
+	naiveAgg := make([]agg, len(r.workloads))
+	augAgg := make([]agg, len(r.workloads))
+	for wi := range r.workloads {
+		naiveAgg[wi] = agg{costs: make([]float64, seeds), norms: make([]float64, seeds)}
+		augAgg[wi] = agg{costs: make([]float64, seeds), norms: make([]float64, seeds)}
+	}
+	type task struct {
+		wi, seed int
+		aug      bool
+	}
+	var tasks []task
+	for wi := range r.workloads {
+		for s := 0; s < seeds; s++ {
+			tasks = append(tasks, task{wi, s, false}, task{wi, s, true})
+		}
+	}
+	err := r.forEach(len(tasks), func(i int) error {
+		t := tasks[i]
+		mc := naive
+		dst := &naiveAgg[t.wi]
+		if t.aug {
+			mc = augmented
+			dst = &augAgg[t.wi]
+		}
+		summary, err := r.RunSearch(mc, r.workloads[t.wi], objective, int64(t.seed))
+		if err != nil {
+			return err
+		}
+		dst.costs[t.seed] = float64(summary.Measurements)
+		dst.norms[t.seed] = summary.FoundNorm
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	report := &CompareReport{Counts: make(map[CompareClass]int)}
+	for wi, w := range r.workloads {
+		nCost, err := stats.Median(naiveAgg[wi].costs)
+		if err != nil {
+			return nil, err
+		}
+		aCost, err := stats.Median(augAgg[wi].costs)
+		if err != nil {
+			return nil, err
+		}
+		nNorm, err := stats.Median(naiveAgg[wi].norms)
+		if err != nil {
+			return nil, err
+		}
+		aNorm, err := stats.Median(augAgg[wi].norms)
+		if err != nil {
+			return nil, err
+		}
+		costRed := 100 * (nCost - aCost) / nCost
+		valImp := 100 * (nNorm - aNorm) / nNorm
+		point := ComparePoint{
+			WorkloadID:          w.ID(),
+			Region:              regions[w.ID()],
+			SearchCostReduction: costRed,
+			ValueImprovement:    valImp,
+			Class:               classify(costRed, valImp),
+		}
+		report.Points = append(report.Points, point)
+		report.Counts[point.Class]++
+	}
+	return report, nil
+}
+
+// classify implements the paper's Win/Same/Draw/Loss quadrants.
+func classify(costReductionPct, valueImprovementPct float64) CompareClass {
+	costTie := math.Abs(costReductionPct) <= costEpsilonPct
+	valTie := math.Abs(valueImprovementPct) <= valueEpsilonPct
+	switch {
+	case costTie && valTie:
+		return Same
+	case costReductionPct < -costEpsilonPct:
+		return Loss
+	case valueImprovementPct < -valueEpsilonPct:
+		return Draw
+	default:
+		return Win
+	}
+}

@@ -1,0 +1,127 @@
+// Package textplot renders small ASCII charts for the command-line tools:
+// multi-series line charts (search trajectories, CDFs) and horizontal bar
+// charts (per-VM utilization profiles). It exists so `arrow-study` can
+// show every figure's shape directly in a terminal next to the CSV files
+// it writes.
+package textplot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	// X and Y must have equal length.
+	X []float64
+	Y []float64
+}
+
+// glyphs mark successive series.
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// ErrEmpty reports a chart with no points.
+var ErrEmpty = errors.New("textplot: nothing to plot")
+
+// Line renders the series on a width x height character canvas with a
+// labeled frame. Y grows upward; axes are linear.
+func Line(title string, series []Series, width, height int) (string, error) {
+	if width < 20 || height < 5 {
+		return "", fmt.Errorf("textplot: canvas %dx%d too small", width, height)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("textplot: series %q has %d xs but %d ys", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			points++
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return "", ErrEmpty
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		glyph := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			row := int(math.Round((s.Y[i] - minY) / (maxY - minY) * float64(height-1)))
+			grid[height-1-row][col] = glyph
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	for r, rowBytes := range grid {
+		yVal := maxY - (maxY-minY)*float64(r)/float64(height-1)
+		fmt.Fprintf(&sb, "%9.3g |%s|\n", yVal, string(rowBytes))
+	}
+	fmt.Fprintf(&sb, "%9s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "%9s  %-*.3g%*.3g\n", "", width/2, minX, width-width/2, maxX)
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", glyphs[si%len(glyphs)], s.Name))
+	}
+	fmt.Fprintf(&sb, "%9s  %s\n", "", strings.Join(legend, "   "))
+	return sb.String(), nil
+}
+
+// Bar is one row of a horizontal bar chart.
+type Bar struct {
+	Label string
+	Value float64
+	// Annotation is printed after the bar (e.g. a normalized time).
+	Annotation string
+}
+
+// HBar renders a horizontal bar chart scaled to the maximum value.
+func HBar(title string, bars []Bar, width int) (string, error) {
+	if len(bars) == 0 {
+		return "", ErrEmpty
+	}
+	if width < 10 {
+		return "", fmt.Errorf("textplot: bar width %d too small", width)
+	}
+	maxVal := math.Inf(-1)
+	maxLabel := 0
+	for _, b := range bars {
+		maxVal = math.Max(maxVal, b.Value)
+		if len(b.Label) > maxLabel {
+			maxLabel = len(b.Label)
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	for _, b := range bars {
+		n := int(math.Round(b.Value / maxVal * float64(width)))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&sb, "%-*s |%-*s| %7.2f %s\n",
+			maxLabel, b.Label, width, strings.Repeat("=", n), b.Value, b.Annotation)
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,115 @@
+package textplot
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestLineBasic(t *testing.T) {
+	out, err := Line("test chart", []Series{
+		{Name: "a", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}},
+		{Name: "b", X: []float64{1, 2, 3}, Y: []float64{9, 4, 1}},
+	}, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "test chart") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("glyphs missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + height rows + axis + x labels + legend.
+	if want := 1 + 10 + 1 + 1 + 1; len(lines) != want {
+		t.Errorf("%d lines, want %d", len(lines), want)
+	}
+}
+
+func TestLineEmptySeries(t *testing.T) {
+	if _, err := Line("x", nil, 40, 10); !errors.Is(err, ErrEmpty) {
+		t.Errorf("error = %v, want ErrEmpty", err)
+	}
+	if _, err := Line("x", []Series{{Name: "a"}}, 40, 10); !errors.Is(err, ErrEmpty) {
+		t.Errorf("error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestLineMismatchedXY(t *testing.T) {
+	if _, err := Line("x", []Series{{Name: "a", X: []float64{1}, Y: []float64{1, 2}}}, 40, 10); err == nil {
+		t.Error("mismatched series should fail")
+	}
+}
+
+func TestLineTooSmall(t *testing.T) {
+	if _, err := Line("x", []Series{{Name: "a", X: []float64{1}, Y: []float64{1}}}, 5, 2); err == nil {
+		t.Error("tiny canvas should fail")
+	}
+}
+
+func TestLineConstantSeries(t *testing.T) {
+	out, err := Line("flat", []Series{
+		{Name: "a", X: []float64{1, 2}, Y: []float64{5, 5}},
+	}, 30, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Error("empty output")
+	}
+}
+
+func TestLineSinglePoint(t *testing.T) {
+	out, err := Line("pt", []Series{{Name: "a", X: []float64{1}, Y: []float64{1}}}, 30, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("point not drawn")
+	}
+}
+
+func TestHBar(t *testing.T) {
+	out, err := HBar("bars", []Bar{
+		{Label: "c3.large", Value: 100, Annotation: "(14.8)"},
+		{Label: "c4.2xlarge", Value: 25, Annotation: "(1.0)"},
+	}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "c3.large") || !strings.Contains(out, "(14.8)") {
+		t.Error("labels or annotations missing")
+	}
+	// The 100-value bar must be longer than the 25-value bar.
+	lines := strings.Split(out, "\n")
+	count := func(s string) int { return strings.Count(s, "=") }
+	if count(lines[1]) <= count(lines[2]) {
+		t.Errorf("bar lengths not proportional: %d vs %d", count(lines[1]), count(lines[2]))
+	}
+}
+
+func TestHBarEmpty(t *testing.T) {
+	if _, err := HBar("x", nil, 30); !errors.Is(err, ErrEmpty) {
+		t.Errorf("error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestHBarTooNarrow(t *testing.T) {
+	if _, err := HBar("x", []Bar{{Label: "a", Value: 1}}, 3); err == nil {
+		t.Error("narrow chart should fail")
+	}
+}
+
+func TestHBarZeroValues(t *testing.T) {
+	out, err := HBar("x", []Bar{{Label: "a", Value: 0}}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "a") {
+		t.Error("label missing")
+	}
+}

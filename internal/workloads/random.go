@@ -1,0 +1,40 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Random generates a synthetic workload with demands drawn from the same
+// ranges Table I's applications span. It exists for robustness studies:
+// the paper's conclusions should not depend on the 30 hand-picked
+// profiles, so the benchmark harness can rerun the method comparison on
+// arbitrarily many fresh workloads.
+//
+// The demand profile is drawn log-uniformly inside these bounds:
+//
+//	CPU work        300 .. 8000 core-seconds
+//	serial fraction 0.02 .. 0.4 (uniform)
+//	working set     1 .. 11 GiB (kept feasible on every catalog VM)
+//	I/O volume      2 .. 60 GiB
+func Random(rng *rand.Rand, index int) Workload {
+	logUniform := func(lo, hi float64) float64 {
+		return lo * math.Pow(hi/lo, rng.Float64())
+	}
+	systems := []System{Hadoop27, Spark15, Spark21}
+	sizes := Sizes()
+	return Workload{
+		AppName:     fmt.Sprintf("synth-%04d", index),
+		Category:    MachineLearning,
+		Description: "synthetic randomized workload for robustness studies",
+		System:      systems[rng.Intn(len(systems))],
+		Size:        sizes[rng.Intn(len(sizes))],
+		Demands: Demands{
+			CPUCoreSeconds: logUniform(300, 8000),
+			SerialFraction: 0.02 + rng.Float64()*0.38,
+			WorkingSetGiB:  logUniform(1, 11),
+			IOGiB:          logUniform(2, 60),
+		},
+	}
+}

@@ -1,0 +1,280 @@
+package workloads
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestApplicationsCount(t *testing.T) {
+	apps := Applications()
+	if len(apps) != NumApplications {
+		t.Fatalf("%d applications, want %d (Table I)", len(apps), NumApplications)
+	}
+}
+
+func TestApplicationsMatchTableI(t *testing.T) {
+	want := map[string]Category{
+		// Micro benchmarks.
+		"sort": Micro, "terasort": Micro, "pagerank": Micro, "wordcount": Micro,
+		// OLAP.
+		"aggregation": OLAP, "join": OLAP, "scan": OLAP,
+		// Statistics.
+		"chi-feature": Statistics, "chi-gof": Statistics, "chi-mat": Statistics,
+		"spearman": Statistics, "statistics": Statistics, "pearson": Statistics,
+		"svd": Statistics, "pca": Statistics, "word2vec": Statistics,
+		// Machine learning.
+		"classification": MachineLearning, "regression": MachineLearning,
+		"als": MachineLearning, "bayes": MachineLearning, "lr": MachineLearning,
+		"mm": MachineLearning, "d-tree": MachineLearning, "gb-tree": MachineLearning,
+		"df": MachineLearning, "fp-growth": MachineLearning, "gmm": MachineLearning,
+		"kmeans": MachineLearning, "lda": MachineLearning, "pic": MachineLearning,
+	}
+	apps := Applications()
+	if len(want) != NumApplications {
+		t.Fatalf("test table has %d entries", len(want))
+	}
+	for _, app := range apps {
+		cat, ok := want[app.Name]
+		if !ok {
+			t.Errorf("unexpected application %q", app.Name)
+			continue
+		}
+		if app.Category != cat {
+			t.Errorf("%s category = %v, want %v", app.Name, app.Category, cat)
+		}
+		delete(want, app.Name)
+	}
+	for name := range want {
+		t.Errorf("missing application %q", name)
+	}
+}
+
+func TestApplicationsHaveDescriptionsAndSystems(t *testing.T) {
+	for _, app := range Applications() {
+		if app.Description == "" {
+			t.Errorf("%s has no description", app.Name)
+		}
+		if len(app.Systems) == 0 {
+			t.Errorf("%s has no systems", app.Name)
+		}
+		if app.Base.CPUCoreSeconds <= 0 || app.Base.WorkingSetGiB <= 0 || app.Base.IOGiB < 0 {
+			t.Errorf("%s has non-positive demands: %+v", app.Name, app.Base)
+		}
+		if app.Base.SerialFraction < 0 || app.Base.SerialFraction > 1 {
+			t.Errorf("%s serial fraction %v out of [0,1]", app.Name, app.Base.SerialFraction)
+		}
+	}
+}
+
+func TestMLAppsRunOnBothSparkVersions(t *testing.T) {
+	for _, app := range Applications() {
+		if app.Category != MachineLearning {
+			continue
+		}
+		has15, has21 := false, false
+		for _, s := range app.Systems {
+			switch s {
+			case Spark15:
+				has15 = true
+			case Spark21:
+				has21 = true
+			}
+		}
+		if !has15 || !has21 {
+			t.Errorf("%s should run on both Spark 1.5 and 2.1", app.Name)
+		}
+	}
+}
+
+func TestAllCandidateCount(t *testing.T) {
+	// 7 Hadoop combos + 1 wordcount/Spark2.1 + 9 statistics + 28 ML = 45
+	// app-system pairs, x3 sizes = 135 candidates before OOM exclusion.
+	all := All()
+	if len(all) != 135 {
+		t.Fatalf("%d candidates, want 135", len(all))
+	}
+}
+
+func TestAllIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, w := range All() {
+		id := w.ID()
+		if seen[id] {
+			t.Errorf("duplicate workload ID %q", id)
+		}
+		seen[id] = true
+		if strings.Count(id, "/") != 2 {
+			t.Errorf("malformed ID %q", id)
+		}
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID() >= all[i].ID() {
+			t.Fatalf("All() not sorted at %d: %q >= %q", i, all[i-1].ID(), all[i].ID())
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	w, err := ByID("als/spark2.1/medium")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.AppName != "als" || w.System != Spark21 || w.Size != Medium {
+		t.Errorf("ByID returned %+v", w)
+	}
+	if _, err := ByID("nope/spark2.1/medium"); err == nil {
+		t.Error("unknown ID should fail")
+	}
+}
+
+func TestResolveSizeScaling(t *testing.T) {
+	app := Applications()[0]
+	small := Resolve(app, app.Systems[0], Small)
+	medium := Resolve(app, app.Systems[0], Medium)
+	large := Resolve(app, app.Systems[0], Large)
+	if !(small.Demands.CPUCoreSeconds < medium.Demands.CPUCoreSeconds &&
+		medium.Demands.CPUCoreSeconds < large.Demands.CPUCoreSeconds) {
+		t.Error("CPU demand should grow with input size")
+	}
+	if !(small.Demands.WorkingSetGiB < medium.Demands.WorkingSetGiB &&
+		medium.Demands.WorkingSetGiB < large.Demands.WorkingSetGiB) {
+		t.Error("working set should grow with input size")
+	}
+	if !(small.Demands.IOGiB < medium.Demands.IOGiB &&
+		medium.Demands.IOGiB < large.Demands.IOGiB) {
+		t.Error("I/O should grow with input size")
+	}
+	if small.Demands.SerialFraction != large.Demands.SerialFraction {
+		t.Error("serial fraction should not vary with size")
+	}
+}
+
+func TestResolveSystemProfiles(t *testing.T) {
+	// wordcount runs on both Hadoop 2.7 and Spark 2.1: Hadoop should do
+	// more I/O with a smaller working set.
+	var app Application
+	for _, a := range Applications() {
+		if a.Name == "wordcount" {
+			app = a
+		}
+	}
+	h := Resolve(app, Hadoop27, Medium)
+	s := Resolve(app, Spark21, Medium)
+	if h.Demands.IOGiB <= s.Demands.IOGiB {
+		t.Error("Hadoop should be more I/O-heavy than Spark")
+	}
+	if h.Demands.WorkingSetGiB >= s.Demands.WorkingSetGiB {
+		t.Error("Hadoop streaming should have a smaller working set than Spark caching")
+	}
+	// Spark 1.5 has a heavier memory footprint than 2.1 for the same app.
+	var ml Application
+	for _, a := range Applications() {
+		if a.Name == "kmeans" {
+			ml = a
+		}
+	}
+	s15 := Resolve(ml, Spark15, Medium)
+	s21 := Resolve(ml, Spark21, Medium)
+	if s15.Demands.WorkingSetGiB <= s21.Demands.WorkingSetGiB {
+		t.Error("Spark 1.5 working set should exceed Spark 2.1")
+	}
+	if s15.Demands.CPUCoreSeconds <= s21.Demands.CPUCoreSeconds {
+		t.Error("Spark 1.5 CPU demand should exceed Spark 2.1 (no codegen)")
+	}
+}
+
+func TestSystemStrings(t *testing.T) {
+	if Hadoop27.String() != "hadoop2.7" || Spark15.String() != "spark1.5" || Spark21.String() != "spark2.1" {
+		t.Error("system names wrong")
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	for _, c := range []Category{Micro, OLAP, Statistics, MachineLearning} {
+		if strings.HasPrefix(c.String(), "Category(") {
+			t.Errorf("category %d has no name", c)
+		}
+	}
+}
+
+func TestSizes(t *testing.T) {
+	sizes := Sizes()
+	if len(sizes) != 3 || sizes[0] != Small || sizes[2] != Large {
+		t.Errorf("Sizes() = %v", sizes)
+	}
+}
+
+func TestPaperFigureWorkloadsExist(t *testing.T) {
+	// Workloads named in the paper's figures must exist as candidates.
+	for _, id := range []string{
+		"als/spark2.1/medium",           // Fig 2, 10(b)
+		"pagerank/hadoop2.7/medium",     // Fig 10(a)
+		"lr/spark1.5/medium",            // Fig 8, 10(c)
+		"regression/spark1.5/medium",    // Fig 6
+		"bayes/spark2.1/medium",         // Fig 7(b)
+		"classification/spark1.5/small", // Fig 3(a)
+		"scan/hadoop2.7/medium",         // Fig 3(b)
+		"terasort/hadoop2.7/large",      // Fig 5
+		"wordcount/spark2.1/large",      // Fig 5
+	} {
+		if _, err := ByID(id); err != nil {
+			t.Errorf("paper workload %s missing: %v", id, err)
+		}
+	}
+}
+
+func TestResolveDefaultGrowthApplied(t *testing.T) {
+	// An app with zero growth fields uses the defaults.
+	app := Application{
+		Name: "x", Category: Micro, Systems: []System{Spark21},
+		Base: Demands{CPUCoreSeconds: 100, SerialFraction: 0.1, WorkingSetGiB: 1, IOGiB: 1},
+	}
+	large := Resolve(app, Spark21, Large)
+	if large.Demands.CPUCoreSeconds != 200 {
+		t.Errorf("default CPU growth: %v, want 200", large.Demands.CPUCoreSeconds)
+	}
+	if large.Demands.WorkingSetGiB != 1.7 {
+		t.Errorf("default mem growth: %v, want 1.7", large.Demands.WorkingSetGiB)
+	}
+	if large.Demands.IOGiB != 2 {
+		t.Errorf("default IO growth: %v, want 2", large.Demands.IOGiB)
+	}
+}
+
+func TestRandomWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		w := Random(rng, i)
+		if seen[w.ID()] {
+			t.Fatalf("duplicate random workload ID %s", w.ID())
+		}
+		seen[w.ID()] = true
+		d := w.Demands
+		if d.CPUCoreSeconds < 300 || d.CPUCoreSeconds > 8000 {
+			t.Errorf("CPU %v out of bounds", d.CPUCoreSeconds)
+		}
+		if d.SerialFraction < 0.02 || d.SerialFraction > 0.4 {
+			t.Errorf("serial %v out of bounds", d.SerialFraction)
+		}
+		if d.WorkingSetGiB < 1 || d.WorkingSetGiB > 11 {
+			t.Errorf("working set %v out of bounds", d.WorkingSetGiB)
+		}
+		if d.IOGiB < 2 || d.IOGiB > 60 {
+			t.Errorf("IO %v out of bounds", d.IOGiB)
+		}
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	a := Random(rand.New(rand.NewSource(7)), 0)
+	b := Random(rand.New(rand.NewSource(7)), 0)
+	if a.Demands != b.Demands || a.System != b.System || a.Size != b.Size {
+		t.Error("Random not deterministic for equal seeds")
+	}
+}

@@ -1,0 +1,147 @@
+package arrow
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// This file implements search-session recording and replay. On a real
+// cloud a measurement costs money and minutes; recording every outcome
+// lets you rerun and debug optimizer behaviour offline, compare methods on
+// the exact same measurements, or audit a past decision.
+
+// Recording is a serializable snapshot of a target: its full candidate
+// catalog plus every outcome measured through a Recorder.
+type Recording struct {
+	// Candidates lists the catalog in index order.
+	Candidates []RecordedCandidate `json:"candidates"`
+	// Measurements maps candidate index -> outcome, keyed as strings for
+	// JSON friendliness.
+	Measurements map[string]Outcome `json:"measurements"`
+}
+
+// RecordedCandidate is one catalog entry of a recording.
+type RecordedCandidate struct {
+	Name     string    `json:"name"`
+	Features []float64 `json:"features"`
+}
+
+// Recorder wraps a Target and captures every measurement flowing through
+// it. It is safe for use by one search at a time (like any Target).
+type Recorder struct {
+	target Target
+
+	mu  sync.Mutex
+	rec Recording
+}
+
+var _ Target = (*Recorder)(nil)
+
+// NewRecorder snapshots the target's catalog and returns a recording
+// wrapper to search against.
+func NewRecorder(target Target) *Recorder {
+	r := &Recorder{
+		target: target,
+		rec: Recording{
+			Measurements: make(map[string]Outcome),
+		},
+	}
+	for i := 0; i < target.NumCandidates(); i++ {
+		r.rec.Candidates = append(r.rec.Candidates, RecordedCandidate{
+			Name:     target.Name(i),
+			Features: append([]float64(nil), target.Features(i)...),
+		})
+	}
+	return r
+}
+
+// NumCandidates implements Target.
+func (r *Recorder) NumCandidates() int { return len(r.rec.Candidates) }
+
+// Features implements Target.
+func (r *Recorder) Features(i int) []float64 { return r.rec.Candidates[i].Features }
+
+// Name implements Target.
+func (r *Recorder) Name(i int) string { return r.rec.Candidates[i].Name }
+
+// Measure implements Target, recording the outcome.
+func (r *Recorder) Measure(i int) (Outcome, error) {
+	out, err := r.target.Measure(i)
+	if err != nil {
+		return Outcome{}, err
+	}
+	r.mu.Lock()
+	r.rec.Measurements[fmt.Sprint(i)] = out
+	r.mu.Unlock()
+	return out, nil
+}
+
+// Recording returns a deep copy of what has been captured so far.
+func (r *Recorder) Recording() *Recording {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cp := Recording{
+		Candidates:   append([]RecordedCandidate(nil), r.rec.Candidates...),
+		Measurements: make(map[string]Outcome, len(r.rec.Measurements)),
+	}
+	for k, v := range r.rec.Measurements {
+		v.Metrics = append([]float64(nil), v.Metrics...)
+		cp.Measurements[k] = v
+	}
+	return &cp
+}
+
+// Save serializes the recording as indented JSON.
+func (r *Recorder) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Recording())
+}
+
+// ErrNotRecorded is returned by a replay target when the optimizer asks
+// for a measurement the original session never made.
+var ErrNotRecorded = errors.New("arrow: measurement not present in recording")
+
+// ReadRecording parses a recording written by Recorder.Save.
+func ReadRecording(r io.Reader) (*Recording, error) {
+	var rec Recording
+	if err := json.NewDecoder(r).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("arrow: parsing recording: %w", err)
+	}
+	if len(rec.Candidates) == 0 {
+		return nil, errors.New("arrow: recording has no candidates")
+	}
+	if rec.Measurements == nil {
+		rec.Measurements = map[string]Outcome{}
+	}
+	return &rec, nil
+}
+
+// Replay returns a Target backed purely by the recording: measuring a
+// candidate returns the recorded outcome, and asking for an unrecorded
+// one fails with ErrNotRecorded. A search replayed with the same seed and
+// method as the original session follows the identical path.
+func (rec *Recording) Replay() Target {
+	return &replayTarget{rec: rec}
+}
+
+type replayTarget struct {
+	rec *Recording
+}
+
+var _ Target = (*replayTarget)(nil)
+
+func (t *replayTarget) NumCandidates() int       { return len(t.rec.Candidates) }
+func (t *replayTarget) Features(i int) []float64 { return t.rec.Candidates[i].Features }
+func (t *replayTarget) Name(i int) string        { return t.rec.Candidates[i].Name }
+
+func (t *replayTarget) Measure(i int) (Outcome, error) {
+	out, ok := t.rec.Measurements[fmt.Sprint(i)]
+	if !ok {
+		return Outcome{}, fmt.Errorf("candidate %d (%s): %w", i, t.Name(i), ErrNotRecorded)
+	}
+	return out, nil
+}

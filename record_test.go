@@ -1,0 +1,142 @@
+package arrow
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRecorderCapturesSession(t *testing.T) {
+	target, err := NewSimulatedTarget("pearson/spark2.1/medium", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(target)
+	opt, err := New(WithMethod(MethodAugmentedBO), WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Search(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := rec.Recording()
+	if len(snapshot.Candidates) != 18 {
+		t.Fatalf("%d candidates", len(snapshot.Candidates))
+	}
+	if len(snapshot.Measurements) != res.NumMeasurements() {
+		t.Errorf("recorded %d measurements, search made %d", len(snapshot.Measurements), res.NumMeasurements())
+	}
+}
+
+func TestRecordingRoundTripAndReplay(t *testing.T) {
+	target, err := NewSimulatedTarget("svd/spark2.1/medium", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(target)
+	opt, err := New(WithMethod(MethodNaiveBO), WithSeed(9), WithEIStopFraction(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	original, err := opt.Search(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := rec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadRecording(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replaying the same optimizer over the recording follows the exact
+	// original path.
+	replayOpt, err := New(WithMethod(MethodNaiveBO), WithSeed(9), WithEIStopFraction(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := replayOpt.Search(loaded.Replay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.BestName != original.BestName || replayed.NumMeasurements() != original.NumMeasurements() {
+		t.Fatalf("replay diverged: %s/%d vs %s/%d",
+			replayed.BestName, replayed.NumMeasurements(), original.BestName, original.NumMeasurements())
+	}
+	for i := range original.Observations {
+		if replayed.Observations[i].Index != original.Observations[i].Index {
+			t.Fatalf("replay step %d measured %d, original %d",
+				i, replayed.Observations[i].Index, original.Observations[i].Index)
+		}
+	}
+}
+
+func TestReplayRejectsUnrecordedMeasurement(t *testing.T) {
+	target, err := NewSimulatedTarget("pearson/spark2.1/medium", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(target)
+	// Record only a partial session: 4 measurements.
+	opt, err := New(WithMethod(MethodAugmentedBO), WithMaxMeasurements(4), WithDeltaThreshold(-1), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opt.Search(rec); err != nil {
+		t.Fatal(err)
+	}
+	replay := rec.Recording().Replay()
+	// A different seed will ask for measurements outside the recording.
+	other, err := New(WithMethod(MethodRandomSearch), WithSeed(999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Search(replay); !errors.Is(err, ErrNotRecorded) {
+		t.Errorf("error = %v, want ErrNotRecorded", err)
+	}
+}
+
+func TestReadRecordingInvalid(t *testing.T) {
+	if _, err := ReadRecording(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON should fail")
+	}
+	if _, err := ReadRecording(strings.NewReader(`{"candidates":[]}`)); err == nil {
+		t.Error("empty catalog should fail")
+	}
+}
+
+func TestReplayDifferentMethodOnSameMeasurements(t *testing.T) {
+	// Record an exhaustive session, then compare methods offline on the
+	// very same measurements — the recording's core use case.
+	target, err := NewSimulatedTarget("bayes/spark2.1/medium", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(target)
+	exhaust, err := New(WithMethod(MethodRandomSearch), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exhaust.Search(rec); err != nil {
+		t.Fatal(err)
+	}
+	replay := rec.Recording().Replay()
+	for _, method := range []Method{MethodNaiveBO, MethodAugmentedBO} {
+		opt, err := New(WithMethod(method), WithSeed(5), WithEIStopFraction(-1), WithDeltaThreshold(-1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := opt.Search(replay)
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if res.NumMeasurements() != 18 {
+			t.Errorf("%v: measured %d", method, res.NumMeasurements())
+		}
+	}
+}

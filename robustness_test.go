@@ -1,0 +1,79 @@
+// Robustness benchmark: rerun the Naive-vs-Augmented comparison on
+// randomized workloads outside Table I, checking the paper's conclusion
+// is not an artifact of the 30 hand-picked demand profiles.
+package arrow
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/study"
+	"repro/internal/workloads"
+)
+
+// BenchmarkRobustnessRandomWorkloads draws fresh workloads from the
+// demand-space bounds of Table I and compares mean search cost to the
+// optimum under the cost objective.
+func BenchmarkRobustnessRandomWorkloads(b *testing.B) {
+	const numWorkloads = 24
+	rng := rand.New(rand.NewSource(2024))
+	var ws []workloads.Workload
+	r := benchRunner()
+	for i := 0; len(ws) < numWorkloads; i++ {
+		w := workloads.Random(rng, i)
+		if r.Simulator().RunsEverywhere(w) {
+			ws = append(ws, w)
+		}
+	}
+
+	methods := []study.MethodConfig{
+		{Method: study.MethodNaive, EIStop: -1},
+		{Method: study.MethodAugmented, Delta: -1},
+		{Method: study.MethodHybrid, Delta: -1},
+		{Method: study.MethodRandom},
+	}
+	results := make([][]float64, len(methods))
+	for i := 0; i < b.N; i++ {
+		for mi, mc := range methods {
+			var steps []float64
+			for _, w := range ws {
+				truth, err := r.TruthValues(w, core.MinimizeCost)
+				if err != nil {
+					b.Fatal(err)
+				}
+				optIdx, err := stats.ArgMin(truth)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for seed := 0; seed < benchSeeds(); seed++ {
+					opt, err := mc.Build(core.MinimizeCost, int64(seed))
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := opt.Search(r.Simulator().NewTarget(w, int64(seed)))
+					if err != nil {
+						b.Fatal(err)
+					}
+					step := res.MeasuredAtStep(optIdx)
+					if step == 0 {
+						step = r.Catalog().Len() + 1
+					}
+					steps = append(steps, float64(step))
+				}
+			}
+			mean, err := stats.Mean(steps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results[mi] = append(results[mi][:0], mean)
+		}
+	}
+	b.StopTimer()
+	fmt.Printf("\nRobustness: %d randomized workloads outside Table I (cost objective, mean steps to optimal):\n", numWorkloads)
+	for mi, mc := range methods {
+		fmt.Printf("  %-14s %.2f\n", mc.Method, results[mi][0])
+	}
+}
