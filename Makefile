@@ -1,0 +1,29 @@
+# Tier-1 gate: everything `make check` runs must stay green.
+
+GO ?= go
+
+.PHONY: check build test race vet fmt bench-faults
+
+check: fmt vet race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The chaos tests ride along in the regular packages, so -race covers the
+# fault-injection and retry paths too.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench-faults:
+	$(GO) test -run xxx -bench BenchmarkRobustnessFaultInjection -benchtime 1x .

@@ -35,6 +35,7 @@ package arrow
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/cloud"
 	"repro/internal/core"
@@ -177,13 +178,33 @@ type Observation struct {
 	Outcome Outcome `json:"outcome"`
 }
 
-// Result is a completed search.
+// Failure documents one candidate the search gave up on: its measurement
+// failed (or kept producing invalid outcomes) even after the configured
+// retries, and the candidate was quarantined so the search could continue.
+type Failure struct {
+	// Index / Name identify the candidate.
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+	// Attempts is how many Measure calls were made (1 without WithRetry).
+	Attempts int `json:"attempts"`
+	// FromDesign is true when the failure hit the initial design; the
+	// failed point was replaced by another quasi-random pick.
+	FromDesign bool `json:"from_design,omitempty"`
+	// Reason is the final error, as text for serialization.
+	Reason string `json:"error"`
+	// Err is the final error; errors.Is/As work against it.
+	Err error `json:"-"`
+}
+
+// Result is a completed (or salvaged) search.
 type Result struct {
 	// Method that produced the result.
 	Method string `json:"method"`
 	// Observations in measurement order; its length is the search cost.
 	Observations []Observation `json:"observations"`
 	// BestIndex / BestName / BestValue identify the best VM found.
+	// BestIndex is -1 (and BestName empty) only when nothing at all was
+	// measured.
 	BestIndex int     `json:"best_index"`
 	BestName  string  `json:"best_name"`
 	BestValue float64 `json:"best_value"`
@@ -194,6 +215,15 @@ type Result struct {
 	// SLOSatisfied is false only when WithMaxTimeSLO was set and no
 	// measured VM met it; Best* then point at the fastest VM observed.
 	SLOSatisfied bool `json:"slo_satisfied"`
+	// Failures lists the quarantined candidates. A non-empty list does
+	// not make the result partial: the search completed over the
+	// candidates that survived.
+	Failures []Failure `json:"failures,omitempty"`
+	// Partial is true when the search could not run to its own stopping
+	// rule — canceled, aborted by a fatal target error, or every
+	// candidate failed. Search then returns this result alongside a
+	// non-nil error, so the completed observations are never lost.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // NumMeasurements returns the search cost.
@@ -224,6 +254,8 @@ type config struct {
 	disableLowLevel bool
 	warmStart       []core.PriorObservation
 	maxTimeSLO      float64
+	retry           *RetryPolicy
+	measureTimeout  time.Duration
 }
 
 // Option configures an Optimizer.
@@ -442,23 +474,52 @@ func buildCore(cfg config) (core.Optimizer, error) {
 }
 
 // Search runs the configured optimizer against target.
+//
+// When the search cannot run to completion — canceled, aborted by a
+// fatal measurement error, or every candidate quarantined — Search
+// returns BOTH a non-nil *Result carrying every completed observation
+// (with Partial set) and a non-nil error saying why. Callers that only
+// check the error can stay unchanged; callers on an expensive target
+// should salvage the partial result.
 func (o *Optimizer) Search(target Target) (*Result, error) {
+	return o.searchTarget(target, nil)
+}
+
+// searchTarget wraps target with the configured measurement middleware
+// (timeout, then retries), then with outer (cancellation/progress), runs
+// the core optimizer, and converts the result. outer is applied last so
+// cancellation checks and progress callbacks see exactly the measurements
+// the search loop accepts.
+func (o *Optimizer) searchTarget(target Target, outer func(Target) Target) (*Result, error) {
 	opt, err := buildCore(o.cfg)
 	if err != nil {
 		return nil, err
 	}
-	res, err := opt.Search(&targetAdapter{t: target})
-	if err != nil {
+	wrapped := o.cfg.wrapTarget(target)
+	if outer != nil {
+		wrapped = outer(wrapped)
+	}
+	res, err := opt.Search(&targetAdapter{t: wrapped})
+	if res == nil {
+		// Configuration-level failure before any measurement.
 		return nil, err
 	}
+	return convertResult(res, target), err
+}
+
+// convertResult translates the internal result to the public one.
+func convertResult(res *core.Result, target Target) *Result {
 	out := &Result{
 		Method:       res.Method,
 		BestIndex:    res.BestIndex,
-		BestName:     target.Name(res.BestIndex),
 		BestValue:    res.BestValue,
 		StoppedEarly: res.StoppedEarly,
 		StopReason:   res.StopReason,
 		SLOSatisfied: res.SLOSatisfied,
+		Partial:      res.Partial,
+	}
+	if res.BestIndex >= 0 {
+		out.BestName = target.Name(res.BestIndex)
 	}
 	for _, obs := range res.Observations {
 		out.Observations = append(out.Observations, Observation{
@@ -472,7 +533,26 @@ func (o *Optimizer) Search(target Target) (*Result, error) {
 			},
 		})
 	}
-	return out, nil
+	for _, f := range res.Failures {
+		attempts := 1
+		var ex *RetryExhaustedError
+		if errors.As(f.Err, &ex) {
+			attempts = ex.Attempts
+		}
+		reason := ""
+		if f.Err != nil {
+			reason = f.Err.Error()
+		}
+		out.Failures = append(out.Failures, Failure{
+			Index:      f.Index,
+			Name:       target.Name(f.Index),
+			Attempts:   attempts,
+			FromDesign: f.FromDesign,
+			Reason:     reason,
+			Err:        f.Err,
+		})
+	}
+	return out
 }
 
 // targetAdapter bridges the public Target to the internal one, validating

@@ -1,0 +1,124 @@
+package arrow
+
+import (
+	"math"
+
+	"repro/internal/faults"
+)
+
+// This file exposes the chaos harness: a fault-injecting Target wrapper
+// for testing how a search configuration holds up against the failures a
+// real cloud serves — transient capacity errors, permanently unavailable
+// instance types, and corrupted telemetry. Pair it with WithRetry to see
+// the measurement layer absorb the damage.
+
+// ChaosConfig parameterizes NewChaosTarget. All rates are probabilities
+// in [0,1]; the zero value injects nothing.
+type ChaosConfig struct {
+	// Seed drives every injection decision; equal seeds reproduce the
+	// fault sequence exactly.
+	Seed int64
+	// TransientRate is the probability, per Measure call, of a
+	// retryable failure (spot reclaim, throttled API, network reset).
+	TransientRate float64
+	// CorruptRate is the probability, per otherwise-successful Measure
+	// call, of a corrupted outcome: NaN/Inf/negative time, negative
+	// cost, a poisoned or truncated metric vector.
+	CorruptRate float64
+	// PermanentFailures lists candidate indices whose every measurement
+	// fails with a permanent error.
+	PermanentFailures []int
+}
+
+// ChaosStats counts the injected faults.
+type ChaosStats struct {
+	// Calls is the number of Measure calls seen.
+	Calls int
+	// Transient / Permanent / Corrupt count the injected faults.
+	Transient int
+	Permanent int
+	Corrupt   int
+}
+
+// ChaosTarget wraps a Target with seeded fault injection. Construct with
+// NewChaosTarget.
+type ChaosTarget struct {
+	t   Target
+	inj *faults.Injector
+}
+
+var _ Target = (*ChaosTarget)(nil)
+
+// NewChaosTarget builds a fault-injecting view of target.
+func NewChaosTarget(target Target, cfg ChaosConfig) *ChaosTarget {
+	return &ChaosTarget{
+		t: target,
+		inj: faults.NewInjector(faults.Config{
+			Seed:          cfg.Seed,
+			TransientRate: cfg.TransientRate,
+			CorruptRate:   cfg.CorruptRate,
+			Permanent:     cfg.PermanentFailures,
+		}),
+	}
+}
+
+// Stats returns a snapshot of the injection counters.
+func (c *ChaosTarget) Stats() ChaosStats {
+	s := c.inj.Stats()
+	return ChaosStats{Calls: s.Calls, Transient: s.Transient, Permanent: s.Permanent, Corrupt: s.Corrupt}
+}
+
+// NumCandidates implements Target.
+func (c *ChaosTarget) NumCandidates() int { return c.t.NumCandidates() }
+
+// Features implements Target.
+func (c *ChaosTarget) Features(i int) []float64 { return c.t.Features(i) }
+
+// Name implements Target.
+func (c *ChaosTarget) Name(i int) string { return c.t.Name(i) }
+
+// Measure implements Target, injecting faults per the config. Injected
+// transient errors satisfy Retryable; permanent ones do not.
+func (c *ChaosTarget) Measure(i int) (Outcome, error) {
+	p := c.inj.Decide(i)
+	if err := c.inj.Err(i, p); err != nil {
+		return Outcome{}, err
+	}
+	out, err := c.t.Measure(i)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if p.Corrupt {
+		out = corruptPublicOutcome(out, p.Kind)
+	}
+	return out, nil
+}
+
+// corruptPublicOutcome applies a corruption at the []float64 layer, where
+// a truncated metric vector is expressible.
+func corruptPublicOutcome(out Outcome, kind faults.CorruptKind) Outcome {
+	switch kind {
+	case faults.CorruptNaNTime:
+		out.TimeSec = math.NaN()
+	case faults.CorruptInfTime:
+		out.TimeSec = math.Inf(1)
+	case faults.CorruptNegativeTime:
+		out.TimeSec = -out.TimeSec
+	case faults.CorruptNegativeCost:
+		out.CostUSD = -1
+	case faults.CorruptNaNMetric:
+		if len(out.Metrics) > 0 {
+			out.Metrics = append([]float64(nil), out.Metrics...)
+			out.Metrics[0] = math.NaN()
+		} else {
+			out.TimeSec = math.NaN()
+		}
+	case faults.CorruptShortMetrics:
+		if len(out.Metrics) > 1 {
+			out.Metrics = append([]float64(nil), out.Metrics[:len(out.Metrics)-1]...)
+		} else {
+			out.TimeSec = math.NaN()
+		}
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+package arrow
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+const chaosWorkload = "pearson/spark2.1/medium"
+
+// noSleep makes retry backoffs free for tests.
+func noSleep(time.Duration) {}
+
+func chaosMethods() []Method {
+	return []Method{MethodNaiveBO, MethodAugmentedBO, MethodHybridBO, MethodRandomSearch}
+}
+
+// TestChaosTransientsDoNotChangeOutcomeDistribution is the acceptance
+// check of the fault-tolerant measurement layer: with a 20% transient
+// failure rate and the default retry policy, every method must land on
+// the same distribution of best VMs over 20 seeds as its fault-free run.
+func TestChaosTransientsDoNotChangeOutcomeDistribution(t *testing.T) {
+	const seeds = 20
+	for _, method := range chaosMethods() {
+		t.Run(method.String(), func(t *testing.T) {
+			faultFree := map[string]int{}
+			chaotic := map[string]int{}
+			injected := 0
+			for seed := int64(0); seed < seeds; seed++ {
+				target, err := NewSimulatedTarget(chaosWorkload, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opt, err := New(WithMethod(method), WithObjective(MinimizeCost), WithSeed(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := opt.Search(target)
+				if err != nil {
+					t.Fatal(err)
+				}
+				faultFree[want.BestName]++
+
+				chaos := NewChaosTarget(target, ChaosConfig{Seed: seed + 1, TransientRate: 0.2})
+				optRetry, err := New(WithMethod(method), WithObjective(MinimizeCost), WithSeed(seed),
+					WithRetry(RetryPolicy{Seed: seed, Sleep: noSleep}))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := optRetry.Search(chaos)
+				if err != nil {
+					t.Fatalf("seed %d: chaos search failed: %v", seed, err)
+				}
+				if got.Partial {
+					t.Fatalf("seed %d: chaos search returned a partial result", seed)
+				}
+				chaotic[got.BestName]++
+				injected += chaos.Stats().Transient
+			}
+			if injected == 0 {
+				t.Fatal("the chaos target injected no faults; the test proves nothing")
+			}
+			for name, n := range faultFree {
+				if chaotic[name] != n {
+					t.Errorf("best-VM distribution shifted under faults: fault-free %v, chaotic %v", faultFree, chaotic)
+					break
+				}
+			}
+		})
+	}
+}
+
+// TestChaosPermanentFailureQuarantinesCandidate checks the second half of
+// the acceptance criterion: a permanently failing, non-optimal candidate
+// is quarantined — recorded in Failures — without aborting the search,
+// and the search still finds the fault-free best VM.
+func TestChaosPermanentFailureQuarantinesCandidate(t *testing.T) {
+	target, err := NewSimulatedTarget(chaosWorkload, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive fault-free search establishes the true best.
+	opts := []Option{
+		WithMethod(MethodAugmentedBO), WithObjective(MinimizeCost),
+		WithSeed(4), WithDeltaThreshold(-1),
+	}
+	opt, err := New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := opt.Search(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := (want.BestIndex + 1) % target.NumCandidates()
+
+	chaos := NewChaosTarget(target, ChaosConfig{Seed: 2, TransientRate: 0.2, PermanentFailures: []int{down}})
+	optRetry, err := New(append(opts, WithRetry(RetryPolicy{Seed: 2, Sleep: noSleep}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := optRetry.Search(chaos)
+	if err != nil {
+		t.Fatalf("a permanently failing candidate must not abort the search: %v", err)
+	}
+	if res.Partial {
+		t.Fatal("result should not be partial")
+	}
+	found := false
+	for _, f := range res.Failures {
+		if f.Index == down {
+			found = true
+			if f.Attempts != 1 {
+				t.Errorf("permanent failure retried %d times, want none", f.Attempts-1)
+			}
+			if f.Name != target.Name(down) {
+				t.Errorf("failure name = %q, want %q", f.Name, target.Name(down))
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("failures = %+v, want candidate %d quarantined", res.Failures, down)
+	}
+	if res.BestIndex != want.BestIndex {
+		t.Errorf("best = %s, fault-free best = %s", res.BestName, want.BestName)
+	}
+	for _, obs := range res.Observations {
+		if obs.Index == down {
+			t.Error("the quarantined candidate still shows up in the observations")
+		}
+	}
+}
+
+// TestChaosCorruptionAbsorbedByRetries checks that corrupted outcomes —
+// NaN/Inf/negative time, truncated metric vectors — are remeasured by the
+// retry layer instead of poisoning the surrogates.
+func TestChaosCorruptionAbsorbedByRetries(t *testing.T) {
+	target, err := NewSimulatedTarget(chaosWorkload, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := New(WithMethod(MethodAugmentedBO), WithObjective(MinimizeCost), WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := opt.Search(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chaos := NewChaosTarget(target, ChaosConfig{Seed: 9, CorruptRate: 0.3})
+	optRetry, err := New(WithMethod(MethodAugmentedBO), WithObjective(MinimizeCost), WithSeed(6),
+		WithRetry(RetryPolicy{Seed: 9, Sleep: noSleep}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := optRetry.Search(chaos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chaos.Stats().Corrupt == 0 {
+		t.Fatal("no corruption injected; the test proves nothing")
+	}
+	if got.Partial || len(got.Failures) != 0 {
+		t.Fatalf("corruption should be absorbed: partial=%v failures=%+v", got.Partial, got.Failures)
+	}
+	if got.BestIndex != want.BestIndex {
+		t.Errorf("best under corruption = %s, fault-free = %s", got.BestName, want.BestName)
+	}
+}
+
+// TestChaosPartialResultOnTotalOutage: when every candidate is down, the
+// search must hand back a non-nil result carrying the failure records,
+// not a bare error.
+func TestChaosPartialResultOnTotalOutage(t *testing.T) {
+	target, err := NewSimulatedTarget(chaosWorkload, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := make([]int, target.NumCandidates())
+	for i := range down {
+		down[i] = i
+	}
+	chaos := NewChaosTarget(target, ChaosConfig{Seed: 1, PermanentFailures: down})
+	opt, err := New(WithMethod(MethodHybridBO), WithObjective(MinimizeCost), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Search(chaos)
+	if !errors.Is(err, ErrAllCandidatesFailed) {
+		t.Fatalf("error = %v, want ErrAllCandidatesFailed", err)
+	}
+	if res == nil || !res.Partial {
+		t.Fatalf("result = %+v, want a non-nil partial result", res)
+	}
+	if res.BestIndex != -1 || res.BestName != "" {
+		t.Errorf("best = (%d, %q), want (-1, empty) when nothing was measured", res.BestIndex, res.BestName)
+	}
+	if len(res.Failures) == 0 {
+		t.Error("no failure records in the salvaged result")
+	}
+	for _, f := range res.Failures {
+		if f.Reason == "" {
+			t.Errorf("failure %d has no reason text", f.Index)
+		}
+	}
+}
+
+// TestChaosStatsCount sanity-checks the injection counters.
+func TestChaosStatsCount(t *testing.T) {
+	target, err := NewSimulatedTarget(chaosWorkload, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos := NewChaosTarget(target, ChaosConfig{Seed: 5, TransientRate: 1})
+	if _, err := chaos.Measure(0); err == nil {
+		t.Fatal("rate-1 transient injection should fail every measurement")
+	} else if !Retryable(err) {
+		t.Errorf("injected transient error %v should be retryable", err)
+	}
+	chaos2 := NewChaosTarget(target, ChaosConfig{Seed: 5, PermanentFailures: []int{3}})
+	if _, err := chaos2.Measure(3); err == nil {
+		t.Fatal("permanent candidate should fail")
+	} else if Retryable(err) {
+		t.Errorf("injected permanent error %v should not be retryable", err)
+	}
+	if _, err := chaos2.Measure(4); err != nil {
+		t.Fatalf("healthy candidate failed: %v", err)
+	}
+	s := chaos2.Stats()
+	if s.Calls != 2 || s.Permanent != 1 {
+		t.Errorf("stats = %+v, want 2 calls and 1 permanent injection", s)
+	}
+}
+
+// TestChaosSeedReproducible: equal seeds produce identical fault
+// sequences.
+func TestChaosSeedReproducible(t *testing.T) {
+	target, err := NewSimulatedTarget(chaosWorkload, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := func() string {
+		chaos := NewChaosTarget(target, ChaosConfig{Seed: 42, TransientRate: 0.5, CorruptRate: 0.5})
+		s := ""
+		for i := 0; i < target.NumCandidates(); i++ {
+			if _, err := chaos.Measure(i); err != nil {
+				s += "x"
+			} else {
+				s += "."
+			}
+		}
+		return fmt.Sprintf("%s %+v", s, chaos.Stats())
+	}
+	if a, b := trace(), trace(); a != b {
+		t.Errorf("same seed, different fault sequences:\n%s\n%s", a, b)
+	}
+}

@@ -15,7 +15,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"text/tabwriter"
+	"time"
 
 	arrow "repro"
 )
@@ -43,6 +46,12 @@ func run(args []string, out io.Writer) error {
 		list       = fs.Bool("list", false, "list the study workloads and exit")
 		vms        = fs.Bool("vms", false, "list the VM catalog and exit")
 		asJSON     = fs.Bool("json", false, "emit the search result as JSON instead of a table")
+
+		retries        = fs.Int("retries", 0, "retries per measurement after a transient failure (0 disables the retry middleware)")
+		retryBackoff   = fs.Duration("retry-backoff", 2*time.Second, "initial retry backoff, doubling per failed attempt (capped at 60s)")
+		measureTimeout = fs.Duration("measure-timeout", 0, "per-measurement-attempt timeout (0 = unbounded)")
+		chaosTransient = fs.Float64("chaos-transient", 0, "inject transient measurement failures at this rate, for exercising -retries")
+		chaosFail      = fs.String("chaos-fail", "", "comma-separated candidate indices that permanently fail, for exercising quarantine")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +79,16 @@ func run(args []string, out io.Writer) error {
 	if *slo > 0 {
 		opts = append(opts, arrow.WithMaxTimeSLO(*slo))
 	}
+	if *retries > 0 {
+		opts = append(opts, arrow.WithRetry(arrow.RetryPolicy{
+			MaxAttempts:    *retries + 1,
+			InitialBackoff: *retryBackoff,
+			Seed:           *seed,
+		}))
+	}
+	if *measureTimeout > 0 {
+		opts = append(opts, arrow.WithMeasureTimeout(*measureTimeout))
+	}
 	opt, err := arrow.New(opts...)
 	if err != nil {
 		return err
@@ -78,23 +97,51 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-
-	if *asJSON {
-		res, err := opt.Search(target)
+	if *chaosTransient > 0 || *chaosFail != "" {
+		permanent, err := parseIndices(*chaosFail, target.NumCandidates())
 		if err != nil {
 			return err
 		}
-		enc := json.NewEncoder(out)
-		enc.SetIndent("", "  ")
-		return enc.Encode(res)
+		target = arrow.NewChaosTarget(target, arrow.ChaosConfig{
+			Seed:              *seed,
+			TransientRate:     *chaosTransient,
+			PermanentFailures: permanent,
+		})
+	}
+
+	if *asJSON {
+		// A partial result is still emitted — the failure records and
+		// salvaged observations are the point — before the error makes
+		// the exit code nonzero.
+		res, err := opt.Search(target)
+		if res != nil {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			if encErr := enc.Encode(res); encErr != nil {
+				return encErr
+			}
+		}
+		return err
 	}
 
 	fmt.Fprintf(out, "searching %s for the best VM (%s, objective %s)\n\n", *workloadID, opt.Method(), opt.Objective())
 	res, err := opt.Search(target)
-	if err != nil {
+	if res == nil {
 		return err
 	}
+	if perr := printResult(out, res, *slo); perr != nil {
+		return perr
+	}
+	if err != nil {
+		fmt.Fprintf(out, "\nsearch aborted: %v\n", err)
+		fmt.Fprintf(out, "salvaged %d completed measurement(s) above\n", res.NumMeasurements())
+	}
+	return err
+}
 
+// printResult renders the observation table, the failure records and the
+// verdict. It handles partial results, where there may be no best VM.
+func printResult(out io.Writer, res *arrow.Result, slo float64) error {
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "STEP\tVM\tTIME_S\tCOST_USD\tOBJECTIVE")
 	for i, obs := range res.Observations {
@@ -103,14 +150,43 @@ func run(args []string, out io.Writer) error {
 	if err := tw.Flush(); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "\nbest VM: %s (objective %.5g) after %d measurements\n", res.BestName, res.BestValue, res.NumMeasurements())
+	if len(res.Failures) > 0 {
+		fmt.Fprintf(out, "\nquarantined %d candidate(s):\n", len(res.Failures))
+		for _, f := range res.Failures {
+			fmt.Fprintf(out, "  %s after %d attempt(s): %s\n", f.Name, f.Attempts, f.Reason)
+		}
+	}
+	if res.BestIndex >= 0 {
+		fmt.Fprintf(out, "\nbest VM: %s (objective %.5g) after %d measurements\n", res.BestName, res.BestValue, res.NumMeasurements())
+	} else {
+		fmt.Fprintf(out, "\nno VM could be measured\n")
+	}
 	if res.StoppedEarly {
 		fmt.Fprintf(out, "stopped early: %s\n", res.StopReason)
 	}
 	if !res.SLOSatisfied {
-		fmt.Fprintf(out, "WARNING: no VM met the %.0fs SLO; showing the fastest VM observed\n", *slo)
+		fmt.Fprintf(out, "WARNING: no VM met the %.0fs SLO; showing the fastest VM observed\n", slo)
 	}
 	return nil
+}
+
+// parseIndices parses a comma-separated candidate index list.
+func parseIndices(s string, n int) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		idx, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad candidate index %q: %v", part, err)
+		}
+		if idx < 0 || idx >= n {
+			return nil, fmt.Errorf("candidate index %d out of [0,%d)", idx, n)
+		}
+		out = append(out, idx)
+	}
+	return out, nil
 }
 
 func buildOptions(method, objective, kernelName string, seed int64, delta, eiStop float64, maxMeas int) ([]arrow.Option, error) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -110,5 +111,106 @@ func TestBuildOptions(t *testing.T) {
 	}
 	if len(opts) == 0 {
 		t.Error("no options built")
+	}
+}
+
+func TestRunChaosWithRetriesSucceeds(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-workload", "pearson/spark2.1/medium",
+		"-method", "augmented",
+		"-seed", "3",
+		"-retries", "4",
+		"-retry-backoff", "1ms",
+		"-chaos-transient", "0.2",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("retries should absorb a 20%% transient rate: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "best VM:") {
+		t.Errorf("result line missing:\n%s", sb.String())
+	}
+}
+
+func TestRunChaosPermanentFailurePrintsQuarantine(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-workload", "pearson/spark2.1/medium",
+		"-method", "random",
+		"-seed", "2",
+		"-chaos-fail", "3",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("one dead candidate must not fail the search: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "quarantined 1 candidate(s):") {
+		t.Errorf("quarantine report missing:\n%s", out)
+	}
+	if !strings.Contains(out, "best VM:") {
+		t.Errorf("result line missing:\n%s", out)
+	}
+}
+
+func TestRunTotalOutageEmitsPartialJSONAndFails(t *testing.T) {
+	all := ""
+	for i := 0; i < 18; i++ {
+		if i > 0 {
+			all += ","
+		}
+		all += strconv.Itoa(i)
+	}
+	var sb strings.Builder
+	err := run([]string{
+		"-workload", "pearson/spark2.1/medium",
+		"-method", "hybrid",
+		"-chaos-fail", all,
+		"-json",
+	}, &sb)
+	if err == nil {
+		t.Fatal("a total outage should exit nonzero")
+	}
+	var res struct {
+		Partial  bool `json:"partial"`
+		Failures []struct {
+			Name  string `json:"name"`
+			Error string `json:"error"`
+		} `json:"failures"`
+		BestIndex int `json:"best_index"`
+	}
+	if jerr := json.Unmarshal([]byte(sb.String()), &res); jerr != nil {
+		t.Fatalf("partial result JSON not emitted: %v\n%s", jerr, sb.String())
+	}
+	if !res.Partial || res.BestIndex != -1 {
+		t.Errorf("partial=%v best=%d, want a partial result with no best", res.Partial, res.BestIndex)
+	}
+	if len(res.Failures) == 0 || res.Failures[0].Error == "" {
+		t.Errorf("failure records missing from JSON: %+v", res.Failures)
+	}
+}
+
+func TestRunBadChaosFailIndex(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-chaos-fail", "99"}, &sb); err == nil {
+		t.Error("out-of-range candidate index should fail")
+	}
+	if err := run([]string{"-chaos-fail", "x"}, &sb); err == nil {
+		t.Error("non-numeric candidate index should fail")
+	}
+}
+
+func TestRunMeasureTimeoutFlag(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-workload", "pearson/spark2.1/medium",
+		"-method", "random",
+		"-max", "4",
+		"-measure-timeout", "30s",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("generous timeout should not trip on the simulator: %v", err)
+	}
+	if !strings.Contains(sb.String(), "best VM:") {
+		t.Errorf("result line missing:\n%s", sb.String())
 	}
 }

@@ -19,17 +19,26 @@ type ProgressFunc func(step int, obs Observation)
 // ctx between measurements: when ctx is canceled the search stops before
 // issuing the next measurement and returns ctx's error. The optional
 // progress callback fires after every completed measurement.
+//
+// Cancellation does not throw the session away: the returned *Result
+// (with Partial set) carries every observation completed before the
+// cancel, alongside the error. The cancellation check and the progress
+// callback sit outside any WithRetry/WithMeasureTimeout middleware, so
+// progress fires once per accepted measurement, not per retry attempt.
 func (o *Optimizer) SearchContext(ctx context.Context, target Target, progress ProgressFunc) (*Result, error) {
 	if ctx == nil {
 		return nil, fmt.Errorf("arrow: nil context")
 	}
-	wrapped := &ctxTarget{ctx: ctx, t: target, progress: progress}
-	res, err := o.Search(wrapped)
+	var wrapped *ctxTarget
+	res, err := o.searchTarget(target, func(t Target) Target {
+		wrapped = &ctxTarget{ctx: ctx, t: t, progress: progress}
+		return wrapped
+	})
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
-			return nil, fmt.Errorf("arrow: search canceled after %d measurements: %w", wrapped.steps, ctxErr)
+			return res, fmt.Errorf("arrow: search canceled after %d measurements: %w", wrapped.steps, ctxErr)
 		}
-		return nil, err
+		return res, err
 	}
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestSearchContextCompletes(t *testing.T) {
@@ -95,5 +96,67 @@ func TestSearchContextNil(t *testing.T) {
 	//nolint:staticcheck // deliberately passing nil to test the guard.
 	if _, err := opt.SearchContext(nil, nil, nil); err == nil {
 		t.Error("nil context should fail")
+	}
+}
+
+func TestSearchContextCancellationSalvagesPartialResult(t *testing.T) {
+	target, err := NewSimulatedTarget("pearson/spark2.1/medium", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := New(WithMethod(MethodNaiveBO), WithEIStopFraction(-1), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := opt.SearchContext(ctx, target, func(step int, obs Observation) {
+		if step == 5 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancellation must not discard the measurements already paid for")
+	}
+	if !res.Partial {
+		t.Error("salvaged result should be marked partial")
+	}
+	if res.NumMeasurements() != 5 {
+		t.Errorf("salvaged %d observations, want the 5 completed before the cancel", res.NumMeasurements())
+	}
+	if res.BestIndex < 0 || res.BestName == "" {
+		t.Errorf("salvaged result has no best-so-far: index %d name %q", res.BestIndex, res.BestName)
+	}
+}
+
+func TestSearchContextProgressFiresPerMeasurementNotPerRetry(t *testing.T) {
+	target, err := NewSimulatedTarget("pearson/spark2.1/medium", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos := NewChaosTarget(target, ChaosConfig{Seed: 4, TransientRate: 0.5})
+	opt, err := New(WithMethod(MethodAugmentedBO), WithSeed(2),
+		WithRetry(RetryPolicy{Seed: 2, Sleep: func(time.Duration) {}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	res, err := opt.SearchContext(context.Background(), chaos, func(step int, obs Observation) {
+		fired++
+		if step != fired {
+			t.Errorf("progress step %d fired out of order (want %d)", step, fired)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chaos.Stats().Transient == 0 {
+		t.Fatal("no transients injected; the test proves nothing")
+	}
+	if fired != res.NumMeasurements() {
+		t.Errorf("progress fired %d times for %d accepted measurements", fired, res.NumMeasurements())
 	}
 }

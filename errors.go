@@ -1,0 +1,140 @@
+package arrow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/lowlevel"
+)
+
+// This file is the failure taxonomy of the measurement layer. On a real
+// cloud a Measure call can fail for reasons with very different remedies:
+// a spot-capacity hiccup or a throttled API wants a retry, an unsupported
+// instance type never succeeds no matter how often it is tried, and a
+// canceled context means the caller has given up on the whole search.
+// Typed errors let the retry middleware and the search loop tell these
+// apart without string matching.
+
+// TransientError marks a measurement failure worth retrying: capacity
+// shortages, network partitions, throttling. Construct with Transient.
+type TransientError struct{ Err error }
+
+// Error implements error.
+func (e *TransientError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// Temporary reports that a retry may succeed. The method name follows
+// net.Error, so third-party errors carrying the same signal are
+// recognized too.
+func (e *TransientError) Temporary() bool { return true }
+
+// PermanentError marks a measurement failure that no retry can fix: the
+// instance type is not offered in the region, the image is incompatible,
+// the quota is zero. Construct with Permanent.
+type PermanentError struct{ Err error }
+
+// Error implements error.
+func (e *PermanentError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *PermanentError) Unwrap() error { return e.Err }
+
+// Temporary reports that retrying is pointless.
+func (e *PermanentError) Temporary() bool { return false }
+
+// Transient wraps err as retryable. Returns nil for a nil err.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &TransientError{Err: err}
+}
+
+// Permanent wraps err as not worth retrying. Returns nil for a nil err.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &PermanentError{Err: err}
+}
+
+// Fatal marks err as search-fatal: instead of quarantining the failing
+// candidate and continuing, the optimizer aborts the whole search and
+// returns a partial result. Context cancellation errors are always fatal
+// and need no marking.
+func Fatal(err error) error { return core.Fatal(err) }
+
+// Retryable classifies a measurement error for the retry middleware.
+//
+// Explicitly typed errors — TransientError, PermanentError, or anything
+// exposing net.Error's Temporary() bool — are trusted. Context
+// cancellation and search-fatal errors are never retried: the caller gave
+// up or the target declared the search dead. Every other (untyped) error
+// defaults to retryable, because in a cloud the common untyped failures
+// (SSH resets, API 5xx, spot reclaims) are transient.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var fatal interface{ SearchFatal() bool }
+	if errors.As(err, &fatal) && fatal.SearchFatal() {
+		return false
+	}
+	var tmp interface{ Temporary() bool }
+	if errors.As(err, &tmp) {
+		return tmp.Temporary()
+	}
+	return true
+}
+
+// RetryExhaustedError reports that every allowed attempt at a measurement
+// failed. The search loop then quarantines the candidate; the error
+// records how hard it tried and why the last attempt failed.
+type RetryExhaustedError struct {
+	// Attempts is the number of Measure calls made.
+	Attempts int
+	// Last is the error of the final attempt.
+	Last error
+}
+
+// Error implements error.
+func (e *RetryExhaustedError) Error() string {
+	return fmt.Sprintf("arrow: measurement failed after %d attempt(s): %v", e.Attempts, e.Last)
+}
+
+// Unwrap exposes the final attempt's error to errors.Is/As.
+func (e *RetryExhaustedError) Unwrap() error { return e.Last }
+
+// ErrInvalidOutcome reports a measurement whose outcome would poison the
+// surrogate models: NaN/Inf/non-positive execution time, negative or
+// non-finite cost, or an out-of-range metric vector. The search loop
+// quarantines candidates that keep producing such outcomes.
+var ErrInvalidOutcome = core.ErrInvalidOutcome
+
+// ErrAllCandidatesFailed reports a search in which not a single candidate
+// could be measured.
+var ErrAllCandidatesFailed = core.ErrAllCandidatesFailed
+
+// ValidateOutcome rejects outcomes that would poison the surrogates:
+// NaN/Inf/non-positive time, negative or non-finite cost, a metric vector
+// of the wrong length or with out-of-range entries. The search loop
+// applies the same gate to every measurement; targets can use it to
+// self-check before returning.
+func ValidateOutcome(out Outcome) error {
+	var metrics lowlevel.Vector
+	if out.Metrics != nil {
+		m, err := lowlevel.FromSlice(out.Metrics)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidOutcome, err)
+		}
+		metrics = m
+	}
+	return core.ValidateOutcome(core.Outcome{TimeSec: out.TimeSec, CostUSD: out.CostUSD, Metrics: metrics})
+}

@@ -1,0 +1,82 @@
+// Fault tolerance: search a flaky cloud without losing the run. A chaos
+// wrapper injects the failures a real provider serves up — transient
+// capacity errors, a permanently unavailable instance type, corrupted
+// telemetry — and the retry middleware plus candidate quarantine absorb
+// them: the search still lands on the VM the fault-free run would pick.
+//
+// Run with:
+//
+//	go run ./examples/faulttolerant
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	arrow "repro"
+)
+
+func main() {
+	target, err := arrow.NewSimulatedTarget("als/spark2.1/medium", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fault-free reference run.
+	newOptimizer := func(extra ...arrow.Option) *arrow.Optimizer {
+		opts := append([]arrow.Option{
+			arrow.WithMethod(arrow.MethodAugmentedBO),
+			arrow.WithObjective(arrow.MinimizeCost),
+			arrow.WithSeed(42),
+		}, extra...)
+		opt, err := arrow.New(opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return opt
+	}
+	clean, err := newOptimizer().Search(target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fault-free run:  best %s in %d measurements\n\n", clean.BestName, clean.NumMeasurements())
+
+	// The same search on a hostile cloud: 25% of measurements fail
+	// transiently, 20% return corrupted outcomes, and candidate 9 is an
+	// instance type the region simply refuses to launch.
+	chaos := arrow.NewChaosTarget(target, arrow.ChaosConfig{
+		Seed:              7,
+		TransientRate:     0.25,
+		CorruptRate:       0.20,
+		PermanentFailures: []int{9},
+	})
+	opt := newOptimizer(arrow.WithRetry(arrow.RetryPolicy{
+		MaxAttempts:    5,
+		InitialBackoff: 50 * time.Millisecond, // demo-friendly; default is 2s
+	}))
+
+	result, err := opt.Search(chaos)
+	if err != nil {
+		// Even a fatal abort hands back the observations already paid
+		// for, so the session is never a total loss.
+		log.Printf("search aborted: %v", err)
+		if result != nil {
+			log.Printf("salvaged %d measurements, best so far %s", result.NumMeasurements(), result.BestName)
+		}
+		return
+	}
+
+	stats := chaos.Stats()
+	fmt.Printf("chaotic run:     best %s in %d measurements\n", result.BestName, result.NumMeasurements())
+	fmt.Printf("faults injected: %d transient, %d corrupt, %d permanent (of %d calls)\n",
+		stats.Transient, stats.Corrupt, stats.Permanent, stats.Calls)
+	for _, f := range result.Failures {
+		fmt.Printf("quarantined:     %s after %d attempt(s): %s\n", f.Name, f.Attempts, f.Reason)
+	}
+	if result.BestName == clean.BestName {
+		fmt.Println("\nthe fault-tolerant layer absorbed the chaos: same winner as the fault-free run")
+	} else {
+		fmt.Println("\nthe faults changed the outcome — compare the observation lists to see where")
+	}
+}

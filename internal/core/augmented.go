@@ -124,16 +124,10 @@ func (a *AugmentedBO) Search(target Target) (*Result, error) {
 	st.sloTime = a.cfg.MaxTimeSLO
 	rng := rand.New(rand.NewSource(a.cfg.Seed))
 
-	design, err := initialDesign(a.cfg.Design, rng, st.features)
-	if err != nil {
-		return nil, err
+	if err := st.runInitialDesign(a.cfg.Design, rng); err != nil {
+		return st.abort(a.Name(), err)
 	}
-	for _, idx := range design {
-		if err := st.measure(idx, 0, true); err != nil {
-			return nil, err
-		}
-	}
-	return a.continueSearch(st, len(design)+1, rng)
+	return a.continueSearch(st, len(st.obs)+1, rng)
 }
 
 // continueSearch runs the augmented loop on an already seeded state. It is
@@ -153,9 +147,22 @@ func (a *AugmentedBO) continueSearch(st *searchState, defaultMinObs int, rng *ra
 		if len(remaining) == 0 {
 			break
 		}
+		if len(st.obs) < 2 {
+			// Design failures can leave too few observations for the
+			// pairwise surrogate: extend the design with the next
+			// quasi-random pick instead of failing the search.
+			idx := st.designReplacement(rng)
+			if idx < 0 {
+				break
+			}
+			if _, err := st.measure(idx, 0, true); err != nil {
+				return st.abort(a.Name(), err)
+			}
+			continue
+		}
 		next, predicted, err := a.selectByDelta(st, remaining, rng.Int63())
 		if err != nil {
-			return nil, err
+			return st.abort(a.Name(), err)
 		}
 		// Prediction Delta doubles as the stopping criterion: if even the
 		// most promising unmeasured VM is predicted worse than
@@ -170,14 +177,14 @@ func (a *AugmentedBO) continueSearch(st *searchState, defaultMinObs int, rng *ra
 		if st.hasIncumbent() {
 			score, err = acquisition.Delta(predicted, st.bestVal)
 			if err != nil {
-				return nil, err
+				return st.abort(a.Name(), err)
 			}
 		}
-		if err := st.measure(next, score, false); err != nil {
-			return nil, err
+		if _, err := st.measure(next, score, false); err != nil {
+			return st.abort(a.Name(), err)
 		}
 	}
-	return st.result(a.Name(), false, "search space exhausted"), nil
+	return st.finish(a.Name(), false, "search space exhausted")
 }
 
 // selectByDelta fits the pairwise Extra-Trees surrogate and returns the

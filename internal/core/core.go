@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -114,6 +115,16 @@ type Step struct {
 	FromDesign bool    // true if part of the initial design
 }
 
+// FailureRecord documents one candidate the search gave up on: its
+// measurement failed (or produced an invalid outcome) and the candidate was
+// quarantined so the loop could continue over the rest of the catalog.
+type FailureRecord struct {
+	Index      int    // candidate index in the Target
+	Name       string // candidate name, for reports
+	Err        error  // why the measurement was rejected
+	FromDesign bool   // true if the failure hit the initial design
+}
+
 // Result is a completed search.
 type Result struct {
 	Method       string
@@ -124,6 +135,17 @@ type Result struct {
 	BestValue    float64
 	StoppedEarly bool
 	StopReason   string
+
+	// Failures lists every candidate that was quarantined after its
+	// measurement failed. A non-empty list does not make the result
+	// partial: the search completed over the candidates that survived.
+	Failures []FailureRecord
+
+	// Partial is true when the search could not run to its own stopping
+	// rule — it was aborted (context canceled, fatal target error) or
+	// every candidate failed. The result still carries every completed
+	// observation; the accompanying error says why the search ended.
+	Partial bool
 
 	// SLOSatisfied is false only when a time SLO was configured and no
 	// measured VM met it — BestIndex then points at the fastest VM
@@ -175,6 +197,62 @@ var ErrTargetEmpty = errors.New("core: target has no candidates")
 // ErrBadConfig reports an invalid optimizer configuration.
 var ErrBadConfig = errors.New("core: invalid configuration")
 
+// ErrInvalidOutcome reports a measurement whose outcome would poison the
+// surrogate models: NaN/Inf/non-positive execution time, negative or
+// non-finite cost, or an out-of-range metric vector.
+var ErrInvalidOutcome = errors.New("core: invalid measurement outcome")
+
+// ErrAllCandidatesFailed reports a search in which not a single candidate
+// could be measured: every one was quarantined.
+var ErrAllCandidatesFailed = errors.New("core: every candidate failed to measure")
+
+// fatalError marks a measurement error that must abort the whole search
+// instead of quarantining one candidate. Built with Fatal.
+type fatalError struct{ err error }
+
+func (e *fatalError) Error() string     { return e.err.Error() }
+func (e *fatalError) Unwrap() error     { return e.err }
+func (e *fatalError) SearchFatal() bool { return true }
+
+// Fatal marks err as search-fatal: when a Target's Measure returns it, the
+// optimizer aborts with a partial result instead of quarantining the
+// candidate and continuing. Context cancellation errors are always fatal
+// and need no marking. errors.Is/As still see the wrapped error.
+func Fatal(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &fatalError{err: err}
+}
+
+// fatalMeasurement reports whether a measurement error ends the search
+// (partial result) rather than quarantining the candidate: context
+// cancellation — the caller gave up, retrying other candidates would
+// keep burning money — or an explicit Fatal marking.
+func fatalMeasurement(err error) bool {
+	var f interface{ SearchFatal() bool }
+	if errors.As(err, &f) && f.SearchFatal() {
+		return true
+	}
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// ValidateOutcome rejects outcomes that would poison the surrogates. The
+// search loop applies it to every measurement before the observation
+// reaches a model; corrupted measurements quarantine their candidate.
+func ValidateOutcome(out Outcome) error {
+	if math.IsNaN(out.TimeSec) || math.IsInf(out.TimeSec, 0) || out.TimeSec <= 0 {
+		return fmt.Errorf("%w: execution time %v", ErrInvalidOutcome, out.TimeSec)
+	}
+	if math.IsNaN(out.CostUSD) || math.IsInf(out.CostUSD, 0) || out.CostUSD < 0 {
+		return fmt.Errorf("%w: cost %v", ErrInvalidOutcome, out.CostUSD)
+	}
+	if err := out.Metrics.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidOutcome, err)
+	}
+	return nil
+}
+
 // searchState carries the bookkeeping shared by every optimizer.
 type searchState struct {
 	target    Target
@@ -185,10 +263,12 @@ type searchState struct {
 	// "minimize cost subject to a performance SLO" formulation).
 	sloTime float64
 
-	features [][]float64 // candidate features, cached
-	measured []bool
-	obs      []Observation
-	steps    []Step
+	features    [][]float64 // candidate features, cached
+	measured    []bool
+	quarantined []bool // candidates masked out after a failed measurement
+	failures    []FailureRecord
+	obs         []Observation
+	steps       []Step
 
 	bestIdx int
 	bestVal float64
@@ -226,6 +306,7 @@ func newSearchState(target Target, objective Objective) (*searchState, error) {
 		objective:   objective,
 		features:    features,
 		measured:    make([]bool, n),
+		quarantined: make([]bool, n),
 		bestIdx:     -1,
 		bestVal:     math.Inf(1),
 		fastestIdx:  -1,
@@ -242,21 +323,50 @@ func (s *searchState) feasible(out Outcome) bool {
 // hasIncumbent reports whether any feasible observation exists yet.
 func (s *searchState) hasIncumbent() bool { return s.bestIdx >= 0 }
 
+// quarantine masks idx out of every future candidate set and records why.
+func (s *searchState) quarantine(idx int, cause error, fromDesign bool) {
+	s.quarantined[idx] = true
+	s.failures = append(s.failures, FailureRecord{
+		Index:      idx,
+		Name:       s.target.Name(idx),
+		Err:        cause,
+		FromDesign: fromDesign,
+	})
+}
+
 // measure runs one measurement, updating observations and the incumbent.
-func (s *searchState) measure(idx int, score float64, fromDesign bool) error {
+// A failed or invalid measurement quarantines the candidate and returns
+// ok=false with a nil error — the search continues over the remaining
+// catalog. A non-nil error is fatal (context canceled, target abort,
+// internal misuse) and the caller must stop with a partial result.
+func (s *searchState) measure(idx int, score float64, fromDesign bool) (ok bool, err error) {
 	if s.measured[idx] {
-		return fmt.Errorf("core: candidate %d (%s) measured twice", idx, s.target.Name(idx))
+		return false, fmt.Errorf("core: candidate %d (%s) measured twice", idx, s.target.Name(idx))
+	}
+	if s.quarantined[idx] {
+		return false, fmt.Errorf("core: candidate %d (%s) is quarantined", idx, s.target.Name(idx))
 	}
 	out, err := s.target.Measure(idx)
 	if err != nil {
-		return fmt.Errorf("core: measuring %s: %w", s.target.Name(idx), err)
+		wrapped := fmt.Errorf("core: measuring %s: %w", s.target.Name(idx), err)
+		if fatalMeasurement(err) {
+			return false, wrapped
+		}
+		s.quarantine(idx, wrapped, fromDesign)
+		return false, nil
+	}
+	if verr := ValidateOutcome(out); verr != nil {
+		s.quarantine(idx, fmt.Errorf("core: measurement of %s: %w", s.target.Name(idx), verr), fromDesign)
+		return false, nil
 	}
 	val, err := out.Value(s.objective)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if val <= 0 || math.IsNaN(val) || math.IsInf(val, 0) {
-		return fmt.Errorf("core: measurement of %s yielded invalid objective %v", s.target.Name(idx), val)
+		s.quarantine(idx, fmt.Errorf("core: measurement of %s yielded invalid objective %v: %w",
+			s.target.Name(idx), val, ErrInvalidOutcome), fromDesign)
+		return false, nil
 	}
 	s.measured[idx] = true
 	s.obs = append(s.obs, Observation{Index: idx, Value: val, Outcome: out})
@@ -275,14 +385,15 @@ func (s *searchState) measure(idx int, score float64, fromDesign bool) error {
 		Score:      score,
 		FromDesign: fromDesign,
 	})
-	return nil
+	return true, nil
 }
 
-// unmeasured returns the indices not yet measured.
+// unmeasured returns the indices still available for measurement: not yet
+// measured and not quarantined.
 func (s *searchState) unmeasured() []int {
 	var out []int
 	for i, m := range s.measured {
-		if !m {
+		if !m && !s.quarantined[i] {
 			out = append(out, i)
 		}
 	}
@@ -296,6 +407,7 @@ func (s *searchState) result(method string, stoppedEarly bool, reason string) *R
 		Objective:    s.objective,
 		Observations: append([]Observation(nil), s.obs...),
 		Steps:        append([]Step(nil), s.steps...),
+		Failures:     append([]FailureRecord(nil), s.failures...),
 		BestIndex:    s.bestIdx,
 		BestValue:    s.bestVal,
 		StoppedEarly: stoppedEarly,
@@ -303,9 +415,12 @@ func (s *searchState) result(method string, stoppedEarly bool, reason string) *R
 		SLOSatisfied: true,
 	}
 	if !s.hasIncumbent() {
-		// An SLO was set and nothing met it: report the fastest VM seen.
-		res.SLOSatisfied = false
+		// Nothing feasible was measured: either an SLO was set and no VM
+		// met it (report the fastest seen), or every measurement failed
+		// (report no best at all).
+		res.SLOSatisfied = s.sloTime <= 0
 		res.BestIndex = s.fastestIdx
+		res.BestValue = 0
 		for _, obs := range s.obs {
 			if obs.Index == s.fastestIdx {
 				res.BestValue = obs.Value
@@ -313,4 +428,25 @@ func (s *searchState) result(method string, stoppedEarly bool, reason string) *R
 		}
 	}
 	return res
+}
+
+// finish finalizes a loop that ran out of candidates or budget. When not a
+// single candidate could be measured the result is partial and comes with
+// ErrAllCandidatesFailed, so callers still see the failure record.
+func (s *searchState) finish(method string, stoppedEarly bool, reason string) (*Result, error) {
+	if len(s.obs) == 0 && len(s.failures) > 0 {
+		res := s.result(method, false, "every candidate failed")
+		res.Partial = true
+		return res, fmt.Errorf("core: %d candidate(s) quarantined, none measured: %w",
+			len(s.failures), ErrAllCandidatesFailed)
+	}
+	return s.result(method, stoppedEarly, reason), nil
+}
+
+// abort finalizes a search stopped by a fatal error: the partial result
+// keeps every paid-for observation and the error explains the abort.
+func (s *searchState) abort(method string, cause error) (*Result, error) {
+	res := s.result(method, false, fmt.Sprintf("aborted: %v", cause))
+	res.Partial = true
+	return res, fmt.Errorf("core: search aborted after %d measurement(s): %w", len(s.obs), cause)
 }

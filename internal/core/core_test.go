@@ -241,13 +241,40 @@ func TestBestSoFarMonotone(t *testing.T) {
 	}
 }
 
-func TestMeasurementErrorPropagates(t *testing.T) {
+func TestMeasurementFailureQuarantinesCandidate(t *testing.T) {
 	for name, opt := range allOptimizers(t, MinimizeTime, 1, true) {
 		t.Run(name, func(t *testing.T) {
 			target := newFakeTarget(exhaustiveValues())
 			target.failAt = 5 // the optimum: every search reaches it eventually
-			if _, err := opt.Search(target); err == nil {
-				t.Error("injected failure should propagate")
+			res, err := opt.Search(target)
+			if err != nil {
+				t.Fatalf("failure should quarantine, not abort: %v", err)
+			}
+			if res.Partial {
+				t.Error("quarantine alone should not make the result partial")
+			}
+			if len(res.Failures) != 1 || res.Failures[0].Index != 5 {
+				t.Fatalf("failures = %+v, want exactly candidate 5", res.Failures)
+			}
+			if res.BestIndex == 5 {
+				t.Error("quarantined candidate reported as best")
+			}
+			for _, obs := range res.Observations {
+				if obs.Index == 5 {
+					t.Error("quarantined candidate appears among observations")
+				}
+			}
+			// With the optimum quarantined, the best must be the runner-up.
+			values := exhaustiveValues()
+			wantBest, wantVal := -1, math.Inf(1)
+			for i, v := range values {
+				if i != 5 && v < wantVal {
+					wantBest, wantVal = i, v
+				}
+			}
+			if res.NumMeasurements() == len(values)-1 && res.BestIndex != wantBest {
+				t.Errorf("best = %d (%.3g), want runner-up %d (%.3g)",
+					res.BestIndex, res.BestValue, wantBest, wantVal)
 			}
 		})
 	}
@@ -279,8 +306,18 @@ func TestNegativeMeasurementRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := opt.Search(target); err == nil {
-		t.Error("negative objective value should be rejected")
+	res, err := opt.Search(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 1 || res.Failures[0].Index != 2 {
+		t.Fatalf("failures = %+v, want the negative-valued candidate quarantined", res.Failures)
+	}
+	if !errors.Is(res.Failures[0].Err, ErrInvalidOutcome) {
+		t.Errorf("failure error = %v, want ErrInvalidOutcome", res.Failures[0].Err)
+	}
+	if res.NumMeasurements() != 4 {
+		t.Errorf("measured %d candidates, want the 4 valid ones", res.NumMeasurements())
 	}
 }
 

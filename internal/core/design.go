@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/sampling"
@@ -108,4 +109,82 @@ func initialDesign(cfg DesignConfig, rng *rand.Rand, features [][]float64) ([]in
 	default:
 		return nil, fmt.Errorf("core: design kind %d: %w", int(kind), ErrBadConfig)
 	}
+}
+
+// runInitialDesign measures the configured initial design. A design point
+// whose measurement fails is quarantined and replaced by the next
+// quasi-random pick — the available candidate farthest from everything
+// measured so far — so the surrogate still starts from the configured
+// number of observations whenever enough candidates survive. Only a fatal
+// error (context cancellation, Fatal-marked target error) is returned;
+// ordinary failures land in the state's failure record.
+func (s *searchState) runInitialDesign(cfg DesignConfig, rng *rand.Rand) error {
+	design, err := initialDesign(cfg, rng, s.features)
+	if err != nil {
+		return err
+	}
+	k := len(design)
+	successes := 0
+	for _, idx := range design {
+		ok, err := s.measure(idx, 0, true)
+		if err != nil {
+			return err
+		}
+		if ok {
+			successes++
+		}
+	}
+	for successes < k {
+		idx := s.designReplacement(rng)
+		if idx < 0 {
+			return nil // catalog exhausted; the caller's loop finishes up
+		}
+		ok, err := s.measure(idx, 0, true)
+		if err != nil {
+			return err
+		}
+		if ok {
+			successes++
+		}
+	}
+	return nil
+}
+
+// designReplacement picks the next quasi-random design point among the
+// available candidates: the one maximizing the minimum distance (over
+// min-max-scaled features) to everything measured so far, i.e. one more
+// greedy max-min step. With nothing measured yet it falls back to a random
+// available candidate. Returns -1 when no candidates remain.
+func (s *searchState) designReplacement(rng *rand.Rand) int {
+	avail := s.unmeasured()
+	if len(avail) == 0 {
+		return -1
+	}
+	scaled, _, _, err := stats.MinMaxScale(s.features)
+	if err != nil || len(s.obs) == 0 {
+		return avail[rng.Intn(len(avail))]
+	}
+	best, bestDist := -1, math.Inf(-1)
+	for _, i := range avail {
+		nearest := math.Inf(1)
+		for _, obs := range s.obs {
+			if d := euclidean(scaled[i], scaled[obs.Index]); d < nearest {
+				nearest = d
+			}
+		}
+		if nearest > bestDist {
+			best, bestDist = i, nearest
+		}
+	}
+	return best
+}
+
+// euclidean is the distance metric shared with the max-min design.
+func euclidean(a, b []float64) float64 {
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
 }

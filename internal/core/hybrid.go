@@ -77,20 +77,14 @@ func (h *HybridBO) Search(target Target) (*Result, error) {
 	st.sloTime = h.cfg.Naive.MaxTimeSLO
 	rng := rand.New(rand.NewSource(h.cfg.Naive.Seed))
 
-	design, err := initialDesign(h.cfg.Naive.Design, rng, st.features)
-	if err != nil {
-		return nil, err
-	}
-	for _, idx := range design {
-		if err := st.measure(idx, 0, true); err != nil {
-			return nil, err
-		}
+	if err := st.runInitialDesign(h.cfg.Naive.Design, rng); err != nil {
+		return st.abort(h.Name(), err)
 	}
 
 	// Phase 1: EI-guided measurements up to the handover point.
 	scaledAll, err := scaleFeatures(st.features)
 	if err != nil {
-		return nil, err
+		return st.abort(h.Name(), err)
 	}
 	switchAfter := h.cfg.SwitchAfter
 	if switchAfter > target.NumCandidates() {
@@ -103,20 +97,21 @@ func (h *HybridBO) Search(target Target) (*Result, error) {
 		}
 		next, score, _, err := h.naive.selectCandidate(st, scaledAll, remaining, rng)
 		if err != nil {
-			return nil, err
+			return st.abort(h.Name(), err)
 		}
-		if err := st.measure(next, score, false); err != nil {
-			return nil, err
+		if _, err := st.measure(next, score, false); err != nil {
+			return st.abort(h.Name(), err)
 		}
 	}
 
-	// Phase 2: Augmented BO finishes the search with the full history.
+	// Phase 2: Augmented BO finishes the search with the full history. A
+	// partial result surfacing from the augmented phase is still a hybrid
+	// result, so the method is renamed in every case.
 	res, err := h.augmented.continueSearch(st, len(st.obs)+1, rng)
-	if err != nil {
-		return nil, err
+	if res != nil {
+		res.Method = h.Name()
 	}
-	res.Method = h.Name()
-	return res, nil
+	return res, err
 }
 
 // scaleFeatures is a small wrapper so HybridBO shares NaiveBO's scaling.

@@ -145,19 +145,13 @@ func (n *NaiveBO) Search(target Target) (*Result, error) {
 	st.sloTime = n.cfg.MaxTimeSLO
 	rng := rand.New(rand.NewSource(n.cfg.Seed))
 
-	design, err := initialDesign(n.cfg.Design, rng, st.features)
-	if err != nil {
-		return nil, err
-	}
-	for _, idx := range design {
-		if err := st.measure(idx, 0, true); err != nil {
-			return nil, err
-		}
+	if err := st.runInitialDesign(n.cfg.Design, rng); err != nil {
+		return st.abort(n.Name(), err)
 	}
 
 	minObs := n.cfg.MinObservations
 	if minObs == 0 {
-		minObs = len(design) + 1
+		minObs = len(st.obs) + 1
 	}
 	maxMeas := n.cfg.MaxMeasurements
 	if maxMeas == 0 || maxMeas > target.NumCandidates() {
@@ -168,7 +162,7 @@ func (n *NaiveBO) Search(target Target) (*Result, error) {
 	// front, so this leaks no measurement information.
 	scaled, _, _, err := stats.MinMaxScale(st.features)
 	if err != nil {
-		return nil, fmt.Errorf("core: scaling features: %w", err)
+		return st.abort(n.Name(), fmt.Errorf("core: scaling features: %w", err))
 	}
 
 	for len(st.obs) < maxMeas {
@@ -178,18 +172,18 @@ func (n *NaiveBO) Search(target Target) (*Result, error) {
 		}
 		next, score, maxEI, err := n.selectCandidate(st, scaled, remaining, rng)
 		if err != nil {
-			return nil, err
+			return st.abort(n.Name(), err)
 		}
 		if n.cfg.EIStopFraction > 0 && len(st.obs) >= minObs && st.hasIncumbent() &&
 			maxEI < n.cfg.EIStopFraction*st.bestVal {
 			return st.result(n.Name(), true,
 				fmt.Sprintf("max EI %.4g below %.0f%% of incumbent %.4g", maxEI, 100*n.cfg.EIStopFraction, st.bestVal)), nil
 		}
-		if err := st.measure(next, score, false); err != nil {
-			return nil, err
+		if _, err := st.measure(next, score, false); err != nil {
+			return st.abort(n.Name(), err)
 		}
 	}
-	return st.result(n.Name(), false, "search space exhausted"), nil
+	return st.finish(n.Name(), false, "search space exhausted")
 }
 
 // feasibilityProbs fits a GP on log execution time and returns, per

@@ -326,8 +326,8 @@ func TestAugmentedBONeedsTwoObservationsForPairs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.measure(0, 0, true); err != nil {
-		t.Fatal(err)
+	if ok, err := st.measure(0, 0, true); err != nil || !ok {
+		t.Fatalf("measure: ok=%v err=%v", ok, err)
 	}
 	if _, err := aug.fitPairModel(st, 1); !errors.Is(err, ErrBadConfig) {
 		t.Errorf("error = %v, want ErrBadConfig with one observation", err)

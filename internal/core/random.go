@@ -43,10 +43,16 @@ func (r *RandomSearch) Search(target Target) (*Result, error) {
 		maxMeas = target.NumCandidates()
 	}
 	rng := rand.New(rand.NewSource(r.cfg.Seed))
-	for _, idx := range rng.Perm(target.NumCandidates())[:maxMeas] {
-		if err := st.measure(idx, 0, false); err != nil {
-			return nil, err
+	// Walk the whole permutation: a failed candidate is quarantined and
+	// does not consume measurement budget, so later permutation entries
+	// stand in for it until the budget or the catalog runs out.
+	for _, idx := range rng.Perm(target.NumCandidates()) {
+		if len(st.obs) >= maxMeas {
+			break
+		}
+		if _, err := st.measure(idx, 0, false); err != nil {
+			return st.abort(r.Name(), err)
 		}
 	}
-	return st.result(r.Name(), false, "measurement budget exhausted"), nil
+	return st.finish(r.Name(), false, "measurement budget exhausted")
 }

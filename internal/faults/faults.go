@@ -1,0 +1,245 @@
+// Package faults injects measurement failures into a Target for chaos
+// testing the search loop. A seeded injector decides, per Measure call,
+// whether the measurement fails transiently, fails permanently, or
+// succeeds with a corrupted outcome — modelling the spot reclaims,
+// unavailable instance types and broken telemetry a real cloud serves up.
+//
+// The package sits below the public retry middleware: its errors expose
+// net.Error's Temporary() bool so the public classifier recognizes them
+// without this package importing the public one (which would cycle).
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/lowlevel"
+)
+
+// CorruptKind enumerates the outcome corruptions the injector applies.
+type CorruptKind int
+
+// The corruption modes: the measurement "succeeds" but its payload would
+// poison a surrogate if the validation gate let it through.
+const (
+	// CorruptNaNTime reports a NaN execution time.
+	CorruptNaNTime CorruptKind = iota
+	// CorruptInfTime reports an infinite execution time.
+	CorruptInfTime
+	// CorruptNegativeTime reports a negative execution time.
+	CorruptNegativeTime
+	// CorruptNegativeCost reports a negative cost.
+	CorruptNegativeCost
+	// CorruptNaNMetric poisons one low-level metric with NaN.
+	CorruptNaNMetric
+	// CorruptShortMetrics truncates the metric vector. Only expressible
+	// at the public []float64 layer; the internal injector substitutes
+	// CorruptNaNMetric.
+	CorruptShortMetrics
+
+	// NumCorruptKinds counts the modes above.
+	NumCorruptKinds
+)
+
+// String names the corruption.
+func (k CorruptKind) String() string {
+	switch k {
+	case CorruptNaNTime:
+		return "nan-time"
+	case CorruptInfTime:
+		return "inf-time"
+	case CorruptNegativeTime:
+		return "negative-time"
+	case CorruptNegativeCost:
+		return "negative-cost"
+	case CorruptNaNMetric:
+		return "nan-metric"
+	case CorruptShortMetrics:
+		return "short-metrics"
+	default:
+		return fmt.Sprintf("CorruptKind(%d)", int(k))
+	}
+}
+
+// Config parameterizes an Injector.
+type Config struct {
+	// Seed drives every injection decision; equal seeds reproduce the
+	// fault sequence exactly.
+	Seed int64
+	// TransientRate is the probability, per Measure call, of a
+	// retryable failure.
+	TransientRate float64
+	// CorruptRate is the probability, per otherwise-successful Measure
+	// call, of a corrupted outcome.
+	CorruptRate float64
+	// Permanent lists candidates whose every measurement fails with a
+	// non-retryable error — instance types the provider refuses.
+	Permanent []int
+}
+
+// Stats counts what an Injector did.
+type Stats struct {
+	// Calls is the number of injection decisions made.
+	Calls int
+	// Transient / Permanent / Corrupt count the injected faults.
+	Transient int
+	Permanent int
+	Corrupt   int
+}
+
+// Error is an injected measurement failure.
+type Error struct {
+	// Candidate that failed.
+	Candidate int
+	// Retryable distinguishes transient from permanent injections.
+	Retryable bool
+	// Reason is a short human-readable cause.
+	Reason string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("faults: candidate %d: %s", e.Candidate, e.Reason)
+}
+
+// Temporary implements the net.Error-style signal the public retry
+// classifier trusts.
+func (e *Error) Temporary() bool { return e.Retryable }
+
+// Plan is one injection decision.
+type Plan struct {
+	// Transient / Permanent, when set, fail the measurement (and the
+	// real Measure is not called).
+	Transient bool
+	Permanent bool
+	// Corrupt, when set, corrupts the successful outcome per Kind.
+	Corrupt bool
+	Kind    CorruptKind
+}
+
+// Injector makes seeded fault decisions. It is safe for concurrent use.
+type Injector struct {
+	cfg       Config
+	permanent map[int]bool
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats Stats
+}
+
+// NewInjector builds an Injector.
+func NewInjector(cfg Config) *Injector {
+	perm := make(map[int]bool, len(cfg.Permanent))
+	for _, i := range cfg.Permanent {
+		perm[i] = true
+	}
+	return &Injector{
+		cfg:       cfg,
+		permanent: perm,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Decide rolls the dice for one measurement of candidate. Both the
+// internal and the public chaos wrappers funnel through it, so the fault
+// sequence for a given seed is identical at either layer.
+func (inj *Injector) Decide(candidate int) Plan {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.stats.Calls++
+	if inj.permanent[candidate] {
+		inj.stats.Permanent++
+		return Plan{Permanent: true}
+	}
+	if inj.cfg.TransientRate > 0 && inj.rng.Float64() < inj.cfg.TransientRate {
+		inj.stats.Transient++
+		return Plan{Transient: true}
+	}
+	if inj.cfg.CorruptRate > 0 && inj.rng.Float64() < inj.cfg.CorruptRate {
+		inj.stats.Corrupt++
+		return Plan{Corrupt: true, Kind: CorruptKind(inj.rng.Intn(int(NumCorruptKinds)))}
+	}
+	return Plan{}
+}
+
+// Err materializes the failure a Plan calls for, or nil.
+func (inj *Injector) Err(candidate int, p Plan) error {
+	switch {
+	case p.Permanent:
+		return &Error{Candidate: candidate, Retryable: false, Reason: "instance type permanently unavailable"}
+	case p.Transient:
+		return &Error{Candidate: candidate, Retryable: true, Reason: "transient capacity failure"}
+	default:
+		return nil
+	}
+}
+
+// Stats returns a snapshot of the injection counters.
+func (inj *Injector) Stats() Stats {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.stats
+}
+
+// Target wraps a core.Target with an Injector.
+type Target struct {
+	t   core.Target
+	inj *Injector
+}
+
+var _ core.Target = (*Target)(nil)
+
+// Wrap builds a fault-injecting view of t.
+func Wrap(t core.Target, cfg Config) *Target {
+	return &Target{t: t, inj: NewInjector(cfg)}
+}
+
+// Injector exposes the decision engine (for stats).
+func (f *Target) Injector() *Injector { return f.inj }
+
+// NumCandidates implements core.Target.
+func (f *Target) NumCandidates() int { return f.t.NumCandidates() }
+
+// Features implements core.Target.
+func (f *Target) Features(i int) []float64 { return f.t.Features(i) }
+
+// Name implements core.Target.
+func (f *Target) Name(i int) string { return f.t.Name(i) }
+
+// Measure implements core.Target, injecting faults per the config.
+func (f *Target) Measure(i int) (core.Outcome, error) {
+	p := f.inj.Decide(i)
+	if err := f.inj.Err(i, p); err != nil {
+		return core.Outcome{}, err
+	}
+	out, err := f.t.Measure(i)
+	if err != nil {
+		return core.Outcome{}, err
+	}
+	if p.Corrupt {
+		out = corruptOutcome(out, p.Kind)
+	}
+	return out, nil
+}
+
+// corruptOutcome applies a corruption to an internal outcome.
+func corruptOutcome(out core.Outcome, kind CorruptKind) core.Outcome {
+	switch kind {
+	case CorruptNaNTime:
+		out.TimeSec = math.NaN()
+	case CorruptInfTime:
+		out.TimeSec = math.Inf(1)
+	case CorruptNegativeTime:
+		out.TimeSec = -out.TimeSec
+	case CorruptNegativeCost:
+		out.CostUSD = -1
+	case CorruptNaNMetric, CorruptShortMetrics:
+		// The fixed-size internal vector cannot be truncated; poison an
+		// entry instead.
+		out.Metrics[lowlevel.CPUUser] = math.NaN()
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// stubTarget is a minimal healthy core.Target.
+type stubTarget struct{ n int }
+
+func (s *stubTarget) NumCandidates() int       { return s.n }
+func (s *stubTarget) Features(i int) []float64 { return []float64{float64(i)} }
+func (s *stubTarget) Name(i int) string        { return "vm" }
+func (s *stubTarget) Measure(i int) (core.Outcome, error) {
+	return core.Outcome{TimeSec: float64(i + 1), CostUSD: 1}, nil
+}
+
+func TestInjectorPermanent(t *testing.T) {
+	f := Wrap(&stubTarget{n: 4}, Config{Seed: 1, Permanent: []int{2}})
+	if _, err := f.Measure(2); err == nil {
+		t.Fatal("permanent candidate should fail")
+	} else if e, ok := err.(*Error); !ok || e.Temporary() {
+		t.Errorf("error = %v, want a non-temporary *Error", err)
+	}
+	if _, err := f.Measure(1); err != nil {
+		t.Fatalf("healthy candidate failed: %v", err)
+	}
+	s := f.Injector().Stats()
+	if s.Calls != 2 || s.Permanent != 1 {
+		t.Errorf("stats = %+v, want 2 calls / 1 permanent", s)
+	}
+}
+
+func TestInjectorTransientRate(t *testing.T) {
+	f := Wrap(&stubTarget{n: 1}, Config{Seed: 7, TransientRate: 0.5})
+	fails := 0
+	for k := 0; k < 200; k++ {
+		if _, err := f.Measure(0); err != nil {
+			fails++
+			if e, ok := err.(*Error); !ok || !e.Temporary() {
+				t.Fatalf("error = %v, want a temporary *Error", err)
+			}
+		}
+	}
+	if fails < 60 || fails > 140 {
+		t.Errorf("%d/200 transient failures at rate 0.5", fails)
+	}
+}
+
+func TestInjectorCorruption(t *testing.T) {
+	f := Wrap(&stubTarget{n: 1}, Config{Seed: 3, CorruptRate: 1})
+	sawInvalid := false
+	for k := 0; k < 20; k++ {
+		out, err := f.Measure(0)
+		if err != nil {
+			t.Fatalf("corruption is not an error: %v", err)
+		}
+		if core.ValidateOutcome(out) != nil {
+			sawInvalid = true
+		}
+	}
+	if !sawInvalid {
+		t.Error("rate-1 corruption never produced an invalid outcome")
+	}
+	if s := f.Injector().Stats(); s.Corrupt != 20 {
+		t.Errorf("corrupt count = %d, want 20", s.Corrupt)
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	trace := func() []Plan {
+		inj := NewInjector(Config{Seed: 11, TransientRate: 0.3, CorruptRate: 0.3})
+		var ps []Plan
+		for k := 0; k < 50; k++ {
+			ps = append(ps, inj.Decide(k%5))
+		}
+		return ps
+	}
+	a, b := trace(), trace()
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("decision %d diverged for equal seeds: %+v vs %+v", k, a[k], b[k])
+		}
+	}
+}
+
+func TestCorruptOutcomeKinds(t *testing.T) {
+	base := core.Outcome{TimeSec: 10, CostUSD: 2}
+	for kind := CorruptKind(0); kind < NumCorruptKinds; kind++ {
+		out := corruptOutcome(base, kind)
+		if err := core.ValidateOutcome(out); err == nil {
+			t.Errorf("%v: corrupted outcome %+v still validates", kind, out)
+		}
+	}
+	if math.IsNaN(base.TimeSec) {
+		t.Error("corruption mutated the input outcome")
+	}
+}

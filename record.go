@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"repro/internal/core"
 )
 
 // This file implements search-session recording and replay. On a real
@@ -21,6 +23,19 @@ type Recording struct {
 	// Measurements maps candidate index -> outcome, keyed as strings for
 	// JSON friendliness.
 	Measurements map[string]Outcome `json:"measurements"`
+	// Failures maps candidate index -> the failure that exhausted its
+	// measurement (after any retries). Replay reproduces them as
+	// permanent failures so the replayed search quarantines the same
+	// candidates the original did.
+	Failures map[string]RecordedFailure `json:"failures,omitempty"`
+}
+
+// RecordedFailure is one failed measurement of a recording.
+type RecordedFailure struct {
+	// Attempts is how many Measure calls were made before giving up.
+	Attempts int `json:"attempts,omitempty"`
+	// Error is the final error text.
+	Error string `json:"error"`
 }
 
 // RecordedCandidate is one catalog entry of a recording.
@@ -47,6 +62,7 @@ func NewRecorder(target Target) *Recorder {
 		target: target,
 		rec: Recording{
 			Measurements: make(map[string]Outcome),
+			Failures:     make(map[string]RecordedFailure),
 		},
 	}
 	for i := 0; i < target.NumCandidates(); i++ {
@@ -67,10 +83,20 @@ func (r *Recorder) Features(i int) []float64 { return r.rec.Candidates[i].Featur
 // Name implements Target.
 func (r *Recorder) Name(i int) string { return r.rec.Candidates[i].Name }
 
-// Measure implements Target, recording the outcome.
+// Measure implements Target, recording the outcome — or, when the
+// measurement fails (after whatever retry middleware sits below the
+// recorder), the failure.
 func (r *Recorder) Measure(i int) (Outcome, error) {
 	out, err := r.target.Measure(i)
 	if err != nil {
+		attempts := 1
+		var ex *RetryExhaustedError
+		if errors.As(err, &ex) {
+			attempts = ex.Attempts
+		}
+		r.mu.Lock()
+		r.rec.Failures[fmt.Sprint(i)] = RecordedFailure{Attempts: attempts, Error: err.Error()}
+		r.mu.Unlock()
 		return Outcome{}, err
 	}
 	r.mu.Lock()
@@ -86,10 +112,14 @@ func (r *Recorder) Recording() *Recording {
 	cp := Recording{
 		Candidates:   append([]RecordedCandidate(nil), r.rec.Candidates...),
 		Measurements: make(map[string]Outcome, len(r.rec.Measurements)),
+		Failures:     make(map[string]RecordedFailure, len(r.rec.Failures)),
 	}
 	for k, v := range r.rec.Measurements {
 		v.Metrics = append([]float64(nil), v.Metrics...)
 		cp.Measurements[k] = v
+	}
+	for k, v := range r.rec.Failures {
+		cp.Failures[k] = v
 	}
 	return &cp
 }
@@ -102,8 +132,15 @@ func (r *Recorder) Save(w io.Writer) error {
 }
 
 // ErrNotRecorded is returned by a replay target when the optimizer asks
-// for a measurement the original session never made.
+// for a measurement the original session never made. It is search-fatal:
+// quarantining the candidate and continuing would only ask for more
+// unrecorded measurements, so the replayed search aborts instead.
 var ErrNotRecorded = errors.New("arrow: measurement not present in recording")
+
+// ErrCorruptRecording is returned (search-fatally) by a replay target
+// when a recorded outcome fails validation — the recording itself is
+// damaged, not the candidate.
+var ErrCorruptRecording = errors.New("arrow: recording holds an invalid outcome")
 
 // ReadRecording parses a recording written by Recorder.Save.
 func ReadRecording(r io.Reader) (*Recording, error) {
@@ -116,6 +153,9 @@ func ReadRecording(r io.Reader) (*Recording, error) {
 	}
 	if rec.Measurements == nil {
 		rec.Measurements = map[string]Outcome{}
+	}
+	if rec.Failures == nil {
+		rec.Failures = map[string]RecordedFailure{}
 	}
 	return &rec, nil
 }
@@ -139,9 +179,19 @@ func (t *replayTarget) Features(i int) []float64 { return t.rec.Candidates[i].Fe
 func (t *replayTarget) Name(i int) string        { return t.rec.Candidates[i].Name }
 
 func (t *replayTarget) Measure(i int) (Outcome, error) {
-	out, ok := t.rec.Measurements[fmt.Sprint(i)]
+	key := fmt.Sprint(i)
+	if f, ok := t.rec.Failures[key]; ok {
+		// Replay the recorded failure as permanent: the original session
+		// already spent its retries, replaying them would be theater.
+		return Outcome{}, Permanent(fmt.Errorf("candidate %d (%s): recorded failure after %d attempt(s): %s",
+			i, t.Name(i), f.Attempts, f.Error))
+	}
+	out, ok := t.rec.Measurements[key]
 	if !ok {
-		return Outcome{}, fmt.Errorf("candidate %d (%s): %w", i, t.Name(i), ErrNotRecorded)
+		return Outcome{}, core.Fatal(fmt.Errorf("candidate %d (%s): %w", i, t.Name(i), ErrNotRecorded))
+	}
+	if err := ValidateOutcome(out); err != nil {
+		return Outcome{}, core.Fatal(fmt.Errorf("candidate %d (%s): %v: %w", i, t.Name(i), err, ErrCorruptRecording))
 	}
 	return out, nil
 }

@@ -140,3 +140,83 @@ func TestReplayDifferentMethodOnSameMeasurements(t *testing.T) {
 		}
 	}
 }
+
+func TestRecorderCapturesFailures(t *testing.T) {
+	target, err := NewSimulatedTarget("pearson/spark2.1/medium", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := 3
+	chaos := NewChaosTarget(target, ChaosConfig{Seed: 1, PermanentFailures: []int{down}})
+	rec := NewRecorder(chaos)
+	opt, err := New(WithMethod(MethodRandomSearch), WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	original, err := opt.Search(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(original.Failures) != 1 || original.Failures[0].Index != down {
+		t.Fatalf("failures = %+v, want candidate %d", original.Failures, down)
+	}
+
+	var buf bytes.Buffer
+	if err := rec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadRecording(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Failures) != 1 {
+		t.Fatalf("recording carries %d failures, want 1", len(loaded.Failures))
+	}
+
+	// Replaying the same search quarantines the same candidate and lands
+	// on the same best VM, without consulting the live target.
+	replayOpt, err := New(WithMethod(MethodRandomSearch), WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := replayOpt.Search(loaded.Replay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed.Failures) != 1 || replayed.Failures[0].Index != down {
+		t.Fatalf("replayed failures = %+v, want candidate %d", replayed.Failures, down)
+	}
+	if replayed.BestName != original.BestName {
+		t.Errorf("replayed best = %s, original = %s", replayed.BestName, original.BestName)
+	}
+}
+
+func TestReplayRejectsCorruptRecording(t *testing.T) {
+	target, err := NewSimulatedTarget("pearson/spark2.1/medium", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(target)
+	opt, err := New(WithMethod(MethodRandomSearch), WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opt.Search(rec); err != nil {
+		t.Fatal(err)
+	}
+	snapshot := rec.Recording()
+	// Damage one recorded outcome the way a hand-edited or truncated
+	// file would.
+	for k, out := range snapshot.Measurements {
+		out.TimeSec = -out.TimeSec
+		snapshot.Measurements[k] = out
+		break
+	}
+	res, err := opt.Search(snapshot.Replay())
+	if !errors.Is(err, ErrCorruptRecording) {
+		t.Fatalf("error = %v, want ErrCorruptRecording", err)
+	}
+	if res == nil || !res.Partial {
+		t.Error("a corrupt recording should still salvage the observations made before the damage")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/stats"
@@ -75,5 +76,75 @@ func BenchmarkRobustnessRandomWorkloads(b *testing.B) {
 	fmt.Printf("\nRobustness: %d randomized workloads outside Table I (cost objective, mean steps to optimal):\n", numWorkloads)
 	for mi, mc := range methods {
 		fmt.Printf("  %-14s %.2f\n", mc.Method, results[mi][0])
+	}
+}
+
+// BenchmarkRobustnessFaultInjection sweeps transient-failure rates over
+// all four methods with the default retry policy (backoffs made free) and
+// reports, per rate and method: the fraction of searches completing
+// without a partial result, the mean number of retries the middleware
+// absorbed, and the mean regret of the found VM's cost against the
+// fault-free run with the same seed.
+func BenchmarkRobustnessFaultInjection(b *testing.B) {
+	const seeds = 10
+	rates := []float64{0, 0.1, 0.2, 0.4}
+	methods := []Method{MethodNaiveBO, MethodAugmentedBO, MethodHybridBO, MethodRandomSearch}
+
+	type cell struct {
+		success float64
+		retries float64
+		regret  float64
+	}
+	table := make(map[float64]map[Method]cell)
+
+	for i := 0; i < b.N; i++ {
+		for _, rate := range rates {
+			table[rate] = make(map[Method]cell)
+			for _, method := range methods {
+				var ok, totalRetries, totalRegret float64
+				for seed := int64(0); seed < seeds; seed++ {
+					target, err := NewSimulatedTarget("pearson/spark2.1/medium", seed)
+					if err != nil {
+						b.Fatal(err)
+					}
+					opt, err := New(WithMethod(method), WithObjective(MinimizeCost), WithSeed(seed))
+					if err != nil {
+						b.Fatal(err)
+					}
+					baseline, err := opt.Search(target)
+					if err != nil {
+						b.Fatal(err)
+					}
+
+					chaos := NewChaosTarget(target, ChaosConfig{Seed: seed + 1, TransientRate: rate})
+					retrier := NewRetryingTarget(chaos, RetryPolicy{Seed: seed, Sleep: func(time.Duration) {}})
+					res, err := opt.Search(retrier)
+					if res == nil {
+						b.Fatalf("rate %.1f method %s seed %d: no result (%v)", rate, method, seed, err)
+					}
+					if err == nil && !res.Partial {
+						ok++
+					}
+					totalRetries += float64(retrier.Stats().Retries)
+					if res.BestIndex >= 0 {
+						totalRegret += res.BestValue - baseline.BestValue
+					}
+				}
+				table[rate][method] = cell{
+					success: ok / seeds,
+					retries: totalRetries / seeds,
+					regret:  totalRegret / seeds,
+				}
+			}
+		}
+	}
+	b.StopTimer()
+	fmt.Printf("\nFault injection: transient-rate sweep, %d seeds, default retry policy (cost objective):\n", seeds)
+	fmt.Printf("  %-14s %6s %10s %12s %12s\n", "method", "rate", "success", "mean-retries", "mean-regret")
+	for _, rate := range rates {
+		for _, method := range methods {
+			c := table[rate][method]
+			fmt.Printf("  %-14s %6.2f %9.0f%% %12.2f %12.4f\n", method, rate, c.success*100, c.retries, c.regret)
+		}
 	}
 }
