@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fmt bench-faults
+.PHONY: check build test race vet fmt bench bench-faults
 
 check: fmt vet race
 
@@ -27,3 +27,22 @@ fmt:
 
 bench-faults:
 	$(GO) test -run xxx -bench BenchmarkRobustnessFaultInjection -benchtime 1x .
+
+# Hot-path benchmarks with a fixed iteration count, recorded as a JSON
+# report so performance changes land as a reviewable diff. The fixed
+# -benchtime keeps runs comparable across machines with different
+# auto-calibration.
+BENCH_OUT ?= BENCH_PR2.json
+bench:
+	$(GO) test -run xxx -benchmem -benchtime 20x \
+		-bench 'BenchmarkForestFit$$|BenchmarkGPFit|BenchmarkFullSearchNaive|BenchmarkFullSearchAugmented' . \
+		> /tmp/arrow-bench-root.txt
+	$(GO) test -run xxx -benchmem -benchtime 20x \
+		-bench 'BenchmarkForestFitParallel|BenchmarkForestPredictBatch' ./internal/forest \
+		> /tmp/arrow-bench-forest.txt
+	$(GO) test -run xxx -benchmem -benchtime 30x \
+		-bench 'BenchmarkAugmentedIteration' ./internal/core \
+		> /tmp/arrow-bench-core.txt
+	cat /tmp/arrow-bench-root.txt /tmp/arrow-bench-forest.txt /tmp/arrow-bench-core.txt \
+		| $(GO) run ./cmd/arrow-bench -o $(BENCH_OUT)
+	@echo "wrote $(BENCH_OUT)"

@@ -1,0 +1,129 @@
+// Command arrow-bench converts `go test -bench` output into a JSON report
+// mapping each benchmark to its ns/op, B/op and allocs/op. `make bench`
+// pipes the hot-path benchmarks through it to produce BENCH_PR2.json, so
+// performance regressions show up as a reviewable diff.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem ./... | arrow-bench -o BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "arrow-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// Metrics is one benchmark's measured costs. BytesPerOp and AllocsPerOp
+// are present only when the run used -benchmem.
+type Metrics struct {
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("arrow-bench", flag.ContinueOnError)
+	outPath := fs.String("o", "", "write the JSON report to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	report, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(report) == 0 {
+		return fmt.Errorf("no benchmark result lines found on stdin")
+	}
+
+	w := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// parseBench scans `go test -bench` output for result lines of the form
+//
+//	BenchmarkName-8   50   8012345 ns/op   1404032 B/op   511 allocs/op
+//
+// and returns them keyed by benchmark name with the -GOMAXPROCS suffix
+// stripped. Repeated names (e.g. -count > 1) keep the last measurement.
+func parseBench(in io.Reader) (map[string]Metrics, error) {
+	report := make(map[string]Metrics)
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a print line that happens to start with "Benchmark"
+		}
+		m := Metrics{Iterations: iters}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = v
+				ok = true
+			case "B/op":
+				m.BytesPerOp = &v
+			case "allocs/op":
+				m.AllocsPerOp = &v
+			}
+		}
+		if ok {
+			report[name] = m
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// sortedNames is a test seam: the JSON encoder already sorts map keys, but
+// textual summaries want a stable order too.
+func sortedNames(report map[string]Metrics) []string {
+	names := make([]string, 0, len(report))
+	for name := range report {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkForestFit-8   	     148	   8012345 ns/op	 1404032 B/op	     511 allocs/op
+BenchmarkForestPredictBatch-8  	  120000	      9876 ns/op	       0 B/op	       0 allocs/op
+Benchmark output line that is not a result
+BenchmarkGPFit-8        	      10	 120000000 ns/op
+PASS
+ok  	repro	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	report, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"BenchmarkForestFit", "BenchmarkForestPredictBatch", "BenchmarkGPFit"}
+	if got := sortedNames(report); !reflect.DeepEqual(got, want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+	fit := report["BenchmarkForestFit"]
+	if fit.Iterations != 148 || fit.NsPerOp != 8012345 {
+		t.Errorf("ForestFit = %+v", fit)
+	}
+	if fit.BytesPerOp == nil || *fit.BytesPerOp != 1404032 {
+		t.Errorf("ForestFit B/op = %v", fit.BytesPerOp)
+	}
+	if fit.AllocsPerOp == nil || *fit.AllocsPerOp != 511 {
+		t.Errorf("ForestFit allocs/op = %v", fit.AllocsPerOp)
+	}
+	// Without -benchmem the memory fields must be absent, not zero.
+	gpFit := report["BenchmarkGPFit"]
+	if gpFit.BytesPerOp != nil || gpFit.AllocsPerOp != nil {
+		t.Errorf("GPFit memory fields = %v %v, want nil", gpFit.BytesPerOp, gpFit.AllocsPerOp)
+	}
+}
+
+func TestParseBenchLastMeasurementWins(t *testing.T) {
+	in := "BenchmarkX-4 10 200 ns/op\nBenchmarkX-4 10 100 ns/op\n"
+	report, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := report["BenchmarkX"].NsPerOp; got != 100 {
+		t.Errorf("ns/op = %v, want the last run's 100", got)
+	}
+}
+
+func TestRunWritesJSONFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var stdout bytes.Buffer
+	if err := run([]string{"-o", path}, strings.NewReader(sampleOutput), &stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report map[string]Metrics
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(report) != 3 {
+		t.Errorf("report has %d entries, want 3", len(report))
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("stdout not empty with -o: %q", stdout.String())
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	if err := run(nil, strings.NewReader("no benchmarks here\n"), &bytes.Buffer{}); err == nil {
+		t.Fatal("expected an error for input without benchmark lines")
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"text/tabwriter"
@@ -30,7 +32,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("arrow", flag.ContinueOnError)
 	var (
 		workloadID = fs.String("workload", "als/spark2.1/medium", "study workload ID (app/system/size)")
@@ -52,9 +54,24 @@ func run(args []string, out io.Writer) error {
 		measureTimeout = fs.Duration("measure-timeout", 0, "per-measurement-attempt timeout (0 = unbounded)")
 		chaosTransient = fs.Float64("chaos-transient", 0, "inject transient measurement failures at this rate, for exercising -retries")
 		chaosFail      = fs.String("chaos-fail", "", "comma-separated candidate indices that permanently fail, for exercising quarantine")
+
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+		memProfile = fs.String("memprofile", "", "write a heap profile at exit to this file (inspect with go tool pprof)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" || *memProfile != "" {
+		finish, perr := startProfiles(*cpuProfile, *memProfile)
+		if perr != nil {
+			return perr
+		}
+		defer func() {
+			if perr := finish(); perr != nil && err == nil {
+				err = perr
+			}
+		}()
 	}
 
 	if *list {
@@ -137,6 +154,45 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "salvaged %d completed measurement(s) above\n", res.NumMeasurements())
 	}
 	return err
+}
+
+// startProfiles begins CPU profiling (when cpu is non-empty) and returns a
+// finish function that stops it and writes the heap profile (when mem is
+// non-empty). Either path may be empty to skip that profile.
+func startProfiles(cpu, mem string) (finish func() error, err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpu profile: %v", err)
+		}
+		cpuFile = f
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpu profile: %v", err)
+			}
+		}
+		if mem != "" {
+			runtime.GC() // flush unreachable objects so the heap profile reflects live data
+			f, err := os.Create(mem)
+			if err != nil {
+				return fmt.Errorf("heap profile: %v", err)
+			}
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("heap profile: %v", err)
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
 }
 
 // printResult renders the observation table, the failure records and the

@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -212,5 +214,41 @@ func TestRunMeasureTimeoutFlag(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "best VM:") {
 		t.Errorf("result line missing:\n%s", sb.String())
+	}
+}
+
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var sb strings.Builder
+	err := run([]string{
+		"-workload", "kmeans/spark2.1/medium",
+		"-method", "augmented",
+		"-max", "5",
+		"-cpuprofile", cpu,
+		"-memprofile", mem,
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+}
+
+func TestRunRejectsBadProfilePath(t *testing.T) {
+	err := run([]string{
+		"-max", "3",
+		"-cpuprofile", filepath.Join(t.TempDir(), "missing-dir", "cpu.pprof"),
+	}, &strings.Builder{})
+	if err == nil {
+		t.Fatal("expected an error for an unwritable profile path")
 	}
 }

@@ -200,30 +200,48 @@ func (a *AugmentedBO) selectByDelta(st *searchState, remaining []int, treeSeed i
 	}
 	var timeModel *forest.Regressor
 	if a.cfg.MaxTimeSLO > 0 {
-		timeModel, err = a.fitPairModelFor(st, treeSeed+1, func(obs Observation) float64 {
-			return obs.Outcome.TimeSec
-		}, false)
+		timeModel, err = a.fitPairModelFor(st, treeSeed+1, pairTargetTime, false)
 		if err != nil {
 			return 0, 0, err
 		}
 	}
 
+	// Score every remaining candidate in one batched pass: the query rows
+	// [src || lowlevel(src) || candidate] are built once into the cache's
+	// reusable slab and serve both the objective and the time model (their
+	// feature space is identical). Each candidate's per-source predictions
+	// are averaged in log space, matching the paper's "Surrogate Model
+	// Update" design of pooling every (src -> dst) estimate.
+	cache := a.pairs(st)
+	rows := cache.predictionRows(st, remaining)
+	cache.rawPreds, err = model.PredictBatch(rows, cache.rawPreds)
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: surrogate prediction: %w", err)
+	}
+	cache.objMeans = reduceMeans(cache.objMeans, cache.rawPreds, len(remaining), len(st.obs))
+	preds := cache.objMeans
+	var predTimes []float64
+	if timeModel != nil {
+		cache.rawPreds, err = timeModel.PredictBatch(rows, cache.rawPreds)
+		if err != nil {
+			return 0, 0, fmt.Errorf("core: surrogate time prediction: %w", err)
+		}
+		cache.timeMeans = reduceMeans(cache.timeMeans, cache.rawPreds, len(remaining), len(st.obs))
+		predTimes = cache.timeMeans
+	}
+
 	next = -1
 	predicted = math.Inf(1)
 	fallback, fallbackTime := -1, math.Inf(1)
-	for _, idx := range remaining {
-		pred, err := a.predictCandidate(model, st, idx)
-		if err != nil {
-			return 0, 0, err
-		}
-		if timeModel != nil {
-			predTime, err := a.predictCandidateWith(timeModel, st, idx)
-			if err != nil {
-				return 0, 0, err
-			}
+	fallbackPred := math.Inf(1)
+	for i, idx := range remaining {
+		pred := preds[i]
+		if predTimes != nil {
+			predTime := predTimes[i]
 			if predTime < fallbackTime {
 				fallbackTime = predTime
 				fallback = idx
+				fallbackPred = pred
 			}
 			if predTime > a.cfg.MaxTimeSLO {
 				continue // predicted to violate the SLO
@@ -239,10 +257,7 @@ func (a *AugmentedBO) selectByDelta(st *searchState, remaining []int, treeSeed i
 		// one predicted fastest; its predicted objective keeps the
 		// stopping rule from firing spuriously.
 		next = fallback
-		predicted, err = a.predictCandidate(model, st, next)
-		if err != nil {
-			return 0, 0, err
-		}
+		predicted = fallbackPred
 	}
 	return next, predicted, nil
 }
@@ -253,42 +268,21 @@ func (a *AugmentedBO) selectByDelta(st *searchState, remaining []int, treeSeed i
 // averaging source predictions in log space takes a geometric mean, which
 // is robust to one source predicting a blow-up.
 func (a *AugmentedBO) fitPairModel(st *searchState, treeSeed int64) (*forest.Regressor, error) {
-	return a.fitPairModelFor(st, treeSeed, func(obs Observation) float64 { return obs.Value }, true)
+	return a.fitPairModelFor(st, treeSeed, pairTargetObjective, true)
 }
 
-// fitPairModelFor builds the pairwise training set with an arbitrary
-// target (objective value or execution time, both modeled in log space)
-// and fits the Extra-Trees regressor. Warm-start history carries objective
-// values only, so it contributes rows only when the target is the
-// objective (withHistory).
-func (a *AugmentedBO) fitPairModelFor(st *searchState, treeSeed int64, target func(Observation) float64, withHistory bool) (*forest.Regressor, error) {
+// fitPairModelFor fits the Extra-Trees regressor on the cached pairwise
+// training set for the selected target (objective value or execution time,
+// both modeled in log space). Warm-start history carries objective values
+// only, so it contributes rows only when the target is the objective
+// (withHistory).
+func (a *AugmentedBO) fitPairModelFor(st *searchState, treeSeed int64, target pairTarget, withHistory bool) (*forest.Regressor, error) {
 	if len(st.obs) < 2 {
 		return nil, fmt.Errorf("core: pairwise surrogate needs >= 2 observations, have %d: %w", len(st.obs), ErrBadConfig)
 	}
-	var xs [][]float64
-	var ys []float64
-	for _, src := range st.obs {
-		for _, dst := range st.obs {
-			if src.Index == dst.Index {
-				continue
-			}
-			xs = append(xs, a.row(st.features[src.Index], src.Outcome.Metrics, st.features[dst.Index]))
-			ys = append(ys, math.Log(target(dst)))
-		}
-	}
-	// Historical warm-start pairs teach the src->dst transfer structure
-	// before the current search has enough of its own observations.
-	if withHistory {
-		for i, src := range a.cfg.WarmStart {
-			for j, dst := range a.cfg.WarmStart {
-				if i == j {
-					continue
-				}
-				xs = append(xs, a.row(src.Features, src.Metrics, dst.Features))
-				ys = append(ys, math.Log(dst.Value))
-			}
-		}
-	}
+	cache := a.pairs(st)
+	cache.sync(st)
+	xs, ys := cache.trainingSet(target, withHistory)
 	cfg := a.cfg.Forest
 	cfg.Seed = treeSeed
 	model, err := forest.Fit(cfg, xs, ys)
@@ -298,34 +292,15 @@ func (a *AugmentedBO) fitPairModelFor(st *searchState, treeSeed int64, target fu
 	return model, nil
 }
 
-// row builds a pair feature row, honoring the low-level ablation switch.
-func (a *AugmentedBO) row(srcFeat []float64, srcMetrics lowlevel.Vector, dstFeat []float64) []float64 {
-	if a.cfg.DisableLowLevel {
-		srcMetrics = lowlevel.Vector{}
+// pairs returns the state's pair-row cache, building it (and the
+// warm-start pairs that teach the src->dst transfer structure before the
+// current search has enough of its own observations) on first use.
+func (a *AugmentedBO) pairs(st *searchState) *pairCache {
+	if st.pairs == nil {
+		st.pairs = newPairCache(st.target.NumCandidates(), len(st.features[0]), a.cfg.DisableLowLevel)
+		st.pairs.addWarm(a.cfg.WarmStart)
 	}
-	return pairRow(srcFeat, srcMetrics, dstFeat)
-}
-
-// predictCandidate averages the model's prediction of candidate idx over
-// every measured source VM, per the paper's "Surrogate Model Update"
-// design: multiple (src -> dst) estimates exist, so they are averaged.
-func (a *AugmentedBO) predictCandidate(model *forest.Regressor, st *searchState, idx int) (float64, error) {
-	return a.predictCandidateWith(model, st, idx)
-}
-
-// predictCandidateWith is predictCandidate for an arbitrary pairwise model
-// (objective or execution time).
-func (a *AugmentedBO) predictCandidateWith(model *forest.Regressor, st *searchState, idx int) (float64, error) {
-	sum := 0.0
-	for _, src := range st.obs {
-		row := a.row(st.features[src.Index], src.Outcome.Metrics, st.features[idx])
-		pred, err := model.Predict(row)
-		if err != nil {
-			return 0, fmt.Errorf("core: surrogate prediction for %s: %w", st.target.Name(idx), err)
-		}
-		sum += pred
-	}
-	return math.Exp(sum / float64(len(st.obs))), nil
+	return st.pairs
 }
 
 // FeatureImportance is one entry of the surrogate explanation.
@@ -379,12 +354,12 @@ func (a *AugmentedBO) ExplainSurrogate(target Target, res *Result) ([]FeatureImp
 	return out, nil
 }
 
-// pairRow assembles the augmented feature row
-// [features(src) || lowlevel(src) || features(dst)].
-func pairRow(srcFeat []float64, srcMetrics lowlevel.Vector, dstFeat []float64) []float64 {
-	row := make([]float64, 0, len(srcFeat)+int(lowlevel.NumMetrics)+len(dstFeat))
-	row = append(row, srcFeat...)
-	row = append(row, srcMetrics.Slice()...)
-	row = append(row, dstFeat...)
-	return row
+// appendPairRow appends the augmented feature row
+// [features(src) || lowlevel(src) || features(dst)] to dst and returns the
+// extended slice. Callers provide the destination (a cache slab or a
+// reusable scratch row), so assembling a row allocates nothing.
+func appendPairRow(dst, srcFeat []float64, srcMetrics *lowlevel.Vector, dstFeat []float64) []float64 {
+	dst = append(dst, srcFeat...)
+	dst = append(dst, srcMetrics[:]...)
+	return append(dst, dstFeat...)
 }

@@ -273,6 +273,12 @@ type searchState struct {
 	bestIdx int
 	bestVal float64
 
+	// pairs is the augmented surrogate's incremental training-set cache,
+	// created lazily on the first pairwise fit. It lives on the state (not
+	// the optimizer) so a hybrid search hands its naive-phase observations
+	// to the augmented phase without a rebuild.
+	pairs *pairCache
+
 	// fastestIdx/fastestTime track the minimum observed execution time,
 	// the fallback answer when nothing meets the SLO.
 	fastestIdx  int

@@ -90,12 +90,13 @@ func (h *HybridBO) Search(target Target) (*Result, error) {
 	if switchAfter > target.NumCandidates() {
 		switchAfter = target.NumCandidates()
 	}
+	scratch := &gpScratch{}
 	for len(st.obs) < switchAfter {
 		remaining := st.unmeasured()
 		if len(remaining) == 0 {
 			break
 		}
-		next, score, _, err := h.naive.selectCandidate(st, scaledAll, remaining, rng)
+		next, score, _, err := h.naive.selectCandidate(st, scaledAll, remaining, rng, scratch)
 		if err != nil {
 			return st.abort(h.Name(), err)
 		}

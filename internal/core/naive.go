@@ -165,12 +165,15 @@ func (n *NaiveBO) Search(target Target) (*Result, error) {
 		return st.abort(n.Name(), fmt.Errorf("core: scaling features: %w", err))
 	}
 
+	// One scratch for the whole search: the training-set headers, query
+	// rows, and posterior buffers are reused every iteration.
+	scratch := &gpScratch{}
 	for len(st.obs) < maxMeas {
 		remaining := st.unmeasured()
 		if len(remaining) == 0 {
 			break
 		}
-		next, score, maxEI, err := n.selectCandidate(st, scaled, remaining, rng)
+		next, score, maxEI, err := n.selectCandidate(st, scaled, remaining, rng, scratch)
 		if err != nil {
 			return st.abort(n.Name(), err)
 		}
@@ -186,27 +189,51 @@ func (n *NaiveBO) Search(target Target) (*Result, error) {
 	return st.finish(n.Name(), false, "search space exhausted")
 }
 
+// gpScratch holds the buffers a Naive BO search reuses across iterations:
+// training-set headers, the batched query matrix, and the posterior
+// moment and feasibility outputs. Everything is sized once (catalog and
+// observation counts are bounded by NumCandidates) and reused, so the
+// per-iteration acquisition pass stops allocating.
+type gpScratch struct {
+	xs        [][]float64
+	ys        []float64
+	queries   [][]float64
+	means     []float64
+	variances []float64
+	timeMeans []float64
+	timeVars  []float64
+	pFeas     []float64
+}
+
 // feasibilityProbs fits a GP on log execution time and returns, per
 // remaining candidate, the posterior probability that its time meets the
-// SLO.
-func (n *NaiveBO) feasibilityProbs(st *searchState, scaled [][]float64, remaining []int) ([]float64, error) {
-	xs := make([][]float64, len(st.obs))
-	ys := make([]float64, len(st.obs))
-	for i, obs := range st.obs {
-		xs[i] = scaled[obs.Index]
-		ys[i] = math.Log(obs.Outcome.TimeSec)
+// SLO. queries must hold the scaled features of remaining, row for row.
+func (n *NaiveBO) feasibilityProbs(st *searchState, scaled, queries [][]float64, sc *gpScratch) ([]float64, error) {
+	xs := sc.xs[:0]
+	ys := sc.ys[:0]
+	for _, obs := range st.obs {
+		xs = append(xs, scaled[obs.Index])
+		ys = append(ys, math.Log(obs.Outcome.TimeSec))
 	}
+	sc.xs, sc.ys = xs, ys
 	model, err := n.fitSurrogate(xs, ys)
 	if err != nil {
 		return nil, fmt.Errorf("core: fitting time GP for SLO: %w", err)
 	}
+	sc.timeMeans, sc.timeVars, err = model.PredictBatch(queries, 0, sc.timeMeans, sc.timeVars)
+	if err != nil {
+		return nil, fmt.Errorf("core: time prediction: %w", err)
+	}
 	logSLO := math.Log(n.cfg.MaxTimeSLO)
-	out := make([]float64, len(remaining))
-	for i, idx := range remaining {
-		mean, variance, err := model.Predict(scaled[idx])
-		if err != nil {
-			return nil, fmt.Errorf("core: time prediction for %s: %w", st.target.Name(idx), err)
-		}
+	if cap(sc.pFeas) >= len(queries) {
+		sc.pFeas = sc.pFeas[:len(queries)]
+	} else {
+		sc.pFeas = make([]float64, len(queries))
+	}
+	out := sc.pFeas
+	for i := range queries {
+		mean, variance := sc.timeMeans[i], sc.timeVars[i]
+		out[i] = 0
 		if variance < 1e-12 {
 			if mean <= logSLO {
 				out[i] = 1
@@ -256,18 +283,19 @@ func (n *NaiveBO) fitSurrogate(xs [][]float64, ys []float64) (*gp.GP, error) {
 // candidate maximizing the configured acquisition. maxEI is the best
 // Expected Improvement in objective units (+Inf for non-EI acquisitions,
 // so the EI stopping rule never fires for them).
-func (n *NaiveBO) selectCandidate(st *searchState, scaled [][]float64, remaining []int, rng *rand.Rand) (next int, score, maxEI float64, err error) {
-	xs := make([][]float64, len(st.obs))
-	ys := make([]float64, len(st.obs))
+func (n *NaiveBO) selectCandidate(st *searchState, scaled [][]float64, remaining []int, rng *rand.Rand, sc *gpScratch) (next int, score, maxEI float64, err error) {
+	xs := sc.xs[:0]
+	ys := sc.ys[:0]
 	logSpace := !n.cfg.DisableLogObjective
-	for i, obs := range st.obs {
-		xs[i] = scaled[obs.Index]
+	for _, obs := range st.obs {
+		xs = append(xs, scaled[obs.Index])
 		if logSpace {
-			ys[i] = math.Log(obs.Value)
+			ys = append(ys, math.Log(obs.Value))
 		} else {
-			ys[i] = obs.Value
+			ys = append(ys, obs.Value)
 		}
 	}
+	sc.xs, sc.ys = xs, ys
 	model, err := n.fitSurrogate(xs, ys)
 	if err != nil {
 		return 0, 0, 0, err
@@ -278,23 +306,25 @@ func (n *NaiveBO) selectCandidate(st *searchState, scaled [][]float64, remaining
 		best = math.Log(st.bestVal)
 	}
 
-	// Pass 1: posterior moments for every unmeasured candidate.
-	means := make([]float64, len(remaining))
-	variances := make([]float64, len(remaining))
-	for i, idx := range remaining {
-		mean, variance, err := model.Predict(scaled[idx])
-		if err != nil {
-			return 0, 0, 0, fmt.Errorf("core: GP prediction for %s: %w", st.target.Name(idx), err)
-		}
-		means[i] = mean
-		variances[i] = variance
+	// Pass 1: posterior moments for every unmeasured candidate, batched
+	// over a worker pool with reused row buffers.
+	queries := sc.queries[:0]
+	for _, idx := range remaining {
+		queries = append(queries, scaled[idx])
 	}
+	sc.queries = queries
+	sc.means, sc.variances, err = model.PredictBatch(queries, 0, sc.means, sc.variances)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("core: GP prediction: %w", err)
+	}
+	means, variances := sc.means, sc.variances
 
 	// Under a time SLO, a second GP models log execution time and turns
-	// EI into constrained EI: EI x P(time <= SLO).
+	// EI into constrained EI: EI x P(time <= SLO). It scores the same
+	// query rows, so the batch is reused.
 	var pFeas []float64
 	if n.cfg.MaxTimeSLO > 0 {
-		pFeas, err = n.feasibilityProbs(st, scaled, remaining)
+		pFeas, err = n.feasibilityProbs(st, scaled, queries, sc)
 		if err != nil {
 			return 0, 0, 0, err
 		}

@@ -301,10 +301,15 @@ func TestPairRowLayout(t *testing.T) {
 	for i := range m {
 		m[i] = float64(10 + i)
 	}
-	row := pairRow(src, m, dst)
+	row := appendPairRow(nil, src, &m, dst)
 	wantLen := len(src) + int(lowlevel.NumMetrics) + len(dst)
 	if len(row) != wantLen {
 		t.Fatalf("row len %d, want %d", len(row), wantLen)
+	}
+	// Appending to non-empty scratch must extend, not restart.
+	scratch := make([]float64, 0, wantLen)
+	if again := appendPairRow(scratch, src, &m, dst); len(again) != wantLen {
+		t.Fatalf("scratch row len %d, want %d", len(again), wantLen)
 	}
 	if row[0] != 1 || row[1] != 2 {
 		t.Error("source features misplaced")

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/lowlevel"
+)
+
+// zeroMetrics stands in for the low-level vector under the ablation
+// switch, so ablated rows need no per-row zero value.
+var zeroMetrics lowlevel.Vector
+
+// pairCache incrementally maintains the pairwise training set of the
+// augmented surrogate. The old path rebuilt every (src -> dst) row from
+// scratch on each iteration — O(n^2) rows, each freshly allocated, twice
+// per iteration under a time SLO. The cache appends only the rows a new
+// observation introduces (2k rows for the k+1-th observation) into one
+// backing slab and hands the surrogate stable views into it.
+//
+// Both targets (log objective value and log execution time) are recorded
+// per row, since the objective and time models train on identical feature
+// rows and differ only in ys.
+type pairCache struct {
+	width           int // pair-row length: 2*numFeat + NumMetrics
+	disableLowLevel bool
+
+	// slab backs every cached row. Its capacity is exact for the worst
+	// case (all N candidates measured -> N(N-1) ordered pairs), so appends
+	// never reallocate and previously handed-out row views stay valid.
+	slab     []float64
+	rows     [][]float64
+	logVals  []float64 // log objective value of the destination
+	logTimes []float64 // log execution time of the destination
+	synced   int       // observations incorporated so far
+
+	// Warm-start history pairs, built once; they join the training set
+	// only for the objective model.
+	warmRows    [][]float64
+	warmLogVals []float64
+
+	// Per-fit scratch: slice headers over rows/warmRows and copied-out ys,
+	// so assembling a training set allocates nothing at steady state.
+	xsScratch []([]float64)
+	ysScratch []float64
+
+	// Batched-prediction scratch: one row per (candidate, source) pair,
+	// the raw per-row model output, and the per-candidate reductions.
+	predSlab  []float64
+	predRows  [][]float64
+	rawPreds  []float64
+	objMeans  []float64
+	timeMeans []float64
+}
+
+// newPairCache sizes the cache for a catalog of numCandidates VMs with
+// numFeat instance features each.
+func newPairCache(numCandidates, numFeat int, disableLowLevel bool) *pairCache {
+	width := 2*numFeat + int(lowlevel.NumMetrics)
+	maxRows := numCandidates * (numCandidates - 1)
+	return &pairCache{
+		width:           width,
+		disableLowLevel: disableLowLevel,
+		slab:            make([]float64, 0, maxRows*width),
+		rows:            make([][]float64, 0, maxRows),
+		logVals:         make([]float64, 0, maxRows),
+		logTimes:        make([]float64, 0, maxRows),
+	}
+}
+
+// addWarm builds the historical (src -> dst) pairs once. Ragged feature
+// vectors are passed through untouched; forest.Fit rejects them exactly as
+// the per-iteration rebuild used to.
+func (c *pairCache) addWarm(priors []PriorObservation) {
+	for i := range priors {
+		for j := range priors {
+			if i == j {
+				continue
+			}
+			src, dst := &priors[i], &priors[j]
+			metrics := &src.Metrics
+			if c.disableLowLevel {
+				metrics = &zeroMetrics
+			}
+			row := make([]float64, 0, len(src.Features)+int(lowlevel.NumMetrics)+len(dst.Features))
+			c.warmRows = append(c.warmRows, appendPairRow(row, src.Features, metrics, dst.Features))
+			c.warmLogVals = append(c.warmLogVals, math.Log(dst.Value))
+		}
+	}
+}
+
+// sync appends the rows introduced by observations the cache has not seen
+// yet: for the k-th observation, pairs (j -> k) and (k -> j) for every
+// j < k. Row order is append order, which is deterministic given the
+// measurement sequence.
+func (c *pairCache) sync(st *searchState) {
+	for k := c.synced; k < len(st.obs); k++ {
+		dst := &st.obs[k]
+		for j := 0; j < k; j++ {
+			src := &st.obs[j]
+			c.appendObsPair(st, src, dst)
+			c.appendObsPair(st, dst, src)
+		}
+	}
+	c.synced = len(st.obs)
+}
+
+func (c *pairCache) appendObsPair(st *searchState, src, dst *Observation) {
+	metrics := &src.Outcome.Metrics
+	if c.disableLowLevel {
+		metrics = &zeroMetrics
+	}
+	start := len(c.slab)
+	c.slab = appendPairRow(c.slab, st.features[src.Index], metrics, st.features[dst.Index])
+	c.rows = append(c.rows, c.slab[start:len(c.slab):len(c.slab)])
+	c.logVals = append(c.logVals, math.Log(dst.Value))
+	c.logTimes = append(c.logTimes, math.Log(dst.Outcome.TimeSec))
+}
+
+// pairTarget selects which recorded target a training set uses.
+type pairTarget int
+
+const (
+	pairTargetObjective pairTarget = iota
+	pairTargetTime
+)
+
+// trainingSet assembles (xs, ys) for a fit from the cached rows, reusing
+// the scratch slices. The returned slices are valid until the next call;
+// forest.Fit copies the data, so handing them straight to it is safe.
+func (c *pairCache) trainingSet(target pairTarget, withHistory bool) ([][]float64, []float64) {
+	xs := append(c.xsScratch[:0], c.rows...)
+	var ys []float64
+	if target == pairTargetTime {
+		ys = append(c.ysScratch[:0], c.logTimes...)
+	} else {
+		ys = append(c.ysScratch[:0], c.logVals...)
+	}
+	if withHistory {
+		xs = append(xs, c.warmRows...)
+		ys = append(ys, c.warmLogVals...)
+	}
+	c.xsScratch, c.ysScratch = xs, ys
+	return xs, ys
+}
+
+// predictionRows builds the batched query matrix: for every remaining
+// candidate, one row per measured source VM, in (candidate-major, source
+// order) layout. The slab and row headers are reused across iterations.
+func (c *pairCache) predictionRows(st *searchState, remaining []int) [][]float64 {
+	need := len(remaining) * len(st.obs) * c.width
+	if cap(c.predSlab) < need {
+		c.predSlab = make([]float64, 0, need)
+	}
+	c.predSlab = c.predSlab[:0]
+	c.predRows = c.predRows[:0]
+	for _, idx := range remaining {
+		for s := range st.obs {
+			src := &st.obs[s]
+			metrics := &src.Outcome.Metrics
+			if c.disableLowLevel {
+				metrics = &zeroMetrics
+			}
+			start := len(c.predSlab)
+			c.predSlab = appendPairRow(c.predSlab, st.features[src.Index], metrics, st.features[idx])
+			c.predRows = append(c.predRows, c.predSlab[start:len(c.predSlab):len(c.predSlab)])
+		}
+	}
+	return c.predRows
+}
+
+// reduceMeans folds the raw per-(candidate, source) log predictions into
+// one value per candidate: the arithmetic mean over sources in source
+// order (fixed summation order keeps results bit-identical to the old
+// per-source loop), exponentiated back out of log space.
+func reduceMeans(dst, raw []float64, numCandidates, numSources int) []float64 {
+	if cap(dst) >= numCandidates {
+		dst = dst[:numCandidates]
+	} else {
+		dst = make([]float64, numCandidates)
+	}
+	for i := 0; i < numCandidates; i++ {
+		sum := 0.0
+		for _, v := range raw[i*numSources : (i+1)*numSources] {
+			sum += v
+		}
+		dst[i] = math.Exp(sum / float64(numSources))
+	}
+	return dst
+}

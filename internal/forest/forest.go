@@ -9,14 +9,22 @@
 // variance reduction. This makes the model robust on the small, highly
 // non-smooth response surfaces that break GP kernels — precisely the
 // fragility the paper targets.
+//
+// The implementation is built for the refit-every-iteration loop the
+// optimizer runs it in: trees grow concurrently on a worker pool (one
+// deterministically derived seed per tree, so the fitted ensemble is
+// bit-identical at any Parallelism setting), the training matrix is laid
+// out column-major so split scoring scans contiguous memory, node
+// partitions reuse per-worker scratch buffers, and fitted trees are
+// flattened into index-based arrays instead of pointer-linked nodes.
 package forest
 
 import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
-	"sort"
+
+	"repro/internal/parallel"
 )
 
 // ErrNoData is returned when fitting with no samples.
@@ -34,8 +42,15 @@ type Config struct {
 	MaxFeatures int
 	// MaxDepth bounds tree depth. Zero means unbounded.
 	MaxDepth int
-	// Seed seeds the (deterministic) tree randomization.
+	// Seed seeds the (deterministic) tree randomization. Each tree draws
+	// its own RNG seed from this value, so the fitted ensemble does not
+	// depend on how trees are scheduled across workers.
 	Seed int64
+	// Parallelism bounds the worker pool growing trees and answering
+	// batched predictions. Zero means runtime.GOMAXPROCS(0); one forces
+	// fully sequential operation. The fitted ensemble and every
+	// prediction are bit-identical at any setting.
+	Parallelism int
 }
 
 // Defaults for Config's zero values.
@@ -46,20 +61,71 @@ const (
 
 // Regressor is a fitted Extra-Trees ensemble.
 type Regressor struct {
-	trees   []*node
-	numDims int
+	trees       []tree
+	numDims     int
+	parallelism int
 }
 
-type node struct {
-	// Leaf payload.
-	leaf  bool
-	value float64
+// tree is one fitted extra-tree, flattened into index-based parallel
+// arrays (struct-of-arrays). Node i is a split on feature[i] at
+// threshold[i] with children left[i]/right[i], or a leaf when feature[i]
+// is leafMarker — leaves store their mean target in threshold[i]. The
+// root is node 0. The layout keeps eval pointer-free and cache-friendly.
+type tree struct {
+	feature   []int32
+	threshold []float64
+	left      []int32
+	right     []int32
+}
 
-	// Internal-node payload.
-	feature   int
-	threshold float64
-	left      *node
-	right     *node
+// leafMarker flags a leaf in tree.feature.
+const leafMarker = int32(-1)
+
+// add appends a zeroed node and returns its index.
+func (t *tree) add() int32 {
+	t.feature = append(t.feature, 0)
+	t.threshold = append(t.threshold, 0)
+	t.left = append(t.left, 0)
+	t.right = append(t.right, 0)
+	return int32(len(t.feature) - 1)
+}
+
+// setLeaf turns node i into a leaf predicting value.
+func (t *tree) setLeaf(i int32, value float64) {
+	t.feature[i] = leafMarker
+	t.threshold[i] = value
+}
+
+func (t *tree) eval(x []float64) float64 {
+	i := int32(0)
+	for {
+		f := t.feature[i]
+		if f < 0 {
+			return t.threshold[i]
+		}
+		if x[f] <= t.threshold[i] {
+			i = t.left[i]
+		} else {
+			i = t.right[i]
+		}
+	}
+}
+
+// treeSeeds derives one independent RNG seed per tree from the ensemble
+// seed with a splitmix64 sequence. The derivation is position-based, so
+// tree t's randomness is the same no matter which worker grows it or in
+// what order — the determinism contract behind Config.Parallelism.
+func treeSeeds(seed int64, n int) []int64 {
+	out := make([]int64, n)
+	s := uint64(seed)
+	for i := range out {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		out[i] = int64(z ^ (z >> 31))
+	}
+	return out
 }
 
 // Fit grows the ensemble on feature rows xs and targets ys.
@@ -112,54 +178,143 @@ func Fit(cfg Config, xs [][]float64, ys []float64) (*Regressor, error) {
 		maxFeatures = dims
 	}
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	g := grower{
-		xs:          xs,
-		ys:          ys,
-		minSplit:    minSplit,
-		maxFeatures: maxFeatures,
-		maxDepth:    cfg.MaxDepth,
-		rng:         rng,
+	// Column-major copy of the training matrix: cols[f*n+i] = xs[i][f].
+	// Split scoring scans one feature over many rows, so this turns the
+	// hot loops into contiguous walks instead of row-pointer chases.
+	n := len(xs)
+	cols := make([]float64, n*dims)
+	for i, row := range xs {
+		for f, v := range row {
+			cols[f*n+i] = v
+		}
 	}
-	trees := make([]*node, numTrees)
-	indices := make([]int, len(xs))
-	for i := range indices {
-		indices[i] = i
-	}
-	for t := range trees {
-		trees[t] = g.grow(indices, 0)
-	}
-	return &Regressor{trees: trees, numDims: dims}, nil
+	ysCopy := append([]float64(nil), ys...)
+
+	seeds := treeSeeds(cfg.Seed, numTrees)
+	trees := make([]tree, numTrees)
+	parallel.DoWithScratch(numTrees, cfg.Parallelism,
+		func() *grower {
+			return &grower{
+				cols:        cols,
+				ys:          ysCopy,
+				n:           n,
+				dims:        dims,
+				minSplit:    minSplit,
+				maxFeatures: maxFeatures,
+				maxDepth:    cfg.MaxDepth,
+				indices:     make([]int, n),
+				aux:         make([]int, n),
+				featOrder:   make([]int, dims),
+			}
+		},
+		func(t int, g *grower) {
+			g.growTree(&trees[t], &splitmix{state: uint64(seeds[t])})
+		})
+	return &Regressor{trees: trees, numDims: dims, parallelism: cfg.Parallelism}, nil
 }
 
+// grower holds one worker's reusable growth state. The training data
+// (cols, ys) is shared read-only across workers; the scratch buffers are
+// worker-private and reused for every tree the worker grows.
 type grower struct {
-	xs          [][]float64
-	ys          []float64
+	cols []float64 // column-major features, shared read-only
+	ys   []float64 // targets, shared read-only
+	n    int
+	dims int
+
 	minSplit    int
 	maxFeatures int
 	maxDepth    int
-	rng         *rand.Rand
+
+	rng *splitmix // current tree's RNG
+	t   *tree     // current tree under construction
+
+	indices   []int // row indices, partitioned in place during growth
+	aux       []int // stable-partition staging buffer
+	featOrder []int // partial Fisher-Yates scratch for feature sampling
 }
 
-func (g *grower) grow(indices []int, depth int) *node {
-	if len(indices) < g.minSplit || (g.maxDepth > 0 && depth >= g.maxDepth) || g.constantTargets(indices) {
-		return &node{leaf: true, value: g.meanTarget(indices)}
+// growTree grows one tree with its own RNG into out. Scratch state is
+// reset first so the result depends only on the data and the seed, never
+// on which trees this worker grew before.
+func (g *grower) growTree(out *tree, rng *splitmix) {
+	for i := range g.indices {
+		g.indices[i] = i
+	}
+	for i := range g.featOrder {
+		g.featOrder[i] = i
+	}
+	// A binary tree over n samples has at most 2n-1 nodes; reserving that
+	// up front makes node appends allocation-free.
+	maxNodes := 2*g.n - 1
+	out.feature = make([]int32, 0, maxNodes)
+	out.threshold = make([]float64, 0, maxNodes)
+	out.left = make([]int32, 0, maxNodes)
+	out.right = make([]int32, 0, maxNodes)
+	g.rng = rng
+	g.t = out
+	g.grow(0, g.n, 0)
+	g.rng = nil
+	g.t = nil
+}
+
+// grow builds the subtree over g.indices[lo:hi] and returns its node
+// index. The index segment is partitioned in place as splits are chosen.
+func (g *grower) grow(lo, hi, depth int) int32 {
+	t := g.t
+	idx := t.add()
+	seg := g.indices[lo:hi]
+	if len(seg) < g.minSplit || (g.maxDepth > 0 && depth >= g.maxDepth) || g.constantTargets(seg) {
+		t.setLeaf(idx, g.meanTarget(seg))
+		return idx
+	}
+
+	// Node target totals, computed once: each candidate split scores by
+	// accumulating its left child only and deriving the right child as
+	// (total - left). Halves the scoring flops versus two-sided sums.
+	var total, totalSq float64
+	for _, i := range seg {
+		y := g.ys[i]
+		total += y
+		totalSq += y * y
 	}
 
 	bestScore := math.Inf(-1)
 	bestFeature := -1
 	bestThreshold := 0.0
-	dims := len(g.xs[0])
 
 	// Draw K distinct candidate features (without replacement when K < d).
-	candidates := g.sampleFeatures(dims)
+	candidates := g.sampleFeatures()
 	for _, f := range candidates {
-		lo, hi := g.featureRange(indices, f)
-		if hi <= lo {
+		col := g.cols[f*g.n : (f+1)*g.n]
+		flo, fhi := featureRange(col, seg)
+		if fhi <= flo {
 			continue // constant feature in this node
 		}
-		threshold := lo + g.rng.Float64()*(hi-lo)
-		score := g.varianceReduction(indices, f, threshold)
+		threshold := flo + g.rng.float64()*(fhi-flo)
+		// Left-child sums, accumulated branchlessly: copysign turns the
+		// comparison into an exact 0/1 mask, so there is no data-dependent
+		// branch to mispredict (the comparison is a coin flip on random
+		// thresholds) and the summation order — hence the result — is
+		// identical to the naive masked loop.
+		var nL, sumL, sumSqL float64
+		for _, i := range seg {
+			m := 0.5 + math.Copysign(0.5, threshold-col[i]) // 1 if col[i] <= threshold, else 0
+			y := m * g.ys[i]
+			nL += m
+			sumL += y
+			sumSqL += y * g.ys[i]
+		}
+		nR := float64(len(seg)) - nL
+		if nL == 0 || nR == 0 {
+			continue
+		}
+		sumR := total - sumL
+		sumSqR := totalSq - sumSqL
+		// The CART variance-reduction criterion, minus the parent
+		// variance (constant across candidates) and the 1/n weighting:
+		// maximizing it picks the same split as the full expression.
+		score := -((sumSqL - sumL*sumL/nL) + (sumSqR - sumR*sumR/nR))
 		if score > bestScore {
 			bestScore = score
 			bestFeature = f
@@ -168,59 +323,95 @@ func (g *grower) grow(indices []int, depth int) *node {
 	}
 	if bestFeature < 0 {
 		// Every candidate feature was constant in this node.
-		return &node{leaf: true, value: g.meanTarget(indices)}
+		t.setLeaf(idx, g.meanTarget(seg))
+		return idx
 	}
 
-	var left, right []int
-	for _, i := range indices {
-		if g.xs[i][bestFeature] <= bestThreshold {
-			left = append(left, i)
+	nL := g.partition(lo, hi, bestFeature, bestThreshold)
+	if nL == 0 || nL == len(seg) {
+		t.setLeaf(idx, g.meanTarget(seg))
+		return idx
+	}
+	left := g.grow(lo, lo+nL, depth+1)
+	right := g.grow(lo+nL, hi, depth+1)
+	// t.add may have grown the arrays since idx was reserved; write
+	// through g.t, not a stale slice header.
+	g.t.feature[idx] = int32(bestFeature)
+	g.t.threshold[idx] = bestThreshold
+	g.t.left[idx] = left
+	g.t.right[idx] = right
+	return idx
+}
+
+// partition stably partitions g.indices[lo:hi] into rows with
+// feature <= threshold followed by the rest, via the worker's staging
+// buffer, and returns the left-side count. Stability keeps the row order
+// inside each child deterministic.
+func (g *grower) partition(lo, hi, feature int, threshold float64) int {
+	col := g.cols[feature*g.n : (feature+1)*g.n]
+	seg := g.indices[lo:hi]
+	aux := g.aux[:0]
+	nL := 0
+	for _, i := range seg {
+		if col[i] <= threshold {
+			seg[nL] = i
+			nL++
 		} else {
-			right = append(right, i)
+			aux = append(aux, i)
 		}
 	}
-	if len(left) == 0 || len(right) == 0 {
-		return &node{leaf: true, value: g.meanTarget(indices)}
-	}
-	return &node{
-		feature:   bestFeature,
-		threshold: bestThreshold,
-		left:      g.grow(left, depth+1),
-		right:     g.grow(right, depth+1),
-	}
+	copy(seg[nL:], aux)
+	return nL
 }
 
-func (g *grower) sampleFeatures(dims int) []int {
-	if g.maxFeatures >= dims {
-		out := make([]int, dims)
-		for i := range out {
-			out[i] = i
-		}
-		return out
+// sampleFeatures draws maxFeatures distinct features in ascending order.
+// When K < d it runs a partial Fisher-Yates over the worker's persistent
+// permutation scratch — K swaps, no per-node allocation (the old
+// implementation built a full rng.Perm(d) each node and sorted a slice of
+// it). The candidate order is whatever the shuffle produced; it is
+// deterministic given the tree seed, which is all the split selection
+// needs.
+func (g *grower) sampleFeatures() []int {
+	k, d := g.maxFeatures, g.dims
+	order := g.featOrder
+	if k >= d {
+		// featOrder is permuted only by the k < d path, and k is fixed
+		// per fit, so here it is still the identity.
+		return order
 	}
-	perm := g.rng.Perm(dims)
-	out := perm[:g.maxFeatures]
-	sort.Ints(out)
-	return out
+	for j := 0; j < k; j++ {
+		r := j + g.rng.intn(d-j)
+		order[j], order[r] = order[r], order[j]
+	}
+	return order[:k]
 }
 
-func (g *grower) featureRange(indices []int, f int) (lo, hi float64) {
-	lo, hi = math.Inf(1), math.Inf(-1)
-	for _, i := range indices {
-		v := g.xs[i][f]
-		if v < lo {
-			lo = v
-		}
-		if v > hi {
-			hi = v
-		}
+// featureRange scans one feature column over the node's rows. The builtin
+// min/max compile to branchless float instructions, and the two-way
+// unroll runs two independent min/max chains so the scan is bounded by
+// throughput, not the latency of one serial chain.
+func featureRange(col []float64, seg []int) (lo, hi float64) {
+	lo0, hi0 := math.Inf(1), math.Inf(-1)
+	lo1, hi1 := lo0, hi0
+	k := 0
+	for ; k+1 < len(seg); k += 2 {
+		v0, v1 := col[seg[k]], col[seg[k+1]]
+		lo0 = min(lo0, v0)
+		hi0 = max(hi0, v0)
+		lo1 = min(lo1, v1)
+		hi1 = max(hi1, v1)
 	}
-	return lo, hi
+	if k < len(seg) {
+		v := col[seg[k]]
+		lo0 = min(lo0, v)
+		hi0 = max(hi0, v)
+	}
+	return min(lo0, lo1), max(hi0, hi1)
 }
 
-func (g *grower) constantTargets(indices []int) bool {
-	first := g.ys[indices[0]]
-	for _, i := range indices[1:] {
+func (g *grower) constantTargets(seg []int) bool {
+	first := g.ys[seg[0]]
+	for _, i := range seg[1:] {
 		if g.ys[i] != first {
 			return false
 		}
@@ -228,45 +419,12 @@ func (g *grower) constantTargets(indices []int) bool {
 	return true
 }
 
-func (g *grower) meanTarget(indices []int) float64 {
+func (g *grower) meanTarget(seg []int) float64 {
 	sum := 0.0
-	for _, i := range indices {
+	for _, i := range seg {
 		sum += g.ys[i]
 	}
-	return sum / float64(len(indices))
-}
-
-// varianceReduction scores a candidate split by the decrease in
-// target variance, weighted by child sizes (a.k.a. the CART regression
-// criterion). Larger is better.
-func (g *grower) varianceReduction(indices []int, f int, threshold float64) float64 {
-	var (
-		nL, nR         float64
-		sumL, sumR     float64
-		sumSqL, sumSqR float64
-	)
-	for _, i := range indices {
-		y := g.ys[i]
-		if g.xs[i][f] <= threshold {
-			nL++
-			sumL += y
-			sumSqL += y * y
-		} else {
-			nR++
-			sumR += y
-			sumSqR += y * y
-		}
-	}
-	if nL == 0 || nR == 0 {
-		return math.Inf(-1)
-	}
-	n := nL + nR
-	total := sumL + sumR
-	totalSq := sumSqL + sumSqR
-	parentVar := totalSq/n - (total/n)*(total/n)
-	leftVar := sumSqL/nL - (sumL/nL)*(sumL/nL)
-	rightVar := sumSqR/nR - (sumR/nR)*(sumR/nR)
-	return parentVar - (nL/n)*leftVar - (nR/n)*rightVar
+	return sum / float64(len(seg))
 }
 
 // Predict returns the ensemble mean at x.
@@ -283,8 +441,8 @@ func (r *Regressor) PredictWithVariance(x []float64) (mean, variance float64, er
 		return 0, 0, fmt.Errorf("forest: query dim %d, want %d", len(x), r.numDims)
 	}
 	sum, sumSq := 0.0, 0.0
-	for _, t := range r.trees {
-		v := t.eval(x)
+	for i := range r.trees {
+		v := r.trees[i].eval(x)
 		sum += v
 		sumSq += v * v
 	}
@@ -297,15 +455,30 @@ func (r *Regressor) PredictWithVariance(x []float64) (mean, variance float64, er
 	return mean, variance, nil
 }
 
-func (n *node) eval(x []float64) float64 {
-	for !n.leaf {
-		if x[n.feature] <= n.threshold {
-			n = n.left
-		} else {
-			n = n.right
+// PredictBatch returns the ensemble mean at every row of xs, spreading
+// rows over the fit-time worker pool. Each row's trees are summed in
+// ensemble order, so the results are bit-identical to per-row Predict
+// calls at any Parallelism. When out has enough capacity it is reused as
+// the result buffer, making steady-state batch prediction allocation-free.
+func (r *Regressor) PredictBatch(xs [][]float64, out []float64) ([]float64, error) {
+	for i, x := range xs {
+		if len(x) != r.numDims {
+			return nil, fmt.Errorf("forest: query row %d dim %d, want %d", i, len(x), r.numDims)
 		}
 	}
-	return n.value
+	if cap(out) >= len(xs) {
+		out = out[:len(xs)]
+	} else {
+		out = make([]float64, len(xs))
+	}
+	parallel.Do(len(xs), r.parallelism, func(i int) {
+		sum := 0.0
+		for t := range r.trees {
+			sum += r.trees[t].eval(xs[i])
+		}
+		out[i] = sum / float64(len(r.trees))
+	})
+	return out, nil
 }
 
 // NumTrees returns the ensemble size.
@@ -314,22 +487,18 @@ func (r *Regressor) NumTrees() int { return len(r.trees) }
 // FeatureImportance returns, per feature, the fraction of internal nodes
 // across the ensemble that split on it. It is a cheap diagnostic used by
 // the study harness to report which low-level metrics the surrogate leans
-// on (Section IV-A's feature-selection discussion).
+// on (Section IV-A's feature-selection discussion). The flat node layout
+// makes this a linear scan — no tree walk.
 func (r *Regressor) FeatureImportance() []float64 {
 	counts := make([]float64, r.numDims)
 	total := 0.0
-	var walk func(*node)
-	walk = func(n *node) {
-		if n == nil || n.leaf {
-			return
+	for t := range r.trees {
+		for _, f := range r.trees[t].feature {
+			if f >= 0 {
+				counts[f]++
+				total++
+			}
 		}
-		counts[n.feature]++
-		total++
-		walk(n.left)
-		walk(n.right)
-	}
-	for _, t := range r.trees {
-		walk(t)
 	}
 	if total > 0 {
 		for i := range counts {

@@ -1,0 +1,151 @@
+package forest
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// syntheticTraining builds a training set shaped like the augmented
+// surrogate's pairwise matrix (18*17 rows, 14 features).
+func syntheticTraining(rows, dims int) ([][]float64, []float64) {
+	xs := make([][]float64, rows)
+	ys := make([]float64, rows)
+	for i := range xs {
+		xs[i] = make([]float64, dims)
+		for j := range xs[i] {
+			xs[i][j] = float64((i*31 + j*17) % 100)
+		}
+		ys[i] = float64(i % 13)
+	}
+	return xs, ys
+}
+
+// TestParallelFitBitIdentical is the determinism contract: the same seed
+// must produce bit-identical trees and predictions whether the ensemble is
+// grown sequentially or across a pool of workers. Run under -race this
+// also proves the workers share no mutable state.
+func TestParallelFitBitIdentical(t *testing.T) {
+	xs, ys := syntheticTraining(18*17, 14)
+	sequential, err := Fit(Config{Seed: 42, Parallelism: 1}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 5, runtime.GOMAXPROCS(0) + 3} {
+		parallel, err := Fit(Config{Seed: 42, Parallelism: workers}, xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parallel.trees) != len(sequential.trees) {
+			t.Fatalf("parallelism %d: %d trees, want %d", workers, len(parallel.trees), len(sequential.trees))
+		}
+		for ti := range sequential.trees {
+			a, b := &sequential.trees[ti], &parallel.trees[ti]
+			if len(a.feature) != len(b.feature) {
+				t.Fatalf("parallelism %d: tree %d has %d nodes, want %d", workers, ti, len(b.feature), len(a.feature))
+			}
+			for n := range a.feature {
+				if a.feature[n] != b.feature[n] || a.threshold[n] != b.threshold[n] ||
+					a.left[n] != b.left[n] || a.right[n] != b.right[n] {
+					t.Fatalf("parallelism %d: tree %d node %d differs", workers, ti, n)
+				}
+			}
+		}
+		for _, x := range xs[:20] {
+			want, err := sequential.Predict(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := parallel.Predict(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("parallelism %d: prediction %v, want bit-identical %v", workers, got, want)
+			}
+		}
+	}
+}
+
+// TestPredictBatchMatchesPredict checks the batch path returns exactly the
+// per-row results, at several worker counts, and reuses a caller buffer.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	xs, ys := syntheticTraining(120, 9)
+	for _, workers := range []int{1, 0, 3} {
+		model, err := Fit(Config{Seed: 7, NumTrees: 30, Parallelism: workers}, xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]float64, 2, len(xs)) // non-empty: must be reused, not appended to
+		got, err := model.PredictBatch(xs, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(xs) {
+			t.Fatalf("batch returned %d results, want %d", len(got), len(xs))
+		}
+		if &got[0] != &buf[:1][0] {
+			t.Error("batch did not reuse the caller's buffer")
+		}
+		for i, x := range xs {
+			want, err := model.Predict(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[i] != want {
+				t.Fatalf("workers %d row %d: batch %v, Predict %v", workers, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestPredictBatchDimensionMismatch(t *testing.T) {
+	xs, ys := syntheticTraining(30, 4)
+	model, err := Fit(Config{Seed: 1, NumTrees: 5}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.PredictBatch([][]float64{{1, 2}}, nil); err == nil {
+		t.Fatal("expected a dimension error")
+	}
+}
+
+// BenchmarkForestFitParallel measures the tentpole: one Extra-Trees fit at
+// pairwise-training-set scale, sequential vs. worker pool.
+func BenchmarkForestFitParallel(b *testing.B) {
+	xs, ys := syntheticTraining(18*17, 14)
+	for _, workers := range []int{1, 0} {
+		name := fmt.Sprintf("parallelism=%d", workers)
+		if workers == 0 {
+			name = fmt.Sprintf("parallelism=GOMAXPROCS(%d)", runtime.GOMAXPROCS(0))
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Fit(Config{Seed: int64(i), Parallelism: workers}, xs, ys); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkForestPredictBatch measures one batched scoring pass at
+// selection scale: 18 candidates x 17 sources rows through a 100-tree
+// ensemble, with the output buffer reused across iterations.
+func BenchmarkForestPredictBatch(b *testing.B) {
+	xs, ys := syntheticTraining(18*17, 14)
+	model, err := Fit(Config{Seed: 3}, xs, ys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out []float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err = model.PredictBatch(xs, out)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

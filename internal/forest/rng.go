@@ -1,0 +1,29 @@
+package forest
+
+// splitmix is the per-tree random source. math/rand's lagged-Fibonacci
+// source pays a ~600-round warm-up on every NewSource, which the
+// refit-every-iteration loop would pay 100 times per fit; splitmix64
+// seeds for free, passes BigCrush, and its two draws below are exactly
+// the ones tree growth needs. Deterministic and platform-independent.
+type splitmix struct{ state uint64 }
+
+func (r *splitmix) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1) with 53 random bits.
+func (r *splitmix) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform draw in [0, n) for n > 0. Feature counts are
+// tiny, so the multiply-shift range reduction's modulo bias (< 2^-32 for
+// n < 2^32) is far below any observable effect; it avoids the rejection
+// loop a perfectly unbiased reduction needs.
+func (r *splitmix) intn(n int) int {
+	return int((uint64(uint32(r.next())) * uint64(n)) >> 32)
+}

@@ -1,0 +1,70 @@
+package gp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// batchTrainingSet builds a catalog-scale fit and a query grid.
+func batchTrainingSet(t *testing.T) (*GP, [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	xs := make([][]float64, 18)
+	ys := make([]float64, 18)
+	for i := range xs {
+		xs[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		ys[i] = xs[i][0]*3 - xs[i][1] + 0.1*rng.NormFloat64()
+	}
+	model := fitSimple(t, xs, ys)
+	queries := make([][]float64, 40)
+	for i := range queries {
+		queries[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	return model, queries
+}
+
+// TestPredictBatchMatchesPredict checks the batch path returns exactly the
+// per-row posterior at every worker count; under -race it also checks the
+// workers share no mutable state.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	model, queries := batchTrainingSet(t)
+	for _, workers := range []int{1, 0, 3} {
+		means, variances, err := model.PredictBatch(queries, workers, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(means) != len(queries) || len(variances) != len(queries) {
+			t.Fatalf("got %d/%d results, want %d", len(means), len(variances), len(queries))
+		}
+		for i, x := range queries {
+			mean, variance, err := model.Predict(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if means[i] != mean || variances[i] != variance {
+				t.Fatalf("workers %d row %d: batch (%v, %v), Predict (%v, %v)",
+					workers, i, means[i], variances[i], mean, variance)
+			}
+		}
+	}
+}
+
+func TestPredictBatchReusesBuffers(t *testing.T) {
+	model, queries := batchTrainingSet(t)
+	meansBuf := make([]float64, 0, len(queries))
+	varsBuf := make([]float64, 0, len(queries))
+	means, variances, err := model.PredictBatch(queries, 1, meansBuf, varsBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &means[0] != &meansBuf[:1][0] || &variances[0] != &varsBuf[:1][0] {
+		t.Error("batch did not reuse the caller's buffers")
+	}
+}
+
+func TestPredictBatchDimensionMismatch(t *testing.T) {
+	model, _ := batchTrainingSet(t)
+	if _, _, err := model.PredictBatch([][]float64{{1}}, 1, nil, nil); err == nil {
+		t.Fatal("expected a dimension error")
+	}
+}

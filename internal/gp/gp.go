@@ -14,9 +14,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/kernel"
 	"repro/internal/mat"
+	"repro/internal/parallel"
 )
 
 // ErrNoData is returned when fitting with no observations.
@@ -291,10 +293,16 @@ const jitter = 1e-8
 // only (not the observation noise), matching the convention acquisition
 // functions expect.
 func (g *GP) Predict(x []float64) (mean, variance float64, err error) {
+	return g.predictInto(x, make([]float64, g.numObs))
+}
+
+// predictInto is Predict with a caller-provided k* scratch vector (len
+// numObs), which it overwrites. Batched callers reuse one scratch per
+// worker so a prediction allocates nothing.
+func (g *GP) predictInto(x, kStar []float64) (mean, variance float64, err error) {
 	if len(x) != g.numDims {
 		return 0, 0, fmt.Errorf("gp: query dim %d, want %d: %w", len(x), g.numDims, mat.ErrShape)
 	}
-	kStar := make([]float64, g.numObs)
 	for i, xi := range g.x {
 		v, err := g.kern.Eval(x, xi)
 		if err != nil {
@@ -306,17 +314,17 @@ func (g *GP) Predict(x []float64) (mean, variance float64, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	// var = k(x,x) - k*ᵀ (K + sigma^2 I)^{-1} k*, computed via the Cholesky
-	// factor: solve L v = k*, var = k(x,x) - vᵀv.
-	v, err := mat.ForwardSolve(g.chol.L(), kStar)
-	if err != nil {
-		return 0, 0, err
-	}
 	selfCov, err := g.kern.Eval(x, x)
 	if err != nil {
 		return 0, 0, err
 	}
-	vv, err := mat.Dot(v, v)
+	// var = k(x,x) - k*ᵀ (K + sigma^2 I)^{-1} k*, computed via the Cholesky
+	// factor: solve L v = k*, var = k(x,x) - vᵀv. The solve runs in place
+	// over kStar, which mat permits to alias.
+	if err := g.chol.ForwardSolveInto(kStar, kStar); err != nil {
+		return 0, 0, err
+	}
+	vv, err := mat.Dot(kStar, kStar)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -325,6 +333,47 @@ func (g *GP) Predict(x []float64) (mean, variance float64, err error) {
 		sigma2 = 0 // clamp tiny negative round-off
 	}
 	return g.yMean + g.yStd*mu, g.yStd * g.yStd * sigma2, nil
+}
+
+// PredictBatch evaluates the posterior at every row of xs, spreading rows
+// over a worker pool with one k* scratch per worker. means and variances
+// are reused when their capacity suffices, so an acquisition loop that
+// scores the same candidate set every iteration allocates nothing after
+// the first call. Results are bit-identical to calling Predict per row.
+// parallelism <= 0 means GOMAXPROCS.
+func (g *GP) PredictBatch(xs [][]float64, parallelism int, means, variances []float64) ([]float64, []float64, error) {
+	n := len(xs)
+	for i, x := range xs {
+		if len(x) != g.numDims {
+			return nil, nil, fmt.Errorf("gp: query row %d dim %d, want %d: %w", i, len(x), g.numDims, mat.ErrShape)
+		}
+	}
+	if cap(means) >= n {
+		means = means[:n]
+	} else {
+		means = make([]float64, n)
+	}
+	if cap(variances) >= n {
+		variances = variances[:n]
+	} else {
+		variances = make([]float64, n)
+	}
+	var firstErr atomic.Pointer[error]
+	parallel.DoWithScratch(n, parallelism, func() []float64 {
+		return make([]float64, g.numObs)
+	}, func(i int, kStar []float64) {
+		mu, sigma2, err := g.predictInto(xs[i], kStar)
+		if err != nil {
+			firstErr.CompareAndSwap(nil, &err)
+			return
+		}
+		means[i] = mu
+		variances[i] = sigma2
+	})
+	if errp := firstErr.Load(); errp != nil {
+		return nil, nil, *errp
+	}
+	return means, variances, nil
 }
 
 // LogMarginalLikelihood returns the (standardized-target) log marginal

@@ -218,6 +218,29 @@ func (c *Cholesky) SolveVec(b []float64) ([]float64, error) {
 	return BackwardSolveTranspose(c.l, y)
 }
 
+// ForwardSolveInto solves L y = b into dst (len n) without allocating and
+// without cloning the factor, for callers on a prediction hot path. dst
+// and b may alias.
+func (c *Cholesky) ForwardSolveInto(dst, b []float64) error {
+	n := c.l.rows
+	if len(b) != n || len(dst) != n {
+		return fmt.Errorf("mat: ForwardSolveInto len %d/%d, want %d: %w", len(dst), len(b), n, ErrShape)
+	}
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		row := c.l.data[i*n : i*n+i]
+		for k, lik := range row {
+			sum -= lik * dst[k]
+		}
+		d := c.l.data[i*n+i]
+		if d == 0 {
+			return fmt.Errorf("mat: zero diagonal at %d: %w", i, ErrNotSPD)
+		}
+		dst[i] = sum / d
+	}
+	return nil
+}
+
 // LogDet returns log |A| = 2 * sum(log L_ii).
 func (c *Cholesky) LogDet() float64 {
 	sum := 0.0

@@ -322,3 +322,45 @@ func TestString(t *testing.T) {
 		t.Error("String() empty")
 	}
 }
+
+func TestForwardSolveIntoMatchesForwardSolve(t *testing.T) {
+	a, err := NewDenseFrom([][]float64{
+		{4, 1, 0.5},
+		{1, 3, 0.2},
+		{0.5, 0.2, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chol, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{1, -2, 3}
+	want, err := ForwardSolve(chol.L(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, len(b))
+	if err := chol.ForwardSolveInto(dst, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Errorf("dst[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+	// The in-place form (dst aliasing b) must give the same answer.
+	aliased := append([]float64(nil), b...)
+	if err := chol.ForwardSolveInto(aliased, aliased); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if aliased[i] != want[i] {
+			t.Errorf("aliased[%d] = %v, want %v", i, aliased[i], want[i])
+		}
+	}
+	if err := chol.ForwardSolveInto(make([]float64, 2), b); err == nil {
+		t.Error("expected a shape error for a short dst")
+	}
+}

@@ -1,0 +1,102 @@
+// Package parallel provides the small worker-pool primitive shared by the
+// surrogate hot paths (Extra-Trees growth, batched GP and forest
+// prediction). Work items are independent and indexed, so the helpers make
+// one guarantee that matters for reproducibility: the mapping from index
+// to result slot is fixed, and callers that keep per-index state (per-tree
+// RNGs, per-row output cells) get bit-identical results at any worker
+// count.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested parallelism degree against the work size:
+// zero or negative means runtime.GOMAXPROCS(0), and the result never
+// exceeds n (no idle goroutines for small batches).
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Do runs fn(i) for every i in [0, n), spreading the calls over at most
+// workers goroutines. workers is resolved with Workers, so zero means
+// GOMAXPROCS. With one worker (or n <= 1) everything runs on the calling
+// goroutine — no goroutines, no synchronization. fn must not panic.
+func Do(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Dynamic (atomic counter) scheduling: tree-growth and batch-predict
+	// items have uneven costs, so static striping would leave workers idle.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// DoWithScratch runs fn(i, scratch) for every i in [0, n) over at most
+// workers goroutines, where each worker owns one scratch value built by
+// newScratch. It is the buffer-reuse variant of Do: a worker's scratch is
+// reused across every item that worker processes, so per-item allocations
+// can be hoisted into newScratch.
+func DoWithScratch[S any](n, workers int, newScratch func() S, fn func(i int, scratch S)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers, n)
+	if w == 1 {
+		s := newScratch()
+		for i := 0; i < n; i++ {
+			fn(i, s)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			s := newScratch()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i, s)
+			}
+		}()
+	}
+	wg.Wait()
+}

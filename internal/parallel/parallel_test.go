@@ -1,0 +1,71 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	cases := []struct {
+		requested, n, want int
+	}{
+		{0, 100, runtime.GOMAXPROCS(0)},
+		{-3, 100, runtime.GOMAXPROCS(0)},
+		{4, 2, 2},
+		{4, 100, 4},
+		{1, 100, 1},
+		{8, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Workers(c.requested, c.n); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.requested, c.n, got, c.want)
+		}
+	}
+}
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7} {
+		const n = 1000
+		counts := make([]atomic.Int32, n)
+		Do(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestDoZeroItems(t *testing.T) {
+	called := false
+	Do(0, 4, func(int) { called = true })
+	if called {
+		t.Error("fn called with n=0")
+	}
+}
+
+func TestDoWithScratchIsolatesWorkers(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		const n = 500
+		results := make([]int, n)
+		var scratchesMade atomic.Int32
+		DoWithScratch(n, workers, func() *[]int {
+			scratchesMade.Add(1)
+			s := make([]int, 0, 8)
+			return &s
+		}, func(i int, s *[]int) {
+			// Mutate the scratch to catch sharing across workers.
+			*s = append((*s)[:0], i, i*2)
+			results[i] = (*s)[0] + (*s)[1]
+		})
+		for i, r := range results {
+			if r != 3*i {
+				t.Fatalf("workers=%d: results[%d] = %d, want %d", workers, i, r, 3*i)
+			}
+		}
+		if made := int(scratchesMade.Load()); made > Workers(workers, n) {
+			t.Fatalf("workers=%d: %d scratches built, want <= %d", workers, made, Workers(workers, n))
+		}
+	}
+}
