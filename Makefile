@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fmt bench bench-faults
+.PHONY: check build test race vet fmt bench bench-faults bench-compare study-smoke
 
-check: fmt vet race
+check: fmt vet race study-smoke
 
 build:
 	$(GO) build ./...
@@ -32,7 +32,7 @@ bench-faults:
 # report so performance changes land as a reviewable diff. The fixed
 # -benchtime keeps runs comparable across machines with different
 # auto-calibration.
-BENCH_OUT ?= BENCH_PR2.json
+BENCH_OUT ?= BENCH_PR3.json
 bench:
 	$(GO) test -run xxx -benchmem -benchtime 20x \
 		-bench 'BenchmarkForestFit$$|BenchmarkGPFit|BenchmarkFullSearchNaive|BenchmarkFullSearchAugmented' . \
@@ -43,6 +43,35 @@ bench:
 	$(GO) test -run xxx -benchmem -benchtime 30x \
 		-bench 'BenchmarkAugmentedIteration' ./internal/core \
 		> /tmp/arrow-bench-core.txt
-	cat /tmp/arrow-bench-root.txt /tmp/arrow-bench-forest.txt /tmp/arrow-bench-core.txt \
+	$(GO) test -run xxx -benchmem -benchtime 1x \
+		-bench 'BenchmarkStudyThroughput' ./internal/study \
+		> /tmp/arrow-bench-study.txt
+	cat /tmp/arrow-bench-root.txt /tmp/arrow-bench-forest.txt /tmp/arrow-bench-core.txt /tmp/arrow-bench-study.txt \
 		| $(GO) run ./cmd/arrow-bench -o $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"
+
+# Diff the current report against the previous PR's baseline.
+bench-compare:
+	$(GO) run ./cmd/arrow-bench -compare BENCH_PR2.json BENCH_PR3.json
+
+# Race-detected end-to-end smoke of the study executor: a cold run fills
+# the cache, a warm run at a different -concurrency must reproduce the
+# same stdout and CSV bytes, and the throughput benchmarks run once
+# under -race.
+SMOKE_DIR ?= /tmp/arrow-study-smoke
+SMOKE_WORKLOADS = als/spark2.1/medium,pagerank/hadoop2.7/medium,lr/spark1.5/medium,terasort/hadoop2.7/large
+study-smoke:
+	rm -rf $(SMOKE_DIR)
+	mkdir -p $(SMOKE_DIR)/cold $(SMOKE_DIR)/warm
+	$(GO) run -race ./cmd/arrow-study -seeds 2 -concurrency 4 \
+		-workloads '$(SMOKE_WORKLOADS)' -figures fig1,fig9,fig12 \
+		-out $(SMOKE_DIR)/cold -cache-dir $(SMOKE_DIR)/cache \
+		> $(SMOKE_DIR)/cold.txt
+	$(GO) run -race ./cmd/arrow-study -seeds 2 -concurrency 2 \
+		-workloads '$(SMOKE_WORKLOADS)' -figures fig1,fig9,fig12 \
+		-out $(SMOKE_DIR)/warm -cache-dir $(SMOKE_DIR)/cache \
+		> $(SMOKE_DIR)/warm.txt
+	diff $(SMOKE_DIR)/cold.txt $(SMOKE_DIR)/warm.txt
+	diff -r $(SMOKE_DIR)/cold $(SMOKE_DIR)/warm
+	$(GO) test -race -run xxx -benchtime 1x -bench 'BenchmarkStudyThroughput' ./internal/study
+	@echo "study smoke OK: cold and warm runs byte-identical"

@@ -1,11 +1,14 @@
 // Command arrow-bench converts `go test -bench` output into a JSON report
 // mapping each benchmark to its ns/op, B/op and allocs/op. `make bench`
-// pipes the hot-path benchmarks through it to produce BENCH_PR2.json, so
-// performance regressions show up as a reviewable diff.
+// pipes the hot-path benchmarks through it to produce BENCH_PR3.json, so
+// performance regressions show up as a reviewable diff. Custom metrics
+// emitted via b.ReportMetric (e.g. the study cache's dedup-ratio) land in
+// each benchmark's "extra" map.
 //
 // Usage:
 //
 //	go test -run xxx -bench . -benchmem ./... | arrow-bench -o BENCH.json
+//	arrow-bench -compare BENCH_PR2.json BENCH_PR3.json
 package main
 
 import (
@@ -34,13 +37,22 @@ type Metrics struct {
 	NsPerOp     float64  `json:"ns_per_op"`
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units, e.g. "dedup-ratio".
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("arrow-bench", flag.ContinueOnError)
 	outPath := fs.String("o", "", "write the JSON report to this file instead of stdout")
+	compare := fs.Bool("compare", false, "compare two JSON reports: arrow-bench -compare old.json new.json")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compare {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-compare needs exactly two reports: old.json new.json")
+		}
+		return runCompare(fs.Arg(0), fs.Arg(1), out)
 	}
 
 	report, err := parseBench(in)
@@ -97,7 +109,7 @@ func parseBench(in io.Reader) (map[string]Metrics, error) {
 			if err != nil {
 				break
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				m.NsPerOp = v
 				ok = true
@@ -105,6 +117,12 @@ func parseBench(in io.Reader) (map[string]Metrics, error) {
 				m.BytesPerOp = &v
 			case "allocs/op":
 				m.AllocsPerOp = &v
+			default:
+				// A custom b.ReportMetric unit like "dedup-ratio".
+				if m.Extra == nil {
+					m.Extra = make(map[string]float64)
+				}
+				m.Extra[unit] = v
 			}
 		}
 		if ok {
@@ -113,6 +131,82 @@ func parseBench(in io.Reader) (map[string]Metrics, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	return report, nil
+}
+
+// runCompare diffs two JSON reports benchmark by benchmark, printing
+// old/new ns/op with the relative change, plus custom metrics and
+// "(new)"/"(gone)" markers for benchmarks present on only one side.
+// `make bench-compare` uses it to diff BENCH_PR3.json against
+// BENCH_PR2.json.
+func runCompare(oldPath, newPath string, out io.Writer) error {
+	oldRep, err := readReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := readReport(newPath)
+	if err != nil {
+		return err
+	}
+	names := make(map[string]bool, len(oldRep)+len(newRep))
+	for name := range oldRep {
+		names[name] = true
+	}
+	for name := range newRep {
+		names[name] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+
+	fmt.Fprintf(out, "%-36s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range sorted {
+		o, inOld := oldRep[name]
+		n, inNew := newRep[name]
+		switch {
+		case !inOld:
+			fmt.Fprintf(out, "%-36s %14s %14.0f %9s%s\n", name, "-", n.NsPerOp, "(new)", extraSuffix(n))
+		case !inNew:
+			fmt.Fprintf(out, "%-36s %14.0f %14s %9s\n", name, o.NsPerOp, "-", "(gone)")
+		default:
+			delta := "n/a"
+			if o.NsPerOp != 0 {
+				delta = fmt.Sprintf("%+.1f%%", 100*(n.NsPerOp-o.NsPerOp)/o.NsPerOp)
+			}
+			fmt.Fprintf(out, "%-36s %14.0f %14.0f %9s%s\n", name, o.NsPerOp, n.NsPerOp, delta, extraSuffix(n))
+		}
+	}
+	return nil
+}
+
+// extraSuffix renders a benchmark's custom metrics in key order.
+func extraSuffix(m Metrics) string {
+	if len(m.Extra) == 0 {
+		return ""
+	}
+	units := make([]string, 0, len(m.Extra))
+	for unit := range m.Extra {
+		units = append(units, unit)
+	}
+	sort.Strings(units)
+	var sb strings.Builder
+	for _, unit := range units {
+		fmt.Fprintf(&sb, "  %s=%.4g", unit, m.Extra[unit])
+	}
+	return sb.String()
+}
+
+func readReport(path string) (map[string]Metrics, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var report map[string]Metrics
+	if err := json.Unmarshal(data, &report); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return report, nil
 }

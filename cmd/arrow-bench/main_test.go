@@ -85,3 +85,78 @@ func TestRunRejectsEmptyInput(t *testing.T) {
 		t.Fatal("expected an error for input without benchmark lines")
 	}
 }
+
+func TestParseBenchCustomMetrics(t *testing.T) {
+	in := "BenchmarkStudyThroughputCold-4 1 780398197 ns/op 0.2857 dedup-ratio 12 B/op 3 allocs/op\n"
+	report, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := report["BenchmarkStudyThroughputCold"]
+	if m.NsPerOp != 780398197 {
+		t.Errorf("ns/op = %v", m.NsPerOp)
+	}
+	if got := m.Extra["dedup-ratio"]; got != 0.2857 {
+		t.Errorf("dedup-ratio = %v, want 0.2857", got)
+	}
+	// Pairs after the custom metric must still be parsed.
+	if m.BytesPerOp == nil || *m.BytesPerOp != 12 {
+		t.Errorf("B/op = %v, want 12", m.BytesPerOp)
+	}
+	// A benchmark without custom metrics keeps extra absent from the JSON.
+	plain, err := parseBench(strings.NewReader("BenchmarkX-4 10 100 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(plain["BenchmarkX"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "extra") {
+		t.Errorf("empty extra map serialized: %s", data)
+	}
+}
+
+func writeReport(t *testing.T, name string, report map[string]Metrics) string {
+	t.Helper()
+	data, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareReports(t *testing.T) {
+	oldPath := writeReport(t, "old.json", map[string]Metrics{
+		"BenchmarkShared": {Iterations: 10, NsPerOp: 200},
+		"BenchmarkGone":   {Iterations: 10, NsPerOp: 50},
+	})
+	newPath := writeReport(t, "new.json", map[string]Metrics{
+		"BenchmarkShared": {Iterations: 10, NsPerOp: 100},
+		"BenchmarkFresh":  {Iterations: 1, NsPerOp: 42, Extra: map[string]float64{"dedup-ratio": 0.64}},
+	})
+	var out bytes.Buffer
+	if err := run([]string{"-compare", oldPath, newPath}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"-50.0%", "(new)", "(gone)", "dedup-ratio=0.64"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("compare output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestCompareRejectsBadArgs(t *testing.T) {
+	if err := run([]string{"-compare", "only-one.json"}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Error("one positional arg should fail")
+	}
+	good := writeReport(t, "good.json", map[string]Metrics{"BenchmarkX": {NsPerOp: 1}})
+	if err := run([]string{"-compare", good, "/does/not/exist.json"}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Error("missing report file should fail")
+	}
+}

@@ -2,14 +2,26 @@
 // data series is recomputed on the simulator substrate, written as CSV
 // into the output directory, and sketched as an ASCII chart on stdout.
 //
+// The selected experiments run as a work queue over one shared runner:
+// every search pulls through the content-addressed run cache
+// (internal/runcache), so overlapping figures execute each distinct
+// (method, workload, objective, seed) search once, warm re-runs against
+// a cache directory skip completed searches entirely, and an
+// interrupted study resumes where it stopped. Figure output is buffered
+// and merged in paper order, so CSVs and stdout are byte-identical
+// between a cold run, a warm run, and any -concurrency setting.
+// Progress, ETA and cache statistics go to stderr.
+//
 // Usage:
 //
 //	arrow-study                      # all experiments, 30 seeds
 //	arrow-study -figures fig9,fig12  # a subset
 //	arrow-study -seeds 100           # the paper's repeat count
+//	arrow-study -no-cache            # force every search to execute
 package main
 
 import (
+	"bytes"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -18,16 +30,21 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cloud"
 	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/runcache"
 	"repro/internal/sim"
 	"repro/internal/study"
+	"repro/internal/workloads"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "arrow-study:", err)
 		os.Exit(1)
 	}
@@ -39,9 +56,11 @@ type ctx struct {
 	seeds  int
 	outDir string
 
-	// regions caches the Figure 1 classification, which several
-	// experiments reuse.
-	regions map[core.Objective]map[string]study.Region
+	// regions memoizes the Figure 1 classification, which several
+	// experiments reuse; the singleflight keeps concurrent figures from
+	// classifying twice (the underlying searches dedup in the run cache
+	// either way).
+	regions *runcache.Store[map[string]study.Region]
 }
 
 type experiment struct {
@@ -50,7 +69,8 @@ type experiment struct {
 	run  func(*ctx, io.Writer) error
 }
 
-// experiments in paper order.
+// experiments in paper order — also the deterministic merge order of the
+// work-queue executor.
 var experiments = []experiment{
 	{"table1", "Table I: application and workload inventory", runTable1},
 	{"fig1", "Fig 1: Naive BO search-cost CDF and regions", runFig1},
@@ -70,14 +90,17 @@ var experiments = []experiment{
 	{"breakdown", "extension: search cost per category/system/size", runBreakdown},
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out, progress io.Writer) error {
 	fs := flag.NewFlagSet("arrow-study", flag.ContinueOnError)
 	var (
-		seeds   = fs.Int("seeds", 30, "independent repetitions per workload (paper uses 100)")
-		outDir  = fs.String("out", "results", "directory for CSV output")
-		figures = fs.String("figures", "all", "comma-separated experiment list (see -list)")
-		list    = fs.Bool("list", false, "list experiments and exit")
-		workers = fs.Int("concurrency", 0, "worker-pool size (0 = GOMAXPROCS)")
+		seeds    = fs.Int("seeds", 30, "independent repetitions per workload (paper uses 100)")
+		outDir   = fs.String("out", "results", "directory for CSV output")
+		figures  = fs.String("figures", "all", "comma-separated experiment list (see -list)")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		workers  = fs.Int("concurrency", 0, "bound on concurrently executing searches (0 = GOMAXPROCS)")
+		cacheDir = fs.String("cache-dir", "auto", "persistent run-cache directory (auto = <out>/cache, empty = memory-only)")
+		noCache  = fs.Bool("no-cache", false, "disable the run cache entirely: every search executes (forces a cold run)")
+		subset   = fs.String("workloads", "", "comma-separated workload IDs to restrict the study set (default: all 107)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,62 +118,177 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("creating output dir: %w", err)
 	}
 
+	simulator := sim.New(cloud.DefaultCatalog())
 	var opts []study.Option
 	if *workers > 0 {
 		opts = append(opts, study.WithConcurrency(*workers))
 	}
+	if *subset != "" {
+		ws, err := resolveWorkloads(simulator, *subset)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, study.WithWorkloads(ws))
+	}
+	switch {
+	case *noCache:
+		opts = append(opts, study.WithoutRunCache())
+	case *cacheDir == "auto":
+		opts = append(opts, study.WithCacheDir(filepath.Join(*outDir, "cache")))
+	case *cacheDir != "":
+		opts = append(opts, study.WithCacheDir(*cacheDir))
+	}
+	regions, _ := runcache.Open[map[string]study.Region]("", sim.SubstrateVersion) // memory-only Open cannot fail
 	c := &ctx{
-		runner:  study.NewRunner(sim.New(cloud.DefaultCatalog()), opts...),
+		runner:  study.NewRunner(simulator, opts...),
 		seeds:   *seeds,
 		outDir:  *outDir,
-		regions: map[core.Objective]map[string]study.Region{},
+		regions: regions,
 	}
+	defer c.runner.Close()
 
-	selected := map[string]bool{}
-	if *figures == "all" {
+	selected, err := selectExperiments(*figures)
+	if err != nil {
+		return err
+	}
+	return runQueue(c, selected, out, progress)
+}
+
+// selectExperiments resolves the -figures flag against the experiment
+// list, preserving paper order.
+func selectExperiments(figures string) ([]experiment, error) {
+	want := map[string]bool{}
+	if figures == "all" {
 		for _, e := range experiments {
-			selected[e.name] = true
+			want[e.name] = true
 		}
 	} else {
-		for _, name := range strings.Split(*figures, ",") {
-			selected[strings.TrimSpace(name)] = true
+		for _, name := range strings.Split(figures, ",") {
+			want[strings.TrimSpace(name)] = true
 		}
 	}
 	known := map[string]bool{}
 	for _, e := range experiments {
 		known[e.name] = true
 	}
-	for name := range selected {
+	for name := range want {
 		if !known[name] {
-			return fmt.Errorf("unknown experiment %q (see -list)", name)
+			return nil, fmt.Errorf("unknown experiment %q (see -list)", name)
 		}
+	}
+	var sel []experiment
+	for _, e := range experiments {
+		if want[e.name] {
+			sel = append(sel, e)
+		}
+	}
+	return sel, nil
+}
+
+// resolveWorkloads parses a comma-separated ID list against the
+// simulator's study set.
+func resolveWorkloads(s *sim.Simulator, csvIDs string) ([]workloads.Workload, error) {
+	inStudy := map[string]workloads.Workload{}
+	for _, w := range s.StudyWorkloads() {
+		inStudy[w.ID()] = w
+	}
+	var ws []workloads.Workload
+	for _, id := range strings.Split(csvIDs, ",") {
+		id = strings.TrimSpace(id)
+		w, ok := inStudy[id]
+		if !ok {
+			return nil, fmt.Errorf("workload %q not in the study set", id)
+		}
+		ws = append(ws, w)
+	}
+	return ws, nil
+}
+
+// syncWriter serializes progress lines from concurrent figures.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// runQueue executes the selected experiments as a work queue: every
+// figure runs concurrently against the shared runner (whose semaphore
+// bounds the real work at -concurrency searches), output is buffered
+// per figure and merged to out in paper order, and progress/ETA lines
+// plus the cache/wall-clock summary footer stream to progress. Keeping
+// timing out of `out` is what makes cold, warm and any-concurrency runs
+// byte-identical.
+func runQueue(c *ctx, sel []experiment, out, progress io.Writer) error {
+	type outcome struct {
+		buf bytes.Buffer
+		dur time.Duration
+		err error
+	}
+	outcomes := make([]outcome, len(sel))
+	pw := &syncWriter{w: progress}
+	var done atomic.Int64
+	start := time.Now()
+
+	parallel.Do(len(sel), len(sel), func(i int) {
+		e := sel[i]
+		t0 := time.Now()
+		outcomes[i].err = e.run(c, &outcomes[i].buf)
+		outcomes[i].dur = time.Since(t0)
+
+		d := done.Add(1)
+		elapsed := time.Since(start)
+		status := "done"
+		if outcomes[i].err != nil {
+			status = "FAILED"
+		}
+		// ETA extrapolates from the mean figure wall-clock so far; with
+		// a warm cache it converges to ~0 immediately.
+		eta := time.Duration(float64(elapsed) / float64(d) * float64(int64(len(sel))-d))
+		fmt.Fprintf(pw, "[%d/%d] %-12s %s in %-8v (elapsed %v, ETA %v)\n",
+			d, len(sel), e.name, status, outcomes[i].dur.Round(time.Millisecond),
+			elapsed.Round(time.Millisecond), eta.Round(time.Second))
+	})
+
+	// Deterministic merge: paper order, independent of completion order.
+	for i, e := range sel {
+		fmt.Fprintf(out, "=== %s: %s\n", e.name, e.desc)
+		if outcomes[i].err != nil {
+			return fmt.Errorf("%s: %w", e.name, outcomes[i].err)
+		}
+		if _, err := out.Write(outcomes[i].buf.Bytes()); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
 	}
 
-	for _, e := range experiments {
-		if !selected[e.name] {
-			continue
-		}
-		start := time.Now()
-		fmt.Fprintf(out, "=== %s: %s\n", e.name, e.desc)
-		if err := e.run(c, out); err != nil {
-			return fmt.Errorf("%s: %w", e.name, err)
-		}
-		fmt.Fprintf(out, "--- %s done in %v\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	// Summary footer: per-figure wall-clock and cache counters.
+	fmt.Fprintf(pw, "\nper-figure wall-clock:\n")
+	for i, e := range sel {
+		fmt.Fprintf(pw, "  %-12s %v\n", e.name, outcomes[i].dur.Round(time.Millisecond))
 	}
+	runs, truth := c.runner.CacheStats()
+	fmt.Fprintf(pw, "run cache: %d computed, %d memory hits, %d disk hits, %d deduplicated in-flight (%.1f%% of %d lookups reused)\n",
+		runs.Misses, runs.Hits, runs.DiskHits, runs.Shared, 100*runs.ReuseRatio(), runs.Lookups())
+	if runs.Loaded > 0 || runs.Invalidated > 0 || runs.Corrupt > 0 {
+		fmt.Fprintf(pw, "run cache (disk tier): %d entries loaded, %d invalidated by substrate version, %d damaged lines skipped\n",
+			runs.Loaded, runs.Invalidated, runs.Corrupt)
+	}
+	fmt.Fprintf(pw, "truth tables: %d computed, %d reused\n", truth.Misses, truth.Lookups()-truth.Misses)
+	fmt.Fprintf(pw, "total wall-clock %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }
 
-// regionsFor computes (and caches) the Figure 1 region classification.
+// regionsFor computes (and memoizes) the Figure 1 region classification.
 func (c *ctx) regionsFor(objective core.Objective) (map[string]study.Region, error) {
-	if r, ok := c.regions[objective]; ok {
-		return r, nil
-	}
-	r, err := c.runner.ClassifyRegions(objective, c.seeds)
-	if err != nil {
-		return nil, err
-	}
-	c.regions[objective] = r
-	return r, nil
+	key := runcache.Key("regions\x00" + objective.String())
+	return c.regions.Do(key, func() (map[string]study.Region, error) {
+		return c.runner.ClassifyRegions(objective, c.seeds)
+	})
 }
 
 // writeCSV writes one CSV file into the output directory.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,7 +10,7 @@ import (
 
 func TestRunList(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-list"}, &sb); err != nil {
+	if err := run([]string{"-list"}, &sb, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -22,14 +23,14 @@ func TestRunList(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-figures", "fig99", "-out", t.TempDir()}, &sb); err == nil {
+	if err := run([]string{"-figures", "fig99", "-out", t.TempDir()}, &sb, io.Discard); err == nil {
 		t.Error("unknown experiment should fail")
 	}
 }
 
 func TestRunBadSeeds(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-seeds", "0", "-out", t.TempDir()}, &sb); err == nil {
+	if err := run([]string{"-seeds", "0", "-out", t.TempDir()}, &sb, io.Discard); err == nil {
 		t.Error("zero seeds should fail")
 	}
 }
@@ -37,7 +38,7 @@ func TestRunBadSeeds(t *testing.T) {
 func TestRunCheapFigures(t *testing.T) {
 	dir := t.TempDir()
 	var sb strings.Builder
-	err := run([]string{"-figures", "table1,fig3,fig6,fig8", "-seeds", "2", "-out", dir}, &sb)
+	err := run([]string{"-figures", "table1,fig3,fig6,fig8", "-seeds", "2", "-out", dir}, &sb, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestRunCheapFigures(t *testing.T) {
 func TestRunFig5And7(t *testing.T) {
 	dir := t.TempDir()
 	var sb strings.Builder
-	if err := run([]string{"-figures", "fig5,fig7", "-seeds", "2", "-out", dir}, &sb); err != nil {
+	if err := run([]string{"-figures", "fig5,fig7", "-seeds", "2", "-out", dir}, &sb, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	for _, csv := range []string{"fig5_input_size.csv", "fig7a_kernels_als_time.csv", "fig7b_kernels_bayes_cost.csv"} {
@@ -88,7 +89,7 @@ func TestRunFig5And7(t *testing.T) {
 func TestRunFig4(t *testing.T) {
 	dir := t.TempDir()
 	var sb strings.Builder
-	if err := run([]string{"-figures", "fig4", "-seeds", "2", "-out", dir}, &sb); err != nil {
+	if err := run([]string{"-figures", "fig4", "-seeds", "2", "-out", dir}, &sb, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "c4.2xlarge is (near-)optimal") {
@@ -99,7 +100,7 @@ func TestRunFig4(t *testing.T) {
 func TestRunFig2WritesTrajectory(t *testing.T) {
 	dir := t.TempDir()
 	var sb strings.Builder
-	if err := run([]string{"-figures", "fig2", "-seeds", "2", "-out", dir}, &sb); err != nil {
+	if err := run([]string{"-figures", "fig2", "-seeds", "2", "-out", dir}, &sb, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig2_als_trajectory.csv"))
@@ -113,5 +114,105 @@ func TestRunFig2WritesTrajectory(t *testing.T) {
 	}
 	if lines[0] != "step,median_norm_time,q1,q3" {
 		t.Errorf("header = %q", lines[0])
+	}
+}
+
+// smokeArgs builds a small two-workload fig1 invocation.
+func smokeArgs(outDir, cacheDir string, extra ...string) []string {
+	args := []string{
+		"-figures", "fig1", "-seeds", "2",
+		"-workloads", "pearson/spark2.1/medium,scan/hadoop2.7/medium",
+		"-out", outDir, "-cache-dir", cacheDir,
+	}
+	return append(args, extra...)
+}
+
+// readDirCSVs returns name -> contents for every CSV in dir.
+func readDirCSVs(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]string{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = string(data)
+	}
+	return out
+}
+
+// TestColdWarmAnyConcurrencyByteIdentical is the acceptance property:
+// a cold run, a warm run against its cache, and a different
+// -concurrency all produce the same stdout and the same CSV bytes.
+func TestColdWarmAnyConcurrencyByteIdentical(t *testing.T) {
+	base := t.TempDir()
+	cache := filepath.Join(base, "cache")
+
+	coldDir := filepath.Join(base, "cold")
+	var coldOut, coldProgress strings.Builder
+	if err := run(smokeArgs(coldDir, cache), &coldOut, &coldProgress); err != nil {
+		t.Fatal(err)
+	}
+	shards, err := filepath.Glob(filepath.Join(cache, "shard-*.jsonl"))
+	if err != nil || len(shards) == 0 {
+		t.Fatalf("cold run wrote no cache shards (err %v)", err)
+	}
+
+	warmDir := filepath.Join(base, "warm")
+	var warmOut, warmProgress strings.Builder
+	if err := run(smokeArgs(warmDir, cache, "-concurrency", "1"), &warmOut, &warmProgress); err != nil {
+		t.Fatal(err)
+	}
+
+	if coldOut.String() != warmOut.String() {
+		t.Errorf("stdout differs between cold and warm runs:\ncold:\n%s\nwarm:\n%s", coldOut.String(), warmOut.String())
+	}
+	coldCSVs, warmCSVs := readDirCSVs(t, coldDir), readDirCSVs(t, warmDir)
+	if len(coldCSVs) == 0 {
+		t.Fatal("cold run wrote no CSVs")
+	}
+	for name, cold := range coldCSVs {
+		if warm, ok := warmCSVs[name]; !ok {
+			t.Errorf("warm run missing %s", name)
+		} else if warm != cold {
+			t.Errorf("%s differs between cold and warm runs", name)
+		}
+	}
+	if !strings.Contains(warmProgress.String(), "disk hits") {
+		t.Errorf("progress footer missing cache statistics:\n%s", warmProgress.String())
+	}
+	if !strings.Contains(warmProgress.String(), "per-figure wall-clock") {
+		t.Errorf("progress footer missing per-figure wall-clock:\n%s", warmProgress.String())
+	}
+}
+
+// TestNoCacheFlagForcesColdRun: -no-cache must not create a cache
+// directory and still produce the same output.
+func TestNoCacheFlagForcesColdRun(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run(smokeArgs(dir, "auto", "-no-cache"), &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "cache")); !os.IsNotExist(err) {
+		t.Errorf("-no-cache must not create %s/cache (err %v)", dir, err)
+	}
+	if !strings.Contains(out.String(), "=== fig1") {
+		t.Error("fig1 output missing")
+	}
+}
+
+func TestWorkloadsFlagRejectsUnknownID(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-figures", "table1", "-workloads", "not/a/workload", "-out", t.TempDir()}, &sb, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "not in the study set") {
+		t.Errorf("unknown workload should fail, got %v", err)
 	}
 }

@@ -9,6 +9,12 @@
 // search converges much faster), but when input growth moves the workload
 // onto a different bottleneck, stale history can mislead the early steps.
 //
+// Everything pulls through internal/runcache, the same content-addressed
+// store that powers arrow-study: history tables and per-seed search costs
+// are computed once and shared across transfer cases, so the cross-app
+// case below reuses both the lr-small history table and the kmeans cold
+// baseline without any ad-hoc result plumbing.
+//
 // Run with:
 //
 //	go run ./examples/warmstart
@@ -19,7 +25,18 @@ import (
 	"log"
 
 	arrow "repro"
+	"repro/internal/parallel"
+	"repro/internal/runcache"
+	"repro/internal/sim"
 )
+
+const seeds = 20
+
+// caches shares history tables and search costs across transfer cases.
+type caches struct {
+	histories *runcache.Store[[]arrow.PriorRun]
+	searches  *runcache.Store[float64]
+}
 
 func main() {
 	cases := []struct {
@@ -30,17 +47,24 @@ func main() {
 		{"lr/spark1.5/medium", "lr/spark1.5/small", "bottleneck structure transfers"},
 		{"terasort/hadoop2.7/large", "terasort/hadoop2.7/medium", "I/O-bound at both sizes"},
 		{"kmeans/spark2.1/medium", "kmeans/spark2.1/small", "growth shifts the bottleneck: stale history can mislead"},
+		// Cross-application transfer: reuses the lr-small history table and
+		// the kmeans cold baseline already cached by the cases above.
+		{"kmeans/spark2.1/medium", "lr/spark1.5/small", "cross-app history still encodes broad VM preferences"},
 	}
+	histories, _ := runcache.Open[[]arrow.PriorRun]("", sim.SubstrateVersion) // memory-only Open cannot fail
+	searches, _ := runcache.Open[float64]("", sim.SubstrateVersion)
+	c := &caches{histories: histories, searches: searches}
+
 	for _, tc := range cases {
-		history, err := recordHistory(tc.oldWorkload)
+		history, err := c.recordHistory(tc.oldWorkload)
 		if err != nil {
 			log.Fatal(err)
 		}
-		cold, err := meanSearchCost(tc.newWorkload, nil)
+		cold, err := c.meanSearchCost(tc.newWorkload, "", nil)
 		if err != nil {
 			log.Fatal(err)
 		}
-		warm, err := meanSearchCost(tc.newWorkload, history)
+		warm, err := c.meanSearchCost(tc.newWorkload, tc.oldWorkload, history)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -48,63 +72,88 @@ func main() {
 		fmt.Printf("  cold start: %.1f measurements to the best VM\n", cold)
 		fmt.Printf("  warm start: %.1f measurements  (%s)\n\n", warm, tc.note)
 	}
+
+	h, s := histories.Stats(), searches.Stats()
+	fmt.Printf("run cache: %d history tables computed, %d reused; %d searches computed, %d reused\n",
+		h.Misses, h.Lookups()-h.Misses, s.Misses, s.Lookups()-s.Misses)
 }
 
 // recordHistory measures the old workload on every VM — in production this
-// would be read back from the job's past deployment logs.
-func recordHistory(workloadID string) ([]arrow.PriorRun, error) {
-	target, err := arrow.NewSimulatedTarget(workloadID, 77)
-	if err != nil {
-		return nil, err
-	}
-	history := make([]arrow.PriorRun, 0, target.NumCandidates())
-	for i := 0; i < target.NumCandidates(); i++ {
-		out, err := target.Measure(i)
+// would be read back from the job's past deployment logs. The table is
+// cached per workload, so several transfer cases share one profile.
+func (c *caches) recordHistory(workloadID string) ([]arrow.PriorRun, error) {
+	return c.histories.Do(runcache.Key("history\x00"+workloadID), func() ([]arrow.PriorRun, error) {
+		target, err := arrow.NewSimulatedTarget(workloadID, 77)
 		if err != nil {
 			return nil, err
 		}
-		history = append(history, arrow.PriorRun{
-			Features: target.Features(i),
-			Metrics:  out.Metrics,
-			Value:    out.CostUSD,
-		})
-	}
-	return history, nil
+		history := make([]arrow.PriorRun, 0, target.NumCandidates())
+		for i := 0; i < target.NumCandidates(); i++ {
+			out, err := target.Measure(i)
+			if err != nil {
+				return nil, err
+			}
+			history = append(history, arrow.PriorRun{
+				Features: target.Features(i),
+				Metrics:  out.Metrics,
+				Value:    out.CostUSD,
+			})
+		}
+		return history, nil
+	})
 }
 
 // meanSearchCost averages the step at which the eventual best VM was
-// measured across seeds, with or without warm starting.
-func meanSearchCost(workloadID string, history []arrow.PriorRun) (float64, error) {
-	const seeds = 20
+// measured across seeds. Each (workload, history source, seed) search is
+// cached, so a cold baseline computed for one case is free for the next.
+func (c *caches) meanSearchCost(workloadID, historyID string, history []arrow.PriorRun) (float64, error) {
+	costs := make([]float64, seeds)
+	errs := make([]error, seeds)
+	parallel.Do(seeds, 0, func(i int) {
+		seed := int64(i)
+		key := runcache.Key(fmt.Sprintf("search\x00%s\x00%s\x00%d", workloadID, historyID, seed))
+		costs[i], errs[i] = c.searches.Do(key, func() (float64, error) {
+			return searchCost(workloadID, seed, history)
+		})
+	})
 	total := 0.0
-	for seed := int64(0); seed < seeds; seed++ {
-		opts := []arrow.Option{
-			arrow.WithMethod(arrow.MethodAugmentedBO),
-			arrow.WithObjective(arrow.MinimizeCost),
-			arrow.WithDeltaThreshold(-1), // exhaust: measure cost-to-best exactly
-			arrow.WithSeed(seed),
+	for i := range costs {
+		if errs[i] != nil {
+			return 0, errs[i]
 		}
-		if history != nil {
-			opts = append(opts, arrow.WithWarmStart(history...))
-		}
-		opt, err := arrow.New(opts...)
-		if err != nil {
-			return 0, err
-		}
-		target, err := arrow.NewSimulatedTarget(workloadID, seed)
-		if err != nil {
-			return 0, err
-		}
-		res, err := opt.Search(target)
-		if err != nil {
-			return 0, err
-		}
-		for i, obs := range res.Observations {
-			if obs.Index == res.BestIndex {
-				total += float64(i + 1)
-				break
-			}
-		}
+		total += costs[i]
 	}
 	return total / seeds, nil
+}
+
+// searchCost runs one seeded Augmented BO search to exhaustion and
+// returns the step at which the eventual best VM was first measured.
+func searchCost(workloadID string, seed int64, history []arrow.PriorRun) (float64, error) {
+	opts := []arrow.Option{
+		arrow.WithMethod(arrow.MethodAugmentedBO),
+		arrow.WithObjective(arrow.MinimizeCost),
+		arrow.WithDeltaThreshold(-1), // exhaust: measure cost-to-best exactly
+		arrow.WithSeed(seed),
+	}
+	if history != nil {
+		opts = append(opts, arrow.WithWarmStart(history...))
+	}
+	opt, err := arrow.New(opts...)
+	if err != nil {
+		return 0, err
+	}
+	target, err := arrow.NewSimulatedTarget(workloadID, seed)
+	if err != nil {
+		return 0, err
+	}
+	res, err := opt.Search(target)
+	if err != nil {
+		return 0, err
+	}
+	for i, obs := range res.Observations {
+		if obs.Index == res.BestIndex {
+			return float64(i + 1), nil
+		}
+	}
+	return 0, fmt.Errorf("best index %d never observed for %s seed %d", res.BestIndex, workloadID, seed)
 }

@@ -1,0 +1,65 @@
+package runcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Fingerprint is the canonical description of one search execution. The
+// study layer fills it from a MethodConfig plus the run coordinates
+// (workload, objective, seed) and the substrate version; fields that do
+// not influence the method's behavior are left at their zero value so
+// cosmetically different configurations collide onto the same Key.
+// Callers are responsible for canonicalization (resolving defaulted
+// zero values, dropping fields irrelevant to the method): the
+// fingerprint hashes exactly what it is given.
+type Fingerprint struct {
+	// Schema versions the fingerprint layout itself.
+	Schema string
+	// Substrate versions the measurement substrate: results produced
+	// under different substrate versions never share a key.
+	Substrate string
+
+	Method     string
+	WorkloadID string
+	Objective  string
+	Seed       int64
+
+	// Kernel is the GP covariance family (Naive and Hybrid).
+	Kernel string
+	// EIStop is the canonical EI stopping fraction (-1 when disabled).
+	EIStop float64
+	// Delta is the canonical Prediction-Delta threshold (-1 when
+	// disabled; Augmented and Hybrid).
+	Delta float64
+	// SwitchAfter is Hybrid's handover point.
+	SwitchAfter int
+
+	// Extra-Trees configuration (Augmented and Hybrid). Zero
+	// ForestMaxFeatures means the round(sqrt(d)) default and zero
+	// ForestMaxDepth means unbounded — both are already canonical.
+	ForestTrees       int
+	ForestMinSplit    int
+	ForestMaxFeatures int
+	ForestMaxDepth    int
+
+	// Initial-design configuration.
+	DesignKind  string
+	DesignSize  int
+	DesignFixed []int
+}
+
+// Key hashes the fingerprint into its content address.
+func (f Fingerprint) Key() Key {
+	h := sha256.New()
+	// %q quotes the strings so no field separator can be forged from
+	// inside a workload ID; floats print with enough digits to
+	// round-trip exactly.
+	fmt.Fprintf(h, "%q|%q|%q|%q|%q|%d|%q|%.17g|%.17g|%d|%d,%d,%d,%d|%q|%d|%v",
+		f.Schema, f.Substrate, f.Method, f.WorkloadID, f.Objective, f.Seed,
+		f.Kernel, f.EIStop, f.Delta, f.SwitchAfter,
+		f.ForestTrees, f.ForestMinSplit, f.ForestMaxFeatures, f.ForestMaxDepth,
+		f.DesignKind, f.DesignSize, f.DesignFixed)
+	return Key(hex.EncodeToString(h.Sum(nil)))
+}

@@ -1,0 +1,339 @@
+// Package runcache is the study layer's cross-experiment memoization
+// primitive. Every search the paper's evaluation runs is a pure function
+// of its configuration fingerprint (method, workload, objective, seed,
+// substrate version), so the figures — which rerun the same (method,
+// workload, seed) searches over and over — can share one execution per
+// distinct key.
+//
+// A Store is two-tiered:
+//
+//   - an in-memory concurrent map with singleflight deduplication:
+//     concurrent requests for the same key run the computation once and
+//     every waiter shares the result;
+//   - an optional on-disk tier (JSONL shard files under a cache
+//     directory) that makes re-runs near-instant and lets interrupted
+//     studies resume where they stopped. Entries are appended as they
+//     are computed; corrupt or truncated lines (e.g. from a killed
+//     process) are skipped with a warning, and entries written under a
+//     different substrate version are invalidated on load.
+//
+// Values cross the disk tier as JSON, so cached values must round-trip
+// exactly through encoding/json (Go prints float64 in the shortest form
+// that parses back bit-identically, so plain numeric payloads qualify).
+// Results returned from Do may be shared between callers and must be
+// treated as immutable.
+package runcache
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Key is the content-addressed identity of one cached computation.
+// Fingerprint.Key produces one for a search; any unique string works
+// (the truth-table cache uses structured plain-text keys).
+type Key string
+
+// numShards spreads the disk tier over this many JSONL files so
+// concurrent writers rarely contend on one append lock.
+const numShards = 16
+
+// Stats counts cache outcomes. All counters are cumulative for the
+// lifetime of the Store.
+type Stats struct {
+	// Hits served from the in-memory tier (computed this process).
+	Hits int64
+	// DiskHits served from entries loaded from the persistent tier.
+	DiskHits int64
+	// Misses ran the computation.
+	Misses int64
+	// Shared waited on another goroutine's in-flight computation of the
+	// same key (singleflight deduplication).
+	Shared int64
+	// Loaded is the number of entries read from disk at Open.
+	Loaded int64
+	// Invalidated counts disk entries skipped for a substrate mismatch.
+	Invalidated int64
+	// Corrupt counts undecodable or truncated disk lines skipped.
+	Corrupt int64
+}
+
+// Lookups is the total number of Do calls accounted for.
+func (s Stats) Lookups() int64 { return s.Hits + s.DiskHits + s.Misses + s.Shared }
+
+// ReuseRatio is the fraction of lookups served without running the
+// computation (memory, disk, or in-flight sharing); 0 when idle.
+func (s Stats) ReuseRatio() float64 {
+	n := s.Lookups()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.DiskHits+s.Shared) / float64(n)
+}
+
+// Option configures a Store.
+type Option func(*config)
+
+type config struct {
+	warnf func(format string, args ...any)
+}
+
+// WithWarnf routes non-fatal cache warnings (corrupt shard lines,
+// append failures). The default writes to os.Stderr.
+func WithWarnf(fn func(format string, args ...any)) Option {
+	return func(c *config) {
+		if fn != nil {
+			c.warnf = fn
+		}
+	}
+}
+
+// Store is a two-tier memoization map from Key to V.
+type Store[V any] struct {
+	dir       string // "" disables the persistent tier
+	substrate string
+	warnf     func(format string, args ...any)
+
+	mu       sync.Mutex
+	mem      map[Key]entry[V]
+	inflight map[Key]*call[V]
+
+	shards [numShards]struct {
+		mu sync.Mutex
+		f  *os.File
+	}
+
+	hits, diskHits, misses, shared atomic.Int64
+	loaded, invalidated, corrupt   int64 // set once at Open
+}
+
+type entry[V any] struct {
+	val      V
+	fromDisk bool
+}
+
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// envelope is one JSONL shard line.
+type envelope struct {
+	Key       Key             `json:"k"`
+	Substrate string          `json:"s"`
+	Value     json.RawMessage `json:"v"`
+}
+
+// Open builds a Store. dir == "" keeps the cache memory-only; otherwise
+// the directory is created and every shard file in it is loaded (entries
+// whose substrate differs from the given one are invalidated, damaged
+// lines are skipped with a warning). The substrate string versions the
+// computation's semantics: bump it whenever results change and the whole
+// persistent tier stops matching.
+func Open[V any](dir, substrate string, opts ...Option) (*Store[V], error) {
+	cfg := config{warnf: func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "runcache: "+format+"\n", args...)
+	}}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	s := &Store[V]{
+		dir:       dir,
+		substrate: substrate,
+		warnf:     cfg.warnf,
+		mem:       make(map[Key]entry[V]),
+		inflight:  make(map[Key]*call[V]),
+	}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runcache: creating %s: %w", dir, err)
+	}
+	for shard := 0; shard < numShards; shard++ {
+		if err := s.loadShard(shard); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// shardPath names one shard's JSONL file.
+func (s *Store[V]) shardPath(shard int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("shard-%02d.jsonl", shard))
+}
+
+// shardOf maps a key to its shard.
+func shardOf(key Key) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % numShards)
+}
+
+// loadShard reads one shard file into the memory tier. Unreadable lines
+// never fail the load: a crashed writer leaves at most a truncated tail,
+// and losing a cache line only costs a recomputation.
+func (s *Store[V]) loadShard(shard int) error {
+	f, err := os.Open(s.shardPath(shard))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("runcache: opening %s: %w", s.shardPath(shard), err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var env envelope
+		if err := json.Unmarshal(line, &env); err != nil || env.Key == "" {
+			s.corrupt++
+			s.warnf("%s:%d: skipping damaged cache line", s.shardPath(shard), lineNo)
+			continue
+		}
+		if env.Substrate != s.substrate {
+			s.invalidated++
+			continue
+		}
+		var val V
+		if err := json.Unmarshal(env.Value, &val); err != nil {
+			s.corrupt++
+			s.warnf("%s:%d: skipping undecodable cache value: %v", s.shardPath(shard), lineNo, err)
+			continue
+		}
+		s.mem[env.Key] = entry[V]{val: val, fromDisk: true}
+		s.loaded++
+	}
+	if err := sc.Err(); err != nil {
+		// An over-long or partially written line; what loaded still counts.
+		s.corrupt++
+		s.warnf("%s: stopping load early: %v", s.shardPath(shard), err)
+	}
+	return nil
+}
+
+// Do returns the cached value for key, or runs compute exactly once —
+// concurrent callers with the same key wait for the first computation
+// and share its result. Errors are returned to every waiting caller and
+// never cached.
+func (s *Store[V]) Do(key Key, compute func() (V, error)) (V, error) {
+	s.mu.Lock()
+	if e, ok := s.mem[key]; ok {
+		if e.fromDisk {
+			s.diskHits.Add(1)
+		} else {
+			s.hits.Add(1)
+		}
+		s.mu.Unlock()
+		return e.val, nil
+	}
+	if c, ok := s.inflight[key]; ok {
+		s.shared.Add(1)
+		s.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &call[V]{done: make(chan struct{})}
+	s.inflight[key] = c
+	s.mu.Unlock()
+
+	c.val, c.err = compute()
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if c.err == nil {
+		s.misses.Add(1)
+		s.mem[key] = entry[V]{val: c.val}
+	}
+	s.mu.Unlock()
+	if c.err == nil {
+		s.persist(key, c.val)
+	}
+	close(c.done)
+	return c.val, c.err
+}
+
+// Len is the number of entries in the memory tier.
+func (s *Store[V]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mem)
+}
+
+// Stats snapshots the counters.
+func (s *Store[V]) Stats() Stats {
+	return Stats{
+		Hits:        s.hits.Load(),
+		DiskHits:    s.diskHits.Load(),
+		Misses:      s.misses.Load(),
+		Shared:      s.shared.Load(),
+		Loaded:      s.loaded,
+		Invalidated: s.invalidated,
+		Corrupt:     s.corrupt,
+	}
+}
+
+// persist appends one entry to its shard file. Failures degrade to a
+// warning: the memory tier already holds the value.
+func (s *Store[V]) persist(key Key, val V) {
+	if s.dir == "" {
+		return
+	}
+	payload, err := json.Marshal(val)
+	if err != nil {
+		s.warnf("marshaling value for %s: %v", key, err)
+		return
+	}
+	line, err := json.Marshal(envelope{Key: key, Substrate: s.substrate, Value: payload})
+	if err != nil {
+		s.warnf("marshaling envelope for %s: %v", key, err)
+		return
+	}
+	line = append(line, '\n')
+
+	sh := &s.shards[shardOf(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.f == nil {
+		f, err := os.OpenFile(s.shardPath(shardOf(key)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			s.warnf("opening %s: %v", s.shardPath(shardOf(key)), err)
+			return
+		}
+		sh.f = f
+	}
+	if _, err := sh.f.Write(line); err != nil {
+		s.warnf("appending to %s: %v", s.shardPath(shardOf(key)), err)
+	}
+}
+
+// Close releases the shard file handles. The Store stays usable as a
+// memory-only cache afterwards.
+func (s *Store[V]) Close() error {
+	var firstErr error
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if sh.f != nil {
+			if err := sh.f.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			sh.f = nil
+		}
+		sh.mu.Unlock()
+	}
+	return firstErr
+}

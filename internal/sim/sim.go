@@ -119,6 +119,15 @@ type Breakdown struct {
 	InterfereSeed uint64  // the derived noise seed, for reproducibility
 }
 
+// SubstrateVersion names the current semantics of the simulator (its
+// response model, noise derivation, and the optimizers' seeded search
+// behavior, which PR 2's per-tree seed derivation last changed). The
+// study layer's persistent run cache embeds it in every cache key and
+// shard entry, so bumping it invalidates all previously recorded search
+// results. Bump it whenever a change makes seeded searches produce
+// different observations.
+const SubstrateVersion = "arrow-substrate/2"
+
 // Simulator evaluates workloads on a VM catalog.
 type Simulator struct {
 	catalog    *cloud.Catalog

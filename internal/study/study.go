@@ -5,20 +5,29 @@
 // criterion sweeps, and the win/draw/loss comparison between Naive BO and
 // Augmented BO.
 //
-// The Runner caches noise-free truth tables per workload and fans
-// independent (workload, seed) searches out over a bounded worker pool.
+// The Runner memoizes every search in a content-addressed run cache
+// (internal/runcache): noise-free truth tables and complete RunSummary
+// values are computed once per distinct (method, workload, objective,
+// seed, substrate) fingerprint, deduplicated in flight, optionally
+// persisted to disk, and shared across every experiment. Independent
+// (workload, seed) searches fan out over internal/parallel, gated by one
+// Runner-wide concurrency semaphore so concurrently running experiments
+// cannot oversubscribe the machine.
 package study
 
 import (
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/forest"
 	"repro/internal/kernel"
+	"repro/internal/parallel"
+	"repro/internal/runcache"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -138,21 +147,28 @@ func (mc MethodConfig) Build(objective core.Objective, seed int64) (core.Optimiz
 	}
 }
 
-// Runner executes searches against the simulator and caches ground truth.
+// Runner executes searches against the simulator, memoizing every
+// result in the run cache and ground truth in a truth-table cache.
 type Runner struct {
 	sim       *sim.Simulator
 	catalog   *cloud.Catalog
 	workloads []workloads.Workload
 
 	concurrency int
+	// sem is the Runner-wide gate on concurrently executing work items:
+	// forEach acquires one slot per item, so experiments running in
+	// parallel against the same Runner share one concurrency budget.
+	sem chan struct{}
 
-	mu    sync.Mutex
-	truth map[truthKey][]float64
-}
+	cacheDir string
+	noCache  bool
+	warnf    func(format string, args ...any)
 
-type truthKey struct {
-	workloadID string
-	objective  core.Objective
+	// runs memoizes complete searches; nil when caching is disabled.
+	// truth memoizes noise-free truth tables (always on, memory-only;
+	// its singleflight also serializes concurrent TruthTable calls).
+	runs  *runcache.Store[RunSummary]
+	truth *runcache.Store[[]float64]
 }
 
 // Option configures a Runner.
@@ -172,6 +188,32 @@ func WithWorkloads(ws []workloads.Workload) Option {
 	return func(r *Runner) { r.workloads = append([]workloads.Workload(nil), ws...) }
 }
 
+// WithCacheDir enables the persistent run-cache tier: completed searches
+// are appended to JSONL shards under dir and re-loaded by future
+// Runners, so repeated and interrupted studies skip already-computed
+// searches. An unreadable directory degrades to memory-only caching
+// with a warning — the cache is an optimization, never a hard
+// dependency.
+func WithCacheDir(dir string) Option {
+	return func(r *Runner) { r.cacheDir = dir }
+}
+
+// WithoutRunCache disables run memoization entirely (both tiers): every
+// RunSearch call executes the search. Truth tables stay cached — they
+// are derived data, identical either way.
+func WithoutRunCache() Option {
+	return func(r *Runner) { r.noCache = true }
+}
+
+// WithWarnf routes cache warnings (default: os.Stderr).
+func WithWarnf(fn func(format string, args ...any)) Option {
+	return func(r *Runner) {
+		if fn != nil {
+			r.warnf = fn
+		}
+	}
+}
+
 // NewRunner builds a Runner over the simulator's study set.
 func NewRunner(s *sim.Simulator, opts ...Option) *Runner {
 	r := &Runner{
@@ -179,12 +221,41 @@ func NewRunner(s *sim.Simulator, opts ...Option) *Runner {
 		catalog:     s.Catalog(),
 		workloads:   s.StudyWorkloads(),
 		concurrency: runtime.GOMAXPROCS(0),
-		truth:       make(map[truthKey][]float64),
+		warnf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "study: "+format+"\n", args...)
+		},
 	}
 	for _, opt := range opts {
 		opt(r)
 	}
+	r.sem = make(chan struct{}, r.concurrency)
+	r.truth, _ = runcache.Open[[]float64]("", sim.SubstrateVersion) // memory-only Open cannot fail
+	if !r.noCache {
+		runs, err := runcache.Open[RunSummary](r.cacheDir, sim.SubstrateVersion, runcache.WithWarnf(r.warnf))
+		if err != nil {
+			r.warnf("disabling persistent tier: %v", err)
+			runs, _ = runcache.Open[RunSummary]("", sim.SubstrateVersion, runcache.WithWarnf(r.warnf))
+		}
+		r.runs = runs
+	}
 	return r
+}
+
+// CacheStats snapshots the run-cache and truth-table cache counters.
+// A Runner with caching disabled reports zero run-cache stats.
+func (r *Runner) CacheStats() (runs, truth runcache.Stats) {
+	if r.runs != nil {
+		runs = r.runs.Stats()
+	}
+	return runs, r.truth.Stats()
+}
+
+// Close releases the persistent cache tier's file handles.
+func (r *Runner) Close() error {
+	if r.runs != nil {
+		return r.runs.Close()
+	}
+	return nil
 }
 
 // Workloads returns the study set.
@@ -209,32 +280,28 @@ func (r *Runner) WorkloadByID(id string) (workloads.Workload, error) {
 }
 
 // TruthValues returns the noise-free objective value of w on every VM in
-// catalog order, caching the result.
+// catalog order, caching the result. The cache's singleflight guarantees
+// sim.TruthTable runs once per (workload, objective) even when many
+// workers request an uncached key at the same time; callers must treat
+// the returned slice as read-only.
 func (r *Runner) TruthValues(w workloads.Workload, objective core.Objective) ([]float64, error) {
-	key := truthKey{w.ID(), objective}
-	r.mu.Lock()
-	cached, ok := r.truth[key]
-	r.mu.Unlock()
-	if ok {
-		return cached, nil
-	}
-	table, err := r.sim.TruthTable(w)
-	if err != nil {
-		return nil, err
-	}
-	vals := make([]float64, len(table))
-	for i, res := range table {
-		out := core.Outcome{TimeSec: res.TimeSec, CostUSD: res.CostUSD}
-		v, err := out.Value(objective)
+	key := runcache.Key("truth\x00" + w.ID() + "\x00" + objective.String())
+	return r.truth.Do(key, func() ([]float64, error) {
+		table, err := r.sim.TruthTable(w)
 		if err != nil {
 			return nil, err
 		}
-		vals[i] = v
-	}
-	r.mu.Lock()
-	r.truth[key] = vals
-	r.mu.Unlock()
-	return vals, nil
+		vals := make([]float64, len(table))
+		for i, res := range table {
+			out := core.Outcome{TimeSec: res.TimeSec, CostUSD: res.CostUSD}
+			v, err := out.Value(objective)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		return vals, nil
+	})
 }
 
 // Optimal returns the index and value of the true optimum of w.
@@ -263,8 +330,32 @@ type RunSummary struct {
 	StoppedEarly bool
 }
 
-// RunSearch executes one search and summarizes it against ground truth.
+// RunSearch returns the summary of one search, executing it only if no
+// equivalent search — same canonical fingerprint, from any experiment —
+// has run before. Concurrent requests for an uncached fingerprint
+// execute once and share the result. The returned summary is owned by
+// the cache: callers must not mutate it (in particular Trajectory).
 func (r *Runner) RunSearch(mc MethodConfig, w workloads.Workload, objective core.Objective, seed int64) (*RunSummary, error) {
+	if r.runs == nil {
+		return r.searchUncached(mc, w, objective, seed)
+	}
+	key := mc.Fingerprint(w.ID(), objective, seed, sim.SubstrateVersion).Key()
+	v, err := r.runs.Do(key, func() (RunSummary, error) {
+		s, err := r.searchUncached(mc, w, objective, seed)
+		if err != nil {
+			return RunSummary{}, err
+		}
+		return *s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// searchUncached executes one search and summarizes it against ground
+// truth.
+func (r *Runner) searchUncached(mc MethodConfig, w workloads.Workload, objective core.Objective, seed int64) (*RunSummary, error) {
 	opt, err := mc.Build(objective, seed)
 	if err != nil {
 		return nil, err
@@ -311,52 +402,36 @@ func (r *Runner) summarize(res *core.Result, w workloads.Workload, objective cor
 	return summary, nil
 }
 
-// forEach runs fn(i) for i in [0,n) over the worker pool, collecting the
-// first error and waiting for every goroutine to exit before returning.
+// forEach runs fn(i) for i in [0,n) over internal/parallel, gated by the
+// Runner-wide semaphore so the total number of in-flight items stays at
+// the configured concurrency even when several experiments call in at
+// once. Remaining items are skipped after the first failure; the error
+// returned is the failed item with the lowest index, which makes error
+// reporting deterministic at any worker count.
 func (r *Runner) forEach(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
-	workers := r.concurrency
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		mu.Lock()
-		stop := firstErr != nil
-		mu.Unlock()
-		if stop {
-			break
+	var failed atomic.Bool
+	errs := make([]error, n)
+	parallel.Do(n, r.concurrency, func(i int) {
+		if failed.Load() {
+			return
 		}
-		next <- i
+		r.sem <- struct{}{}
+		err := fn(i)
+		<-r.sem
+		if err != nil {
+			errs[i] = err
+			failed.Store(true)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
-	close(next)
-	wg.Wait()
-	return firstErr
+	return nil
 }
 
 // errNoRuns guards aggregations over empty run sets.
