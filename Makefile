@@ -2,9 +2,10 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fmt bench bench-faults bench-compare study-smoke
+.PHONY: check build test race vet fmt cover fuzz bench bench-faults bench-compare study-smoke
 
-check: fmt vet race study-smoke
+# cover runs the whole suite under -race, so it subsumes the race target.
+check: fmt vet cover study-smoke
 
 build:
 	$(GO) build ./...
@@ -25,6 +26,25 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# Race-detected coverage gate: the whole suite runs under -race with
+# statement coverage, and the total must not fall below the baseline.
+# Raise the baseline when coverage improves; never lower it to ship.
+COVER_BASELINE ?= 82.0
+COVER_PROFILE ?= /tmp/arrow-cover.out
+cover:
+	$(GO) test -race -coverprofile=$(COVER_PROFILE) ./...
+	@total=$$($(GO) tool cover -func=$(COVER_PROFILE) | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (baseline $(COVER_BASELINE)%)"; \
+	awk -v t="$$total" -v b="$(COVER_BASELINE)" 'BEGIN { exit !(t+0 < b+0) }' && \
+		{ echo "coverage $$total% fell below the $(COVER_BASELINE)% baseline"; exit 1; } || true
+
+# Fuzz the trace decoders and the cache shard loader, 30s each.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzDecodeLine -fuzztime $(FUZZTIME) ./internal/telemetry
+	$(GO) test -run xxx -fuzz FuzzReadAll -fuzztime $(FUZZTIME) ./internal/telemetry
+	$(GO) test -run xxx -fuzz FuzzLoadShard -fuzztime $(FUZZTIME) ./internal/runcache
+
 bench-faults:
 	$(GO) test -run xxx -bench BenchmarkRobustnessFaultInjection -benchtime 1x .
 
@@ -32,7 +52,7 @@ bench-faults:
 # report so performance changes land as a reviewable diff. The fixed
 # -benchtime keeps runs comparable across machines with different
 # auto-calibration.
-BENCH_OUT ?= BENCH_PR3.json
+BENCH_OUT ?= BENCH_PR4.json
 bench:
 	$(GO) test -run xxx -benchmem -benchtime 20x \
 		-bench 'BenchmarkForestFit$$|BenchmarkGPFit|BenchmarkFullSearchNaive|BenchmarkFullSearchAugmented' . \
@@ -52,7 +72,7 @@ bench:
 
 # Diff the current report against the previous PR's baseline.
 bench-compare:
-	$(GO) run ./cmd/arrow-bench -compare BENCH_PR2.json BENCH_PR3.json
+	$(GO) run ./cmd/arrow-bench -compare BENCH_PR3.json BENCH_PR4.json
 
 # Race-detected end-to-end smoke of the study executor: a cold run fills
 # the cache, a warm run at a different -concurrency must reproduce the
@@ -66,12 +86,17 @@ study-smoke:
 	$(GO) run -race ./cmd/arrow-study -seeds 2 -concurrency 4 \
 		-workloads '$(SMOKE_WORKLOADS)' -figures fig1,fig9,fig12 \
 		-out $(SMOKE_DIR)/cold -cache-dir $(SMOKE_DIR)/cache \
+		-trace $(SMOKE_DIR)/cold-trace.jsonl \
 		> $(SMOKE_DIR)/cold.txt
 	$(GO) run -race ./cmd/arrow-study -seeds 2 -concurrency 2 \
 		-workloads '$(SMOKE_WORKLOADS)' -figures fig1,fig9,fig12 \
 		-out $(SMOKE_DIR)/warm -cache-dir $(SMOKE_DIR)/cache \
+		-trace $(SMOKE_DIR)/warm-trace.jsonl \
 		> $(SMOKE_DIR)/warm.txt
 	diff $(SMOKE_DIR)/cold.txt $(SMOKE_DIR)/warm.txt
 	diff -r $(SMOKE_DIR)/cold $(SMOKE_DIR)/warm
+	sed -E 's/,"wall":\{[^}]*\}//' $(SMOKE_DIR)/cold-trace.jsonl > $(SMOKE_DIR)/cold-trace.stripped
+	sed -E 's/,"wall":\{[^}]*\}//' $(SMOKE_DIR)/warm-trace.jsonl > $(SMOKE_DIR)/warm-trace.stripped
+	diff $(SMOKE_DIR)/cold-trace.stripped $(SMOKE_DIR)/warm-trace.stripped
 	$(GO) test -race -run xxx -benchtime 1x -bench 'BenchmarkStudyThroughput' ./internal/study
-	@echo "study smoke OK: cold and warm runs byte-identical"
+	@echo "study smoke OK: cold and warm runs and wall-stripped traces byte-identical"

@@ -42,6 +42,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/lowlevel"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -256,6 +257,7 @@ type config struct {
 	maxTimeSLO      float64
 	retry           *RetryPolicy
 	measureTimeout  time.Duration
+	tracer          telemetry.Tracer
 }
 
 // Option configures an Optimizer.
@@ -427,6 +429,7 @@ func buildCore(cfg config) (core.Optimizer, error) {
 			MaxMeasurements: cfg.maxMeasurements,
 			Design:          cfg.designConfig(),
 			Seed:            cfg.seed,
+			Tracer:          cfg.tracer,
 		})
 	case MethodAugmentedBO:
 		return core.NewAugmentedBO(core.AugmentedBOConfig{
@@ -438,6 +441,7 @@ func buildCore(cfg config) (core.Optimizer, error) {
 			Seed:            cfg.seed,
 			DisableLowLevel: cfg.disableLowLevel,
 			WarmStart:       cfg.warmStart,
+			Tracer:          cfg.tracer,
 		})
 	case MethodHybridBO:
 		return core.NewHybridBO(core.HybridBOConfig{
@@ -461,12 +465,14 @@ func buildCore(cfg config) (core.Optimizer, error) {
 				WarmStart:       cfg.warmStart,
 			},
 			SwitchAfter: cfg.switchAfter,
+			Tracer:      cfg.tracer,
 		})
 	case MethodRandomSearch:
 		return core.NewRandomSearch(core.RandomSearchConfig{
 			Objective:       cfg.objective.toCore(),
 			MaxMeasurements: cfg.maxMeasurements,
 			Seed:            cfg.seed,
+			Tracer:          cfg.tracer,
 		})
 	default:
 		return nil, fmt.Errorf("arrow: invalid method %d", int(cfg.method))

@@ -551,8 +551,32 @@ func BenchmarkFullSearchNaive(b *testing.B) {
 }
 
 // BenchmarkFullSearchAugmented measures one complete Augmented BO search.
+// No tracer is attached, so this doubles as the no-op observability
+// guard: every emission site costs one nil check here.
 func BenchmarkFullSearchAugmented(b *testing.B) {
 	benchFullSearch(b, study.MethodConfig{Method: study.MethodAugmented, Delta: -1})
+}
+
+// BenchmarkFullSearchAugmentedTraced runs the same search with a metrics
+// aggregator attached, quantifying the live-tracing overhead against the
+// untraced benchmark above.
+func BenchmarkFullSearchAugmentedTraced(b *testing.B) {
+	target, err := NewSimulatedTarget("als/spark2.1/medium", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	metrics := NewTraceMetrics()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt, err := New(WithMethod(MethodAugmentedBO), WithDeltaThreshold(-1),
+			WithSeed(int64(i)), WithTracer(metrics))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := opt.Search(target); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func benchFullSearch(b *testing.B, mc study.MethodConfig) {

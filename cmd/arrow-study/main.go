@@ -40,6 +40,7 @@ import (
 	"repro/internal/runcache"
 	"repro/internal/sim"
 	"repro/internal/study"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -101,6 +102,8 @@ func run(args []string, out, progress io.Writer) error {
 		cacheDir = fs.String("cache-dir", "auto", "persistent run-cache directory (auto = <out>/cache, empty = memory-only)")
 		noCache  = fs.Bool("no-cache", false, "disable the run cache entirely: every search executes (forces a cold run)")
 		subset   = fs.String("workloads", "", "comma-separated workload IDs to restrict the study set (default: all 107)")
+		traceOut = fs.String("trace", "", "write a canonically ordered JSONL study trace to this file (wall-stripped, it is byte-identical across cold/warm cache and any -concurrency)")
+		metrics  = fs.Bool("metrics", false, "print trace-derived event counters to stderr after the study")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -138,6 +141,26 @@ func run(args []string, out, progress io.Writer) error {
 	case *cacheDir != "":
 		opts = append(opts, study.WithCacheDir(*cacheDir))
 	}
+	var tracers []telemetry.Tracer
+	var traceFile *os.File
+	var traceSink *telemetry.SortingJSONL
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("trace file: %w", err)
+		}
+		traceFile = f
+		traceSink = telemetry.NewSortingJSONL(f, false)
+		tracers = append(tracers, traceSink)
+	}
+	var traceMetrics *telemetry.Metrics
+	if *metrics {
+		traceMetrics = telemetry.NewMetrics()
+		tracers = append(tracers, traceMetrics)
+	}
+	if t := telemetry.Multi(tracers...); t != nil {
+		opts = append(opts, study.WithTracer(t))
+	}
 	regions, _ := runcache.Open[map[string]study.Region]("", sim.SubstrateVersion) // memory-only Open cannot fail
 	c := &ctx{
 		runner:  study.NewRunner(simulator, opts...),
@@ -151,7 +174,21 @@ func run(args []string, out, progress io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return runQueue(c, selected, out, progress)
+	err = runQueue(c, selected, out, progress)
+	// The trace is flushed even after a failed study: partial traces are
+	// how an aborted run gets diagnosed.
+	if traceSink != nil {
+		if ferr := traceSink.Flush(); ferr != nil && err == nil {
+			err = fmt.Errorf("trace file: %w", ferr)
+		}
+		if cerr := traceFile.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("trace file: %w", cerr)
+		}
+	}
+	if traceMetrics != nil {
+		fmt.Fprintf(progress, "\n%s", telemetry.RenderSummary(traceMetrics))
+	}
+	return err
 }
 
 // selectExperiments resolves the -figures flag against the experiment

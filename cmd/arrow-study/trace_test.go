@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// stripTrace reads a JSONL trace file and re-marshals every event with
+// its wall fields removed — the deterministic projection.
+func stripTrace(t *testing.T, path string) string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, skipped, err := telemetry.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("%d undecodable lines in %s", skipped, path)
+	}
+	var sb strings.Builder
+	for _, e := range events {
+		line, err := json.Marshal(e.StripWall())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.Write(line)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestStudyTraceByteIdentical is the acceptance criterion for the study
+// trace: the wall-stripped trace must be byte-identical between a cold
+// run, a warm re-run against the populated cache, and a run at a
+// different concurrency.
+func TestStudyTraceByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{
+		"-figures", "fig9", "-seeds", "2",
+		"-workloads", "als/spark2.1/medium,lr/spark1.5/medium",
+		"-out", filepath.Join(dir, "results"),
+	}
+	traces := make([]string, 3)
+	for i, extra := range [][]string{
+		{"-concurrency", "4"}, // cold: populates the disk cache
+		{"-concurrency", "1"}, // warm, serial
+		{"-concurrency", "8"}, // warm, wide
+	} {
+		path := filepath.Join(dir, "trace"+string(rune('0'+i))+".jsonl")
+		args := append(append([]string{}, base...), "-trace", path)
+		args = append(args, extra...)
+		if err := run(args, io.Discard, io.Discard); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		traces[i] = stripTrace(t, path)
+	}
+	if traces[0] == "" {
+		t.Fatal("empty study trace")
+	}
+	if traces[0] != traces[1] {
+		t.Error("cold and warm traces differ after wall-stripping")
+	}
+	if traces[0] != traces[2] {
+		t.Error("traces differ across -concurrency after wall-stripping")
+	}
+
+	// Shape: one study_run and one run-cache lookup per distinct (method,
+	// objective, workload, seed); fig9 runs 3 methods x 2 objectives
+	// (panels a and b) x 2 workloads x 2 seeds.
+	var studyRuns, lookups int
+	for _, line := range strings.Split(traces[0], "\n") {
+		switch {
+		case strings.Contains(line, `"kind":"study_run"`):
+			studyRuns++
+		case strings.Contains(line, `"kind":"cache_lookup"`):
+			lookups++
+		}
+	}
+	const want = 3 * 2 * 2 * 2
+	if studyRuns != want {
+		t.Errorf("%d study_run events, want %d", studyRuns, want)
+	}
+	if lookups != want {
+		t.Errorf("%d cache_lookup events, want %d", lookups, want)
+	}
+}
+
+// TestStudyMetricsFlag checks that -metrics renders the aggregate table
+// to the progress stream, keeping stdout untouched.
+func TestStudyMetricsFlag(t *testing.T) {
+	dir := t.TempDir()
+	var out, progress strings.Builder
+	err := run([]string{
+		"-figures", "fig9", "-seeds", "1", "-metrics",
+		"-workloads", "als/spark2.1/medium",
+		"-out", filepath.Join(dir, "results"),
+	}, &out, &progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(progress.String(), "trace events") {
+		t.Errorf("-metrics summary missing from progress stream:\n%s", progress.String())
+	}
+	if strings.Contains(out.String(), "trace events") {
+		t.Error("-metrics summary leaked into stdout")
+	}
+}

@@ -55,6 +55,9 @@ func run(args []string, out io.Writer) (err error) {
 		chaosTransient = fs.Float64("chaos-transient", 0, "inject transient measurement failures at this rate, for exercising -retries")
 		chaosFail      = fs.String("chaos-fail", "", "comma-separated candidate indices that permanently fail, for exercising quarantine")
 
+		traceOut    = fs.String("trace", "", "write a JSONL search trace to this file (one event per line; wall-clock fields live in the \"wall\" subobject)")
+		showMetrics = fs.Bool("metrics", false, "print trace-derived event counters and latency histograms after the search")
+
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 		memProfile = fs.String("memprofile", "", "write a heap profile at exit to this file (inspect with go tool pprof)")
 	)
@@ -92,6 +95,41 @@ func run(args []string, out io.Writer) (err error) {
 	opts, err := buildOptions(*method, *objective, *kernelName, *seed, *delta, *eiStop, *maxMeas)
 	if err != nil {
 		return err
+	}
+	var observers []arrow.Observer
+	var traceFile *os.File
+	var traceSink *arrow.JSONLTracer
+	if *traceOut != "" {
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("trace file: %v", err)
+		}
+		traceSink = arrow.NewJSONLTracer(traceFile, false)
+		observers = append(observers, traceSink)
+	}
+	var traceMetrics *arrow.TraceMetrics
+	if *showMetrics {
+		traceMetrics = arrow.NewTraceMetrics()
+		observers = append(observers, traceMetrics)
+	}
+	if obs := arrow.MultiObserver(observers...); obs != nil {
+		opts = append(opts, arrow.WithTracer(obs))
+	}
+	// finishTrace drains the trace sink and renders the metrics table;
+	// both run after the search regardless of how it ended.
+	finishTrace := func() error {
+		if traceSink != nil {
+			if err := traceSink.Flush(); err != nil {
+				return fmt.Errorf("trace file: %v", err)
+			}
+			if err := traceFile.Close(); err != nil {
+				return fmt.Errorf("trace file: %v", err)
+			}
+		}
+		if traceMetrics != nil {
+			fmt.Fprintf(out, "\n%s", arrow.RenderTraceSummary(traceMetrics))
+		}
+		return nil
 	}
 	if *slo > 0 {
 		opts = append(opts, arrow.WithMaxTimeSLO(*slo))
@@ -138,12 +176,18 @@ func run(args []string, out io.Writer) (err error) {
 				return encErr
 			}
 		}
+		if terr := finishTrace(); terr != nil && err == nil {
+			err = terr
+		}
 		return err
 	}
 
 	fmt.Fprintf(out, "searching %s for the best VM (%s, objective %s)\n\n", *workloadID, opt.Method(), opt.Objective())
 	res, err := opt.Search(target)
 	if res == nil {
+		if terr := finishTrace(); terr != nil && err == nil {
+			err = terr
+		}
 		return err
 	}
 	if perr := printResult(out, res, *slo); perr != nil {
@@ -152,6 +196,9 @@ func run(args []string, out io.Writer) (err error) {
 	if err != nil {
 		fmt.Fprintf(out, "\nsearch aborted: %v\n", err)
 		fmt.Fprintf(out, "salvaged %d completed measurement(s) above\n", res.NumMeasurements())
+	}
+	if terr := finishTrace(); terr != nil && err == nil {
+		err = terr
 	}
 	return err
 }

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestRunTraceFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	var sb strings.Builder
+	err := run([]string{
+		"-workload", "als/spark2.1/medium", "-method", "hybrid",
+		"-seed", "3", "-trace", path, "-metrics",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, skipped, err := telemetry.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("%d undecodable lines in the trace", skipped)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace is empty")
+	}
+	if events[0].Kind != telemetry.KindSearchStart {
+		t.Errorf("trace opens with %s, want search_start", events[0].Kind)
+	}
+	if events[len(events)-1].Kind != telemetry.KindSearchEnd {
+		t.Errorf("trace closes with %s, want search_end", events[len(events)-1].Kind)
+	}
+	// The streamed trace keeps wall-clock timings for real diagnostics.
+	var timed bool
+	for _, e := range events {
+		if e.Wall != nil && e.Wall.DurationNS > 0 {
+			timed = true
+		}
+	}
+	if !timed {
+		t.Error("no event carries a wall-clock duration")
+	}
+	// -metrics renders the summary after the result table.
+	for _, want := range []string{"best VM:", "trace events", "OPERATION"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestRunTraceWithChaosRecordsRetries(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	var sb strings.Builder
+	err := run([]string{
+		"-workload", "als/spark2.1/medium", "-method", "augmented",
+		"-seed", "5", "-retries", "3", "-retry-backoff", "1ns",
+		"-chaos-transient", "0.4", "-chaos-fail", "2",
+		"-delta", "-1", // exhaust the catalog so candidate 2 is guaranteed a visit
+		"-trace", path,
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, _, err := telemetry.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var retries, quarantines int
+	for _, e := range events {
+		switch e.Kind {
+		case telemetry.KindMeasureRetry:
+			retries++
+		case telemetry.KindQuarantine:
+			quarantines++
+		}
+	}
+	if retries == 0 {
+		t.Error("chaos at 40% transient rate produced no measure_retry events")
+	}
+	if quarantines == 0 {
+		t.Error("permanently failing candidate 2 was never quarantined in the trace")
+	}
+}

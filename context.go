@@ -35,7 +35,9 @@ func (o *Optimizer) SearchContext(ctx context.Context, target Target, progress P
 		return wrapped
 	})
 	if err != nil {
-		if ctxErr := ctx.Err(); ctxErr != nil {
+		// wrapped is nil when the configuration failed before the target
+		// was ever wrapped; that error wins even under a canceled ctx.
+		if ctxErr := ctx.Err(); ctxErr != nil && wrapped != nil {
 			return res, fmt.Errorf("arrow: search canceled after %d measurements: %w", wrapped.steps, ctxErr)
 		}
 		return res, err
@@ -65,6 +67,12 @@ func (c *ctxTarget) Measure(i int) (Outcome, error) {
 	out, err := c.t.Measure(i)
 	if err != nil {
 		return Outcome{}, err
+	}
+	// A corrupted outcome that slipped past the middleware is about to be
+	// rejected and quarantined by the core; it is not an accepted
+	// measurement, so neither the step counter nor progress fires for it.
+	if ValidateOutcome(out) != nil {
+		return out, nil
 	}
 	c.steps++
 	if c.progress != nil {

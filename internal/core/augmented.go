@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/acquisition"
 	"repro/internal/forest"
 	"repro/internal/lowlevel"
+	"repro/internal/telemetry"
 )
 
 // AugmentedBOConfig configures Arrow's low-level augmented optimizer.
@@ -53,6 +55,9 @@ type AugmentedBOConfig struct {
 	// prediction sources, so stale history can bias early picks at worst
 	// — it cannot fabricate measurements.
 	WarmStart []PriorObservation
+	// Tracer receives the search's event stream (see internal/telemetry).
+	// Nil disables tracing at zero cost.
+	Tracer telemetry.Tracer
 }
 
 // PriorObservation is one historical measurement used for warm starting.
@@ -122,6 +127,8 @@ func (a *AugmentedBO) Search(target Target) (*Result, error) {
 		return nil, err
 	}
 	st.sloTime = a.cfg.MaxTimeSLO
+	st.setTracer(a.cfg.Tracer, a.Name())
+	st.emitSearchStart()
 	rng := rand.New(rand.NewSource(a.cfg.Seed))
 
 	if err := st.runInitialDesign(a.cfg.Design, rng); err != nil {
@@ -170,8 +177,18 @@ func (a *AugmentedBO) continueSearch(st *searchState, defaultMinObs int, rng *ra
 		// a time SLO the rule only fires once something feasible exists.
 		if a.cfg.DeltaThreshold > 0 && len(st.obs) >= minObs && st.hasIncumbent() &&
 			predicted > a.cfg.DeltaThreshold*st.bestVal {
-			return st.result(a.Name(), true,
-				fmt.Sprintf("best predicted %.4g exceeds %.2f x incumbent %.4g", predicted, a.cfg.DeltaThreshold, st.bestVal)), nil
+			reason := fmt.Sprintf("best predicted %.4g exceeds %.2f x incumbent %.4g", predicted, a.cfg.DeltaThreshold, st.bestVal)
+			if st.tracer != nil {
+				st.emit(telemetry.Event{
+					Kind:      telemetry.KindStopRule,
+					Step:      len(st.obs),
+					Candidate: -1,
+					Value:     predicted,
+					Aux:       a.cfg.DeltaThreshold * st.bestVal,
+					Detail:    reason,
+				})
+			}
+			return st.result(a.Name(), true, reason), nil
 		}
 		score := 0.0
 		if st.hasIncumbent() {
@@ -180,6 +197,7 @@ func (a *AugmentedBO) continueSearch(st *searchState, defaultMinObs int, rng *ra
 				return st.abort(a.Name(), err)
 			}
 		}
+		st.emitSelected(next, score, predicted)
 		if _, err := st.measure(next, score, false); err != nil {
 			return st.abort(a.Name(), err)
 		}
@@ -236,6 +254,20 @@ func (a *AugmentedBO) selectByDelta(st *searchState, remaining []int, treeSeed i
 	fallbackPred := math.Inf(1)
 	for i, idx := range remaining {
 		pred := preds[i]
+		if st.tracer != nil {
+			aux := 0.0
+			if predTimes != nil {
+				aux = predTimes[i]
+			}
+			st.emit(telemetry.Event{
+				Kind:      telemetry.KindCandidateScored,
+				Step:      len(st.obs),
+				Candidate: idx,
+				Name:      st.target.Name(idx),
+				Value:     pred,
+				Aux:       aux,
+			})
+		}
 		if predTimes != nil {
 			predTime := predTimes[i]
 			if predTime < fallbackTime {
@@ -285,10 +317,19 @@ func (a *AugmentedBO) fitPairModelFor(st *searchState, treeSeed int64, target pa
 	xs, ys := cache.trainingSet(target, withHistory)
 	cfg := a.cfg.Forest
 	cfg.Seed = treeSeed
+	var fitT0 time.Time
+	if st.tracer != nil {
+		fitT0 = time.Now()
+	}
 	model, err := forest.Fit(cfg, xs, ys)
 	if err != nil {
 		return nil, fmt.Errorf("core: fitting Extra-Trees surrogate: %w", err)
 	}
+	name := "forest"
+	if target == pairTargetTime {
+		name = "forest-time"
+	}
+	st.emitFit(name, len(xs), fitT0)
 	return model, nil
 }
 

@@ -19,8 +19,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/lowlevel"
+	"repro/internal/telemetry"
 )
 
 // Objective selects what the search minimizes.
@@ -283,6 +285,12 @@ type searchState struct {
 	// the fallback answer when nothing meets the SLO.
 	fastestIdx  int
 	fastestTime float64
+
+	// tracer receives the search's event stream; nil (the default) keeps
+	// every emission site to a single branch, so an untraced search pays
+	// nothing. method is stamped on every event.
+	tracer telemetry.Tracer
+	method string
 }
 
 func newSearchState(target Target, objective Objective) (*searchState, error) {
@@ -320,6 +328,72 @@ func newSearchState(target Target, objective Objective) (*searchState, error) {
 	}, nil
 }
 
+// setTracer attaches the event sink (nil disables tracing) and the
+// method label stamped on every event. Optimizers call it right after
+// newSearchState, before the initial design, so design measurements are
+// traced too.
+func (s *searchState) setTracer(t telemetry.Tracer, method string) {
+	s.tracer = t
+	s.method = method
+}
+
+// emit stamps the method and forwards to the tracer. Callers must guard
+// with `s.tracer != nil` so untraced searches pay one branch and zero
+// allocations per site.
+func (s *searchState) emit(e telemetry.Event) {
+	e.Method = s.method
+	s.tracer.Emit(e)
+}
+
+// emitSearchStart announces the search: catalog size and objective.
+func (s *searchState) emitSearchStart() {
+	if s.tracer != nil {
+		s.emit(telemetry.Event{
+			Kind:      telemetry.KindSearchStart,
+			Candidate: -1,
+			Value:     float64(len(s.features)),
+			Detail:    s.objective.String(),
+		})
+	}
+}
+
+// emitFit records one surrogate fit: the model name, its training-set
+// size and the elapsed time since t0 (only meaningful when tracing —
+// callers take t0 under the same tracer guard).
+func (s *searchState) emitFit(model string, rows int, t0 time.Time) {
+	if s.tracer == nil {
+		return
+	}
+	s.emit(telemetry.Event{
+		Kind:      telemetry.KindSurrogateFit,
+		Step:      len(s.obs),
+		Candidate: -1,
+		Value:     float64(rows),
+		Detail:    model,
+		Wall:      &telemetry.Wall{DurationNS: time.Since(t0).Nanoseconds()},
+	})
+}
+
+// emitSelected records an acquisition pass's winner. aux carries the
+// stopping-rule quantity; non-finite values (the +Inf maxEI of non-EI
+// acquisitions) are zeroed to keep traces JSON-encodable.
+func (s *searchState) emitSelected(idx int, score, aux float64) {
+	if s.tracer == nil || idx < 0 {
+		return
+	}
+	if math.IsInf(aux, 0) || math.IsNaN(aux) {
+		aux = 0
+	}
+	s.emit(telemetry.Event{
+		Kind:      telemetry.KindCandidateSelected,
+		Step:      len(s.obs),
+		Candidate: idx,
+		Name:      s.target.Name(idx),
+		Value:     score,
+		Aux:       aux,
+	})
+}
+
 // feasible reports whether an outcome satisfies the SLO (trivially true
 // without one).
 func (s *searchState) feasible(out Outcome) bool {
@@ -338,6 +412,16 @@ func (s *searchState) quarantine(idx int, cause error, fromDesign bool) {
 		Err:        cause,
 		FromDesign: fromDesign,
 	})
+	if s.tracer != nil {
+		s.emit(telemetry.Event{
+			Kind:       telemetry.KindQuarantine,
+			Step:       len(s.obs),
+			Candidate:  idx,
+			Name:       s.target.Name(idx),
+			Detail:     cause.Error(),
+			FromDesign: fromDesign,
+		})
+	}
 }
 
 // measure runs one measurement, updating observations and the incumbent.
@@ -351,6 +435,17 @@ func (s *searchState) measure(idx int, score float64, fromDesign bool) (ok bool,
 	}
 	if s.quarantined[idx] {
 		return false, fmt.Errorf("core: candidate %d (%s) is quarantined", idx, s.target.Name(idx))
+	}
+	var measureT0 time.Time
+	if s.tracer != nil {
+		measureT0 = time.Now()
+		s.emit(telemetry.Event{
+			Kind:       telemetry.KindMeasureStart,
+			Step:       len(s.obs),
+			Candidate:  idx,
+			Name:       s.target.Name(idx),
+			FromDesign: fromDesign,
+		})
 	}
 	out, err := s.target.Measure(idx)
 	if err != nil {
@@ -391,6 +486,22 @@ func (s *searchState) measure(idx int, score float64, fromDesign bool) (ok bool,
 		Score:      score,
 		FromDesign: fromDesign,
 	})
+	if s.tracer != nil {
+		incumbent := 0.0 // Aux stays 0 until a feasible incumbent exists
+		if s.hasIncumbent() {
+			incumbent = s.bestVal
+		}
+		s.emit(telemetry.Event{
+			Kind:       telemetry.KindMeasureDone,
+			Step:       len(s.obs),
+			Candidate:  idx,
+			Name:       s.target.Name(idx),
+			Value:      val,
+			Aux:        incumbent,
+			FromDesign: fromDesign,
+			Wall:       &telemetry.Wall{DurationNS: time.Since(measureT0).Nanoseconds()},
+		})
+	}
 	return true, nil
 }
 
@@ -432,6 +543,22 @@ func (s *searchState) result(method string, stoppedEarly bool, reason string) *R
 				res.BestValue = obs.Value
 			}
 		}
+	}
+	if s.tracer != nil {
+		name := ""
+		if res.BestIndex >= 0 {
+			name = s.target.Name(res.BestIndex)
+		}
+		s.emit(telemetry.Event{
+			Kind:      telemetry.KindSearchEnd,
+			Step:      len(s.obs),
+			Candidate: res.BestIndex,
+			Name:      name,
+			Value:     res.BestValue,
+			Aux:       float64(len(s.failures)),
+			Detail:    reason,
+			Stopped:   stoppedEarly,
+		})
 	}
 	return res
 }

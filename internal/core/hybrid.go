@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // HybridBOConfig configures the combination method of Section V-B: Naive
@@ -21,6 +22,10 @@ type HybridBOConfig struct {
 	// design) after which Augmented BO takes over. Zero means
 	// DefaultSwitchAfter.
 	SwitchAfter int
+	// Tracer receives the search's event stream (see internal/telemetry),
+	// covering both phases; phase Tracer fields are ignored. Nil disables
+	// tracing at zero cost.
+	Tracer telemetry.Tracer
 }
 
 // DefaultSwitchAfter hands over after the initial design plus one EI-guided
@@ -75,6 +80,8 @@ func (h *HybridBO) Search(target Target) (*Result, error) {
 		return nil, err
 	}
 	st.sloTime = h.cfg.Naive.MaxTimeSLO
+	st.setTracer(h.cfg.Tracer, h.Name())
+	st.emitSearchStart()
 	rng := rand.New(rand.NewSource(h.cfg.Naive.Seed))
 
 	if err := st.runInitialDesign(h.cfg.Naive.Design, rng); err != nil {
@@ -96,10 +103,11 @@ func (h *HybridBO) Search(target Target) (*Result, error) {
 		if len(remaining) == 0 {
 			break
 		}
-		next, score, _, err := h.naive.selectCandidate(st, scaledAll, remaining, rng, scratch)
+		next, score, maxEI, err := h.naive.selectCandidate(st, scaledAll, remaining, rng, scratch)
 		if err != nil {
 			return st.abort(h.Name(), err)
 		}
+		st.emitSelected(next, score, maxEI)
 		if _, err := st.measure(next, score, false); err != nil {
 			return st.abort(h.Name(), err)
 		}
@@ -108,6 +116,14 @@ func (h *HybridBO) Search(target Target) (*Result, error) {
 	// Phase 2: Augmented BO finishes the search with the full history. A
 	// partial result surfacing from the augmented phase is still a hybrid
 	// result, so the method is renamed in every case.
+	if st.tracer != nil {
+		st.emit(telemetry.Event{
+			Kind:      telemetry.KindPhase,
+			Step:      len(st.obs),
+			Candidate: -1,
+			Detail:    "augmented",
+		})
+	}
 	res, err := h.augmented.continueSearch(st, len(st.obs)+1, rng)
 	if res != nil {
 		res.Method = h.Name()

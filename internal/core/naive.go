@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/acquisition"
 	"repro/internal/gp"
 	"repro/internal/kernel"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // NaiveBOConfig configures the CherryPick-style baseline.
@@ -69,6 +71,9 @@ type NaiveBOConfig struct {
 	// log space; CherryPick makes the same transformation.
 	// DisableLogObjective turns it off.
 	DisableLogObjective bool
+	// Tracer receives the search's event stream (see internal/telemetry).
+	// Nil disables tracing at zero cost.
+	Tracer telemetry.Tracer
 }
 
 // DefaultEIStopFraction is CherryPick's stopping threshold: stop once no
@@ -143,6 +148,8 @@ func (n *NaiveBO) Search(target Target) (*Result, error) {
 		return nil, err
 	}
 	st.sloTime = n.cfg.MaxTimeSLO
+	st.setTracer(n.cfg.Tracer, n.Name())
+	st.emitSearchStart()
 	rng := rand.New(rand.NewSource(n.cfg.Seed))
 
 	if err := st.runInitialDesign(n.cfg.Design, rng); err != nil {
@@ -179,9 +186,20 @@ func (n *NaiveBO) Search(target Target) (*Result, error) {
 		}
 		if n.cfg.EIStopFraction > 0 && len(st.obs) >= minObs && st.hasIncumbent() &&
 			maxEI < n.cfg.EIStopFraction*st.bestVal {
-			return st.result(n.Name(), true,
-				fmt.Sprintf("max EI %.4g below %.0f%% of incumbent %.4g", maxEI, 100*n.cfg.EIStopFraction, st.bestVal)), nil
+			reason := fmt.Sprintf("max EI %.4g below %.0f%% of incumbent %.4g", maxEI, 100*n.cfg.EIStopFraction, st.bestVal)
+			if st.tracer != nil {
+				st.emit(telemetry.Event{
+					Kind:      telemetry.KindStopRule,
+					Step:      len(st.obs),
+					Candidate: -1,
+					Value:     maxEI,
+					Aux:       n.cfg.EIStopFraction * st.bestVal,
+					Detail:    reason,
+				})
+			}
+			return st.result(n.Name(), true, reason), nil
 		}
+		st.emitSelected(next, score, maxEI)
 		if _, err := st.measure(next, score, false); err != nil {
 			return st.abort(n.Name(), err)
 		}
@@ -216,10 +234,15 @@ func (n *NaiveBO) feasibilityProbs(st *searchState, scaled, queries [][]float64,
 		ys = append(ys, math.Log(obs.Outcome.TimeSec))
 	}
 	sc.xs, sc.ys = xs, ys
+	var fitT0 time.Time
+	if st.tracer != nil {
+		fitT0 = time.Now()
+	}
 	model, err := n.fitSurrogate(xs, ys)
 	if err != nil {
 		return nil, fmt.Errorf("core: fitting time GP for SLO: %w", err)
 	}
+	st.emitFit("gp-time", len(xs), fitT0)
 	sc.timeMeans, sc.timeVars, err = model.PredictBatch(queries, 0, sc.timeMeans, sc.timeVars)
 	if err != nil {
 		return nil, fmt.Errorf("core: time prediction: %w", err)
@@ -296,10 +319,15 @@ func (n *NaiveBO) selectCandidate(st *searchState, scaled [][]float64, remaining
 		}
 	}
 	sc.xs, sc.ys = xs, ys
+	var fitT0 time.Time
+	if st.tracer != nil {
+		fitT0 = time.Now()
+	}
 	model, err := n.fitSurrogate(xs, ys)
 	if err != nil {
 		return 0, 0, 0, err
 	}
+	st.emitFit("gp", len(xs), fitT0)
 
 	best := st.bestVal
 	if logSpace {
@@ -377,6 +405,20 @@ func (n *NaiveBO) selectCandidate(st *searchState, scaled [][]float64, remaining
 		}
 		if err != nil {
 			return 0, 0, 0, err
+		}
+		if st.tracer != nil {
+			aux := 0.0
+			if pFeas != nil {
+				aux = pFeas[i]
+			}
+			st.emit(telemetry.Event{
+				Kind:      telemetry.KindCandidateScored,
+				Step:      len(st.obs),
+				Candidate: idx,
+				Name:      st.target.Name(idx),
+				Value:     s,
+				Aux:       aux,
+			})
 		}
 		if s > score {
 			score = s

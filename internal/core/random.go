@@ -2,6 +2,8 @@ package core
 
 import (
 	"math/rand"
+
+	"repro/internal/telemetry"
 )
 
 // RandomSearchConfig configures the random-search baseline.
@@ -12,6 +14,9 @@ type RandomSearchConfig struct {
 	MaxMeasurements int
 	// Seed drives the measurement order.
 	Seed int64
+	// Tracer receives the search's event stream (see internal/telemetry).
+	// Nil disables tracing at zero cost.
+	Tracer telemetry.Tracer
 }
 
 // RandomSearch measures candidates in a uniformly random order. It is not
@@ -38,6 +43,8 @@ func (r *RandomSearch) Search(target Target) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	st.setTracer(r.cfg.Tracer, r.Name())
+	st.emitSearchStart()
 	maxMeas := r.cfg.MaxMeasurements
 	if maxMeas == 0 || maxMeas > target.NumCandidates() {
 		maxMeas = target.NumCandidates()

@@ -1,0 +1,70 @@
+package runcache
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLoadShard feeds arbitrary bytes to the JSONL shard loader.
+// Properties: Open never panics and never fails on damaged content
+// (damage costs recomputation, not startup), and a valid entry appended
+// after the noise always loads — last-line-wins makes it authoritative,
+// so the loader may skip garbage but must never drop valid lines.
+func FuzzLoadShard(f *testing.F) {
+	f.Add([]byte(``))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"k":"other","s":"v1","v":2.5}`))
+	f.Add([]byte(`{"k":"fuzz-key","s":"v1","v":99}`)) // same key: ours still wins
+	f.Add([]byte(`{"k":"stale","s":"old-substrate","v":1}`))
+	f.Add([]byte(`{"k":"","s":"v1","v":1}`))
+	f.Add([]byte(`{"k":"truncated","s":"v1","v":`))
+	f.Add([]byte(`{"k":"badval","s":"v1","v":"not a float"}`))
+	f.Fuzz(func(t *testing.T, noise []byte) {
+		if len(noise) > 1<<20 {
+			return // lines beyond the scanner limit legitimately stop the load
+		}
+		const (
+			substrate = "v1"
+			key       = Key("fuzz-key")
+			want      = 42.125
+		)
+		dir := t.TempDir()
+		valid, err := json.Marshal(envelope{Key: key, Substrate: substrate, Value: json.RawMessage("42.125")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shard := filepath.Join(dir, "shard-"+twoDigit(shardOf(key))+".jsonl")
+		content := append(append(append([]byte{}, noise...), '\n'), valid...)
+		content = append(content, '\n')
+		if err := os.WriteFile(shard, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		s, err := Open[float64](dir, substrate, WithWarnf(func(string, ...any) {}))
+		if err != nil {
+			t.Fatalf("Open failed on damaged shard content: %v", err)
+		}
+		defer s.Close()
+
+		got, err := s.Do(key, func() (float64, error) {
+			t.Fatalf("valid trailing line was dropped; compute ran")
+			return 0, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("loaded %v, want %v", got, want)
+		}
+		if st := s.Stats(); st.DiskHits != 1 {
+			t.Fatalf("DiskHits = %d, want 1 (stats: %+v)", st.DiskHits, st)
+		}
+	})
+}
+
+func twoDigit(n int) string {
+	return string([]byte{byte('0' + n/10), byte('0' + n%10)})
+}

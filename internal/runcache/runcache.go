@@ -33,6 +33,8 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // Key is the content-addressed identity of one cached computation.
@@ -81,7 +83,8 @@ func (s Stats) ReuseRatio() float64 {
 type Option func(*config)
 
 type config struct {
-	warnf func(format string, args ...any)
+	warnf  func(format string, args ...any)
+	tracer telemetry.Tracer
 }
 
 // WithWarnf routes non-fatal cache warnings (corrupt shard lines,
@@ -94,11 +97,20 @@ func WithWarnf(fn func(format string, args ...any)) Option {
 	}
 }
 
+// WithTracer emits one telemetry.KindCacheLookup event per Do call. The
+// key is deterministic (it lands in Detail); the disposition — hit,
+// disk, shared or miss — depends on execution history, so it goes into
+// the event's wall-clock section and golden comparisons ignore it.
+func WithTracer(t telemetry.Tracer) Option {
+	return func(c *config) { c.tracer = t }
+}
+
 // Store is a two-tier memoization map from Key to V.
 type Store[V any] struct {
 	dir       string // "" disables the persistent tier
 	substrate string
 	warnf     func(format string, args ...any)
+	tracer    telemetry.Tracer
 
 	mu       sync.Mutex
 	mem      map[Key]entry[V]
@@ -148,6 +160,7 @@ func Open[V any](dir, substrate string, opts ...Option) (*Store[V], error) {
 		dir:       dir,
 		substrate: substrate,
 		warnf:     cfg.warnf,
+		tracer:    cfg.tracer,
 		mem:       make(map[Key]entry[V]),
 		inflight:  make(map[Key]*call[V]),
 	}
@@ -238,17 +251,24 @@ func (s *Store[V]) Do(key Key, compute func() (V, error)) (V, error) {
 			s.hits.Add(1)
 		}
 		s.mu.Unlock()
+		disposition := "hit"
+		if e.fromDisk {
+			disposition = "disk"
+		}
+		s.trace(key, disposition)
 		return e.val, nil
 	}
 	if c, ok := s.inflight[key]; ok {
 		s.shared.Add(1)
 		s.mu.Unlock()
+		s.trace(key, "shared")
 		<-c.done
 		return c.val, c.err
 	}
 	c := &call[V]{done: make(chan struct{})}
 	s.inflight[key] = c
 	s.mu.Unlock()
+	s.trace(key, "miss")
 
 	c.val, c.err = compute()
 
@@ -264,6 +284,21 @@ func (s *Store[V]) Do(key Key, compute func() (V, error)) (V, error) {
 	}
 	close(c.done)
 	return c.val, c.err
+}
+
+// trace emits one cache-lookup event. The disposition lives in the wall
+// section: whether a key hits depends on what ran before, which is
+// exactly the kind of environmental fact golden traces must ignore.
+func (s *Store[V]) trace(key Key, disposition string) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Emit(telemetry.Event{
+		Kind:      telemetry.KindCacheLookup,
+		Candidate: -1,
+		Detail:    string(key),
+		Wall:      &telemetry.Wall{Cache: disposition},
+	})
 }
 
 // Len is the number of entries in the memory tier.

@@ -30,6 +30,7 @@ import (
 	"repro/internal/runcache"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -163,6 +164,7 @@ type Runner struct {
 	cacheDir string
 	noCache  bool
 	warnf    func(format string, args ...any)
+	tracer   telemetry.Tracer
 
 	// runs memoizes complete searches; nil when caching is disabled.
 	// truth memoizes noise-free truth tables (always on, memory-only;
@@ -214,6 +216,17 @@ func WithWarnf(fn func(format string, args ...any)) Option {
 	}
 }
 
+// WithTracer streams study-level telemetry into t: one study_run event
+// per RunSearch call (identical whether the search executed or came out
+// of the cache) and one cache_lookup event per run-cache access. The
+// deterministic projection of this stream — wall fields stripped, sorted
+// canonically — is byte-identical between cold and warm runs at any
+// concurrency. Inner search events are deliberately not forwarded: a
+// warm run never executes the searches, so they could not reproduce.
+func WithTracer(t telemetry.Tracer) Option {
+	return func(r *Runner) { r.tracer = t }
+}
+
 // NewRunner builds a Runner over the simulator's study set.
 func NewRunner(s *sim.Simulator, opts ...Option) *Runner {
 	r := &Runner{
@@ -231,10 +244,17 @@ func NewRunner(s *sim.Simulator, opts ...Option) *Runner {
 	r.sem = make(chan struct{}, r.concurrency)
 	r.truth, _ = runcache.Open[[]float64]("", sim.SubstrateVersion) // memory-only Open cannot fail
 	if !r.noCache {
-		runs, err := runcache.Open[RunSummary](r.cacheDir, sim.SubstrateVersion, runcache.WithWarnf(r.warnf))
+		// The truth store is deliberately untraced: warm runs skip
+		// summarize entirely, so truth-lookup counts differ between cold
+		// and warm runs and would break trace byte-identity.
+		runOpts := []runcache.Option{runcache.WithWarnf(r.warnf)}
+		if r.tracer != nil {
+			runOpts = append(runOpts, runcache.WithTracer(r.tracer))
+		}
+		runs, err := runcache.Open[RunSummary](r.cacheDir, sim.SubstrateVersion, runOpts...)
 		if err != nil {
 			r.warnf("disabling persistent tier: %v", err)
-			runs, _ = runcache.Open[RunSummary]("", sim.SubstrateVersion, runcache.WithWarnf(r.warnf))
+			runs, _ = runcache.Open[RunSummary]("", sim.SubstrateVersion, runOpts...)
 		}
 		r.runs = runs
 	}
@@ -337,7 +357,11 @@ type RunSummary struct {
 // the cache: callers must not mutate it (in particular Trajectory).
 func (r *Runner) RunSearch(mc MethodConfig, w workloads.Workload, objective core.Objective, seed int64) (*RunSummary, error) {
 	if r.runs == nil {
-		return r.searchUncached(mc, w, objective, seed)
+		s, err := r.searchUncached(mc, w, objective, seed)
+		if err == nil {
+			r.traceRun(mc, objective, s)
+		}
+		return s, err
 	}
 	key := mc.Fingerprint(w.ID(), objective, seed, sim.SubstrateVersion).Key()
 	v, err := r.runs.Do(key, func() (RunSummary, error) {
@@ -350,7 +374,30 @@ func (r *Runner) RunSearch(mc MethodConfig, w workloads.Workload, objective core
 	if err != nil {
 		return nil, err
 	}
+	r.traceRun(mc, objective, &v)
 	return &v, nil
+}
+
+// traceRun emits one study_run event per RunSearch call. Every field is
+// derived from the (cached) summary, so a warm run emits exactly the
+// bytes a cold run did — the property the study trace's golden test
+// leans on.
+func (r *Runner) traceRun(mc MethodConfig, objective core.Objective, s *RunSummary) {
+	if r.tracer == nil {
+		return
+	}
+	r.tracer.Emit(telemetry.Event{
+		Kind:      telemetry.KindStudyRun,
+		Method:    mc.Label(),
+		Workload:  s.WorkloadID,
+		Seed:      s.Seed,
+		Step:      s.Measurements,
+		Candidate: -1,
+		Value:     s.FoundNorm,
+		Aux:       float64(s.StepOptimal),
+		Detail:    objective.String(),
+		Stopped:   s.StoppedEarly,
+	})
 }
 
 // searchUncached executes one search and summarizes it against ground

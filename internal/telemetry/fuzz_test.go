@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeLine drives the strict single-line decoder with arbitrary
+// bytes. Properties: it never panics, and whenever it accepts a line the
+// event re-marshals to valid JSON with the same kind (acceptance implies
+// the line really was one well-formed event object).
+func FuzzDecodeLine(f *testing.F) {
+	f.Add([]byte(`{"kind":"search_start","method":"naive-bo","candidate":-1,"value":18,"detail":"cost"}`))
+	f.Add([]byte(`{"kind":"measure_done","step":1,"candidate":4,"name":"c4.large","value":0.2,"wall":{"duration_ns":123}}`))
+	f.Add([]byte(`{"kind":"cache_lookup","candidate":-1,"detail":"k","wall":{"cache":"miss"}}`))
+	f.Add([]byte(`{"kind":"quarantine","candidate":3,"detail":"boom","from_design":true}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`garbage`))
+	f.Add([]byte(`{"kind":""}`))
+	f.Add([]byte(`{"kind":"phase"}{"kind":"phase"}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"kind":3}`))
+	f.Add([]byte(`{"kind":"x","candidate":1e309}`))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		e, err := DecodeLine(line)
+		if err != nil {
+			return
+		}
+		if e.Kind == "" {
+			t.Fatalf("accepted an event with no kind: %q", line)
+		}
+		out, merr := json.Marshal(e)
+		if merr != nil {
+			t.Fatalf("accepted event does not re-marshal: %v (line %q)", merr, line)
+		}
+		e2, derr := DecodeLine(out)
+		if derr != nil {
+			t.Fatalf("re-marshaled event does not re-decode: %v (line %q)", derr, out)
+		}
+		if e2.Kind != e.Kind {
+			t.Fatalf("kind changed across round-trip: %q -> %q", e.Kind, e2.Kind)
+		}
+	})
+}
+
+// FuzzReadAll drives the tolerant stream reader. Properties: it never
+// panics, never errors on inputs without over-long lines, and decodes
+// exactly the lines DecodeLine accepts — tolerance means skipping, not
+// dropping valid events.
+func FuzzReadAll(f *testing.F) {
+	f.Add([]byte("{\"kind\":\"search_start\",\"candidate\":-1,\"value\":18}\n\ngarbage\n{\"kind\":\"search_end\",\"candidate\":4,\"value\":0.07}\n"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte("{\"broken\":\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, skipped, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return // only over-long lines error; nothing more to check
+		}
+		// Recount against the strict decoder, line by line.
+		var wantEvents, wantSkipped int
+		for _, line := range bytes.Split(data, []byte("\n")) {
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			if _, derr := DecodeLine(line); derr != nil {
+				wantSkipped++
+			} else {
+				wantEvents++
+			}
+		}
+		if len(events) != wantEvents || skipped != wantSkipped {
+			t.Fatalf("ReadAll = %d events + %d skipped, line-by-line = %d + %d\ninput: %q",
+				len(events), skipped, wantEvents, wantSkipped, data)
+		}
+	})
+}

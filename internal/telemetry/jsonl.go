@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// This file is the trace serialization layer: a streaming JSONL sink, a
+// sorting sink for traces emitted from concurrent goroutines, and a
+// tolerant line decoder for reading traces back.
+
+// JSONLWriter streams events to an io.Writer, one JSON object per line,
+// in emission order. It is safe for concurrent emitters; lines are
+// written atomically. Errors are sticky: the first write or marshal
+// failure is remembered and reported by Err/Flush, and later events are
+// dropped (tracing must never fail a search).
+type JSONLWriter struct {
+	mu        sync.Mutex
+	bw        *bufio.Writer
+	stripWall bool
+	err       error
+}
+
+// NewJSONLWriter builds a streaming sink. stripWall drops the
+// wall-clock subobject from every line, producing the deterministic
+// projection directly.
+func NewJSONLWriter(w io.Writer, stripWall bool) *JSONLWriter {
+	return &JSONLWriter{bw: bufio.NewWriter(w), stripWall: stripWall}
+}
+
+// Emit implements Tracer.
+func (j *JSONLWriter) Emit(e Event) {
+	if j.stripWall {
+		e = e.StripWall()
+	}
+	line, err := json.Marshal(e)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	if err != nil {
+		j.err = fmt.Errorf("telemetry: marshaling %s event: %w", e.Kind, err)
+		return
+	}
+	if _, err := j.bw.Write(line); err != nil {
+		j.err = err
+		return
+	}
+	if err := j.bw.WriteByte('\n'); err != nil {
+		j.err = err
+	}
+}
+
+// Flush drains the buffer and returns the first error seen.
+func (j *JSONLWriter) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	j.err = j.bw.Flush()
+	return j.err
+}
+
+// Err returns the first error seen, without flushing.
+func (j *JSONLWriter) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// SortingJSONL buffers events and writes them sorted by their
+// wall-stripped serialization when Flush is called. Concurrent emitters
+// (a study running figures in parallel) interleave nondeterministically;
+// sorting by the deterministic projection restores a canonical order —
+// any two events that tie are byte-identical once wall fields are
+// stripped, so their relative order cannot matter. The written lines
+// keep their wall fields unless stripWall is set.
+type SortingJSONL struct {
+	mu        sync.Mutex
+	w         io.Writer
+	stripWall bool
+	events    []Event
+}
+
+// NewSortingJSONL builds a sorting sink over w.
+func NewSortingJSONL(w io.Writer, stripWall bool) *SortingJSONL {
+	return &SortingJSONL{w: w, stripWall: stripWall}
+}
+
+// Emit implements Tracer.
+func (s *SortingJSONL) Emit(e Event) {
+	if e.Wall != nil {
+		w := *e.Wall
+		e.Wall = &w
+	}
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// Flush sorts the buffered events canonically and writes them out. It
+// may be called once per trace; events emitted after Flush start a new
+// batch.
+func (s *SortingJSONL) Flush() error {
+	s.mu.Lock()
+	events := s.events
+	s.events = nil
+	s.mu.Unlock()
+
+	type line struct{ key, out []byte }
+	lines := make([]line, 0, len(events))
+	for _, e := range events {
+		key, err := json.Marshal(e.StripWall())
+		if err != nil {
+			return fmt.Errorf("telemetry: marshaling %s event: %w", e.Kind, err)
+		}
+		out := key
+		if !s.stripWall && e.Wall != nil {
+			if out, err = json.Marshal(e); err != nil {
+				return fmt.Errorf("telemetry: marshaling %s event: %w", e.Kind, err)
+			}
+		}
+		lines = append(lines, line{key: key, out: out})
+	}
+	sort.SliceStable(lines, func(i, j int) bool {
+		return bytes.Compare(lines[i].key, lines[j].key) < 0
+	})
+	bw := bufio.NewWriter(s.w)
+	for _, l := range lines {
+		if _, err := bw.Write(l.out); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeLine parses one JSONL trace line strictly: the line must be a
+// single JSON object with a non-empty "kind" and no trailing garbage.
+func DecodeLine(line []byte) (Event, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	var e Event
+	if err := dec.Decode(&e); err != nil {
+		return Event{}, fmt.Errorf("telemetry: undecodable trace line: %w", err)
+	}
+	if dec.More() {
+		return Event{}, fmt.Errorf("telemetry: trailing data after trace line")
+	}
+	if e.Kind == "" {
+		return Event{}, fmt.Errorf("telemetry: trace line has no kind")
+	}
+	return e, nil
+}
+
+// maxLineBytes bounds one trace line; longer lines count as damage.
+const maxLineBytes = 1 << 22
+
+// ReadAll decodes a JSONL trace tolerantly: blank and undecodable lines
+// are skipped and counted, valid lines are never dropped. The error is
+// non-nil only when reading itself fails.
+func ReadAll(r io.Reader) (events []Event, skipped int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), maxLineBytes)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		e, err := DecodeLine(line)
+		if err != nil {
+			skipped++
+			continue
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return events, skipped, fmt.Errorf("telemetry: reading trace: %w", err)
+	}
+	return events, skipped, nil
+}

@@ -1,0 +1,177 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+)
+
+// This file is the aggregation side of the layer: a Tracer that folds
+// the event stream into counters and latency histograms instead of
+// retaining it, for end-of-run summaries (`-metrics`) and long searches
+// where a full trace would be too heavy.
+
+// histBuckets covers durations from 1ns to ~18 minutes in power-of-two
+// buckets; anything longer lands in the last bucket.
+const histBuckets = 41
+
+// Histogram is a fixed-size log2 latency histogram. The zero value is
+// ready to use. Not safe for concurrent use on its own; Metrics guards
+// it.
+type Histogram struct {
+	counts [histBuckets]int64
+	total  int64
+	sumNS  int64
+	maxNS  int64
+}
+
+// bucketOf maps a duration to its power-of-two bucket.
+func bucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns)) - 1
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Observe adds one duration.
+func (h *Histogram) Observe(ns int64) {
+	h.counts[bucketOf(ns)]++
+	h.total++
+	h.sumNS += ns
+	if ns > h.maxNS {
+		h.maxNS = ns
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total }
+
+// MeanNS returns the mean duration, 0 when empty.
+func (h *Histogram) MeanNS() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sumNS / h.total
+}
+
+// MaxNS returns the largest observed duration.
+func (h *Histogram) MaxNS() int64 { return h.maxNS }
+
+// QuantileNS returns an upper bound on the q-quantile (q in [0,1]): the
+// top of the first bucket whose cumulative count reaches q of the
+// total. Resolution is a factor of two, which is plenty for "where does
+// the time go" summaries.
+func (h *Histogram) QuantileNS(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	want := int64(q * float64(h.total))
+	if want < 1 {
+		want = 1
+	}
+	var cum int64
+	for b, c := range h.counts {
+		cum += c
+		if cum >= want {
+			upper := int64(1) << (uint(b) + 1)
+			if upper > h.maxNS && h.maxNS > 0 {
+				upper = h.maxNS
+			}
+			return upper
+		}
+	}
+	return h.maxNS
+}
+
+// Metrics is a Tracer that aggregates the stream: an event count per
+// kind (cache lookups are additionally broken out per disposition as
+// "cache_lookup:hit" etc.) and a latency histogram per timed operation,
+// keyed by kind (plus the model name for surrogate fits).
+type Metrics struct {
+	mu     sync.Mutex
+	counts map[Kind]int64
+	hists  map[string]*Histogram
+}
+
+// NewMetrics returns an empty aggregator.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counts: make(map[Kind]int64),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Emit implements Tracer.
+func (m *Metrics) Emit(e Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.counts[e.Kind]++
+	if e.Wall == nil {
+		return
+	}
+	if e.Kind == KindCacheLookup && e.Wall.Cache != "" {
+		m.counts[e.Kind+":"+Kind(e.Wall.Cache)]++
+	}
+	if e.Wall.DurationNS > 0 {
+		key := string(e.Kind)
+		if e.Kind == KindSurrogateFit && e.Detail != "" {
+			key += ":" + e.Detail
+		}
+		h := m.hists[key]
+		if h == nil {
+			h = &Histogram{}
+			m.hists[key] = h
+		}
+		h.Observe(e.Wall.DurationNS)
+	}
+}
+
+// KindCount is one counter of a metrics snapshot.
+type KindCount struct {
+	Kind  Kind
+	Count int64
+}
+
+// HistStat is one latency histogram of a metrics snapshot.
+type HistStat struct {
+	Name   string
+	Count  int64
+	MeanNS int64
+	P50NS  int64
+	P90NS  int64
+	MaxNS  int64
+}
+
+// Snapshot is a point-in-time copy of the aggregates, sorted by name
+// for deterministic rendering.
+type Snapshot struct {
+	Counts []KindCount
+	Hists  []HistStat
+}
+
+// Snapshot copies the current aggregates.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var s Snapshot
+	for k, c := range m.counts {
+		s.Counts = append(s.Counts, KindCount{Kind: k, Count: c})
+	}
+	sort.Slice(s.Counts, func(i, j int) bool { return s.Counts[i].Kind < s.Counts[j].Kind })
+	for name, h := range m.hists {
+		s.Hists = append(s.Hists, HistStat{
+			Name:   name,
+			Count:  h.Count(),
+			MeanNS: h.MeanNS(),
+			P50NS:  h.QuantileNS(0.50),
+			P90NS:  h.QuantileNS(0.90),
+			MaxNS:  h.MaxNS(),
+		})
+	}
+	sort.Slice(s.Hists, func(i, j int) bool { return s.Hists[i].Name < s.Hists[j].Name })
+	return s
+}

@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/textplot"
+)
+
+// RenderSummary formats a metrics snapshot as the end-of-run summary the
+// CLIs print under -metrics: an event-count bar chart and a latency
+// table. The output is deterministic for a deterministic snapshot.
+func RenderSummary(m *Metrics) string {
+	s := m.Snapshot()
+	var sb strings.Builder
+	if len(s.Counts) == 0 {
+		sb.WriteString("trace metrics: no events recorded\n")
+		return sb.String()
+	}
+	bars := make([]textplot.Bar, len(s.Counts))
+	for i, kc := range s.Counts {
+		bars[i] = textplot.Bar{Label: string(kc.Kind), Value: float64(kc.Count)}
+	}
+	chart, err := textplot.HBar("trace events", bars, 40)
+	if err == nil {
+		sb.WriteString(chart)
+	}
+	if len(s.Hists) > 0 {
+		sb.WriteString("\noperation latency (p50/p90 are power-of-two upper bounds):\n")
+		nameWidth := len("OPERATION")
+		for _, h := range s.Hists {
+			if len(h.Name) > nameWidth {
+				nameWidth = len(h.Name)
+			}
+		}
+		fmt.Fprintf(&sb, "%-*s %8s %10s %10s %10s %10s\n",
+			nameWidth, "OPERATION", "COUNT", "MEAN", "P50", "P90", "MAX")
+		for _, h := range s.Hists {
+			fmt.Fprintf(&sb, "%-*s %8d %10s %10s %10s %10s\n",
+				nameWidth, h.Name, h.Count,
+				fmtNS(h.MeanNS), fmtNS(h.P50NS), fmtNS(h.P90NS), fmtNS(h.MaxNS))
+		}
+	}
+	return sb.String()
+}
+
+// fmtNS renders a nanosecond duration compactly.
+func fmtNS(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -1,0 +1,398 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventJSONShape(t *testing.T) {
+	// The wire shape is a compatibility surface: candidate and value are
+	// always present (0 is meaningful for both), wall is omitted when nil.
+	e := Event{Kind: KindMeasureDone, Method: "naive-bo", Step: 3, Candidate: 0, Name: "c4.large", Value: 0}
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"kind":"measure_done","method":"naive-bo","step":3,"candidate":0,"name":"c4.large","value":0}`
+	if string(b) != want {
+		t.Errorf("marshal = %s, want %s", b, want)
+	}
+
+	e.Wall = &Wall{DurationNS: 42, Cache: "hit"}
+	b, err = json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"wall":{"duration_ns":42,"cache":"hit"}`) {
+		t.Errorf("wall subobject missing or misshaped: %s", b)
+	}
+}
+
+func TestStripWall(t *testing.T) {
+	e := Event{Kind: KindSurrogateFit, Wall: &Wall{DurationNS: 99}}
+	s := e.StripWall()
+	if s.Wall != nil {
+		t.Error("StripWall kept the wall")
+	}
+	if e.Wall == nil || e.Wall.DurationNS != 99 {
+		t.Error("StripWall mutated the receiver")
+	}
+}
+
+func TestRecorderClonesWall(t *testing.T) {
+	r := NewRecorder()
+	w := &Wall{DurationNS: 1}
+	r.Emit(Event{Kind: KindMeasureDone, Candidate: 2, Wall: w})
+	w.DurationNS = 777 // emitter reuses its buffer
+	got := r.Events()
+	if len(got) != 1 {
+		t.Fatalf("recorded %d events, want 1", len(got))
+	}
+	if got[0].Wall.DurationNS != 1 {
+		t.Errorf("recorder shares the emitter's Wall: got %d", got[0].Wall.DurationNS)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1", r.Len())
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Errorf("Len after Reset = %d, want 0", r.Len())
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Emit(Event{Kind: KindCandidateScored, Candidate: i})
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Errorf("Len = %d, want 800", r.Len())
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil {
+		t.Error("Multi() should be nil")
+	}
+	if Multi(nil, nil) != nil {
+		t.Error("Multi(nil, nil) should be nil")
+	}
+	r := NewRecorder()
+	if Multi(nil, r, nil) != Tracer(r) {
+		t.Error("Multi with one live sink should return it unwrapped")
+	}
+	r2 := NewRecorder()
+	m := Multi(r, r2)
+	m.Emit(Event{Kind: KindPhase, Candidate: -1})
+	if r.Len() != 1 || r2.Len() != 1 {
+		t.Errorf("fan-out reached %d/%d sinks, want 1/1", r.Len(), r2.Len())
+	}
+}
+
+func TestNop(t *testing.T) {
+	Nop{}.Emit(Event{Kind: KindSearchStart}) // must not panic
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf, false)
+	in := []Event{
+		{Kind: KindSearchStart, Method: "naive-bo", Candidate: -1, Value: 18, Detail: "cost"},
+		{Kind: KindMeasureDone, Step: 1, Candidate: 4, Name: "c4.large", Value: 0.2, Wall: &Wall{DurationNS: 123}},
+		{Kind: KindSearchEnd, Candidate: 4, Stopped: true},
+	}
+	for _, e := range in {
+		w.Emit(e)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out, skipped, err := ReadAll(&buf)
+	if err != nil || skipped != 0 {
+		t.Fatalf("ReadAll: err=%v skipped=%d", err, skipped)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round-tripped %d events, want %d", len(out), len(in))
+	}
+	for i := range in {
+		a, _ := json.Marshal(in[i])
+		b, _ := json.Marshal(out[i])
+		if !bytes.Equal(a, b) {
+			t.Errorf("event %d: %s != %s", i, b, a)
+		}
+	}
+}
+
+func TestJSONLStripWall(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf, true)
+	w.Emit(Event{Kind: KindMeasureDone, Candidate: 1, Wall: &Wall{DurationNS: 5}})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "wall") {
+		t.Errorf("stripWall output still has wall fields: %s", buf.String())
+	}
+}
+
+func TestJSONLMarshalErrorIsStickyDrop(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf, false)
+	w.Emit(Event{Kind: KindCandidateScored, Candidate: 0, Value: math.Inf(1)}) // unmarshalable
+	if w.Err() == nil {
+		t.Fatal("marshal failure not recorded")
+	}
+	w.Emit(Event{Kind: KindSearchEnd, Candidate: -1}) // dropped, not panicking
+	if err := w.Flush(); err == nil {
+		t.Error("Flush should report the sticky error")
+	}
+}
+
+type failWriter struct{ after int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.after -= len(p)
+	return len(p), nil
+}
+
+func TestJSONLWriteError(t *testing.T) {
+	w := NewJSONLWriter(&failWriter{after: 0}, false)
+	for i := 0; i < 10000; i++ { // overflow the bufio buffer
+		w.Emit(Event{Kind: KindCandidateScored, Candidate: i})
+	}
+	if err := w.Flush(); err == nil {
+		t.Error("write failure never surfaced")
+	}
+}
+
+func TestSortingJSONLCanonicalOrder(t *testing.T) {
+	// Two interleavings of the same event set must serialize identically
+	// once flushed, with wall fields preserved on the lines.
+	events := []Event{
+		{Kind: KindStudyRun, Method: "naive-bo", Workload: "b", Seed: 2, Candidate: -1, Value: 1.5},
+		{Kind: KindStudyRun, Method: "naive-bo", Workload: "a", Seed: 1, Candidate: -1, Value: 1.2},
+		{Kind: KindCacheLookup, Candidate: -1, Detail: "k1", Wall: &Wall{Cache: "miss"}},
+	}
+	var b1, b2 bytes.Buffer
+	s1 := NewSortingJSONL(&b1, false)
+	for _, e := range events {
+		s1.Emit(e)
+	}
+	s2 := NewSortingJSONL(&b2, false)
+	for i := len(events) - 1; i >= 0; i-- {
+		s2.Emit(events[i])
+	}
+	if err := s1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Errorf("orderings differ:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	if !strings.Contains(b1.String(), `"cache":"miss"`) {
+		t.Errorf("wall fields lost in sorting sink: %s", b1.String())
+	}
+	// Stripped lines must sort the same way and contain no wall fields.
+	var b3 bytes.Buffer
+	s3 := NewSortingJSONL(&b3, true)
+	for _, e := range events {
+		s3.Emit(e)
+	}
+	if err := s3.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b3.String(), "wall") {
+		t.Errorf("stripWall sorting sink kept wall fields: %s", b3.String())
+	}
+}
+
+func TestSortingJSONLDecouplesWall(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSortingJSONL(&buf, false)
+	w := &Wall{DurationNS: 7}
+	s.Emit(Event{Kind: KindMeasureDone, Candidate: 0, Wall: w})
+	w.DurationNS = 999
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"duration_ns":7`) {
+		t.Errorf("sorting sink shares the emitter's Wall: %s", buf.String())
+	}
+}
+
+func TestDecodeLineStrict(t *testing.T) {
+	if _, err := DecodeLine([]byte(`{"kind":"phase","candidate":-1,"value":0}`)); err != nil {
+		t.Errorf("valid line rejected: %v", err)
+	}
+	for name, line := range map[string]string{
+		"empty":        ``,
+		"not json":     `garbage`,
+		"no kind":      `{"candidate":0,"value":1}`,
+		"trailing":     `{"kind":"phase","candidate":0,"value":0}{"kind":"phase"}`,
+		"wrong type":   `{"kind":3}`,
+		"bare array":   `[1,2,3]`,
+		"empty string": `""`,
+	} {
+		if _, err := DecodeLine([]byte(line)); err == nil {
+			t.Errorf("%s: accepted %q", name, line)
+		}
+	}
+}
+
+func TestReadAllTolerant(t *testing.T) {
+	input := `{"kind":"search_start","candidate":-1,"value":18}
+
+garbage line
+{"kind":"search_end","candidate":4,"value":0.07}
+{"broken":
+`
+	events, skipped, err := ReadAll(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Errorf("decoded %d events, want 2", len(events))
+	}
+	if skipped != 2 {
+		t.Errorf("skipped %d lines, want 2", skipped)
+	}
+}
+
+func TestReadAllOverlongLine(t *testing.T) {
+	long := strings.Repeat("x", maxLineBytes+10)
+	_, _, err := ReadAll(strings.NewReader(long))
+	if err == nil {
+		t.Error("over-long line should surface a read error")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	if h.MeanNS() != 0 || h.QuantileNS(0.5) != 0 || h.MaxNS() != 0 {
+		t.Error("zero histogram should report zeros")
+	}
+	for _, ns := range []int64{1, 2, 3, 1000, 1_000_000} {
+		h.Observe(ns)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+	if want := int64((1 + 2 + 3 + 1000 + 1_000_000) / 5); h.MeanNS() != want {
+		t.Errorf("MeanNS = %d, want %d", h.MeanNS(), want)
+	}
+	if h.MaxNS() != 1_000_000 {
+		t.Errorf("MaxNS = %d", h.MaxNS())
+	}
+	// p50 of {1,2,3,1000,1e6}: the third observation lives in bucket
+	// log2(3)=1, whose upper bound is 4.
+	if got := h.QuantileNS(0.5); got != 4 {
+		t.Errorf("p50 = %d, want 4", got)
+	}
+	// The quantile upper bound never exceeds the observed max.
+	if got := h.QuantileNS(1.0); got > h.MaxNS() {
+		t.Errorf("p100 = %d exceeds max %d", got, h.MaxNS())
+	}
+	// Non-positive durations land in the first bucket instead of panicking.
+	h.Observe(0)
+	h.Observe(-5)
+	if h.Count() != 7 {
+		t.Errorf("Count = %d, want 7", h.Count())
+	}
+}
+
+func TestBucketOfMonotone(t *testing.T) {
+	prev := bucketOf(0)
+	for shift := 0; shift < 63; shift++ {
+		b := bucketOf(int64(1) << shift)
+		if b < prev {
+			t.Fatalf("bucketOf not monotone at 1<<%d: %d < %d", shift, b, prev)
+		}
+		prev = b
+	}
+	if bucketOf(int64(1)<<62) != histBuckets-1 {
+		t.Errorf("huge duration should land in the last bucket")
+	}
+}
+
+func TestMetricsAggregation(t *testing.T) {
+	m := NewMetrics()
+	m.Emit(Event{Kind: KindSearchStart, Candidate: -1})
+	m.Emit(Event{Kind: KindMeasureDone, Candidate: 1, Wall: &Wall{DurationNS: 10}})
+	m.Emit(Event{Kind: KindMeasureDone, Candidate: 2, Wall: &Wall{DurationNS: 20}})
+	m.Emit(Event{Kind: KindSurrogateFit, Candidate: -1, Detail: "gp", Wall: &Wall{DurationNS: 30}})
+	m.Emit(Event{Kind: KindSurrogateFit, Candidate: -1, Detail: "forest", Wall: &Wall{DurationNS: 40}})
+	m.Emit(Event{Kind: KindCacheLookup, Candidate: -1, Wall: &Wall{Cache: "hit"}})
+	m.Emit(Event{Kind: KindCacheLookup, Candidate: -1, Wall: &Wall{Cache: "miss"}})
+	m.Emit(Event{Kind: KindCacheLookup, Candidate: -1, Wall: &Wall{Cache: "miss"}})
+
+	s := m.Snapshot()
+	counts := map[Kind]int64{}
+	for _, c := range s.Counts {
+		counts[c.Kind] = c.Count
+	}
+	for kind, want := range map[Kind]int64{
+		KindSearchStart:     1,
+		KindMeasureDone:     2,
+		KindSurrogateFit:    2,
+		KindCacheLookup:     3,
+		"cache_lookup:hit":  1,
+		"cache_lookup:miss": 2,
+	} {
+		if counts[kind] != want {
+			t.Errorf("count[%s] = %d, want %d", kind, counts[kind], want)
+		}
+	}
+	hists := map[string]HistStat{}
+	for _, h := range s.Hists {
+		hists[h.Name] = h
+	}
+	if hists["measure_done"].Count != 2 {
+		t.Errorf("measure_done hist count = %d, want 2", hists["measure_done"].Count)
+	}
+	if hists["surrogate_fit:gp"].Count != 1 || hists["surrogate_fit:forest"].Count != 1 {
+		t.Errorf("surrogate fits not keyed per model: %+v", hists)
+	}
+	// Snapshot order is deterministic.
+	for i := 1; i < len(s.Counts); i++ {
+		if s.Counts[i-1].Kind >= s.Counts[i].Kind {
+			t.Errorf("counts not sorted: %v", s.Counts)
+		}
+	}
+	for i := 1; i < len(s.Hists); i++ {
+		if s.Hists[i-1].Name >= s.Hists[i].Name {
+			t.Errorf("hists not sorted: %v", s.Hists)
+		}
+	}
+}
+
+func TestRenderSummary(t *testing.T) {
+	m := NewMetrics()
+	if got := RenderSummary(m); got == "" {
+		t.Error("empty metrics should still render")
+	}
+	m.Emit(Event{Kind: KindMeasureDone, Candidate: 0, Wall: &Wall{DurationNS: 1500}})
+	got := RenderSummary(m)
+	for _, want := range []string{"measure_done", "OPERATION", "COUNT"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // This file is the retry middleware of the measurement layer: a Target
@@ -92,6 +94,7 @@ type RetryStats struct {
 type RetryingTarget struct {
 	target Target
 	policy RetryPolicy
+	tracer telemetry.Tracer
 
 	mu    sync.Mutex
 	rng   *rand.Rand
@@ -113,6 +116,11 @@ func NewRetryingTarget(target Target, policy RetryPolicy) *RetryingTarget {
 		rng:    rand.New(rand.NewSource(p.Seed)),
 	}
 }
+
+// SetObserver streams one measure_retry event per re-attempt into t
+// (nil disables). The WithTracer search option wires this automatically;
+// callers constructing a RetryingTarget directly can opt in here.
+func (r *RetryingTarget) SetObserver(t Observer) { r.tracer = t }
 
 // Stats returns a snapshot of the retry counters.
 func (r *RetryingTarget) Stats() RetryStats {
@@ -143,6 +151,19 @@ func (r *RetryingTarget) Measure(i int) (Outcome, error) {
 				s.Retries++
 			}
 		})
+		if r.tracer != nil && attempt > 1 {
+			detail := ""
+			if lastErr != nil {
+				detail = lastErr.Error()
+			}
+			r.tracer.Emit(telemetry.Event{
+				Kind:      telemetry.KindMeasureRetry,
+				Candidate: i,
+				Name:      r.target.Name(i),
+				Attempt:   attempt,
+				Detail:    detail,
+			})
+		}
 		out, err := r.target.Measure(i)
 		if err == nil {
 			// A syntactically fine but corrupted outcome (NaN time,
@@ -274,7 +295,9 @@ func (cfg config) wrapTarget(t Target) Target {
 		if p.Timeout == 0 {
 			p.Timeout = cfg.measureTimeout
 		}
-		return NewRetryingTarget(t, p)
+		rt := NewRetryingTarget(t, p)
+		rt.SetObserver(cfg.tracer)
+		return rt
 	}
 	if cfg.measureTimeout > 0 {
 		return newTimeoutTarget(t, cfg.measureTimeout, nil)

@@ -1,0 +1,104 @@
+package arrow
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// generateHybridTrace runs the fixed-seed Hybrid search the golden
+// artifact pins and returns its wall-stripped JSONL trace.
+func generateHybridTrace(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tracer := NewJSONLTracer(&buf, true) // stripped: the deterministic projection
+	opt, err := New(
+		WithMethod(MethodHybridBO),
+		WithSeed(42),
+		WithTracer(tracer),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := NewSimulatedTarget("als/spark2.1/medium", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opt.Search(target); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenHybridTrace replays a fixed-seed Hybrid search against the
+// checked-in trace and requires byte-identical regeneration — the
+// determinism contract (everything outside "wall" is a pure function of
+// seed and configuration) as an executable assertion. Regenerate after
+// an intentional schema or search-behavior change with:
+//
+//	ARROW_UPDATE_GOLDEN=1 go test -run TestGoldenHybridTrace .
+func TestGoldenHybridTrace(t *testing.T) {
+	golden := filepath.Join("testdata", "golden_hybrid_trace.jsonl")
+	got := generateHybridTrace(t)
+
+	if os.Getenv("ARROW_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", golden, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden trace (regenerate with ARROW_UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		// Find the first divergent line for a readable failure.
+		gotLines, wantLines := bytes.Split(got, []byte("\n")), bytes.Split(want, []byte("\n"))
+		for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+			if !bytes.Equal(gotLines[i], wantLines[i]) {
+				t.Fatalf("trace diverges from golden at line %d:\n got: %s\nwant: %s", i+1, gotLines[i], wantLines[i])
+			}
+		}
+		t.Fatalf("trace length differs from golden: %d vs %d lines", len(gotLines), len(wantLines))
+	}
+
+	// Regeneration inside one process must be identical too; a mismatch
+	// here means hidden state leaks between searches.
+	if again := generateHybridTrace(t); !bytes.Equal(got, again) {
+		t.Fatal("two in-process regenerations differ: search trace depends on hidden state")
+	}
+}
+
+// TestGoldenTraceDecodes guards the artifact itself: every line of the
+// golden trace must decode, and none may carry wall-clock fields.
+func TestGoldenTraceDecodes(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "golden_hybrid_trace.jsonl"))
+	if err != nil {
+		t.Skipf("golden trace not generated yet: %v", err)
+	}
+	defer f.Close()
+	events, skipped, err := DecodeTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("%d undecodable lines in the golden trace", skipped)
+	}
+	if len(events) == 0 {
+		t.Fatal("golden trace is empty")
+	}
+	for i, e := range events {
+		if e.Wall != nil {
+			t.Errorf("event %d (%s) kept wall-clock fields in the stripped golden trace", i, e.Kind)
+		}
+	}
+	if events[0].Kind != EventSearchStart || events[len(events)-1].Kind != EventSearchEnd {
+		t.Errorf("golden trace is not a complete search: %s ... %s", events[0].Kind, events[len(events)-1].Kind)
+	}
+}
