@@ -1,22 +1,28 @@
 # Tier-1 gate: everything `make check` runs must stay green.
 
 GO ?= go
+GOTEST_TIMEOUT ?= 20m
 
-.PHONY: check build test race vet fmt cover fuzz bench bench-faults bench-compare study-smoke
+.PHONY: check ci build test race vet fmt cover fuzz fuzz-smoke bench bench-faults bench-compare bench-guard study-smoke
 
 # cover runs the whole suite under -race, so it subsumes the race target.
 check: fmt vet cover study-smoke
+
+# ci mirrors the GitHub Actions pipeline locally: the tier-1 gate plus
+# the short fuzz pass and the benchmark regression guard.
+ci: check fuzz-smoke bench-guard
+	@echo "ci OK"
 
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout $(GOTEST_TIMEOUT) ./...
 
 # The chaos tests ride along in the regular packages, so -race covers the
 # fault-injection and retry paths too.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout $(GOTEST_TIMEOUT) ./...
 
 vet:
 	$(GO) vet ./...
@@ -32,18 +38,26 @@ fmt:
 COVER_BASELINE ?= 82.0
 COVER_PROFILE ?= /tmp/arrow-cover.out
 cover:
-	$(GO) test -race -coverprofile=$(COVER_PROFILE) ./...
+	$(GO) test -race -timeout $(GOTEST_TIMEOUT) -coverprofile=$(COVER_PROFILE) ./...
 	@total=$$($(GO) tool cover -func=$(COVER_PROFILE) | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	echo "total coverage: $$total% (baseline $(COVER_BASELINE)%)"; \
 	awk -v t="$$total" -v b="$(COVER_BASELINE)" 'BEGIN { exit !(t+0 < b+0) }' && \
 		{ echo "coverage $$total% fell below the $(COVER_BASELINE)% baseline"; exit 1; } || true
 
-# Fuzz the trace decoders and the cache shard loader, 30s each.
+# Fuzz the trace decoders, the cache shard loader, and the serve-layer
+# request decoders, FUZZTIME each.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzDecodeLine -fuzztime $(FUZZTIME) ./internal/telemetry
 	$(GO) test -run xxx -fuzz FuzzReadAll -fuzztime $(FUZZTIME) ./internal/telemetry
 	$(GO) test -run xxx -fuzz FuzzLoadShard -fuzztime $(FUZZTIME) ./internal/runcache
+	$(GO) test -run xxx -fuzz FuzzDecodeSessionRequest -fuzztime $(FUZZTIME) ./internal/serve
+	$(GO) test -run xxx -fuzz FuzzDecodeObserveRequest -fuzztime $(FUZZTIME) ./internal/serve
+
+# The CI-sized fuzz pass: every target for 10s — long enough to catch a
+# decoder regression, short enough for every push.
+fuzz-smoke:
+	$(MAKE) fuzz FUZZTIME=10s
 
 bench-faults:
 	$(GO) test -run xxx -bench BenchmarkRobustnessFaultInjection -benchtime 1x .
@@ -52,7 +66,7 @@ bench-faults:
 # report so performance changes land as a reviewable diff. The fixed
 # -benchtime keeps runs comparable across machines with different
 # auto-calibration.
-BENCH_OUT ?= BENCH_PR4.json
+BENCH_OUT ?= BENCH_PR5.json
 bench:
 	$(GO) test -run xxx -benchmem -benchtime 20x \
 		-bench 'BenchmarkForestFit$$|BenchmarkGPFit|BenchmarkFullSearchNaive|BenchmarkFullSearchAugmented' . \
@@ -72,7 +86,16 @@ bench:
 
 # Diff the current report against the previous PR's baseline.
 bench-compare:
-	$(GO) run ./cmd/arrow-bench -compare BENCH_PR3.json BENCH_PR4.json
+	$(GO) run ./cmd/arrow-bench -compare BENCH_PR4.json BENCH_PR5.json
+
+# Regression guard: re-measure the hot paths into a scratch report and
+# fail when the full Augmented BO search regressed more than 25% ns/op
+# against the committed BENCH_PR4.json baseline.
+BENCH_GUARD ?= BenchmarkFullSearchAugmented=25
+BENCH_GUARD_OUT ?= /tmp/arrow-bench-guard.json
+bench-guard:
+	$(MAKE) bench BENCH_OUT=$(BENCH_GUARD_OUT)
+	$(GO) run ./cmd/arrow-bench -compare -guard '$(BENCH_GUARD)' BENCH_PR4.json $(BENCH_GUARD_OUT)
 
 # Race-detected end-to-end smoke of the study executor: a cold run fills
 # the cache, a warm run at a different -concurrency must reproduce the

@@ -1,0 +1,212 @@
+package arrow
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// driveAdvisor plays a full advisor session, answering every suggestion
+// with the target's own measurement — the advisor-equivalence harness.
+func driveAdvisor(t *testing.T, a *Advisor, target Target) {
+	t.Helper()
+	for {
+		sug, err := a.Next(context.Background())
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if sug.Done {
+			return
+		}
+		out, merr := target.Measure(sug.Index)
+		if merr != nil {
+			if err := a.ObserveFailure(sug.Index, merr); err != nil {
+				t.Fatalf("ObserveFailure(%d): %v", sug.Index, err)
+			}
+			continue
+		}
+		if err := a.Observe(sug.Index, out); err != nil {
+			t.Fatalf("Observe(%d): %v", sug.Index, err)
+		}
+	}
+}
+
+// TestAdvisorMatchesBatchSearch is the advisor-equivalence acceptance
+// test: for every method, a fixed-seed advisor session fed a simulated
+// target's measurements must reproduce the batch Search result AND the
+// wall-stripped deterministic trace, byte for byte.
+func TestAdvisorMatchesBatchSearch(t *testing.T) {
+	methods := map[string]Method{
+		"naive-bo":      MethodNaiveBO,
+		"augmented-bo":  MethodAugmentedBO,
+		"hybrid-bo":     MethodHybridBO,
+		"random-search": MethodRandomSearch,
+	}
+	for name, method := range methods {
+		t.Run(name, func(t *testing.T) {
+			target, err := NewSimulatedTarget("als/spark2.1/medium", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			batchRec := NewTraceRecorder()
+			batchOpt, err := New(WithMethod(method), WithSeed(42), WithTracer(batchRec))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := batchOpt.Search(target)
+			if err != nil {
+				t.Fatalf("batch Search: %v", err)
+			}
+
+			stepRec := NewTraceRecorder()
+			stepOpt, err := New(WithMethod(method), WithSeed(42), WithTracer(stepRec))
+			if err != nil {
+				t.Fatal(err)
+			}
+			advisor, err := stepOpt.NewAdvisor(TargetCandidates(target))
+			if err != nil {
+				t.Fatal(err)
+			}
+			driveAdvisor(t, advisor, target)
+			got, err := advisor.Result()
+			if err != nil {
+				t.Fatalf("Result: %v", err)
+			}
+
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("advisor result diverges from batch:\n advisor: %+v\n   batch: %+v", got, want)
+			}
+
+			batchEvents, stepEvents := batchRec.Events(), stepRec.Events()
+			if len(batchEvents) != len(stepEvents) {
+				t.Fatalf("trace length: advisor %d events, batch %d", len(stepEvents), len(batchEvents))
+			}
+			for i := range batchEvents {
+				if b, s := batchEvents[i].StripWall(), stepEvents[i].StripWall(); !reflect.DeepEqual(b, s) {
+					t.Fatalf("trace diverges at event %d:\n advisor: %+v\n   batch: %+v", i, s, b)
+				}
+			}
+		})
+	}
+}
+
+func TestAdvisorValidatesCandidates(t *testing.T) {
+	opt, err := New(WithMethod(MethodRandomSearch), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opt.NewAdvisor(nil); err == nil {
+		t.Error("empty catalog should fail")
+	}
+	if _, err := opt.NewAdvisor([]Candidate{
+		{Name: "a", Features: []float64{1, 2}},
+		{Name: "b", Features: []float64{1}},
+	}); err == nil {
+		t.Error("ragged feature dims should fail")
+	}
+	if _, err := opt.NewAdvisor([]Candidate{{Name: "a"}}); err == nil {
+		t.Error("zero-dim features should fail")
+	}
+}
+
+func TestAdvisorNamesDefaultWhenEmpty(t *testing.T) {
+	opt, err := New(WithMethod(MethodRandomSearch), WithSeed(1), WithMaxMeasurements(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	advisor, err := opt.NewAdvisor([]Candidate{
+		{Features: []float64{1}},
+		{Features: []float64{2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer advisor.Abort(nil)
+	sug, err := advisor.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]string{0: "candidate-0", 1: "candidate-1"}[sug.Index]
+	if sug.Name != want {
+		t.Errorf("suggestion name = %q, want %q", sug.Name, want)
+	}
+}
+
+func TestAdvisorErrorSurface(t *testing.T) {
+	opt, err := New(WithMethod(MethodRandomSearch), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	advisor, err := opt.NewAdvisor(CatalogCandidates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer advisor.Abort(nil)
+
+	if _, err := advisor.Result(); !errors.Is(err, ErrSearchRunning) {
+		t.Errorf("Result while running = %v, want ErrSearchRunning", err)
+	}
+	if err := advisor.Observe(0, Outcome{TimeSec: 1, CostUSD: 1}); !errors.Is(err, ErrNoPendingSuggestion) {
+		t.Errorf("Observe before Next = %v, want ErrNoPendingSuggestion", err)
+	}
+	sug, err := advisor.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := (sug.Index + 1) % advisor.NumCandidates()
+	if err := advisor.Observe(wrong, Outcome{TimeSec: 1, CostUSD: 1}); !errors.Is(err, ErrSuggestionMismatch) {
+		t.Errorf("mismatched Observe = %v, want ErrSuggestionMismatch", err)
+	}
+	if err := advisor.Observe(sug.Index, Outcome{TimeSec: 1, CostUSD: 1, Metrics: []float64{1}}); err == nil {
+		t.Error("bad metric vector length should fail")
+	}
+	// A failure report with a nil cause is accepted (the advisor
+	// substitutes a generic one) and quarantines the candidate.
+	if err := advisor.ObserveFailure(sug.Index, nil); err != nil {
+		t.Errorf("ObserveFailure with nil cause = %v", err)
+	}
+}
+
+func TestAdvisorAbortSalvagesPartial(t *testing.T) {
+	opt, err := New(WithMethod(MethodAugmentedBO), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := NewSimulatedTarget("kmeans/spark2.1/medium", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	advisor, err := opt.NewAdvisor(TargetCandidates(target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range 2 {
+		sug, err := advisor.Next(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, merr := target.Measure(sug.Index)
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		if err := advisor.Observe(sug.Index, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cause := errors.New("client went away")
+	res, err := advisor.Abort(cause)
+	if err == nil || !errors.Is(err, cause) {
+		t.Fatalf("Abort err = %v, want wrapped cause", err)
+	}
+	if res == nil || !res.Partial || res.NumMeasurements() != 2 {
+		t.Fatalf("Abort result = %+v, want Partial with 2 observations", res)
+	}
+	if !advisor.Done() {
+		t.Error("advisor not Done after Abort")
+	}
+	if res.BestName == "" {
+		t.Error("salvaged result lost the best VM's name")
+	}
+}

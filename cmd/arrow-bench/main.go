@@ -45,14 +45,21 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("arrow-bench", flag.ContinueOnError)
 	outPath := fs.String("o", "", "write the JSON report to this file instead of stdout")
 	compare := fs.Bool("compare", false, "compare two JSON reports: arrow-bench -compare old.json new.json")
+	guard := fs.String("guard", "", "with -compare, fail when a benchmark regresses past its budget: 'BenchmarkFullSearchAugmented=25,BenchmarkOther=10' (percent ns/op)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *guard != "" && !*compare {
+		return fmt.Errorf("-guard only applies with -compare")
 	}
 	if *compare {
 		if fs.NArg() != 2 {
 			return fmt.Errorf("-compare needs exactly two reports: old.json new.json")
 		}
-		return runCompare(fs.Arg(0), fs.Arg(1), out)
+		if err := runCompare(fs.Arg(0), fs.Arg(1), out); err != nil {
+			return err
+		}
+		return runGuard(fs.Arg(0), fs.Arg(1), *guard, out)
 	}
 
 	report, err := parseBench(in)
@@ -197,6 +204,62 @@ func extraSuffix(m Metrics) string {
 		fmt.Fprintf(&sb, "  %s=%.4g", unit, m.Extra[unit])
 	}
 	return sb.String()
+}
+
+// runGuard enforces per-benchmark regression budgets against two
+// reports already known to read cleanly (runCompare ran first). spec is
+// a comma-separated list of name=percent entries; a guarded benchmark
+// missing from either report fails, because a guard that silently
+// evaluates nothing is worse than no guard. An empty spec is a no-op.
+func runGuard(oldPath, newPath, spec string, out io.Writer) error {
+	if spec == "" {
+		return nil
+	}
+	oldRep, err := readReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := readReport(newPath)
+	if err != nil {
+		return err
+	}
+	var failures []string
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, budgetStr, ok := strings.Cut(entry, "=")
+		if !ok {
+			return fmt.Errorf("bad -guard entry %q, want Name=percent", entry)
+		}
+		budget, err := strconv.ParseFloat(budgetStr, 64)
+		if err != nil || budget < 0 {
+			return fmt.Errorf("bad -guard budget in %q, want a non-negative percent", entry)
+		}
+		o, inOld := oldRep[name]
+		n, inNew := newRep[name]
+		switch {
+		case !inOld:
+			failures = append(failures, fmt.Sprintf("%s missing from baseline %s", name, oldPath))
+		case !inNew:
+			failures = append(failures, fmt.Sprintf("%s missing from %s", name, newPath))
+		case o.NsPerOp <= 0:
+			failures = append(failures, fmt.Sprintf("%s has a non-positive baseline ns/op", name))
+		default:
+			delta := 100 * (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+			if delta > budget {
+				failures = append(failures, fmt.Sprintf("%s regressed %.1f%% (%.0f -> %.0f ns/op), budget %.1f%%",
+					name, delta, o.NsPerOp, n.NsPerOp, budget))
+			} else {
+				fmt.Fprintf(out, "guard ok: %s %+.1f%% within %.1f%% budget\n", name, delta, budget)
+			}
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench guard failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 func readReport(path string) (map[string]Metrics, error) {

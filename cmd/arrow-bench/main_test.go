@@ -160,3 +160,74 @@ func TestCompareRejectsBadArgs(t *testing.T) {
 		t.Error("missing report file should fail")
 	}
 }
+
+func TestGuardPassesWithinBudget(t *testing.T) {
+	oldPath := writeReport(t, "old.json", map[string]Metrics{
+		"BenchmarkFullSearchAugmented": {Iterations: 10, NsPerOp: 1000},
+	})
+	newPath := writeReport(t, "new.json", map[string]Metrics{
+		"BenchmarkFullSearchAugmented": {Iterations: 10, NsPerOp: 1200},
+	})
+	var out bytes.Buffer
+	err := run([]string{"-compare", "-guard", "BenchmarkFullSearchAugmented=25", oldPath, newPath},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatalf("20%% regression within a 25%% budget should pass: %v", err)
+	}
+	if !strings.Contains(out.String(), "guard ok") {
+		t.Errorf("output missing guard confirmation:\n%s", out.String())
+	}
+}
+
+func TestGuardFailsPastBudget(t *testing.T) {
+	oldPath := writeReport(t, "old.json", map[string]Metrics{
+		"BenchmarkFullSearchAugmented": {Iterations: 10, NsPerOp: 1000},
+	})
+	newPath := writeReport(t, "new.json", map[string]Metrics{
+		"BenchmarkFullSearchAugmented": {Iterations: 10, NsPerOp: 1400},
+	})
+	err := run([]string{"-compare", "-guard", "BenchmarkFullSearchAugmented=25", oldPath, newPath},
+		strings.NewReader(""), &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "regressed 40.0%") {
+		t.Fatalf("40%% regression past a 25%% budget should fail, got %v", err)
+	}
+}
+
+func TestGuardFailsOnMissingBenchmark(t *testing.T) {
+	oldPath := writeReport(t, "old.json", map[string]Metrics{"BenchmarkOther": {NsPerOp: 5}})
+	newPath := writeReport(t, "new.json", map[string]Metrics{"BenchmarkOther": {NsPerOp: 5}})
+	err := run([]string{"-compare", "-guard", "BenchmarkFullSearchAugmented=25", oldPath, newPath},
+		strings.NewReader(""), &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "missing from baseline") {
+		t.Fatalf("guarding an absent benchmark should fail, got %v", err)
+	}
+}
+
+func TestGuardRejectsBadSpecs(t *testing.T) {
+	good := writeReport(t, "good.json", map[string]Metrics{"BenchmarkX": {NsPerOp: 1}})
+	for _, spec := range []string{"BenchmarkX", "BenchmarkX=fast", "BenchmarkX=-5"} {
+		if err := run([]string{"-compare", "-guard", spec, good, good},
+			strings.NewReader(""), &bytes.Buffer{}); err == nil {
+			t.Errorf("spec %q should be rejected", spec)
+		}
+	}
+	if err := run([]string{"-guard", "BenchmarkX=25"}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Error("-guard without -compare should be rejected")
+	}
+}
+
+func TestGuardMultipleEntries(t *testing.T) {
+	oldPath := writeReport(t, "old.json", map[string]Metrics{
+		"BenchmarkA": {NsPerOp: 100},
+		"BenchmarkB": {NsPerOp: 100},
+	})
+	newPath := writeReport(t, "new.json", map[string]Metrics{
+		"BenchmarkA": {NsPerOp: 105},
+		"BenchmarkB": {NsPerOp: 180},
+	})
+	err := run([]string{"-compare", "-guard", "BenchmarkA=10, BenchmarkB=50", oldPath, newPath},
+		strings.NewReader(""), &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkB") || strings.Contains(err.Error(), "BenchmarkA regressed") {
+		t.Fatalf("only BenchmarkB should fail, got %v", err)
+	}
+}

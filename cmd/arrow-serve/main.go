@@ -1,0 +1,135 @@
+// Command arrow-serve runs the optimizers as a service: a long-running
+// HTTP server where each client session is an interactive advisor — the
+// server plans which VM to measure next, the client measures it and
+// reports back, until the session's own stopping rule fires.
+//
+//	POST   /v1/sessions               open a session (method, seed, budget…)
+//	GET    /v1/sessions               list live sessions
+//	GET    /v1/sessions/{id}/next     which candidate to measure next
+//	POST   /v1/sessions/{id}/observe  report a measurement (or failure)
+//	GET    /v1/sessions/{id}/result   the recommendation once done
+//	DELETE /v1/sessions/{id}          abort now, salvaging a partial result
+//	GET    /healthz                   liveness + session count
+//	GET    /metricsz                  aggregated telemetry counters
+//
+// The store holds at most -max-sessions advisors and evicts sessions
+// idle past -session-ttl (evicted ids answer 410 Gone). Planning compute
+// is bounded by -workers. On SIGINT/SIGTERM the server stops accepting
+// sessions, flushes every in-flight session to a salvaged partial
+// result, drains the listener, then exits.
+//
+// Usage:
+//
+//	arrow-serve -addr :8080
+//	arrow-serve -addr :8080 -audit audit.jsonl -max-sessions 128 -session-ttl 10m
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "arrow-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags, serves until a signal or until stop is closed, and
+// returns after the graceful shutdown completed. stop is a test seam; a
+// nil stop means serve until SIGINT/SIGTERM. Announcing the bound
+// address (and everything else) goes to errOut.
+func run(args []string, errOut io.Writer, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("arrow-serve", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		maxSessions = fs.Int("max-sessions", serve.DefaultMaxSessions, "live session cap; creates past it answer 429")
+		sessionTTL  = fs.Duration("session-ttl", serve.DefaultSessionTTL, "evict sessions idle longer than this (negative disables)")
+		reqTimeout  = fs.Duration("request-timeout", serve.DefaultRequestTimeout, "per-request planning deadline (negative disables)")
+		workers     = fs.Int("workers", 0, "max concurrent planning computations, 0 = GOMAXPROCS")
+		auditPath   = fs.String("audit", "", "append a JSONL audit stream (requests, session lifecycle, search events) to this file")
+		drainWait   = fs.Duration("drain", 10*time.Second, "how long shutdown waits for in-flight requests to drain")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	var tracer telemetry.Tracer
+	if *auditPath != "" {
+		f, err := os.OpenFile(*auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("audit file: %w", err)
+		}
+		defer f.Close()
+		jw := telemetry.NewJSONLWriter(f, false)
+		defer jw.Flush()
+		tracer = jw
+	}
+
+	srv := serve.New(serve.Config{
+		MaxSessions:    *maxSessions,
+		SessionTTL:     *sessionTTL,
+		RequestTimeout: *reqTimeout,
+		Workers:        *workers,
+		Tracer:         tracer,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	fmt.Fprintf(errOut, "arrow-serve: listening on %s (max-sessions %d, session-ttl %v, workers %d)\n",
+		ln.Addr(), *maxSessions, *sessionTTL, *workers)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	if stop == nil {
+		sigCh := make(chan os.Signal, 1)
+		signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+		defer signal.Stop(sigCh)
+		select {
+		case sig := <-sigCh:
+			fmt.Fprintf(errOut, "arrow-serve: %v, shutting down\n", sig)
+		case err := <-serveErr:
+			return err
+		}
+	} else {
+		select {
+		case <-stop:
+		case err := <-serveErr:
+			return err
+		}
+	}
+
+	// Flush every in-flight session to a salvaged partial result first —
+	// those results stay readable while the listener drains — then stop
+	// the listener.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(errOut, "arrow-serve: session flush incomplete: %v\n", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("draining listener: %w", err)
+	}
+	fmt.Fprintln(errOut, "arrow-serve: drained, bye")
+	return nil
+}

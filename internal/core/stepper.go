@@ -1,0 +1,264 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// This file inverts the optimizer control flow. Every Optimizer pulls
+// measurements from a Target inside its own loop; a Stepper turns that
+// loop inside out into a step-wise advisor state machine — Next asks
+// "which candidate should be measured?", Observe delivers the caller's
+// measurement — without forking the search loops. The loops stay the
+// single source of truth: the Stepper runs the unmodified Optimizer in a
+// goroutine against a channel-backed Target whose Measure blocks until
+// the caller observes, so a step-driven search is the same code path as
+// a batch search and produces the same result and trace for the same
+// seed and observations, by construction.
+
+// Catalog is the measurement-free slice of Target: candidate metadata
+// the advisor needs to plan, with the measurement left to the caller.
+type Catalog interface {
+	// NumCandidates returns the catalog size.
+	NumCandidates() int
+	// Features returns the instance-space encoding of candidate i.
+	Features(i int) []float64
+	// Name returns a human-readable name for candidate i.
+	Name(i int) string
+}
+
+// StepSuggestion is one advisor step: the candidate the search wants
+// measured next, or Done when the search is over and the result is ready.
+type StepSuggestion struct {
+	// Index / Name identify the candidate to measure; Index is -1 when
+	// Done is set.
+	Index int
+	Name  string
+	// Step counts the observations delivered before this suggestion.
+	Step int
+	// Done reports that the search has finished (stop rule, exhausted
+	// catalog, or abort) and Result will not block.
+	Done bool
+}
+
+// ErrStepperRunning reports a Result call before the search finished.
+var ErrStepperRunning = errors.New("core: search still running; result not ready")
+
+// ErrNoPendingSuggestion reports an Observe with no suggestion to
+// observe: either Next was never called, the previous suggestion was
+// already observed, or the search already finished.
+var ErrNoPendingSuggestion = errors.New("core: no pending suggestion to observe")
+
+// ErrSuggestionMismatch reports an Observe whose candidate index does
+// not match the pending suggestion.
+var ErrSuggestionMismatch = errors.New("core: observation does not match the pending suggestion")
+
+// ErrStepperAborted is the default abort cause.
+var ErrStepperAborted = errors.New("core: stepper aborted")
+
+// stepObs is one delivered measurement: an outcome or a measurement
+// error (a non-fatal error quarantines the candidate, exactly as a
+// failing Target.Measure would in a batch search).
+type stepObs struct {
+	out Outcome
+	err error
+}
+
+// Stepper drives one Optimizer step by step. Construct with NewStepper;
+// all methods are safe for concurrent use. The expected cycle is
+// Next -> Observe -> Next -> ... -> Next returns Done -> Result. Next is
+// idempotent while a suggestion is pending (concurrent or repeated calls
+// return the same suggestion), and Observe rejects duplicates, index
+// mismatches, and delivery after the search ended.
+type Stepper struct {
+	cat Catalog
+
+	suggCh  chan int      // unbuffered: loop's Measure blocks until Next receives
+	obsCh   chan stepObs  // unbuffered: Observe blocks until the loop receives
+	abortCh chan struct{} // closed by Abort; unblocks the loop's Measure
+	doneCh  chan struct{} // closed when the search goroutine finished
+
+	abortOnce sync.Once
+	cause     error // abort cause, written once before abortCh closes
+
+	mu        sync.Mutex
+	nextMu    sync.Mutex // serializes blocking Next calls
+	pending   StepSuggestion
+	isPending bool
+	delivered int // observations delivered so far (accepted or not)
+	res       *Result
+	err       error
+}
+
+// NewStepper starts the optimizer's search loop against cat and returns
+// the stepper driving it. The loop runs in its own goroutine but only
+// ever advances inside Next/Observe/Abort calls — between calls it is
+// parked on a channel, so an idle Stepper costs one blocked goroutine.
+// Callers that abandon a Stepper must call Abort to release it.
+func NewStepper(opt Optimizer, cat Catalog) *Stepper {
+	s := &Stepper{
+		cat:     cat,
+		suggCh:  make(chan int),
+		obsCh:   make(chan stepObs),
+		abortCh: make(chan struct{}),
+		doneCh:  make(chan struct{}),
+	}
+	go func() {
+		res, err := opt.Search(&stepperTarget{cat: cat, s: s})
+		s.mu.Lock()
+		s.res, s.err = res, err
+		s.mu.Unlock()
+		close(s.doneCh)
+	}()
+	return s
+}
+
+// Next returns the candidate the search wants measured next, blocking
+// while the optimizer computes (surrogate fit + acquisition pass — not
+// a measurement; those are the caller's). While a suggestion is pending
+// it returns that same suggestion immediately. When the search has
+// finished it returns a Done suggestion. ctx bounds the wait; a nil ctx
+// means no deadline.
+func (s *Stepper) Next(ctx context.Context) (StepSuggestion, error) {
+	s.nextMu.Lock()
+	defer s.nextMu.Unlock()
+
+	s.mu.Lock()
+	if s.isPending {
+		sug := s.pending
+		s.mu.Unlock()
+		return sug, nil
+	}
+	s.mu.Unlock()
+
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
+	select {
+	case idx := <-s.suggCh:
+		s.mu.Lock()
+		sug := StepSuggestion{Index: idx, Name: s.cat.Name(idx), Step: s.delivered}
+		s.pending, s.isPending = sug, true
+		s.mu.Unlock()
+		return sug, nil
+	case <-s.doneCh:
+		return StepSuggestion{Index: -1, Done: true, Step: s.deliveredCount()}, nil
+	case <-ctxDone:
+		return StepSuggestion{}, ctx.Err()
+	}
+}
+
+// Observe delivers the measurement of the pending suggestion. index must
+// match the pending suggestion's. A nil merr feeds the outcome to the
+// search loop; a non-nil merr is treated exactly like a failing
+// Target.Measure — the loop quarantines the candidate and continues
+// (wrap with Fatal to abort the whole search instead). Observing when no
+// suggestion is pending (never asked, already observed, search done)
+// returns ErrNoPendingSuggestion.
+func (s *Stepper) Observe(index int, out Outcome, merr error) error {
+	s.mu.Lock()
+	if !s.isPending {
+		s.mu.Unlock()
+		return ErrNoPendingSuggestion
+	}
+	if index != s.pending.Index {
+		want := s.pending.Index
+		s.mu.Unlock()
+		return fmt.Errorf("%w: got candidate %d, candidate %d is pending", ErrSuggestionMismatch, index, want)
+	}
+	s.isPending = false
+	s.delivered++
+	s.mu.Unlock()
+
+	select {
+	case s.obsCh <- stepObs{out: out, err: merr}:
+		return nil
+	case <-s.doneCh:
+		// The loop aborted between the suggestion and this delivery.
+		return ErrNoPendingSuggestion
+	}
+}
+
+// Done reports whether the search has finished and Result is ready.
+func (s *Stepper) Done() bool {
+	select {
+	case <-s.doneCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// Result returns the finished search outcome. Before the search ends it
+// returns ErrStepperRunning; afterwards it returns exactly what the
+// underlying Optimizer.Search returned — including a Partial result
+// alongside a non-nil error when the search was aborted, the PR 1
+// salvage contract.
+func (s *Stepper) Result() (*Result, error) {
+	if !s.Done() {
+		return nil, ErrStepperRunning
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.res, s.err
+}
+
+// Abort ends the search now: the loop's pending measurement (or its next
+// one) fails with a Fatal-marked cause, driving the optimizer's abort
+// path to a Partial result that keeps every delivered observation. Abort
+// blocks until the loop has finalized and returns the salvaged result.
+// Aborting a finished stepper just returns the finished result. cause
+// may be nil (ErrStepperAborted is used).
+func (s *Stepper) Abort(cause error) (*Result, error) {
+	if cause == nil {
+		cause = ErrStepperAborted
+	}
+	s.abortOnce.Do(func() {
+		s.cause = cause
+		close(s.abortCh)
+	})
+	<-s.doneCh
+	s.mu.Lock()
+	s.isPending = false // a pending suggestion can never be observed now
+	res, err := s.res, s.err
+	s.mu.Unlock()
+	return res, err
+}
+
+// deliveredCount reads the delivery counter under the lock.
+func (s *Stepper) deliveredCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.delivered
+}
+
+// stepperTarget is the channel-backed Target the search loop runs
+// against: Measure publishes the candidate as a suggestion and blocks
+// until the caller observes (or aborts).
+type stepperTarget struct {
+	cat Catalog
+	s   *Stepper
+}
+
+var _ Target = (*stepperTarget)(nil)
+
+func (t *stepperTarget) NumCandidates() int       { return t.cat.NumCandidates() }
+func (t *stepperTarget) Features(i int) []float64 { return t.cat.Features(i) }
+func (t *stepperTarget) Name(i int) string        { return t.cat.Name(i) }
+
+func (t *stepperTarget) Measure(i int) (Outcome, error) {
+	select {
+	case t.s.suggCh <- i:
+	case <-t.s.abortCh:
+		return Outcome{}, &fatalError{err: t.s.cause}
+	}
+	select {
+	case m := <-t.s.obsCh:
+		return m.out, m.err
+	case <-t.s.abortCh:
+		return Outcome{}, &fatalError{err: t.s.cause}
+	}
+}

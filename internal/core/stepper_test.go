@@ -1,0 +1,360 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// driveStepper plays a full advisor session against a fakeTarget's data:
+// every suggestion is answered with the target's own outcome, so the
+// session sees exactly what a batch search over the target would.
+func driveStepper(t *testing.T, s *Stepper, target *fakeTarget) {
+	t.Helper()
+	for {
+		sug, err := s.Next(context.Background())
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if sug.Done {
+			return
+		}
+		out, merr := target.Measure(sug.Index)
+		if err := s.Observe(sug.Index, out, merr); err != nil {
+			t.Fatalf("Observe(%d): %v", sug.Index, err)
+		}
+	}
+}
+
+func TestStepperMatchesBatchSearchAllOptimizers(t *testing.T) {
+	for name, opt := range allOptimizers(t, MinimizeTime, 7, false) {
+		t.Run(name, func(t *testing.T) {
+			batch := newFakeTarget(exhaustiveValues())
+			want, err := opt.Search(batch)
+			if err != nil {
+				t.Fatalf("batch Search: %v", err)
+			}
+
+			stepTarget := newFakeTarget(exhaustiveValues())
+			s := NewStepper(opt, stepTarget)
+			driveStepper(t, s, stepTarget)
+			got, err := s.Result()
+			if err != nil {
+				t.Fatalf("Result: %v", err)
+			}
+
+			if got.BestIndex != want.BestIndex || got.BestValue != want.BestValue {
+				t.Errorf("best = (%d, %v), batch got (%d, %v)", got.BestIndex, got.BestValue, want.BestIndex, want.BestValue)
+			}
+			if !reflect.DeepEqual(got.Observations, want.Observations) {
+				t.Errorf("observations diverge:\n step: %+v\nbatch: %+v", got.Observations, want.Observations)
+			}
+			if got.StoppedEarly != want.StoppedEarly {
+				t.Errorf("StoppedEarly = %v, batch %v", got.StoppedEarly, want.StoppedEarly)
+			}
+			if !reflect.DeepEqual(stepTarget.measured, batch.measured) {
+				t.Errorf("measurement order diverges:\n step: %v\nbatch: %v", stepTarget.measured, batch.measured)
+			}
+		})
+	}
+}
+
+func TestStepperNextIsIdempotentWhilePending(t *testing.T) {
+	opt, err := NewRandomSearch(RandomSearchConfig{Objective: MinimizeTime, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := newFakeTarget(exhaustiveValues())
+	s := NewStepper(opt, target)
+	defer s.Abort(nil)
+
+	first, err := s.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range 3 {
+		again, err := s.Next(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != first {
+			t.Fatalf("repeated Next = %+v, want %+v", again, first)
+		}
+	}
+}
+
+func TestStepperConcurrentNextReturnsOneSuggestion(t *testing.T) {
+	opt, err := NewRandomSearch(RandomSearchConfig{Objective: MinimizeTime, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := newFakeTarget(exhaustiveValues())
+	s := NewStepper(opt, target)
+	defer s.Abort(nil)
+
+	const callers = 8
+	got := make([]StepSuggestion, callers)
+	var wg sync.WaitGroup
+	for i := range callers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sug, err := s.Next(context.Background())
+			if err != nil {
+				t.Errorf("Next: %v", err)
+				return
+			}
+			got[i] = sug
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("caller %d saw %+v, caller 0 saw %+v", i, got[i], got[0])
+		}
+	}
+}
+
+func TestStepperObserveWithoutPending(t *testing.T) {
+	opt, err := NewRandomSearch(RandomSearchConfig{Objective: MinimizeTime, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := newFakeTarget(exhaustiveValues())
+	s := NewStepper(opt, target)
+	defer s.Abort(nil)
+
+	if err := s.Observe(0, Outcome{TimeSec: 1, CostUSD: 1}, nil); !errors.Is(err, ErrNoPendingSuggestion) {
+		t.Fatalf("Observe before Next = %v, want ErrNoPendingSuggestion", err)
+	}
+
+	sug, err := s.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := target.Measure(sug.Index)
+	if err := s.Observe(sug.Index, out, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate delivery of the same suggestion.
+	if err := s.Observe(sug.Index, out, nil); !errors.Is(err, ErrNoPendingSuggestion) {
+		t.Fatalf("duplicate Observe = %v, want ErrNoPendingSuggestion", err)
+	}
+}
+
+func TestStepperObserveIndexMismatch(t *testing.T) {
+	opt, err := NewRandomSearch(RandomSearchConfig{Objective: MinimizeTime, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := newFakeTarget(exhaustiveValues())
+	s := NewStepper(opt, target)
+	defer s.Abort(nil)
+
+	sug, err := s.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := (sug.Index + 1) % target.NumCandidates()
+	if err := s.Observe(wrong, Outcome{TimeSec: 1, CostUSD: 1}, nil); !errors.Is(err, ErrSuggestionMismatch) {
+		t.Fatalf("mismatched Observe = %v, want ErrSuggestionMismatch", err)
+	}
+	// The pending suggestion survives a rejected observation.
+	again, err := s.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != sug {
+		t.Fatalf("pending lost after rejected Observe: %+v != %+v", again, sug)
+	}
+}
+
+func TestStepperResultBeforeDone(t *testing.T) {
+	opt, err := NewRandomSearch(RandomSearchConfig{Objective: MinimizeTime, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStepper(opt, newFakeTarget(exhaustiveValues()))
+	defer s.Abort(nil)
+
+	if _, err := s.Result(); !errors.Is(err, ErrStepperRunning) {
+		t.Fatalf("Result before done = %v, want ErrStepperRunning", err)
+	}
+	if s.Done() {
+		t.Fatal("Done before any step")
+	}
+}
+
+func TestStepperNextHonorsContext(t *testing.T) {
+	opt, err := NewRandomSearch(RandomSearchConfig{Objective: MinimizeTime, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := newFakeTarget(exhaustiveValues())
+	s := NewStepper(opt, target)
+	defer s.Abort(nil)
+
+	// Consume the pending suggestion but never observe; the loop is now
+	// parked waiting for an observation, so a second... actually Next
+	// returns the pending suggestion. Instead: observe, then race Next
+	// against an already-cancelled context before the loop suggests.
+	sug, err := s.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Observe(sug.Index, Outcome{}, errors.New("skip")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Next(ctx); !errors.Is(err, context.Canceled) {
+		// The loop may already have parked the next suggestion on the
+		// channel, in which case Next legitimately returns it; only a
+		// still-computing loop surfaces the context error. Accept both,
+		// but a nil error must carry a valid suggestion.
+		if err != nil {
+			t.Fatalf("Next with cancelled ctx = %v, want context.Canceled or a suggestion", err)
+		}
+	}
+}
+
+func TestStepperAbortSalvagesPartialResult(t *testing.T) {
+	opt, err := NewAugmentedBO(AugmentedBOConfig{Objective: MinimizeTime, Seed: 2, DeltaThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := newFakeTarget(exhaustiveValues())
+	s := NewStepper(opt, target)
+
+	// Deliver three observations, then abort mid-search.
+	for range 3 {
+		sug, err := s.Next(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := target.Measure(sug.Index)
+		if err := s.Observe(sug.Index, out, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cause := errors.New("operator pulled the plug")
+	res, err := s.Abort(cause)
+	if err == nil || !errors.Is(err, cause) {
+		t.Fatalf("Abort err = %v, want wrapped cause", err)
+	}
+	if res == nil || !res.Partial {
+		t.Fatalf("Abort result = %+v, want salvaged Partial", res)
+	}
+	if res.NumMeasurements() != 3 {
+		t.Errorf("salvaged %d observations, want 3", res.NumMeasurements())
+	}
+	// Post-abort the stepper is terminal: Next reports Done, Observe
+	// rejects, Result repeats the salvage.
+	sug, err := s.Next(context.Background())
+	if err != nil || !sug.Done {
+		t.Fatalf("Next after abort = %+v, %v; want Done", sug, err)
+	}
+	if err := s.Observe(0, Outcome{}, nil); !errors.Is(err, ErrNoPendingSuggestion) {
+		t.Fatalf("Observe after abort = %v, want ErrNoPendingSuggestion", err)
+	}
+	res2, err2 := s.Result()
+	if res2 != res || !errors.Is(err2, cause) {
+		t.Fatalf("Result after abort = %+v, %v", res2, err2)
+	}
+}
+
+func TestStepperAbortWithPendingSuggestion(t *testing.T) {
+	opt, err := NewRandomSearch(RandomSearchConfig{Objective: MinimizeTime, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := newFakeTarget(exhaustiveValues())
+	s := NewStepper(opt, target)
+
+	if _, err := s.Next(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		res, err := s.Abort(nil)
+		if err == nil || !errors.Is(err, ErrStepperAborted) {
+			t.Errorf("Abort err = %v, want ErrStepperAborted", err)
+		}
+		if res == nil || !res.Partial {
+			t.Errorf("Abort result = %+v, want Partial", res)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Abort deadlocked with a pending suggestion")
+	}
+}
+
+func TestStepperAbortAfterFinishReturnsFinishedResult(t *testing.T) {
+	opt, err := NewRandomSearch(RandomSearchConfig{Objective: MinimizeTime, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := newFakeTarget(exhaustiveValues())
+	s := NewStepper(opt, target)
+	driveStepper(t, s, target)
+
+	res, err := s.Abort(errors.New("too late"))
+	if err != nil {
+		t.Fatalf("Abort after finish err = %v", err)
+	}
+	if res == nil || res.Partial {
+		t.Fatalf("Abort after finish = %+v, want the complete result", res)
+	}
+}
+
+func TestStepperObserveFailureQuarantines(t *testing.T) {
+	opt, err := NewRandomSearch(RandomSearchConfig{Objective: MinimizeTime, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := newFakeTarget(exhaustiveValues())
+	s := NewStepper(opt, target)
+
+	failed := -1
+	for {
+		sug, err := s.Next(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sug.Done {
+			break
+		}
+		if failed == -1 {
+			failed = sug.Index
+			if err := s.Observe(sug.Index, Outcome{}, errors.New("injected measurement failure")); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		out, _ := target.Measure(sug.Index)
+		if err := s.Observe(sug.Index, out, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Result()
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	if res.NumMeasurements() != target.NumCandidates()-1 {
+		t.Errorf("measured %d, want %d (failed candidate quarantined)", res.NumMeasurements(), target.NumCandidates()-1)
+	}
+	for _, obs := range res.Observations {
+		if obs.Index == failed {
+			t.Errorf("quarantined candidate %d appears in observations", failed)
+		}
+	}
+	if len(res.Failures) != 1 || res.Failures[0].Index != failed {
+		t.Errorf("failures = %+v, want exactly candidate %d", res.Failures, failed)
+	}
+}

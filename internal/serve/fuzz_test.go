@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzDecodeSessionRequest drives the strict session-request decoder
+// with arbitrary bytes. Properties: it never panics, everything it
+// accepts is within the wire limits with finite features, and an
+// accepted request survives a marshal/decode round trip — so nothing
+// reaches BuildOptimizer that the decoder would not accept back.
+func FuzzDecodeSessionRequest(f *testing.F) {
+	f.Add([]byte(`{"method":"augmented-bo","seed":42}`))
+	f.Add([]byte(`{"method":"naive","objective":"time","seed":1,"max_measurements":9,"kernel":"rbf","trace":true}`))
+	f.Add([]byte(`{"method":"random","candidates":[{"name":"a","features":[1,2]},{"name":"b","features":[3,4]}]}`))
+	f.Add([]byte(`{"method":"hybrid","switch_after":3,"delta_threshold":0.1,"ei_stop_fraction":0.01,"max_time_slo":120}`))
+	f.Add([]byte(`{"method":"naive","candidates":[{"features":[1e308,2]}]}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`garbage`))
+	f.Add([]byte(`{"method":"naive"}{"method":"naive"}`))
+	f.Add([]byte(`{"method":"naive","unknown_field":1}`))
+	f.Add([]byte(`{"method":"naive","candidates":[{"name":"a","features":[]}]}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"seed":1e309}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeSessionRequest(data)
+		if err != nil {
+			return
+		}
+		if len(req.Candidates) > MaxCandidates {
+			t.Fatalf("accepted %d candidates past the cap", len(req.Candidates))
+		}
+		for i, c := range req.Candidates {
+			if len(c.Features) == 0 || len(c.Features) > MaxFeatureDims {
+				t.Fatalf("accepted candidate %d with %d features", i, len(c.Features))
+			}
+			for _, v := range c.Features {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("accepted a non-finite feature in candidate %d", i)
+				}
+			}
+		}
+		if math.IsNaN(req.MaxTimeSLO) || math.IsInf(req.MaxTimeSLO, 0) || req.MaxTimeSLO < 0 {
+			t.Fatalf("accepted max_time_slo %v", req.MaxTimeSLO)
+		}
+		out, merr := json.Marshal(req)
+		if merr != nil {
+			t.Fatalf("accepted request does not re-marshal: %v (input %q)", merr, data)
+		}
+		if _, derr := DecodeSessionRequest(out); derr != nil {
+			t.Fatalf("re-marshaled request does not re-decode: %v (input %q -> %q)", derr, data, out)
+		}
+	})
+}
+
+// FuzzDecodeObserveRequest drives the observe-body decoder. Properties:
+// no panics, accepted indexes are non-negative, accepted metric vectors
+// are within the cap, and acceptance round-trips.
+func FuzzDecodeObserveRequest(f *testing.F) {
+	f.Add([]byte(`{"index":3,"time_sec":120.5,"cost_usd":0.42}`))
+	f.Add([]byte(`{"index":0,"time_sec":1,"cost_usd":1,"metrics":[50,10,8,40,20,6]}`))
+	f.Add([]byte(`{"index":5,"failed":true,"reason":"spot reclaimed"}`))
+	f.Add([]byte(`{"index":-1}`))
+	f.Add([]byte(`{"index":0,"time_sec":-3}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"index":1,"bogus":true}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeObserveRequest(data)
+		if err != nil {
+			return
+		}
+		if req.Index < 0 {
+			t.Fatalf("accepted negative index %d", req.Index)
+		}
+		if len(req.Metrics) > MaxFeatureDims {
+			t.Fatalf("accepted %d metrics past the cap", len(req.Metrics))
+		}
+		out, merr := json.Marshal(req)
+		if merr != nil {
+			t.Fatalf("accepted request does not re-marshal: %v (input %q)", merr, data)
+		}
+		if _, derr := DecodeObserveRequest(out); derr != nil {
+			t.Fatalf("re-marshaled request does not re-decode: %v (input %q -> %q)", derr, data, out)
+		}
+	})
+}

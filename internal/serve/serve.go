@@ -1,0 +1,529 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	arrow "repro"
+	"repro/internal/parallel"
+	"repro/internal/telemetry"
+)
+
+// Defaults for the zero Config fields.
+const (
+	DefaultMaxSessions    = 256
+	DefaultSessionTTL     = 30 * time.Minute
+	DefaultRequestTimeout = 30 * time.Second
+)
+
+// ErrShuttingDown rejects new sessions during graceful shutdown.
+var ErrShuttingDown = errors.New("serve: server is shutting down")
+
+// errSessionAborted is the salvage cause for client-requested deletes.
+var errSessionAborted = errors.New("serve: session aborted by client")
+
+// errSessionEvicted is the salvage cause for TTL/cap evictions.
+var errSessionEvicted = errors.New("serve: session evicted")
+
+// errShutdownFlush is the salvage cause for graceful-shutdown flushing.
+var errShutdownFlush = errors.New("serve: session flushed by server shutdown")
+
+// Config parameterizes a Server. The zero value serves with the
+// defaults above, no audit sink and fresh metrics.
+type Config struct {
+	// MaxSessions caps the live sessions held in memory; creates beyond
+	// it get 429 once nothing is expired. 0 means DefaultMaxSessions.
+	MaxSessions int
+	// SessionTTL evicts sessions idle longer than this; later requests
+	// for them get 410 Gone. 0 means DefaultSessionTTL; negative
+	// disables eviction.
+	SessionTTL time.Duration
+	// RequestTimeout bounds each request's planning work. 0 means
+	// DefaultRequestTimeout; negative disables the deadline.
+	RequestTimeout time.Duration
+	// Workers bounds the planning computations (surrogate fits +
+	// acquisition passes) running at once, server-wide. 0 means
+	// GOMAXPROCS, resolved through internal/parallel.
+	Workers int
+	// Tracer receives the audit stream: one http_request event per API
+	// call, session lifecycle events, and every session's search events
+	// stamped with the session id in the Workload field. Nil disables
+	// audit logging (metrics still aggregate).
+	Tracer telemetry.Tracer
+	// Metrics aggregates the same stream for /metricsz. Nil means a
+	// fresh aggregator owned by the server.
+	Metrics *telemetry.Metrics
+	// Now is the clock (a test seam for TTL eviction). Nil means
+	// time.Now.
+	Now func() time.Time
+}
+
+// Server is the optimizer-as-a-service HTTP handler. Construct with
+// New; it is safe for concurrent use.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	store   *store
+	sem     chan struct{}
+	tracer  telemetry.Tracer // audit sink + metrics, never nil-checked at emit sites
+	metrics *telemetry.Metrics
+	nextID  atomic.Int64
+	down    atomic.Bool
+	flushMu sync.Mutex
+}
+
+// session is one live advisor with its serving bookkeeping.
+type session struct {
+	id        string
+	method    string
+	objective string
+	seed      int64
+	advisor   *arrow.Advisor
+	recorder  *telemetry.Recorder // non-nil when the client asked for a trace
+
+	// mu serializes this session's step operations: concurrent next
+	// calls see one consistent pending suggestion, and observe/next
+	// interleavings cannot race the advisor state machine.
+	mu sync.Mutex
+
+	// endOnce guards the single session_end audit event.
+	endOnce sync.Once
+
+	// lastTouch is the idle clock; guarded by the store's mutex.
+	lastTouch time.Time
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	if cfg.MaxSessions == 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.SessionTTL == 0 {
+		cfg.SessionTTL = DefaultSessionTTL
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	metrics := cfg.Metrics
+	if metrics == nil {
+		metrics = telemetry.NewMetrics()
+	}
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		store:   newStore(cfg.MaxSessions, cfg.SessionTTL, cfg.Now),
+		sem:     make(chan struct{}, parallel.Workers(cfg.Workers, cfg.MaxSessions)),
+		tracer:  telemetry.Multi(cfg.Tracer, metrics),
+		metrics: metrics,
+	}
+	s.route("POST /v1/sessions", s.handleCreate)
+	s.route("GET /v1/sessions", s.handleList)
+	s.route("GET /v1/sessions/{id}/next", s.handleNext)
+	s.route("POST /v1/sessions/{id}/observe", s.handleObserve)
+	s.route("GET /v1/sessions/{id}/result", s.handleResult)
+	s.route("DELETE /v1/sessions/{id}", s.handleDelete)
+	s.route("GET /healthz", s.handleHealth)
+	s.route("GET /metricsz", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SessionCount reports the live sessions (for health and tests).
+func (s *Server) SessionCount() int { return s.store.len() }
+
+// route registers a handler wrapped with the audit middleware: a
+// request-scoped deadline, a body cap, and one http_request event per
+// call carrying the route, session id, status and handling duration.
+func (s *Server) route(pattern string, h func(http.ResponseWriter, *http.Request) int) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		if s.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, MaxRequestBytes)
+		status := h(w, r)
+		if s.tracer != nil {
+			s.tracer.Emit(telemetry.Event{
+				Kind:      telemetry.KindHTTPRequest,
+				Name:      r.PathValue("id"),
+				Candidate: -1,
+				Value:     float64(status),
+				Detail:    pattern,
+				Wall:      &telemetry.Wall{DurationNS: time.Since(t0).Nanoseconds()},
+			})
+		}
+	})
+}
+
+// acquire takes one planning token, or fails when the request deadline
+// expires first.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// handleCreate opens a session: decode + validate the config, build the
+// optimizer through the public API, start the advisor, store it.
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) int {
+	if s.down.Load() {
+		return writeErr(w, http.StatusServiceUnavailable, ErrShuttingDown.Error())
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return writeErr(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+	}
+	req, err := DecodeSessionRequest(body)
+	if err != nil {
+		return writeErr(w, http.StatusBadRequest, err.Error())
+	}
+
+	id := fmt.Sprintf("s-%06d", s.nextID.Add(1))
+	sess := &session{id: id, seed: req.Seed}
+	sinks := []telemetry.Tracer{}
+	if req.Trace {
+		sess.recorder = telemetry.NewRecorder()
+		sinks = append(sinks, sess.recorder)
+	}
+	if s.tracer != nil {
+		sinks = append(sinks, &sessionTracer{id: id, sink: s.tracer})
+	}
+	opt, candidates, err := BuildOptimizer(req, arrow.WithTracer(telemetry.Multi(sinks...)))
+	if err != nil {
+		return writeErr(w, http.StatusBadRequest, err.Error())
+	}
+	sess.method = opt.Method().String()
+	sess.objective = opt.Objective().String()
+	advisor, err := opt.NewAdvisor(candidates)
+	if err != nil {
+		return writeErr(w, http.StatusBadRequest, err.Error())
+	}
+	sess.advisor = advisor
+
+	evicted, err := s.store.add(sess)
+	s.finalizeEvicted(evicted)
+	if err != nil {
+		advisor.Abort(ErrStoreFull)
+		return writeErr(w, http.StatusTooManyRequests,
+			fmt.Sprintf("session cap %d reached; retry after idle sessions expire", s.cfg.MaxSessions))
+	}
+	if s.tracer != nil {
+		s.tracer.Emit(telemetry.Event{
+			Kind:      telemetry.KindSessionCreate,
+			Name:      id,
+			Seed:      req.Seed,
+			Candidate: -1,
+			Value:     float64(advisor.NumCandidates()),
+			Detail:    sess.method + "/" + sess.objective,
+		})
+	}
+	return writeJSON(w, http.StatusCreated, s.infoOf(sess))
+}
+
+// handleList enumerates the live sessions.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) int {
+	sessions := s.store.all()
+	infos := make([]SessionInfo, 0, len(sessions))
+	for _, sess := range sessions {
+		infos = append(infos, s.infoOf(sess))
+	}
+	// Deterministic order for clients and tests.
+	for i := 1; i < len(infos); i++ {
+		for j := i; j > 0 && infos[j].ID < infos[j-1].ID; j-- {
+			infos[j], infos[j-1] = infos[j-1], infos[j]
+		}
+	}
+	return writeJSON(w, http.StatusOK, infos)
+}
+
+// handleNext answers "what should I measure next?". Idempotent while a
+// suggestion is pending; Done once the session's stop rule has fired.
+func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) int {
+	sess, status := s.resolve(w, r)
+	if sess == nil {
+		return status
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sug, st := s.advance(w, r, sess)
+	if sug == nil {
+		return st
+	}
+	return writeJSON(w, http.StatusOK, sug)
+}
+
+// handleObserve ingests a measurement (or a measurement failure), then
+// drives the session to its next suggestion so the response can carry
+// it — that is where the planning compute runs, under the server-wide
+// semaphore.
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) int {
+	sess, status := s.resolve(w, r)
+	if sess == nil {
+		return status
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return writeErr(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+	}
+	req, err := DecodeObserveRequest(body)
+	if err != nil {
+		return writeErr(w, http.StatusBadRequest, err.Error())
+	}
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if req.Failed {
+		reason := req.Reason
+		if reason == "" {
+			reason = "measurement failed"
+		}
+		err = sess.advisor.ObserveFailure(req.Index, errors.New(reason))
+	} else {
+		err = sess.advisor.Observe(req.Index, arrow.Outcome{
+			TimeSec: req.TimeSec,
+			CostUSD: req.CostUSD,
+			Metrics: req.Metrics,
+		})
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, arrow.ErrNoPendingSuggestion):
+		return writeErr(w, http.StatusConflict, "no pending suggestion: not asked, already observed, or session finished")
+	case errors.Is(err, arrow.ErrSuggestionMismatch):
+		return writeErr(w, http.StatusConflict, err.Error())
+	default:
+		return writeErr(w, http.StatusBadRequest, err.Error())
+	}
+
+	sug, st := s.advance(w, r, sess)
+	if sug == nil {
+		return st
+	}
+	return writeJSON(w, http.StatusOK, ObserveResponse{Step: sug.Step, Next: *sug})
+}
+
+// advance drives the session to its next suggestion (or Done) under the
+// planning semaphore. Callers hold the session mutex. On failure the
+// error response has been written and a nil suggestion is returned.
+func (s *Server) advance(w http.ResponseWriter, r *http.Request, sess *session) (*arrow.Suggestion, int) {
+	if err := s.acquire(r.Context()); err != nil {
+		return nil, writeErr(w, http.StatusGatewayTimeout, fmt.Sprintf("planning queue: %v", err))
+	}
+	defer s.release()
+	sug, err := sess.advisor.Next(r.Context())
+	if err != nil {
+		return nil, writeErr(w, http.StatusGatewayTimeout, fmt.Sprintf("planning: %v", err))
+	}
+	if sug.Done {
+		s.endSession(sess, "done")
+	}
+	return &sug, 0
+}
+
+// handleResult returns the recommendation once the session is done
+// (naturally or salvaged); before that it answers 409 so clients can
+// tell "keep stepping" from "gone".
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) int {
+	sess, status := s.resolve(w, r)
+	if sess == nil {
+		return status
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	res, err := sess.advisor.Result()
+	if errors.Is(err, arrow.ErrSearchRunning) {
+		return writeErr(w, http.StatusConflict, "session still running; keep observing until next reports done")
+	}
+	return writeJSON(w, http.StatusOK, s.resultResponse(sess, res, err))
+}
+
+// handleDelete aborts a session now, salvaging whatever was measured
+// into a Partial result (the PR 1 salvage path), and returns it.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) int {
+	sess, status := s.resolve(w, r)
+	if sess == nil {
+		return status
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	res, err := sess.advisor.Abort(errSessionAborted)
+	s.endSession(sess, "aborted")
+	return writeJSON(w, http.StatusOK, s.resultResponse(sess, res, err))
+}
+
+// handleHealth is the liveness/readiness probe.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) int {
+	type health struct {
+		Status       string `json:"status"`
+		Sessions     int    `json:"sessions"`
+		MaxSessions  int    `json:"max_sessions"`
+		ShuttingDown bool   `json:"shutting_down,omitempty"`
+	}
+	st := "ok"
+	if s.down.Load() {
+		st = "shutting-down"
+	}
+	return writeJSON(w, http.StatusOK, health{
+		Status:       st,
+		Sessions:     s.store.len(),
+		MaxSessions:  s.cfg.MaxSessions,
+		ShuttingDown: s.down.Load(),
+	})
+}
+
+// handleMetrics renders the aggregated telemetry as text.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, "sessions: %d live (cap %d)\n\n", s.store.len(), s.cfg.MaxSessions)
+	io.WriteString(w, telemetry.RenderSummary(s.metrics))
+	return http.StatusOK
+}
+
+// Shutdown flushes every live session to a salvaged Partial result and
+// stops accepting new sessions. Results stay readable while the HTTP
+// listener drains (the caller owns listener shutdown). It is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.down.Store(true)
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	for _, sess := range s.store.all() {
+		// Abort needs no session mutex: a concurrent in-flight step
+		// simply sees the session finish.
+		sess.advisor.Abort(errShutdownFlush)
+		s.endSession(sess, "shutdown-flush")
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolve maps the request's session id to a live session, answering
+// 404 for unknown ids and 410 for evicted ones. Expired sessions found
+// by the lookup's sweep are finalized here.
+func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (*session, int) {
+	id := r.PathValue("id")
+	sess, status, evicted := s.store.get(id)
+	s.finalizeEvicted(evicted)
+	switch status {
+	case lookupOK:
+		return sess, 0
+	case lookupGone:
+		return nil, writeErr(w, http.StatusGone, fmt.Sprintf("session %s was evicted (idle past the %v TTL or flushed)", id, s.cfg.SessionTTL))
+	default:
+		return nil, writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown session %s", id))
+	}
+}
+
+// finalizeEvicted salvages sessions the store expired: their advisors
+// abort into Partial results (releasing the search goroutine) and the
+// eviction lands in the audit stream.
+func (s *Server) finalizeEvicted(evicted []*session) {
+	for _, sess := range evicted {
+		sess.advisor.Abort(errSessionEvicted)
+		s.endSession(sess, "evicted")
+	}
+}
+
+// endSession emits the single session_end audit event.
+func (s *Server) endSession(sess *session, disposition string) {
+	sess.endOnce.Do(func() {
+		if s.tracer == nil {
+			return
+		}
+		steps := 0
+		stopped := false
+		if res, _ := sess.advisor.Result(); res != nil {
+			steps = len(res.Observations)
+			stopped = res.StoppedEarly
+		}
+		s.tracer.Emit(telemetry.Event{
+			Kind:      telemetry.KindSessionEnd,
+			Name:      sess.id,
+			Seed:      sess.seed,
+			Candidate: -1,
+			Step:      steps,
+			Detail:    disposition,
+			Stopped:   stopped,
+		})
+	})
+}
+
+// infoOf snapshots a session's description.
+func (s *Server) infoOf(sess *session) SessionInfo {
+	return SessionInfo{
+		ID:            sess.id,
+		Method:        sess.method,
+		Objective:     sess.objective,
+		Seed:          sess.seed,
+		NumCandidates: sess.advisor.NumCandidates(),
+		Done:          sess.advisor.Done(),
+	}
+}
+
+// resultResponse assembles the result payload, attaching the session's
+// wall-stripped trace when one was recorded.
+func (s *Server) resultResponse(sess *session, res *arrow.Result, err error) ResultResponse {
+	out := ResultResponse{ID: sess.id, Done: true, Result: res}
+	if err != nil {
+		out.SearchError = err.Error()
+	}
+	if sess.recorder != nil {
+		events := sess.recorder.Events()
+		out.Trace = make([]telemetry.Event, len(events))
+		for i, e := range events {
+			out.Trace[i] = e.StripWall()
+		}
+	}
+	return out
+}
+
+// sessionTracer stamps the session id into the Workload field of every
+// search event on its way to the server's audit stream, so one JSONL
+// file interleaving many sessions stays attributable.
+type sessionTracer struct {
+	id   string
+	sink telemetry.Tracer
+}
+
+func (t *sessionTracer) Emit(e telemetry.Event) {
+	if e.Workload == "" {
+		e.Workload = t.id
+	}
+	t.sink.Emit(e)
+}
+
+// writeJSON writes v with the given status and returns the status for
+// the audit middleware.
+func writeJSON(w http.ResponseWriter, status int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+	return status
+}
+
+// writeErr writes the uniform error body.
+func writeErr(w http.ResponseWriter, status int, msg string) int {
+	return writeJSON(w, status, ErrorResponse{Error: msg})
+}

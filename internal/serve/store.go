@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrStoreFull reports a create against a store at its session cap with
+// nothing expired to evict.
+var ErrStoreFull = errors.New("serve: session store full")
+
+// lookupStatus is what resolving a session id can find.
+type lookupStatus int
+
+const (
+	lookupOK lookupStatus = iota
+	// lookupGone means the id existed but was evicted (TTL or cap
+	// pressure); clients get 410 so they can tell "expired" from "never
+	// existed".
+	lookupGone
+	lookupNotFound
+)
+
+// store is the bounded in-memory session table: at most max live
+// sessions, idle sessions evicted after ttl, evicted ids remembered in a
+// bounded tombstone ring so late requests get 410 Gone rather than 404.
+// The store only tracks membership and idle time; finalizing an evicted
+// session (aborting its advisor) is the server's job, on the list sweep
+// returns.
+type store struct {
+	mu    sync.Mutex
+	max   int
+	ttl   time.Duration
+	now   func() time.Time
+	table map[string]*session
+
+	// tombs remembers evicted ids; ring bounds it to cap(ring) entries,
+	// overwriting the oldest.
+	tombs map[string]struct{}
+	ring  []string
+	head  int
+}
+
+// newStore builds a store with the given cap and idle TTL.
+func newStore(max int, ttl time.Duration, now func() time.Time) *store {
+	return &store{
+		max:   max,
+		ttl:   ttl,
+		now:   now,
+		table: make(map[string]*session),
+		tombs: make(map[string]struct{}),
+		ring:  make([]string, 0, 4*max),
+	}
+}
+
+// add inserts a new session, first expiring idle ones when at the cap.
+// It returns the sessions evicted to make room (for the caller to
+// finalize) and ErrStoreFull when the cap holds even after the sweep.
+func (st *store) add(sess *session) (evicted []*session, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.table) >= st.max {
+		evicted = st.sweepLocked()
+	}
+	if len(st.table) >= st.max {
+		return evicted, ErrStoreFull
+	}
+	sess.lastTouch = st.now()
+	st.table[sess.id] = sess
+	return evicted, nil
+}
+
+// get resolves an id, refreshing its idle clock on success. Expired
+// sessions found here are evicted on the way (returned for the caller
+// to finalize).
+func (st *store) get(id string) (sess *session, status lookupStatus, evicted []*session) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	evicted = st.sweepLocked()
+	if s, ok := st.table[id]; ok {
+		s.lastTouch = st.now()
+		return s, lookupOK, evicted
+	}
+	if _, ok := st.tombs[id]; ok {
+		return nil, lookupGone, evicted
+	}
+	return nil, lookupNotFound, evicted
+}
+
+// sweepLocked evicts every session idle past the TTL. Callers hold the
+// lock.
+func (st *store) sweepLocked() []*session {
+	if st.ttl <= 0 {
+		return nil
+	}
+	cutoff := st.now().Add(-st.ttl)
+	var evicted []*session
+	for id, s := range st.table {
+		if s.lastTouch.Before(cutoff) {
+			delete(st.table, id)
+			st.tombLocked(id)
+			evicted = append(evicted, s)
+		}
+	}
+	return evicted
+}
+
+// tombLocked remembers an evicted id, overwriting the oldest when the
+// ring is full.
+func (st *store) tombLocked(id string) {
+	if cap(st.ring) == 0 {
+		return
+	}
+	if len(st.ring) < cap(st.ring) {
+		st.ring = append(st.ring, id)
+	} else {
+		delete(st.tombs, st.ring[st.head])
+		st.ring[st.head] = id
+		st.head = (st.head + 1) % len(st.ring)
+	}
+	st.tombs[id] = struct{}{}
+}
+
+// all snapshots the live sessions (for shutdown flushing and listing).
+func (st *store) all() []*session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*session, 0, len(st.table))
+	for _, s := range st.table {
+		out = append(out, s)
+	}
+	return out
+}
+
+// len reports the live session count.
+func (st *store) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.table)
+}

@@ -77,6 +77,22 @@ const (
 	// key. The disposition (hit/miss/disk/shared) is environmental — it
 	// depends on what ran before — so it lives in Wall.Cache.
 	KindCacheLookup Kind = "cache_lookup"
+	// KindSessionCreate opens one advisor session of the serving layer:
+	// Name is the session id, Detail "method/objective", Seed the session
+	// seed, Value the catalog size.
+	KindSessionCreate Kind = "session_create"
+	// KindSessionEnd closes one advisor session: Name is the session id,
+	// Detail the disposition ("done", "aborted", "evicted",
+	// "shutdown-flush"), Step the number of observations delivered,
+	// Stopped whether the session's own stop rule fired.
+	KindSessionEnd Kind = "session_end"
+	// KindHTTPRequest records one API request of the serving layer: Name
+	// is the session id ("" for collection endpoints), Detail
+	// "METHOD /route", Value the response status code. Wall carries the
+	// handling duration. Emitted by the server, not by searches, so it is
+	// exempt from the search-trace determinism contract (ordering across
+	// concurrent sessions is environmental).
+	KindHTTPRequest Kind = "http_request"
 	// KindStudyRun summarizes one (method, workload, seed) search of the
 	// study harness: Method is the method label, Step the measurement
 	// count, Value the normalized best value found, Aux the 1-based step

@@ -47,6 +47,14 @@ const (
 	EventCacheLookup       = telemetry.KindCacheLookup
 )
 
+// The event kinds the serving layer (cmd/arrow-serve) emits into its
+// audit stream, alongside the per-session search events above.
+const (
+	EventSessionCreate = telemetry.KindSessionCreate
+	EventSessionEnd    = telemetry.KindSessionEnd
+	EventHTTPRequest   = telemetry.KindHTTPRequest
+)
+
 // WithTracer streams every search event into t: one search_start, the
 // measurement lifecycle (start/done, retries, quarantines), surrogate
 // fit timings, per-candidate acquisition scores, stop-rule firings and
