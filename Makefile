@@ -3,10 +3,10 @@
 GO ?= go
 GOTEST_TIMEOUT ?= 20m
 
-.PHONY: check ci build test race vet fmt cover fuzz fuzz-smoke bench bench-faults bench-compare bench-guard study-smoke
+.PHONY: check ci build test race vet fmt cover fuzz fuzz-smoke bench bench-faults bench-compare bench-guard study-smoke recover-smoke
 
 # cover runs the whole suite under -race, so it subsumes the race target.
-check: fmt vet cover study-smoke
+check: fmt vet cover study-smoke recover-smoke
 
 # ci mirrors the GitHub Actions pipeline locally: the tier-1 gate plus
 # the short fuzz pass and the benchmark regression guard.
@@ -44,8 +44,9 @@ cover:
 	awk -v t="$$total" -v b="$(COVER_BASELINE)" 'BEGIN { exit !(t+0 < b+0) }' && \
 		{ echo "coverage $$total% fell below the $(COVER_BASELINE)% baseline"; exit 1; } || true
 
-# Fuzz the trace decoders, the cache shard loader, and the serve-layer
-# request decoders, FUZZTIME each.
+# Fuzz the trace decoders, the cache shard loader, the serve-layer
+# request decoders, and the session journal's line decoder and shard
+# recovery scan, FUZZTIME each.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzDecodeLine -fuzztime $(FUZZTIME) ./internal/telemetry
@@ -53,6 +54,8 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzLoadShard -fuzztime $(FUZZTIME) ./internal/runcache
 	$(GO) test -run xxx -fuzz FuzzDecodeSessionRequest -fuzztime $(FUZZTIME) ./internal/serve
 	$(GO) test -run xxx -fuzz FuzzDecodeObserveRequest -fuzztime $(FUZZTIME) ./internal/serve
+	$(GO) test -run xxx -fuzz FuzzDecodeLine -fuzztime $(FUZZTIME) ./internal/journal
+	$(GO) test -run xxx -fuzz FuzzScanShard -fuzztime $(FUZZTIME) ./internal/journal
 
 # The CI-sized fuzz pass: every target for 10s — long enough to catch a
 # decoder regression, short enough for every push.
@@ -66,10 +69,10 @@ bench-faults:
 # report so performance changes land as a reviewable diff. The fixed
 # -benchtime keeps runs comparable across machines with different
 # auto-calibration.
-BENCH_OUT ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR6.json
 bench:
 	$(GO) test -run xxx -benchmem -benchtime 20x \
-		-bench 'BenchmarkForestFit$$|BenchmarkGPFit|BenchmarkFullSearchNaive|BenchmarkFullSearchAugmented' . \
+		-bench 'BenchmarkForestFit$$|BenchmarkGPFit|BenchmarkFullSearchNaive|BenchmarkFullSearchAugmented|BenchmarkAdvisorNext' . \
 		> /tmp/arrow-bench-root.txt
 	$(GO) test -run xxx -benchmem -benchtime 20x \
 		-bench 'BenchmarkForestFitParallel|BenchmarkForestPredictBatch' ./internal/forest \
@@ -78,24 +81,36 @@ bench:
 		-bench 'BenchmarkAugmentedIteration' ./internal/core \
 		> /tmp/arrow-bench-core.txt
 	$(GO) test -run xxx -benchmem -benchtime 1x \
-		-bench 'BenchmarkStudyThroughput' ./internal/study \
+		-bench 'BenchmarkStudyThroughputCold' ./internal/study \
 		> /tmp/arrow-bench-study.txt
-	cat /tmp/arrow-bench-root.txt /tmp/arrow-bench-forest.txt /tmp/arrow-bench-core.txt /tmp/arrow-bench-study.txt \
+	$(GO) test -run xxx -benchmem -benchtime 50x \
+		-bench 'BenchmarkStudyThroughputWarm' ./internal/study \
+		> /tmp/arrow-bench-study-warm.txt
+	cat /tmp/arrow-bench-root.txt /tmp/arrow-bench-forest.txt /tmp/arrow-bench-core.txt \
+		/tmp/arrow-bench-study.txt /tmp/arrow-bench-study-warm.txt \
 		| $(GO) run ./cmd/arrow-bench -o $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"
 
 # Diff the current report against the previous PR's baseline.
 bench-compare:
-	$(GO) run ./cmd/arrow-bench -compare BENCH_PR4.json BENCH_PR5.json
+	$(GO) run ./cmd/arrow-bench -compare BENCH_PR5.json BENCH_PR6.json
 
 # Regression guard: re-measure the hot paths into a scratch report and
-# fail when the full Augmented BO search regressed more than 25% ns/op
-# against the committed BENCH_PR4.json baseline.
-BENCH_GUARD ?= BenchmarkFullSearchAugmented=25
+# fail when a headline benchmark regressed more than its budget. The
+# budgets tightened from the early 25% to 5% now that several PRs of
+# same-machine baselines show the fixed-iteration runs holding well
+# inside that band. The compute benchmarks guard against the committed
+# BENCH_PR5.json; StudyThroughputWarm guards against BENCH_PR6.json
+# because this PR changed its measurement protocol (1 iteration -> 50,
+# the single-shot number was noise-dominated), so the PR5 entry is not
+# comparable.
+BENCH_GUARD ?= BenchmarkForestFit=5,BenchmarkAugmentedIteration=5,BenchmarkFullSearchAugmented=5
+BENCH_GUARD_WARM ?= BenchmarkStudyThroughputWarm=5
 BENCH_GUARD_OUT ?= /tmp/arrow-bench-guard.json
 bench-guard:
 	$(MAKE) bench BENCH_OUT=$(BENCH_GUARD_OUT)
-	$(GO) run ./cmd/arrow-bench -compare -guard '$(BENCH_GUARD)' BENCH_PR4.json $(BENCH_GUARD_OUT)
+	$(GO) run ./cmd/arrow-bench -compare -guard '$(BENCH_GUARD)' BENCH_PR5.json $(BENCH_GUARD_OUT)
+	$(GO) run ./cmd/arrow-bench -compare -guard '$(BENCH_GUARD_WARM)' BENCH_PR6.json $(BENCH_GUARD_OUT)
 
 # Race-detected end-to-end smoke of the study executor: a cold run fills
 # the cache, a warm run at a different -concurrency must reproduce the
@@ -123,3 +138,12 @@ study-smoke:
 	diff $(SMOKE_DIR)/cold-trace.stripped $(SMOKE_DIR)/warm-trace.stripped
 	$(GO) test -race -run xxx -benchtime 1x -bench 'BenchmarkStudyThroughput' ./internal/study
 	@echo "study smoke OK: cold and warm runs and wall-stripped traces byte-identical"
+
+# Race-detected crash-recovery smoke: the kill -9 chaos test (a real
+# arrow-serve process SIGKILLed mid-session, restarted, every session
+# finished with a byte-identical result) plus the serve-layer recovery
+# suite — damaged journals, rolling restarts, two-replica partitions.
+recover-smoke:
+	$(GO) test -race -run 'TestServeCLIKillNineRecovery' ./cmd/arrow-serve
+	$(GO) test -race -run 'TestCrashRecover|TestGracefulShutdownRehydrates|TestRecover|TestTwoReplicas' ./internal/serve
+	@echo "recover smoke OK: kill -9 and restart lost zero acknowledged observations"

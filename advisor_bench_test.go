@@ -1,0 +1,67 @@
+package arrow
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+)
+
+// BenchmarkAdvisorNext measures per-suggestion planning latency through
+// the serving-facing Advisor: each iteration runs one full augmented-BO
+// advisor session against the simulated target, timing every Next call
+// (the surrogate fit + acquisition pass a serve request pays). ns/op is
+// the whole-session cost; the p50-ns and p99-ns extra metrics are the
+// per-suggestion latency distribution across all sessions of the run,
+// the planning-latency SLO numbers for the serve layer. Use -count to
+// widen the sample.
+func BenchmarkAdvisorNext(b *testing.B) {
+	target, err := NewSimulatedTarget("als/spark2.1/medium", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	var lat []time.Duration
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt, err := New(WithMethod(MethodAugmentedBO), WithSeed(int64(42+i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		advisor, err := opt.NewAdvisor(CatalogCandidates())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			t0 := time.Now()
+			sug, err := advisor.Next(ctx)
+			lat = append(lat, time.Since(t0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sug.Done {
+				break
+			}
+			out, merr := target.Measure(sug.Index)
+			if merr != nil {
+				if err := advisor.ObserveFailure(sug.Index, merr); err != nil {
+					b.Fatal(err)
+				}
+				continue
+			}
+			if err := advisor.Observe(sug.Index, out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	quantile := func(q float64) float64 {
+		idx := int(q * float64(len(lat)-1))
+		return float64(lat[idx].Nanoseconds())
+	}
+	b.ReportMetric(quantile(0.50), "p50-ns")
+	b.ReportMetric(quantile(0.99), "p99-ns")
+	b.ReportMetric(float64(len(lat))/float64(b.N), "suggestions/session")
+}

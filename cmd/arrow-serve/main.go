@@ -18,14 +18,27 @@
 // sessions, flushes every in-flight session to a salvaged partial
 // result, drains the listener, then exits.
 //
+// With -journal-dir, sessions are durable: every state transition is
+// appended to a write-ahead journal (fsync policy -fsync) before it is
+// acknowledged, and on startup the journal is scanned — live sessions
+// are rehydrated by deterministic replay (a recovery report goes to
+// stdout), ended ones answer 410 across the restart. Several replicas
+// may share one journal directory: each claims a disjoint set of shard
+// leases (-replica names the claimant, -claim-shards caps the claim)
+// and answers 421 for sessions the others own. Sessions survive both
+// kill -9 and graceful rolling restarts with zero acknowledged
+// observations lost.
+//
 // Usage:
 //
 //	arrow-serve -addr :8080
 //	arrow-serve -addr :8080 -audit audit.jsonl -max-sessions 128 -session-ttl 10m
+//	arrow-serve -addr :8080 -journal-dir /var/lib/arrow/journal -fsync always
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -36,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
 )
@@ -62,6 +76,10 @@ func run(args []string, errOut io.Writer, stop <-chan struct{}) error {
 		workers     = fs.Int("workers", 0, "max concurrent planning computations, 0 = GOMAXPROCS")
 		auditPath   = fs.String("audit", "", "append a JSONL audit stream (requests, session lifecycle, search events) to this file")
 		drainWait   = fs.Duration("drain", 10*time.Second, "how long shutdown waits for in-flight requests to drain")
+		journalDir  = fs.String("journal-dir", "", "write-ahead session journal directory; empty disables durability")
+		fsyncPolicy = fs.String("fsync", "always", "journal fsync policy: always (durable through kill -9) or never (faster, crash loses the unsynced tail)")
+		replica     = fs.String("replica", "", "replica name for journal shard leases (default host-<hostname>)")
+		claimShards = fs.Int("claim-shards", 0, "max journal shards to claim, 0 = all unclaimed; run R replicas with shards/R each")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,13 +100,54 @@ func run(args []string, errOut io.Writer, stop <-chan struct{}) error {
 		tracer = jw
 	}
 
+	var jnl *journal.Journal
+	if *journalDir != "" {
+		sync, err := journal.ParseSync(*fsyncPolicy)
+		if err != nil {
+			return err
+		}
+		opts := []journal.Option{journal.WithSync(sync)}
+		if *replica != "" {
+			opts = append(opts, journal.WithReplica(*replica))
+		}
+		if *claimShards > 0 {
+			opts = append(opts, journal.WithClaimLimit(*claimShards))
+		}
+		jnl, err = journal.Open(*journalDir, opts...)
+		if err != nil {
+			return err
+		}
+		defer jnl.Close()
+	}
+
 	srv := serve.New(serve.Config{
 		MaxSessions:    *maxSessions,
 		SessionTTL:     *sessionTTL,
 		RequestTimeout: *reqTimeout,
 		Workers:        *workers,
 		Tracer:         tracer,
+		Journal:        jnl,
 	})
+
+	if jnl != nil {
+		// Rehydrate before the listener opens so no request can race the
+		// replay. The report goes to stdout as one JSON object — the
+		// machine-readable half of the crash-recovery contract.
+		report, err := srv.Recover(context.Background())
+		if err != nil {
+			return fmt.Errorf("journal recovery: %w", err)
+		}
+		line, err := json.Marshal(report)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stdout, "%s\n", line)
+		fmt.Fprintf(errOut, "arrow-serve: journal %s, replica %s owns shards %v; recovered %d sessions (%d observations), %d ended, %d torn tails, %d damaged\n",
+			*journalDir, report.Replica, report.OwnedShards, report.Recovered, report.Observations, report.Ended, report.TruncatedTails, len(report.Damaged))
+		for _, d := range report.Damaged {
+			fmt.Fprintf(errOut, "arrow-serve: journal damage: %s\n", d)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,652 @@
+// Package journal is the serving layer's durability primitive: a
+// write-ahead session journal. Every advisor session appends its state
+// transitions — create, suggest, observe, observe-failure, abort, end —
+// as canonical JSONL records to one of N append-only disk shards
+// (sharded by session id, the runcache shard idiom), so a crashed
+// server can rebuild every live session by replaying its observation
+// sequence into a fresh stepper. The deterministic-trace contract makes
+// the replay exact: the same seed and observation sequence reproduce
+// the same optimizer state, suggestion and trace, by construction.
+//
+// # Wire format
+//
+// Each shard line is one envelope object
+//
+//	{"crc":4118059357,"rec":{"sid":"s-000001","seq":0,"kind":"create",...}}
+//
+// where crc is the IEEE CRC-32 of the exact rec bytes. The CRC turns
+// silent disk corruption into a detected, reported skip instead of a
+// misreplayed session. A damaged or truncated final line — the torn
+// tail a killed writer leaves — is truncated away and counted, never
+// fatal; a damaged line in the middle of a shard is reported and the
+// sessions whose record chains it breaks are dropped as damaged, while
+// every other session recovers.
+//
+// # Multi-replica shard claims
+//
+// N replicas may point at one shared journal directory. Each shard is
+// guarded by a lease file (lease-NN.json) created with O_EXCL: a
+// replica serves exactly the shards whose leases it holds, so sessions
+// partition across replicas with no session served by two processes. A
+// lease is stolen only when its holder is provably gone (same replica
+// id restarting in place, or a dead pid on the same host).
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Kind names one session state transition.
+type Kind string
+
+// The record kinds, in session lifecycle order.
+const (
+	// KindCreate opens a session; Request carries the canonical session
+	// request so recovery can rebuild the optimizer bit-identically.
+	KindCreate Kind = "create"
+	// KindSuggest records a planned suggestion handed to the client.
+	// Replay regenerates it and asserts the index and step match — a
+	// mismatch means the journal and the optimizer disagree, and the
+	// session is reported damaged rather than silently diverged.
+	KindSuggest Kind = "suggest"
+	// KindObserve records one accepted measurement. It is written (and
+	// synced, under the always policy) before the client's observe is
+	// acknowledged, so an acknowledged observation is never lost.
+	KindObserve Kind = "observe"
+	// KindObserveFailure records a failed measurement the session
+	// quarantined and planned around.
+	KindObserveFailure Kind = "observe_failure"
+	// KindAbort ends a session by client request; recovery tombstones it.
+	KindAbort Kind = "abort"
+	// KindEnd ends a session any other terminal way (stop rule fired,
+	// TTL eviction); Reason carries the disposition. Recovery tombstones
+	// it. Graceful shutdown intentionally writes no end record: a
+	// drained session is still live in the journal and the next boot
+	// rehydrates it.
+	KindEnd Kind = "end"
+)
+
+// Record is one journal entry. Session and Seq order it: a session's
+// records carry contiguous sequence numbers from 0 (the create record),
+// and recovery refuses chains with gaps.
+type Record struct {
+	Session string `json:"sid"`
+	Seq     int    `json:"seq"`
+	Kind    Kind   `json:"kind"`
+	// Index is the candidate of a suggest/observe/observe_failure.
+	Index int `json:"index,omitempty"`
+	// Step is the suggestion's observation count (suggest records).
+	Step int `json:"step,omitempty"`
+	// TimeSec/CostUSD/Metrics are an observe record's measurement.
+	TimeSec float64   `json:"time_sec,omitempty"`
+	CostUSD float64   `json:"cost_usd,omitempty"`
+	Metrics []float64 `json:"metrics,omitempty"`
+	// Reason is an observe_failure's cause or an end's disposition.
+	Reason string `json:"reason,omitempty"`
+	// Request is a create record's session request, verbatim JSON.
+	Request json.RawMessage `json:"request,omitempty"`
+}
+
+// envelope is one shard line: the record bytes plus their checksum.
+type envelope struct {
+	CRC uint32          `json:"crc"`
+	Rec json.RawMessage `json:"rec"`
+}
+
+// Sync selects when appends reach the disk.
+type Sync int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged observation
+	// survives kill -9. The durable default.
+	SyncAlways Sync = iota
+	// SyncNever leaves flushing to the OS: faster, loses the tail of
+	// recent appends on a crash (recovery still works, clients just
+	// re-measure the lost steps).
+	SyncNever
+)
+
+// ParseSync maps the -fsync flag vocabulary onto policies.
+func ParseSync(name string) (Sync, error) {
+	switch name {
+	case "always", "":
+		return SyncAlways, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return 0, fmt.Errorf("journal: unknown fsync policy %q (want always or never)", name)
+	}
+}
+
+func (s Sync) String() string {
+	if s == SyncNever {
+		return "never"
+	}
+	return "always"
+}
+
+// DefaultShards is the shard-file count a fresh journal directory gets.
+const DefaultShards = 8
+
+// ErrNotOwned reports an append for a session whose shard this replica
+// holds no lease on.
+var ErrNotOwned = errors.New("journal: session shard not owned by this replica")
+
+// Option configures Open.
+type Option func(*config)
+
+type config struct {
+	shards  int
+	limit   int
+	replica string
+	sync    Sync
+	warnf   func(format string, args ...any)
+}
+
+// WithShards sets the shard count for a fresh journal directory. An
+// existing directory's meta file wins — every replica must agree on the
+// partition — and a mismatch is an explicit Open error.
+func WithShards(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.shards = n
+		}
+	}
+}
+
+// WithClaimLimit caps how many shard leases this replica takes (0 = no
+// cap, claim everything unclaimed). A deployment of R replicas over S
+// shards runs each with a limit of S/R so the partition spreads: the
+// first replica up does not starve the rest.
+func WithClaimLimit(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.limit = n
+		}
+	}
+}
+
+// WithReplica names this process for lease files. Replicas sharing a
+// journal directory need distinct names; a replica reuses its own name
+// to take its leases back over after a restart. The default is
+// "host-<hostname>".
+func WithReplica(id string) Option {
+	return func(c *config) {
+		if id != "" {
+			c.replica = id
+		}
+	}
+}
+
+// WithSync sets the fsync policy.
+func WithSync(s Sync) Option {
+	return func(c *config) { c.sync = s }
+}
+
+// WithWarnf routes non-fatal warnings (skipped damaged lines, lease
+// oddities). The default writes to os.Stderr.
+func WithWarnf(fn func(format string, args ...any)) Option {
+	return func(c *config) {
+		if fn != nil {
+			c.warnf = fn
+		}
+	}
+}
+
+// meta pins the directory-wide constants every replica must share.
+type meta struct {
+	Shards int `json:"shards"`
+}
+
+// Journal is one replica's handle on a (possibly shared) journal
+// directory: the shards it holds leases on, open for appending. Safe
+// for concurrent use.
+type Journal struct {
+	dir     string
+	replica string
+	shards  int
+	sync    Sync
+	warnf   func(format string, args ...any)
+	owned   map[int]bool
+
+	files []shardFile
+
+	closeMu sync.Mutex
+	closed  bool
+}
+
+type shardFile struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// Open claims shards in dir and returns the replica's journal handle.
+// The directory is created if needed; its meta file fixes the shard
+// count for every replica. Open never fails because another live
+// replica holds some (or even all) leases — Owned reports what this
+// replica got.
+func Open(dir string, opts ...Option) (*Journal, error) {
+	cfg := config{
+		shards: DefaultShards,
+		sync:   SyncAlways,
+		warnf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "journal: "+format+"\n", args...)
+		},
+	}
+	host, _ := os.Hostname()
+	cfg.replica = "host-" + host
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: creating %s: %w", dir, err)
+	}
+	shards, err := loadOrInitMeta(dir, cfg.shards)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{
+		dir:     dir,
+		replica: cfg.replica,
+		shards:  shards,
+		sync:    cfg.sync,
+		warnf:   cfg.warnf,
+		owned:   make(map[int]bool),
+		files:   make([]shardFile, shards),
+	}
+	for shard := 0; shard < shards; shard++ {
+		if cfg.limit > 0 && len(j.owned) >= cfg.limit {
+			break
+		}
+		ok, err := claimLease(j.leasePath(shard), cfg.replica)
+		if err != nil {
+			j.releaseLeases()
+			return nil, err
+		}
+		if ok {
+			j.owned[shard] = true
+		}
+	}
+	return j, nil
+}
+
+// loadOrInitMeta reads the directory's shard count, writing it first
+// when the directory is fresh.
+func loadOrInitMeta(dir string, want int) (int, error) {
+	path := filepath.Join(dir, "journal.meta")
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		payload, _ := json.Marshal(meta{Shards: want})
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if os.IsExist(err) {
+			// Another replica initialized first; read its answer.
+			data, err = os.ReadFile(path)
+			if err != nil {
+				return 0, fmt.Errorf("journal: reading %s: %w", path, err)
+			}
+		} else if err != nil {
+			return 0, fmt.Errorf("journal: creating %s: %w", path, err)
+		} else {
+			_, werr := f.Write(append(payload, '\n'))
+			cerr := f.Close()
+			if werr != nil || cerr != nil {
+				return 0, fmt.Errorf("journal: writing %s: %v/%v", path, werr, cerr)
+			}
+			return want, nil
+		}
+	} else if err != nil {
+		return 0, fmt.Errorf("journal: reading %s: %w", path, err)
+	}
+	var m meta
+	if err := json.Unmarshal(data, &m); err != nil || m.Shards <= 0 {
+		return 0, fmt.Errorf("journal: %s is damaged (%v); refusing to guess the shard partition", path, err)
+	}
+	return m.Shards, nil
+}
+
+// Replica returns this handle's replica name.
+func (j *Journal) Replica() string { return j.replica }
+
+// Shards returns the directory's shard count.
+func (j *Journal) Shards() int { return j.shards }
+
+// Owned lists the shard numbers this replica holds leases on, sorted.
+func (j *Journal) Owned() []int {
+	out := make([]int, 0, len(j.owned))
+	for shard := range j.owned {
+		out = append(out, shard)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ShardOf maps a session id onto its shard in an n-shard directory.
+func ShardOf(session string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(session))
+	return int(h.Sum32() % uint32(n))
+}
+
+// Owns reports whether this replica holds the lease for the session's
+// shard — i.e. whether it may serve and journal this session.
+func (j *Journal) Owns(session string) bool {
+	return j.owned[ShardOf(session, j.shards)]
+}
+
+func (j *Journal) shardPath(shard int) string {
+	return filepath.Join(j.dir, fmt.Sprintf("journal-%02d.jsonl", shard))
+}
+
+func (j *Journal) leasePath(shard int) string {
+	return filepath.Join(j.dir, fmt.Sprintf("lease-%02d.json", shard))
+}
+
+// Append writes one record to its session's shard (write-ahead: callers
+// acknowledge the transition to their client only after Append returns)
+// and syncs it per the policy.
+func (j *Journal) Append(rec Record) error {
+	shard := ShardOf(rec.Session, j.shards)
+	if !j.owned[shard] {
+		return fmt.Errorf("%w: session %s, shard %d", ErrNotOwned, rec.Session, shard)
+	}
+	line, err := EncodeLine(rec)
+	if err != nil {
+		return err
+	}
+	sf := &j.files[shard]
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	if sf.f == nil {
+		f, err := os.OpenFile(j.shardPath(shard), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("journal: opening %s: %w", j.shardPath(shard), err)
+		}
+		sf.f = f
+	}
+	if _, err := sf.f.Write(line); err != nil {
+		return fmt.Errorf("journal: appending to %s: %w", j.shardPath(shard), err)
+	}
+	if j.sync == SyncAlways {
+		if err := sf.f.Sync(); err != nil {
+			return fmt.Errorf("journal: syncing %s: %w", j.shardPath(shard), err)
+		}
+	}
+	return nil
+}
+
+// EncodeLine renders one record as its newline-terminated shard line.
+func EncodeLine(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("journal: marshaling record: %w", err)
+	}
+	line, err := json.Marshal(envelope{CRC: crc32.ChecksumIEEE(payload), Rec: payload})
+	if err != nil {
+		return nil, fmt.Errorf("journal: marshaling envelope: %w", err)
+	}
+	return append(line, '\n'), nil
+}
+
+// DecodeLine parses and checksum-verifies one shard line.
+func DecodeLine(line []byte) (Record, error) {
+	var env envelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return Record{}, fmt.Errorf("journal: undecodable line: %w", err)
+	}
+	if len(env.Rec) == 0 {
+		return Record{}, errors.New("journal: line has no record")
+	}
+	if got := crc32.ChecksumIEEE(env.Rec); got != env.CRC {
+		return Record{}, fmt.Errorf("journal: crc mismatch: line says %d, record hashes to %d", env.CRC, got)
+	}
+	var rec Record
+	if err := json.Unmarshal(env.Rec, &rec); err != nil {
+		return Record{}, fmt.Errorf("journal: undecodable record: %w", err)
+	}
+	if rec.Session == "" {
+		return Record{}, errors.New("journal: record has no session id")
+	}
+	if rec.Seq < 0 {
+		return Record{}, fmt.Errorf("journal: record has negative seq %d", rec.Seq)
+	}
+	return rec, nil
+}
+
+// SessionLog is one recoverable session: its records in seq order,
+// starting with the create record.
+type SessionLog struct {
+	ID      string
+	Records []Record
+}
+
+// Recovery is what a Scan found in this replica's shards.
+type Recovery struct {
+	// Live holds the sessions with no terminal record, replayable.
+	Live []SessionLog
+	// Ended lists session ids whose journal says ended or aborted;
+	// the serving layer answers 410 Gone for them.
+	Ended []string
+	// Damage reports every problem found: mid-file corrupt lines,
+	// broken record chains. One entry per problem, human-readable.
+	Damage []string
+	// TruncatedTails counts shard files whose torn final line was
+	// truncated away (the normal aftermath of kill -9 mid-write).
+	TruncatedTails int
+}
+
+// Scan reads every owned shard, truncating torn tails, verifying CRCs
+// and record chains, and returns the recoverable state. Sessions whose
+// chains are broken by damage land in Damage, not in Live — a session
+// either replays exactly or not at all.
+func (j *Journal) Scan() (*Recovery, error) {
+	rec := &Recovery{}
+	bySession := make(map[string][]Record)
+	var order []string // first-seen order, for deterministic output
+	for _, shard := range j.Owned() {
+		if err := j.scanShard(shard, rec, bySession, &order); err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range order {
+		records := bySession[id]
+		sort.SliceStable(records, func(a, b int) bool { return records[a].Seq < records[b].Seq })
+		log, ended, problem := ValidateChain(id, records)
+		switch {
+		case problem != "":
+			rec.Damage = append(rec.Damage, problem)
+		case ended:
+			rec.Ended = append(rec.Ended, id)
+		default:
+			rec.Live = append(rec.Live, log)
+		}
+	}
+	return rec, nil
+}
+
+// ValidateChain checks one session's seq-sorted records: contiguous
+// seqs from 0, a create first, create only first, terminal records
+// terminal. It returns the replayable log, whether the session ended,
+// or a non-empty damage report.
+func ValidateChain(id string, records []Record) (SessionLog, bool, string) {
+	ended := false
+	for i, r := range records {
+		if r.Seq != i {
+			return SessionLog{}, false, fmt.Sprintf("session %s: record chain broken at seq %d (found %d); dropping session", id, i, r.Seq)
+		}
+		if (r.Kind == KindCreate) != (i == 0) {
+			return SessionLog{}, false, fmt.Sprintf("session %s: create record out of place at seq %d; dropping session", id, i)
+		}
+		if ended {
+			return SessionLog{}, false, fmt.Sprintf("session %s: record after terminal record at seq %d; dropping session", id, i)
+		}
+		if r.Kind == KindEnd || r.Kind == KindAbort {
+			ended = true
+		}
+	}
+	if len(records) == 0 {
+		return SessionLog{}, false, fmt.Sprintf("session %s: no records", id)
+	}
+	return SessionLog{ID: id, Records: records}, ended, ""
+}
+
+// scanShard reads one shard file line by line. The final line is
+// allowed to be torn (truncated away, counted); any earlier damage is
+// reported and skipped.
+func (j *Journal) scanShard(shard int, rec *Recovery, bySession map[string][]Record, order *[]string) error {
+	path := j.shardPath(shard)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("journal: opening %s: %w", path, err)
+	}
+	defer f.Close()
+
+	// Read and decode every line, remembering where the last good one
+	// ends. Damaged lines before that point are mid-file corruption
+	// (reported, skipped); the damaged suffix after it is the torn tail
+	// (truncated away so the next boot starts clean). Truncating the
+	// whole suffix at once makes recovery idempotent: a rescan of a
+	// scanned shard never truncates again.
+	type badLine struct {
+		lineNo int
+		err    error
+	}
+	var (
+		br          = bufio.NewReaderSize(f, 1<<16)
+		offset      int64 // byte offset just past the line being read
+		lastGoodEnd int64 // offset just past the last decodable line
+		lineNo      int
+		bad         []badLine // damaged lines after the last good one
+		good        []Record
+		lastTorn    bool // the last good line had no trailing newline
+	)
+	for {
+		line, err := br.ReadBytes('\n')
+		if len(line) == 0 && err == io.EOF {
+			break
+		}
+		if err != nil && err != io.EOF {
+			return fmt.Errorf("journal: reading %s: %w", path, err)
+		}
+		lineNo++
+		torn := err == io.EOF // no trailing newline: a torn write
+		offset += int64(len(line))
+		r, derr := DecodeLine(bytesTrimNewline(line))
+		if derr != nil {
+			bad = append(bad, badLine{lineNo: lineNo, err: derr})
+			continue
+		}
+		// A later good line proves the damage collected so far is
+		// mid-file, not a tail: report it and move on.
+		for _, b := range bad {
+			rec.Damage = append(rec.Damage, fmt.Sprintf("%s:%d: %v", path, b.lineNo, b.err))
+		}
+		bad = bad[:0]
+		good = append(good, r)
+		lastGoodEnd = offset
+		lastTorn = torn
+	}
+	switch {
+	case len(bad) > 0:
+		// The damaged suffix is the torn tail; cut it off.
+		if terr := truncateAt(path, lastGoodEnd); terr != nil {
+			j.warnf("%s: could not truncate torn tail: %v", path, terr)
+		}
+		rec.TruncatedTails++
+		j.warnf("%s: truncated %d-line torn tail (first: line %d, %v)", path, len(bad), bad[0].lineNo, bad[0].err)
+		// A multi-line damaged suffix is more than one crash's torn
+		// write; surface the extra lines as damage so heavy tail
+		// corruption stays visible while recovery still proceeds.
+		for _, b := range bad[1:] {
+			rec.Damage = append(rec.Damage, fmt.Sprintf("%s:%d: truncated with tail: %v", path, b.lineNo, b.err))
+		}
+	case lastTorn:
+		// The final record survived intact but its newline did not;
+		// repair it so the next append starts on a fresh line.
+		if rerr := appendNewline(path); rerr != nil {
+			j.warnf("%s: could not repair missing final newline: %v", path, rerr)
+		}
+	}
+	for _, r := range good {
+		if _, seen := bySession[r.Session]; !seen {
+			*order = append(*order, r.Session)
+		}
+		bySession[r.Session] = append(bySession[r.Session], r)
+	}
+	return nil
+}
+
+// appendNewline terminates a shard whose last (intact) line lost its
+// newline to a crash.
+func appendNewline(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte{'\n'}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// bytesTrimNewline strips the record terminator (and a CR, for shards
+// that crossed a Windows filesystem) without copying.
+func bytesTrimNewline(line []byte) []byte {
+	for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r') {
+		line = line[:len(line)-1]
+	}
+	return line
+}
+
+// truncateAt cuts a shard file to the given length.
+func truncateAt(path string, n int64) error {
+	return os.Truncate(path, n)
+}
+
+// releaseLeases removes this replica's lease files.
+func (j *Journal) releaseLeases() {
+	for shard := range j.owned {
+		if err := os.Remove(j.leasePath(shard)); err != nil && !os.IsNotExist(err) {
+			j.warnf("releasing lease %d: %v", shard, err)
+		}
+	}
+	j.owned = make(map[int]bool)
+}
+
+// Close releases the shard leases and file handles. A closed journal
+// owns nothing; Append returns ErrNotOwned.
+func (j *Journal) Close() error {
+	j.closeMu.Lock()
+	defer j.closeMu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	var firstErr error
+	for i := range j.files {
+		sf := &j.files[i]
+		sf.mu.Lock()
+		if sf.f != nil {
+			if err := sf.f.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			sf.f = nil
+		}
+		sf.mu.Unlock()
+	}
+	j.releaseLeases()
+	return firstErr
+}

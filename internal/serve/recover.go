@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	arrow "repro"
+	"repro/internal/journal"
+	"repro/internal/telemetry"
+)
+
+// RecoveryReport summarizes what Recover rebuilt from the journal.
+type RecoveryReport struct {
+	// Replica and OwnedShards identify this process's slice of the
+	// journal directory.
+	Replica     string `json:"replica"`
+	OwnedShards []int  `json:"owned_shards"`
+	// Recovered counts the live sessions rehydrated, Observations the
+	// measurements replayed into them.
+	Recovered    int `json:"recovered"`
+	Observations int `json:"observations"`
+	// Ended counts the journal-terminal sessions tombstoned (their late
+	// requests answer 410 Gone across the restart).
+	Ended int `json:"ended"`
+	// TruncatedTails counts shard files whose torn final write (the
+	// kill -9 signature) was truncated away.
+	TruncatedTails int `json:"truncated_tails"`
+	// Damaged reports every session or line the scan could not use; the
+	// rest of the journal recovered anyway.
+	Damaged []string `json:"damaged,omitempty"`
+}
+
+// Recover scans this replica's journal shards and rehydrates every live
+// session: the create record rebuilds the optimizer through the same
+// BuildOptimizer path as the HTTP handler, and replaying the journaled
+// observation sequence into the fresh advisor reproduces the exact
+// pre-crash state — suggestions, result and wall-stripped trace — by
+// the determinism contract. Sessions whose journal says ended are
+// tombstoned (410). Call it once, after New and before serving; with no
+// journal configured it is a no-op.
+func (s *Server) Recover(ctx context.Context) (*RecoveryReport, error) {
+	j := s.cfg.Journal
+	if j == nil {
+		return &RecoveryReport{}, nil
+	}
+	scan, err := j.Scan()
+	if err != nil {
+		return nil, err
+	}
+	report := &RecoveryReport{
+		Replica:        j.Replica(),
+		OwnedShards:    j.Owned(),
+		TruncatedTails: scan.TruncatedTails,
+		Damaged:        append([]string(nil), scan.Damage...),
+	}
+	maxID := int64(0)
+	for _, id := range scan.Ended {
+		s.store.tomb(id)
+		report.Ended++
+		maxID = maxNumericID(maxID, id)
+	}
+	for _, log := range scan.Live {
+		maxID = maxNumericID(maxID, log.ID)
+		sess, obs, err := s.replaySession(ctx, log)
+		if err != nil {
+			report.Damaged = append(report.Damaged, fmt.Sprintf("session %s: replay failed: %v", log.ID, err))
+			continue
+		}
+		evicted, err := s.store.add(sess)
+		s.finalizeEvicted(evicted)
+		if err != nil {
+			// The cap held even after sweeping: salvage the session
+			// rather than dropping it silently.
+			sess.advisor.Abort(ErrStoreFull)
+			s.endSession(sess, "evicted")
+			report.Damaged = append(report.Damaged, fmt.Sprintf("session %s: recovered but store full; salvaged as evicted", log.ID))
+			continue
+		}
+		report.Recovered++
+		report.Observations += obs
+		if s.tracer != nil {
+			s.tracer.Emit(telemetry.Event{
+				Kind:      telemetry.KindSessionRecover,
+				Name:      sess.id,
+				Seed:      sess.seed,
+				Candidate: -1,
+				Step:      obs,
+				Detail:    sess.method + "/" + sess.objective,
+			})
+		}
+	}
+	for _, d := range report.Damaged {
+		if s.tracer != nil {
+			s.tracer.Emit(telemetry.Event{
+				Kind:      telemetry.KindJournalDamage,
+				Candidate: -1,
+				Detail:    d,
+			})
+		}
+	}
+	// Seed the id counter past everything the journal has seen so new
+	// sessions never collide with recovered or tombstoned ones.
+	for {
+		cur := s.nextID.Load()
+		if cur >= maxID || s.nextID.CompareAndSwap(cur, maxID) {
+			break
+		}
+	}
+	return report, nil
+}
+
+// replaySession rebuilds one live session from its journal log,
+// returning the rehydrated session and the observation count replayed.
+func (s *Server) replaySession(ctx context.Context, log journal.SessionLog) (*session, int, error) {
+	create := log.Records[0]
+	req, err := DecodeSessionRequest(create.Request)
+	if err != nil {
+		return nil, 0, fmt.Errorf("create record: %w", err)
+	}
+	sess := &session{id: log.ID, seed: req.Seed, suggJournaled: -1}
+	sinks := []telemetry.Tracer{}
+	if req.Trace {
+		sess.recorder = telemetry.NewRecorder()
+		sinks = append(sinks, sess.recorder)
+	}
+	if s.tracer != nil {
+		sinks = append(sinks, &sessionTracer{id: log.ID, sink: s.tracer})
+	}
+	opt, candidates, err := BuildOptimizer(req, arrow.WithTracer(telemetry.Multi(sinks...)))
+	if err != nil {
+		return nil, 0, fmt.Errorf("rebuilding optimizer: %w", err)
+	}
+	sess.method = opt.Method().String()
+	sess.objective = opt.Objective().String()
+	advisor, err := opt.NewAdvisor(candidates)
+	if err != nil {
+		return nil, 0, fmt.Errorf("restarting advisor: %w", err)
+	}
+	sess.advisor = advisor
+
+	obs := 0
+	fail := func(format string, args ...any) (*session, int, error) {
+		advisor.Abort(errSessionAborted)
+		return nil, 0, fmt.Errorf(format, args...)
+	}
+	for _, rec := range log.Records[1:] {
+		switch rec.Kind {
+		case journal.KindSuggest:
+			sug, err := advisor.Next(ctx)
+			if err != nil {
+				return fail("seq %d: regenerating suggestion: %v", rec.Seq, err)
+			}
+			if sug.Done {
+				return fail("seq %d: journal has a suggestion but the replayed search is done", rec.Seq)
+			}
+			if sug.Index != rec.Index || sug.Step != rec.Step {
+				// The journal and the optimizer disagree — a version skew
+				// or corruption the CRC could not see. Refuse to serve a
+				// diverged session.
+				return fail("seq %d: replay diverged: journal suggested candidate %d at step %d, replay suggests %d at %d",
+					rec.Seq, rec.Index, rec.Step, sug.Index, sug.Step)
+			}
+			sess.suggJournaled = sug.Step
+		case journal.KindObserve:
+			err := advisor.Observe(rec.Index, arrow.Outcome{
+				TimeSec: rec.TimeSec,
+				CostUSD: rec.CostUSD,
+				Metrics: rec.Metrics,
+			})
+			if err != nil {
+				return fail("seq %d: replaying observation: %v", rec.Seq, err)
+			}
+			obs++
+		case journal.KindObserveFailure:
+			if err := advisor.ObserveFailure(rec.Index, errors.New(rec.Reason)); err != nil {
+				return fail("seq %d: replaying observe-failure: %v", rec.Seq, err)
+			}
+			obs++
+		default:
+			return fail("seq %d: unexpected %s record in a live session", rec.Seq, rec.Kind)
+		}
+	}
+	// The journal sequence continues where the log left off.
+	sess.seq = len(log.Records)
+	return sess, obs, nil
+}
+
+// maxNumericID folds a session id's numeric suffix into the running
+// maximum (ids are "s-%06d"; foreign shapes are ignored).
+func maxNumericID(cur int64, id string) int64 {
+	rest, ok := strings.CutPrefix(id, "s-")
+	if !ok {
+		return cur
+	}
+	n, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil || n <= cur {
+		return cur
+	}
+	return n
+}

@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	arrow "repro"
+	"repro/internal/journal"
 	"repro/internal/parallel"
 	"repro/internal/telemetry"
 )
@@ -34,6 +36,11 @@ var errSessionEvicted = errors.New("serve: session evicted")
 
 // errShutdownFlush is the salvage cause for graceful-shutdown flushing.
 var errShutdownFlush = errors.New("serve: session flushed by server shutdown")
+
+// errJournalFailed aborts a create whose journal record could not be
+// written: a session the journal never saw would silently vanish on
+// restart, so it is refused up front instead.
+var errJournalFailed = errors.New("serve: session journal append failed")
 
 // Config parameterizes a Server. The zero value serves with the
 // defaults above, no audit sink and fresh metrics.
@@ -63,6 +70,17 @@ type Config struct {
 	// Now is the clock (a test seam for TTL eviction). Nil means
 	// time.Now.
 	Now func() time.Time
+	// Journal makes sessions durable: every state transition is
+	// appended to the write-ahead session journal before it is
+	// acknowledged, Recover rehydrates live sessions after a restart,
+	// and session ids are fenced to the journal's owned shards so
+	// replicas sharing a journal directory never double-serve. Nil
+	// keeps the PR5 behavior: in-memory sessions that die with the
+	// process.
+	Journal *journal.Journal
+	// Warnf routes non-fatal serving warnings (journal append
+	// failures). Nil writes to os.Stderr.
+	Warnf func(format string, args ...any)
 }
 
 // Server is the optimizer-as-a-service HTTP handler. Construct with
@@ -98,6 +116,17 @@ type session struct {
 
 	// lastTouch is the idle clock; guarded by the store's mutex.
 	lastTouch time.Time
+
+	// jmu serializes journal appends for this session, pairing each
+	// record's seq allocation with its write so chains stay contiguous
+	// even when an eviction races a request.
+	jmu sync.Mutex
+	// seq is the next journal sequence number; guarded by jmu.
+	seq int
+	// suggJournaled is the Step of the last journaled suggestion (-1
+	// before the first), so the idempotent Next never journals the same
+	// pending suggestion twice; guarded by mu.
+	suggJournaled int
 }
 
 // New builds a Server.
@@ -197,8 +226,11 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) int {
 		return writeErr(w, http.StatusBadRequest, err.Error())
 	}
 
-	id := fmt.Sprintf("s-%06d", s.nextID.Add(1))
-	sess := &session{id: id, seed: req.Seed}
+	id, err := s.newSessionID()
+	if err != nil {
+		return writeErr(w, http.StatusServiceUnavailable, err.Error())
+	}
+	sess := &session{id: id, seed: req.Seed, suggJournaled: -1}
 	sinks := []telemetry.Tracer{}
 	if req.Trace {
 		sess.recorder = telemetry.NewRecorder()
@@ -225,6 +257,20 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) int {
 		advisor.Abort(ErrStoreFull)
 		return writeErr(w, http.StatusTooManyRequests,
 			fmt.Sprintf("session cap %d reached; retry after idle sessions expire", s.cfg.MaxSessions))
+	}
+	if s.cfg.Journal != nil {
+		// Durability gate: the create record must be on disk before the
+		// client learns the id, or the session would vanish on restart.
+		reqJSON, merr := json.Marshal(req)
+		var jerr error
+		if merr == nil {
+			jerr = s.appendRecord(sess, journal.Record{Kind: journal.KindCreate, Request: reqJSON})
+		}
+		if merr != nil || jerr != nil {
+			s.store.remove(id)
+			advisor.Abort(errJournalFailed)
+			return writeErr(w, http.StatusServiceUnavailable, "session journal unavailable; session not created")
+		}
 	}
 	if s.tracer != nil {
 		s.tracer.Emit(telemetry.Event{
@@ -291,11 +337,11 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) int {
 
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	reason := req.Reason
+	if reason == "" {
+		reason = "measurement failed"
+	}
 	if req.Failed {
-		reason := req.Reason
-		if reason == "" {
-			reason = "measurement failed"
-		}
 		err = sess.advisor.ObserveFailure(req.Index, errors.New(reason))
 	} else {
 		err = sess.advisor.Observe(req.Index, arrow.Outcome{
@@ -312,6 +358,22 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) int {
 		return writeErr(w, http.StatusConflict, err.Error())
 	default:
 		return writeErr(w, http.StatusBadRequest, err.Error())
+	}
+
+	// Write-ahead: the accepted observation reaches the journal before
+	// the acknowledgment reaches the client. An observation lost with an
+	// unacknowledged response is safe — the client re-measures and the
+	// deterministic target yields the same outcome.
+	if req.Failed {
+		s.appendRecord(sess, journal.Record{Kind: journal.KindObserveFailure, Index: req.Index, Reason: reason})
+	} else {
+		s.appendRecord(sess, journal.Record{
+			Kind:    journal.KindObserve,
+			Index:   req.Index,
+			TimeSec: req.TimeSec,
+			CostUSD: req.CostUSD,
+			Metrics: req.Metrics,
+		})
 	}
 
 	sug, st := s.advance(w, r, sess)
@@ -335,6 +397,14 @@ func (s *Server) advance(w http.ResponseWriter, r *http.Request, sess *session) 
 	}
 	if sug.Done {
 		s.endSession(sess, "done")
+		return &sug, 0
+	}
+	// Journal each suggestion once (Next is idempotent while one is
+	// pending); replay asserts the regenerated suggestion matches, so a
+	// journal/optimizer divergence is detected instead of served.
+	if sug.Step != sess.suggJournaled {
+		sess.suggJournaled = sug.Step
+		s.appendRecord(sess, journal.Record{Kind: journal.KindSuggest, Index: sug.Index, Step: sug.Step})
 	}
 	return &sug, 0
 }
@@ -419,10 +489,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // resolve maps the request's session id to a live session, answering
-// 404 for unknown ids and 410 for evicted ones. Expired sessions found
-// by the lookup's sweep are finalized here.
+// 404 for unknown ids, 410 for evicted ones and 421 for sessions whose
+// journal shard a different replica owns. Expired sessions found by the
+// lookup's sweep are finalized here.
 func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (*session, int) {
 	id := r.PathValue("id")
+	if j := s.cfg.Journal; j != nil && !j.Owns(id) {
+		return nil, writeErr(w, http.StatusMisdirectedRequest,
+			fmt.Sprintf("session %s maps to a journal shard this replica does not own; ask the owning replica", id))
+	}
 	sess, status, evicted := s.store.get(id)
 	s.finalizeEvicted(evicted)
 	switch status {
@@ -445,9 +520,21 @@ func (s *Server) finalizeEvicted(evicted []*session) {
 	}
 }
 
-// endSession emits the single session_end audit event.
+// endSession journals the session's terminal record and emits the
+// single session_end audit event. Graceful shutdown ("shutdown-flush")
+// intentionally journals nothing: a drained session is still live in
+// the journal, so the next boot rehydrates it — that is what makes a
+// rolling restart lossless.
 func (s *Server) endSession(sess *session, disposition string) {
 	sess.endOnce.Do(func() {
+		switch disposition {
+		case "shutdown-flush":
+			// Not terminal in the journal; see above.
+		case "aborted":
+			s.appendRecord(sess, journal.Record{Kind: journal.KindAbort, Reason: disposition})
+		default: // "done", "evicted"
+			s.appendRecord(sess, journal.Record{Kind: journal.KindEnd, Reason: disposition})
+		}
 		if s.tracer == nil {
 			return
 		}
@@ -467,6 +554,58 @@ func (s *Server) endSession(sess *session, disposition string) {
 			Stopped:   stopped,
 		})
 	})
+}
+
+// newSessionID allocates the next session id. With a journal attached,
+// ids that hash into shards this replica holds no lease on are skipped:
+// replicas sharing one journal directory draw from disjoint id spaces,
+// which is what keeps any session served by exactly one process.
+func (s *Server) newSessionID() (string, error) {
+	j := s.cfg.Journal
+	if j == nil {
+		return fmt.Sprintf("s-%06d", s.nextID.Add(1)), nil
+	}
+	if len(j.Owned()) == 0 {
+		return "", errors.New("serve: this replica holds no journal shard leases; another replica owns them all")
+	}
+	for {
+		id := fmt.Sprintf("s-%06d", s.nextID.Add(1))
+		if j.Owns(id) {
+			return id, nil
+		}
+	}
+}
+
+// appendRecord journals one state transition for the session, pairing
+// the sequence-number allocation with the write under the session's
+// journal mutex so chains stay contiguous even when an eviction races a
+// request. A failed append is warned about and leaves a seq gap; the
+// recovery scan then reports the session as damaged rather than
+// replaying an inconsistent chain.
+func (s *Server) appendRecord(sess *session, rec journal.Record) error {
+	j := s.cfg.Journal
+	if j == nil {
+		return nil
+	}
+	sess.jmu.Lock()
+	defer sess.jmu.Unlock()
+	rec.Session = sess.id
+	rec.Seq = sess.seq
+	sess.seq++
+	if err := j.Append(rec); err != nil {
+		s.warnf("session %s: %s record lost: %v", sess.id, rec.Kind, err)
+		return err
+	}
+	return nil
+}
+
+// warnf routes a non-fatal serving warning.
+func (s *Server) warnf(format string, args ...any) {
+	if s.cfg.Warnf != nil {
+		s.cfg.Warnf(format, args...)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "serve: "+format+"\n", args...)
 }
 
 // infoOf snapshots a session's description.

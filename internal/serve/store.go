@@ -122,6 +122,23 @@ func (st *store) tombLocked(id string) {
 	st.tombs[id] = struct{}{}
 }
 
+// tomb remembers an id as evicted without it ever being live: recovery
+// seeds the tombstones from the journal's ended sessions so their late
+// requests answer 410 Gone across restarts.
+func (st *store) tomb(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.tombLocked(id)
+}
+
+// remove forgets a live session without tombstoning it (the create
+// failure path: the session never existed as far as clients know).
+func (st *store) remove(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.table, id)
+}
+
 // all snapshots the live sessions (for shutdown flushing and listing).
 func (st *store) all() []*session {
 	st.mu.Lock()

@@ -86,6 +86,18 @@ const (
 	// "shutdown-flush"), Step the number of observations delivered,
 	// Stopped whether the session's own stop rule fired.
 	KindSessionEnd Kind = "session_end"
+	// KindSessionRecover marks one advisor session rehydrated from the
+	// write-ahead journal after a restart: Name is the session id, Seed
+	// the session seed, Step the number of observations replayed, Detail
+	// "method/objective". Emitted by the recovery scan, not by searches,
+	// so like http_request it is exempt from the search-trace
+	// determinism contract.
+	KindSessionRecover Kind = "session_recover"
+	// KindJournalDamage reports one problem the recovery scan found in
+	// the session journal (a corrupt line, a broken record chain, a
+	// session whose replay diverged): Detail is the human-readable
+	// report. The serving keeps going; the event is the audit trail.
+	KindJournalDamage Kind = "journal_damage"
 	// KindHTTPRequest records one API request of the serving layer: Name
 	// is the session id ("" for collection endpoints), Detail
 	// "METHOD /route", Value the response status code. Wall carries the
