@@ -46,11 +46,22 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	outPath := fs.String("o", "", "write the JSON report to this file instead of stdout")
 	compare := fs.Bool("compare", false, "compare two JSON reports: arrow-bench -compare old.json new.json")
 	guard := fs.String("guard", "", "with -compare, fail when a benchmark regresses past its budget: 'BenchmarkFullSearchAugmented=25,BenchmarkOther=10' (percent ns/op)")
+	tables := fs.Bool("tables", false, "summarize multi-sample output (go test -bench -count=N) as a quartile table instead of JSON")
+	markdown := fs.Bool("markdown", false, "with -tables, use Markdown table notation")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *guard != "" && !*compare {
 		return fmt.Errorf("-guard only applies with -compare")
+	}
+	if *markdown && !*tables {
+		return fmt.Errorf("-markdown only applies with -tables")
+	}
+	if *tables && *compare {
+		return fmt.Errorf("-tables and -compare are mutually exclusive")
+	}
+	if *tables {
+		return runTables(in, out, *markdown)
 	}
 	if *compare {
 		if fs.NArg() != 2 {
@@ -95,44 +106,7 @@ func parseBench(in io.Reader) (map[string]Metrics, error) {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-			continue
-		}
-		name := fields[0]
-		if i := strings.LastIndex(name, "-"); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i]
-			}
-		}
-		iters, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			continue // a print line that happens to start with "Benchmark"
-		}
-		m := Metrics{Iterations: iters}
-		ok := false
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				break
-			}
-			switch unit := fields[i+1]; unit {
-			case "ns/op":
-				m.NsPerOp = v
-				ok = true
-			case "B/op":
-				m.BytesPerOp = &v
-			case "allocs/op":
-				m.AllocsPerOp = &v
-			default:
-				// A custom b.ReportMetric unit like "dedup-ratio".
-				if m.Extra == nil {
-					m.Extra = make(map[string]float64)
-				}
-				m.Extra[unit] = v
-			}
-		}
-		if ok {
+		if name, m, ok := parseBenchLine(sc.Text()); ok {
 			report[name] = m
 		}
 	}

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// samples collects every measurement of one benchmark across a
+// `go test -bench -count=N` run, one slice entry per result line.
+type samples struct {
+	nsPerOp     []float64
+	bytesPerOp  []float64
+	allocsPerOp []float64
+}
+
+// parseBenchLine parses one `go test -bench` result line, returning the
+// benchmark name with the -GOMAXPROCS suffix stripped. ok is false for
+// anything that is not a result line (including print lines that happen
+// to start with "Benchmark").
+func parseBenchLine(line string) (name string, m Metrics, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Metrics{}, false
+	}
+	name = fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Metrics{}, false
+	}
+	m = Metrics{Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			break
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			m.NsPerOp = v
+			ok = true
+		case "B/op":
+			m.BytesPerOp = &v
+		case "allocs/op":
+			m.AllocsPerOp = &v
+		default:
+			// A custom b.ReportMetric unit like "dedup-ratio".
+			if m.Extra == nil {
+				m.Extra = make(map[string]float64)
+			}
+			m.Extra[unit] = v
+		}
+	}
+	return name, m, ok
+}
+
+// parseBenchSamples scans multi-sample `go test -bench -count=N` output,
+// keeping every measurement per benchmark (where parseBench keeps only
+// the last). The quartile tables are built from these.
+func parseBenchSamples(in io.Reader) (map[string]*samples, error) {
+	all := make(map[string]*samples)
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, m, ok := parseBenchLine(sc.Text())
+		if !ok {
+			continue
+		}
+		s := all[name]
+		if s == nil {
+			s = &samples{}
+			all[name] = s
+		}
+		s.nsPerOp = append(s.nsPerOp, m.NsPerOp)
+		if m.BytesPerOp != nil {
+			s.bytesPerOp = append(s.bytesPerOp, *m.BytesPerOp)
+		}
+		if m.AllocsPerOp != nil {
+			s.allocsPerOp = append(s.allocsPerOp, *m.AllocsPerOp)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return all, nil
+}
+
+// median of a sorted slice.
+func median(sorted []float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// quartiles returns Tukey's hinges (q1, median, q3): the medians of the
+// lower and upper halves, the halves sharing the middle element when the
+// sample count is odd. On a single sample all three collapse to it.
+func quartiles(vals []float64) (q1, med, q3 float64) {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	med = median(sorted)
+	if n < 2 {
+		return med, med, med
+	}
+	q1 = median(sorted[:(n+1)/2])
+	q3 = median(sorted[n/2:])
+	return q1, med, q3
+}
+
+// fmtQuartiles renders "q1 / med / q3" with thousands grouping, or "-"
+// when the metric was never reported (no -benchmem).
+func fmtQuartiles(vals []float64) string {
+	if len(vals) == 0 {
+		return "-"
+	}
+	q1, med, q3 := quartiles(vals)
+	return fmt.Sprintf("%s / %s / %s", group(q1), group(med), group(q3))
+}
+
+// group renders a value with underscore thousands separators, matching
+// how Go source formats large literals; fractional values keep one digit
+// and group their integer part the same way.
+func group(v float64) string {
+	digits := 0
+	if v != float64(int64(v)) {
+		digits = 1
+	}
+	s := strconv.FormatFloat(v, 'f', digits, 64)
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	intPart, frac, _ := strings.Cut(s, ".")
+	var sb strings.Builder
+	for i, r := range intPart {
+		if i > 0 && (len(intPart)-i)%3 == 0 {
+			sb.WriteByte('_')
+		}
+		sb.WriteRune(r)
+	}
+	out := sb.String()
+	if frac != "" {
+		out += "." + frac
+	}
+	if neg {
+		return "-" + out
+	}
+	return out
+}
+
+// runTables renders the quartile summary of multi-sample benchmark output
+// as a table: one row per benchmark, quartiles (q1 / median / q3) for
+// ns/op, B/op and allocs/op. markdown switches from aligned plain text to
+// Markdown table notation, for pasting into PRs and job summaries.
+func runTables(in io.Reader, out io.Writer, markdown bool) error {
+	all, err := parseBenchSamples(in)
+	if err != nil {
+		return err
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("no benchmark result lines found on stdin")
+	}
+	names := make([]string, 0, len(all))
+	for name := range all {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	if markdown {
+		fmt.Fprintln(out, "| benchmark | n | ns/op (q1 / med / q3) | B/op (q1 / med / q3) | allocs/op (q1 / med / q3) |")
+		fmt.Fprintln(out, "| :-- | --: | --: | --: | --: |")
+		for _, name := range names {
+			s := all[name]
+			fmt.Fprintf(out, "| %s | %d | %s | %s | %s |\n",
+				strings.TrimPrefix(name, "Benchmark"), len(s.nsPerOp),
+				fmtQuartiles(s.nsPerOp), fmtQuartiles(s.bytesPerOp), fmtQuartiles(s.allocsPerOp))
+		}
+		return nil
+	}
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "BENCHMARK\tN\tNS/OP (Q1 / MED / Q3)\tB/OP (Q1 / MED / Q3)\tALLOCS/OP (Q1 / MED / Q3)")
+	for _, name := range names {
+		s := all[name]
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\n",
+			strings.TrimPrefix(name, "Benchmark"), len(s.nsPerOp),
+			fmtQuartiles(s.nsPerOp), fmtQuartiles(s.bytesPerOp), fmtQuartiles(s.allocsPerOp))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// multiSample mimics `go test -bench -count=5 -benchmem` output: five
+// measurements per benchmark, one without -benchmem.
+const multiSample = `goos: linux
+BenchmarkA-8 100 500 ns/op 64 B/op 2 allocs/op
+BenchmarkA-8 100 100 ns/op 64 B/op 2 allocs/op
+BenchmarkA-8 100 300 ns/op 80 B/op 3 allocs/op
+BenchmarkA-8 100 200 ns/op 64 B/op 2 allocs/op
+BenchmarkA-8 100 400 ns/op 96 B/op 2 allocs/op
+BenchmarkB-8 10 1000000 ns/op
+BenchmarkB-8 10 3000000 ns/op
+PASS
+`
+
+func TestQuartiles(t *testing.T) {
+	tests := []struct {
+		vals        []float64
+		q1, med, q3 float64
+	}{
+		{[]float64{5}, 5, 5, 5},
+		{[]float64{1, 2}, 1, 1.5, 2},
+		{[]float64{500, 100, 300, 200, 400}, 200, 300, 400},
+		{[]float64{1, 2, 3, 4}, 1.5, 2.5, 3.5},
+	}
+	for _, tt := range tests {
+		q1, med, q3 := quartiles(tt.vals)
+		if q1 != tt.q1 || med != tt.med || q3 != tt.q3 {
+			t.Errorf("quartiles(%v) = (%v, %v, %v), want (%v, %v, %v)",
+				tt.vals, q1, med, q3, tt.q1, tt.med, tt.q3)
+		}
+	}
+}
+
+func TestGroup(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{5, "5"},
+		{1.5, "1.5"},
+		{1234, "1_234"},
+		{1234567.5, "1_234_567.5"},
+		{-1234.5, "-1_234.5"},
+		{1000000, "1_000_000"},
+	}
+	for _, tt := range tests {
+		if got := group(tt.v); got != tt.want {
+			t.Errorf("group(%v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestRunTablesPlain(t *testing.T) {
+	var out bytes.Buffer
+	if err := runTables(strings.NewReader(multiSample), &out, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"BENCHMARK", "A", "200 / 300 / 400", // ns/op hinges over 5 samples
+		"64 / 64 / 80", // B/op hinges of {64,64,64,80,96}
+		"2 / 2 / 2",    // allocs/op hinges of {2,2,2,2,3}
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("plain table missing %q:\n%s", want, got)
+		}
+	}
+	// B has no -benchmem fields: the cells must render as "-".
+	for _, line := range strings.Split(got, "\n") {
+		if strings.HasPrefix(line, "B ") && !strings.Contains(line, "-") {
+			t.Errorf("benchmark B should show '-' memory cells: %q", line)
+		}
+	}
+}
+
+func TestRunTablesMarkdown(t *testing.T) {
+	var out bytes.Buffer
+	if err := runTables(strings.NewReader(multiSample), &out, true); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"| benchmark |", "| :-- |", "| A | 5 |",
+		"| B | 2 | 1_000_000 / 2_000_000 / 3_000_000 | - | - |",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("markdown table missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunTablesFlagValidation(t *testing.T) {
+	if err := run([]string{"-markdown"}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Error("-markdown without -tables should fail")
+	}
+	if err := run([]string{"-tables", "-compare"}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Error("-tables with -compare should fail")
+	}
+	if err := run([]string{"-tables"}, strings.NewReader("nothing"), &bytes.Buffer{}); err == nil {
+		t.Error("empty input should fail")
+	}
+}

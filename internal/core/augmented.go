@@ -47,6 +47,12 @@ type AugmentedBOConfig struct {
 	// the low-level augmentation versus the tree surrogate + pairwise
 	// encoding alone.
 	DisableLowLevel bool
+	// DisableIncrementalRefit forces every surrogate fit to re-grow the
+	// whole ensemble from scratch instead of reusing trees whose sampled
+	// rows did not change. The search itself is bit-identical either way
+	// (forest.Refit guarantees it); the switch exists to measure the
+	// speedup and as an escape hatch.
+	DisableIncrementalRefit bool
 	// WarmStart seeds the surrogate with observations from a previous
 	// run of a *related* workload on the same candidate catalog (the
 	// paper's stated future work: "augment Bayesian Optimizer with
@@ -74,6 +80,15 @@ type PriorObservation struct {
 // DefaultDeltaThreshold is the paper's recommended Prediction-Delta
 // stopping threshold.
 const DefaultDeltaThreshold = 1.1
+
+// defaultPairSampleRate is the per-tree observation-unit keep probability
+// of the pairwise surrogate when Forest.SampleRate is unset. Each tree
+// trains on the pair rows whose source and destination units it keeps
+// (~49% of rows), so measuring one more VM re-grows only the ~70% of
+// trees that keep the new unit — the lever behind incremental refits.
+// Set Forest.SampleRate to 1 for the classic every-tree-sees-everything
+// ensemble.
+const defaultPairSampleRate = 0.7
 
 // AugmentedBO is Arrow: Bayesian optimization whose surrogate sees not
 // just the instance space but the low-level performance metrics of every
@@ -149,6 +164,13 @@ func (a *AugmentedBO) continueSearch(st *searchState, defaultMinObs int, rng *ra
 		maxMeas = st.target.NumCandidates()
 	}
 
+	// One tree seed for the whole search, drawn up front: per-tree row
+	// sampling is a pure function of (seed, unit ids), so a stable seed is
+	// what lets forest.Refit carry unchanged trees across iterations. A
+	// fresh seed per iteration would reshuffle every tree's row set and
+	// force a full re-grow each time.
+	treeSeed := rng.Int63()
+
 	for len(st.obs) < maxMeas {
 		remaining := st.unmeasured()
 		if len(remaining) == 0 {
@@ -167,7 +189,7 @@ func (a *AugmentedBO) continueSearch(st *searchState, defaultMinObs int, rng *ra
 			}
 			continue
 		}
-		next, predicted, err := a.selectByDelta(st, remaining, rng.Int63())
+		next, predicted, err := a.selectByDelta(st, remaining, treeSeed)
 		if err != nil {
 			return st.abort(a.Name(), err)
 		}
@@ -314,22 +336,38 @@ func (a *AugmentedBO) fitPairModelFor(st *searchState, treeSeed int64, target pa
 	}
 	cache := a.pairs(st)
 	cache.sync(st)
-	xs, ys := cache.trainingSet(target, withHistory)
+	xs, ys, units := cache.trainingSet(target, withHistory)
 	cfg := a.cfg.Forest
 	cfg.Seed = treeSeed
+	if cfg.SampleRate == 0 {
+		cfg.SampleRate = defaultPairSampleRate
+	}
+	var prev *forest.Regressor
+	if !a.cfg.DisableIncrementalRefit {
+		if target == pairTargetTime {
+			prev = cache.prevTime
+		} else {
+			prev = cache.prevObj
+		}
+	}
 	var fitT0 time.Time
 	if st.tracer != nil {
 		fitT0 = time.Now()
 	}
-	model, err := forest.Fit(cfg, xs, ys)
+	model, info, err := forest.Refit(prev, cfg, xs, ys, units)
 	if err != nil {
 		return nil, fmt.Errorf("core: fitting Extra-Trees surrogate: %w", err)
+	}
+	if target == pairTargetTime {
+		cache.prevTime = model
+	} else {
+		cache.prevObj = model
 	}
 	name := "forest"
 	if target == pairTargetTime {
 		name = "forest-time"
 	}
-	st.emitFit(name, len(xs), fitT0)
+	st.emitFit(name, len(xs), fitT0, info.Incremental, info.ReusedTrees)
 	return model, nil
 }
 

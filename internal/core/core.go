@@ -358,11 +358,19 @@ func (s *searchState) emitSearchStart() {
 }
 
 // emitFit records one surrogate fit: the model name, its training-set
-// size and the elapsed time since t0 (only meaningful when tracing —
-// callers take t0 under the same tracer guard).
-func (s *searchState) emitFit(model string, rows int, t0 time.Time) {
+// size, the elapsed time since t0 (only meaningful when tracing —
+// callers take t0 under the same tracer guard), and the refit
+// disposition: incremental true when cached model state was reused, with
+// reused counting the carried-over components (trees or grid
+// factorizations). The disposition rides in Wall because incremental and
+// full refits are bit-identical in everything but the work performed.
+func (s *searchState) emitFit(model string, rows int, t0 time.Time, incremental bool, reused int) {
 	if s.tracer == nil {
 		return
+	}
+	refit := "full"
+	if incremental {
+		refit = "incremental"
 	}
 	s.emit(telemetry.Event{
 		Kind:      telemetry.KindSurrogateFit,
@@ -370,7 +378,11 @@ func (s *searchState) emitFit(model string, rows int, t0 time.Time) {
 		Candidate: -1,
 		Value:     float64(rows),
 		Detail:    model,
-		Wall:      &telemetry.Wall{DurationNS: time.Since(t0).Nanoseconds()},
+		Wall: &telemetry.Wall{
+			DurationNS: time.Since(t0).Nanoseconds(),
+			Refit:      refit,
+			Reused:     reused,
+		},
 	})
 }
 

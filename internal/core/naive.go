@@ -71,6 +71,12 @@ type NaiveBOConfig struct {
 	// log space; CherryPick makes the same transformation.
 	// DisableLogObjective turns it off.
 	DisableLogObjective bool
+	// DisableIncrementalRefit forces every GP fit to refactor the kernel
+	// matrix from scratch instead of extending the previous iteration's
+	// Cholesky factors. The search itself is bit-identical either way
+	// (the extension is prefix-stable); the switch exists to measure the
+	// speedup and as an escape hatch.
+	DisableIncrementalRefit bool
 	// Tracer receives the search's event stream (see internal/telemetry).
 	// Nil disables tracing at zero cost.
 	Tracer telemetry.Tracer
@@ -221,6 +227,26 @@ type gpScratch struct {
 	timeMeans []float64
 	timeVars  []float64
 	pFeas     []float64
+	// fitters caches one incremental GP fitter per kernel family. The
+	// feature rows are identical for the objective and the time model (and
+	// only grow by one per iteration), so the acquisition pass and the SLO
+	// pass of one iteration — and all later iterations — share the same
+	// extended Cholesky factors.
+	fitters map[kernel.Kind]*gp.Fitter
+}
+
+// fitterFor returns (building on first use) the cached incremental fitter
+// for a kernel family.
+func (sc *gpScratch) fitterFor(kind kernel.Kind, ard bool) *gp.Fitter {
+	if sc.fitters == nil {
+		sc.fitters = make(map[kernel.Kind]*gp.Fitter)
+	}
+	f := sc.fitters[kind]
+	if f == nil {
+		f = gp.NewFitter(gp.Config{Kernel: kind, ARD: ard})
+		sc.fitters[kind] = f
+	}
+	return f
 }
 
 // feasibilityProbs fits a GP on log execution time and returns, per
@@ -238,11 +264,11 @@ func (n *NaiveBO) feasibilityProbs(st *searchState, scaled, queries [][]float64,
 	if st.tracer != nil {
 		fitT0 = time.Now()
 	}
-	model, err := n.fitSurrogate(xs, ys)
+	model, info, err := n.fitSurrogate(sc, xs, ys)
 	if err != nil {
 		return nil, fmt.Errorf("core: fitting time GP for SLO: %w", err)
 	}
-	st.emitFit("gp-time", len(xs), fitT0)
+	st.emitFit("gp-time", len(xs), fitT0, info.Incremental, info.ReusedFactors)
 	sc.timeMeans, sc.timeVars, err = model.PredictBatch(queries, 0, sc.timeMeans, sc.timeVars)
 	if err != nil {
 		return nil, fmt.Errorf("core: time prediction: %w", err)
@@ -275,31 +301,47 @@ func (n *NaiveBO) feasibilityProbs(st *searchState, scaled, queries [][]float64,
 }
 
 // fitSurrogate trains the GP on the observations, choosing the kernel
-// family by log marginal likelihood when AutoKernel is set.
-func (n *NaiveBO) fitSurrogate(xs [][]float64, ys []float64) (*gp.GP, error) {
-	if !n.cfg.AutoKernel {
-		model, err := gp.Fit(gp.Config{Kernel: n.cfg.Kernel, ARD: n.cfg.ARD}, xs, ys)
-		if err != nil {
-			return nil, fmt.Errorf("core: fitting GP surrogate: %w", err)
+// family by log marginal likelihood when AutoKernel is set. Unless
+// incremental refits are disabled it goes through the scratch's cached
+// fitters, so a fit that appends rows to the previous one extends the
+// cached Cholesky factors instead of refactoring — bit-identical to the
+// from-scratch path by the prefix stability of the Cholesky recurrence.
+func (n *NaiveBO) fitSurrogate(sc *gpScratch, xs [][]float64, ys []float64) (*gp.GP, gp.FitInfo, error) {
+	fit := func(kind kernel.Kind) (*gp.GP, gp.FitInfo, error) {
+		if n.cfg.DisableIncrementalRefit {
+			model, err := gp.Fit(gp.Config{Kernel: kind, ARD: n.cfg.ARD}, xs, ys)
+			return model, gp.FitInfo{}, err
 		}
-		return model, nil
+		return sc.fitterFor(kind, n.cfg.ARD).Fit(xs, ys)
+	}
+	if !n.cfg.AutoKernel {
+		model, info, err := fit(n.cfg.Kernel)
+		if err != nil {
+			return nil, gp.FitInfo{}, fmt.Errorf("core: fitting GP surrogate: %w", err)
+		}
+		return model, info, nil
 	}
 	var best *gp.GP
+	var sum gp.FitInfo
+	sum.Incremental = true
 	var errs []error
 	for _, kind := range kernel.All() {
-		model, err := gp.Fit(gp.Config{Kernel: kind, ARD: n.cfg.ARD}, xs, ys)
+		model, info, err := fit(kind)
 		if err != nil {
 			errs = append(errs, err)
 			continue
 		}
+		sum.Incremental = sum.Incremental && info.Incremental
+		sum.ReusedFactors += info.ReusedFactors
+		sum.TotalFactors += info.TotalFactors
 		if best == nil || model.LogMarginalLikelihood() > best.LogMarginalLikelihood() {
 			best = model
 		}
 	}
 	if best == nil {
-		return nil, fmt.Errorf("core: auto kernel selection: every family failed: %w", errors.Join(errs...))
+		return nil, gp.FitInfo{}, fmt.Errorf("core: auto kernel selection: every family failed: %w", errors.Join(errs...))
 	}
-	return best, nil
+	return best, sum, nil
 }
 
 // selectCandidate fits the GP surrogate and returns the unmeasured
@@ -323,11 +365,11 @@ func (n *NaiveBO) selectCandidate(st *searchState, scaled [][]float64, remaining
 	if st.tracer != nil {
 		fitT0 = time.Now()
 	}
-	model, err := n.fitSurrogate(xs, ys)
+	model, info, err := n.fitSurrogate(sc, xs, ys)
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	st.emitFit("gp", len(xs), fitT0)
+	st.emitFit("gp", len(xs), fitT0, info.Incremental, info.ReusedFactors)
 
 	best := st.bestVal
 	if logSpace {

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"repro/internal/forest"
 	"repro/internal/lowlevel"
 )
 
@@ -29,19 +30,29 @@ type pairCache struct {
 	// never reallocate and previously handed-out row views stay valid.
 	slab     []float64
 	rows     [][]float64
-	logVals  []float64 // log objective value of the destination
-	logTimes []float64 // log execution time of the destination
-	synced   int       // observations incorporated so far
+	logVals  []float64  // log objective value of the destination
+	logTimes []float64  // log execution time of the destination
+	units    [][2]int32 // per row: (source, destination) observation units
+	synced   int        // observations incorporated so far
 
 	// Warm-start history pairs, built once; they join the training set
-	// only for the objective model.
-	warmRows    [][]float64
-	warmLogVals []float64
+	// only for the objective model. Warm units occupy [0, warmUnitCount)
+	// of the unit id space; live observations follow.
+	warmRows      [][]float64
+	warmLogVals   []float64
+	warmUnits     [][2]int32
+	warmUnitCount int32
 
 	// Per-fit scratch: slice headers over rows/warmRows and copied-out ys,
 	// so assembling a training set allocates nothing at steady state.
-	xsScratch []([]float64)
-	ysScratch []float64
+	xsScratch    []([]float64)
+	ysScratch    []float64
+	unitsScratch [][2]int32
+
+	// The previous fitted ensembles, fed back into forest.Refit so an
+	// iteration re-grows only the trees whose sampled rows changed.
+	prevObj  *forest.Regressor
+	prevTime *forest.Regressor
 
 	// Batched-prediction scratch: one row per (candidate, source) pair,
 	// the raw per-row model output, and the per-candidate reductions.
@@ -56,14 +67,23 @@ type pairCache struct {
 // numFeat instance features each.
 func newPairCache(numCandidates, numFeat int, disableLowLevel bool) *pairCache {
 	width := 2*numFeat + int(lowlevel.NumMetrics)
-	maxRows := numCandidates * (numCandidates - 1)
+	// A search measuring m of the n candidates holds m*(m-1) pair rows,
+	// and m is typically far below n — sizing the slab for the full
+	// catalog made it the advisor path's single largest allocation. Start
+	// with room for pairs among a handful of measurements and let append
+	// grow it; appendObsPair's full-capacity reslice keeps earlier row
+	// headers valid (they simply go on pointing into the old array).
+	initRows := 16 * 15
+	if maxRows := numCandidates * (numCandidates - 1); initRows > maxRows {
+		initRows = maxRows
+	}
 	return &pairCache{
 		width:           width,
 		disableLowLevel: disableLowLevel,
-		slab:            make([]float64, 0, maxRows*width),
-		rows:            make([][]float64, 0, maxRows),
-		logVals:         make([]float64, 0, maxRows),
-		logTimes:        make([]float64, 0, maxRows),
+		slab:            make([]float64, 0, initRows*width),
+		rows:            make([][]float64, 0, initRows),
+		logVals:         make([]float64, 0, initRows),
+		logTimes:        make([]float64, 0, initRows),
 	}
 }
 
@@ -71,6 +91,7 @@ func newPairCache(numCandidates, numFeat int, disableLowLevel bool) *pairCache {
 // vectors are passed through untouched; forest.Fit rejects them exactly as
 // the per-iteration rebuild used to.
 func (c *pairCache) addWarm(priors []PriorObservation) {
+	c.warmUnitCount = int32(len(priors))
 	for i := range priors {
 		for j := range priors {
 			if i == j {
@@ -84,6 +105,7 @@ func (c *pairCache) addWarm(priors []PriorObservation) {
 			row := make([]float64, 0, len(src.Features)+int(lowlevel.NumMetrics)+len(dst.Features))
 			c.warmRows = append(c.warmRows, appendPairRow(row, src.Features, metrics, dst.Features))
 			c.warmLogVals = append(c.warmLogVals, math.Log(dst.Value))
+			c.warmUnits = append(c.warmUnits, [2]int32{int32(i), int32(j)})
 		}
 	}
 }
@@ -97,14 +119,18 @@ func (c *pairCache) sync(st *searchState) {
 		dst := &st.obs[k]
 		for j := 0; j < k; j++ {
 			src := &st.obs[j]
-			c.appendObsPair(st, src, dst)
-			c.appendObsPair(st, dst, src)
+			c.appendObsPair(st, src, dst, j, k)
+			c.appendObsPair(st, dst, src, k, j)
 		}
 	}
 	c.synced = len(st.obs)
 }
 
-func (c *pairCache) appendObsPair(st *searchState, src, dst *Observation) {
+// appendObsPair appends one (src -> dst) row. srcObs/dstObs are the
+// indices of the observations in st.obs; offset by the warm-unit count
+// they become the row's sampling units, the stable ids forest.FitSampled
+// hashes for per-tree row membership.
+func (c *pairCache) appendObsPair(st *searchState, src, dst *Observation, srcObs, dstObs int) {
 	metrics := &src.Outcome.Metrics
 	if c.disableLowLevel {
 		metrics = &zeroMetrics
@@ -114,6 +140,7 @@ func (c *pairCache) appendObsPair(st *searchState, src, dst *Observation) {
 	c.rows = append(c.rows, c.slab[start:len(c.slab):len(c.slab)])
 	c.logVals = append(c.logVals, math.Log(dst.Value))
 	c.logTimes = append(c.logTimes, math.Log(dst.Outcome.TimeSec))
+	c.units = append(c.units, [2]int32{c.warmUnitCount + int32(srcObs), c.warmUnitCount + int32(dstObs)})
 }
 
 // pairTarget selects which recorded target a training set uses.
@@ -124,23 +151,30 @@ const (
 	pairTargetTime
 )
 
-// trainingSet assembles (xs, ys) for a fit from the cached rows, reusing
-// the scratch slices. The returned slices are valid until the next call;
-// forest.Fit copies the data, so handing them straight to it is safe.
-func (c *pairCache) trainingSet(target pairTarget, withHistory bool) ([][]float64, []float64) {
-	xs := append(c.xsScratch[:0], c.rows...)
-	var ys []float64
-	if target == pairTargetTime {
-		ys = append(c.ysScratch[:0], c.logTimes...)
-	} else {
-		ys = append(c.ysScratch[:0], c.logVals...)
-	}
+// trainingSet assembles (xs, ys, units) for a fit from the cached rows,
+// reusing the scratch slices. Warm-start history leads, so that across
+// iterations the training set only ever appends — the bitwise-prefix
+// property forest.Refit needs to reuse unchanged trees. The returned
+// slices are valid until the next call; forest.Refit copies the data, so
+// handing them straight to it is safe.
+func (c *pairCache) trainingSet(target pairTarget, withHistory bool) ([][]float64, []float64, [][2]int32) {
+	xs := c.xsScratch[:0]
+	ys := c.ysScratch[:0]
+	units := c.unitsScratch[:0]
 	if withHistory {
 		xs = append(xs, c.warmRows...)
 		ys = append(ys, c.warmLogVals...)
+		units = append(units, c.warmUnits...)
 	}
-	c.xsScratch, c.ysScratch = xs, ys
-	return xs, ys
+	xs = append(xs, c.rows...)
+	if target == pairTargetTime {
+		ys = append(ys, c.logTimes...)
+	} else {
+		ys = append(ys, c.logVals...)
+	}
+	units = append(units, c.units...)
+	c.xsScratch, c.ysScratch, c.unitsScratch = xs, ys, units
+	return xs, ys, units
 }
 
 // predictionRows builds the batched query matrix: for every remaining

@@ -42,6 +42,14 @@ type Config struct {
 	MaxFeatures int
 	// MaxDepth bounds tree depth. Zero means unbounded.
 	MaxDepth int
+	// SampleRate is the per-tree unit keep probability used by FitSampled
+	// and Refit: each tree draws a deterministic Bernoulli(SampleRate)
+	// subset of the observation units and trains only on rows whose units
+	// it kept, which is what makes delta-aware refits possible (a new
+	// unit's rows touch only the trees that keep that unit). Zero or one
+	// means no subsampling — every tree sees every row, and Fit ignores
+	// the field entirely.
+	SampleRate float64
 	// Seed seeds the (deterministic) tree randomization. Each tree draws
 	// its own RNG seed from this value, so the fitted ensemble does not
 	// depend on how trees are scheduled across workers.
@@ -64,6 +72,11 @@ type Regressor struct {
 	trees       []tree
 	numDims     int
 	parallelism int
+
+	// state carries the training snapshot and per-tree row-set
+	// fingerprints of a FitSampled ensemble, enabling Refit. Nil for
+	// plain Fit ensembles.
+	state *sampleState
 }
 
 // tree is one fitted extra-tree, flattened into index-based parallel
@@ -128,59 +141,69 @@ func treeSeeds(seed int64, n int) []int64 {
 	return out
 }
 
-// Fit grows the ensemble on feature rows xs and targets ys.
-func Fit(cfg Config, xs [][]float64, ys []float64) (*Regressor, error) {
+// validateTraining checks shape and finiteness of a training set and
+// returns the feature dimensionality.
+func validateTraining(xs [][]float64, ys []float64) (int, error) {
 	if len(xs) == 0 {
-		return nil, ErrNoData
+		return 0, ErrNoData
 	}
 	if len(xs) != len(ys) {
-		return nil, fmt.Errorf("forest: %d rows but %d targets", len(xs), len(ys))
+		return 0, fmt.Errorf("forest: %d rows but %d targets", len(xs), len(ys))
 	}
 	dims := len(xs[0])
 	if dims == 0 {
-		return nil, errors.New("forest: zero-dimensional features")
+		return 0, errors.New("forest: zero-dimensional features")
 	}
 	for i, row := range xs {
 		if len(row) != dims {
-			return nil, fmt.Errorf("forest: ragged row %d (len %d, want %d)", i, len(row), dims)
+			return 0, fmt.Errorf("forest: ragged row %d (len %d, want %d)", i, len(row), dims)
 		}
 		for j, v := range row {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, fmt.Errorf("forest: non-finite feature at row %d col %d: %v", i, j, v)
+				return 0, fmt.Errorf("forest: non-finite feature at row %d col %d: %v", i, j, v)
 			}
 		}
 	}
 	for i, y := range ys {
 		if math.IsNaN(y) || math.IsInf(y, 0) {
-			return nil, fmt.Errorf("forest: non-finite target at row %d: %v", i, y)
+			return 0, fmt.Errorf("forest: non-finite target at row %d: %v", i, y)
 		}
 	}
+	return dims, nil
+}
 
-	numTrees := cfg.NumTrees
-	if numTrees == 0 {
-		numTrees = DefaultNumTrees
+// resolveConfig applies Config's documented defaults for the given
+// feature dimensionality. Refit compares resolved configs, so two configs
+// that mean the same ensemble resolve equal.
+func resolveConfig(cfg Config, dims int) (Config, error) {
+	if cfg.NumTrees == 0 {
+		cfg.NumTrees = DefaultNumTrees
 	}
-	minSplit := cfg.MinSamplesSplit
-	if minSplit == 0 {
-		minSplit = DefaultMinSamplesSplit
+	if cfg.MinSamplesSplit == 0 {
+		cfg.MinSamplesSplit = DefaultMinSamplesSplit
 	}
-	if minSplit < 2 {
-		return nil, fmt.Errorf("forest: MinSamplesSplit %d < 2", minSplit)
+	if cfg.MinSamplesSplit < 2 {
+		return cfg, fmt.Errorf("forest: MinSamplesSplit %d < 2", cfg.MinSamplesSplit)
 	}
-	maxFeatures := cfg.MaxFeatures
-	if maxFeatures == 0 {
-		maxFeatures = int(math.Round(math.Sqrt(float64(dims))))
-		if maxFeatures < 1 {
-			maxFeatures = 1
+	if cfg.MaxFeatures == 0 {
+		cfg.MaxFeatures = int(math.Round(math.Sqrt(float64(dims))))
+		if cfg.MaxFeatures < 1 {
+			cfg.MaxFeatures = 1
 		}
 	}
-	if maxFeatures > dims {
-		maxFeatures = dims
+	if cfg.MaxFeatures > dims {
+		cfg.MaxFeatures = dims
 	}
+	if math.IsNaN(cfg.SampleRate) || cfg.SampleRate < 0 || cfg.SampleRate > 1 {
+		return cfg, fmt.Errorf("forest: SampleRate %v outside [0,1]", cfg.SampleRate)
+	}
+	return cfg, nil
+}
 
-	// Column-major copy of the training matrix: cols[f*n+i] = xs[i][f].
-	// Split scoring scans one feature over many rows, so this turns the
-	// hot loops into contiguous walks instead of row-pointer chases.
+// buildColumns copies xs into a column-major matrix: cols[f*n+i] =
+// xs[i][f]. Split scoring scans one feature over many rows, so this turns
+// the hot loops into contiguous walks instead of row-pointer chases.
+func buildColumns(xs [][]float64, dims int) []float64 {
 	n := len(xs)
 	cols := make([]float64, n*dims)
 	for i, row := range xs {
@@ -188,25 +211,48 @@ func Fit(cfg Config, xs [][]float64, ys []float64) (*Regressor, error) {
 			cols[f*n+i] = v
 		}
 	}
+	return cols
+}
+
+// newGrower assembles a worker's growth state over the shared training
+// data.
+func newGrower(cfg Config, cols, ys []float64, n, dims int) *grower {
+	return &grower{
+		cols:        cols,
+		ys:          ys,
+		n:           n,
+		dims:        dims,
+		minSplit:    cfg.MinSamplesSplit,
+		maxFeatures: cfg.MaxFeatures,
+		maxDepth:    cfg.MaxDepth,
+		indices:     make([]int, n),
+		aux:         make([]int, n),
+		featOrder:   make([]int, dims),
+	}
+}
+
+// Fit grows the ensemble on feature rows xs and targets ys. Every tree
+// trains on the full training set (the Extra-Trees prescription);
+// SampleRate is ignored. Use FitSampled/Refit for the delta-aware
+// subsampled ensemble.
+func Fit(cfg Config, xs [][]float64, ys []float64) (*Regressor, error) {
+	dims, err := validateTraining(xs, ys)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err = resolveConfig(cfg, dims)
+	if err != nil {
+		return nil, err
+	}
+
+	n := len(xs)
+	cols := buildColumns(xs, dims)
 	ysCopy := append([]float64(nil), ys...)
 
-	seeds := treeSeeds(cfg.Seed, numTrees)
-	trees := make([]tree, numTrees)
-	parallel.DoWithScratch(numTrees, cfg.Parallelism,
-		func() *grower {
-			return &grower{
-				cols:        cols,
-				ys:          ysCopy,
-				n:           n,
-				dims:        dims,
-				minSplit:    minSplit,
-				maxFeatures: maxFeatures,
-				maxDepth:    cfg.MaxDepth,
-				indices:     make([]int, n),
-				aux:         make([]int, n),
-				featOrder:   make([]int, dims),
-			}
-		},
+	seeds := treeSeeds(cfg.Seed, cfg.NumTrees)
+	trees := make([]tree, cfg.NumTrees)
+	parallel.DoWithScratch(cfg.NumTrees, cfg.Parallelism,
+		func() *grower { return newGrower(cfg, cols, ysCopy, n, dims) },
 		func(t int, g *grower) {
 			g.growTree(&trees[t], &splitmix{state: uint64(seeds[t])})
 		})
@@ -234,26 +280,40 @@ type grower struct {
 	featOrder []int // partial Fisher-Yates scratch for feature sampling
 }
 
-// growTree grows one tree with its own RNG into out. Scratch state is
-// reset first so the result depends only on the data and the seed, never
-// on which trees this worker grew before.
+// growTree grows one tree over the full training set with its own RNG
+// into out. Scratch state is reset first so the result depends only on
+// the data and the seed, never on which trees this worker grew before.
 func (g *grower) growTree(out *tree, rng *splitmix) {
 	for i := range g.indices {
 		g.indices[i] = i
 	}
+	g.growPrepared(out, rng, g.n)
+}
+
+// growTreeOn grows one tree over the given row subset (ascending row
+// indices). The subset is copied into the worker's index scratch, so rows
+// is left untouched for fingerprinting.
+func (g *grower) growTreeOn(out *tree, rng *splitmix, rows []int) {
+	copy(g.indices[:len(rows)], rows)
+	g.growPrepared(out, rng, len(rows))
+}
+
+// growPrepared grows a tree over the first n entries of g.indices, which
+// the caller has just filled.
+func (g *grower) growPrepared(out *tree, rng *splitmix, n int) {
 	for i := range g.featOrder {
 		g.featOrder[i] = i
 	}
 	// A binary tree over n samples has at most 2n-1 nodes; reserving that
 	// up front makes node appends allocation-free.
-	maxNodes := 2*g.n - 1
+	maxNodes := 2*n - 1
 	out.feature = make([]int32, 0, maxNodes)
 	out.threshold = make([]float64, 0, maxNodes)
 	out.left = make([]int32, 0, maxNodes)
 	out.right = make([]int32, 0, maxNodes)
 	g.rng = rng
 	g.t = out
-	g.grow(0, g.n, 0)
+	g.grow(0, n, 0)
 	g.rng = nil
 	g.t = nil
 }

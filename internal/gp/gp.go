@@ -111,19 +111,7 @@ func Fit(cfg Config, xs [][]float64, ys []float64) (*GP, error) {
 		standardized[i] = (y - yMean) / yStd
 	}
 
-	scales := cfg.LengthScales
-	if cfg.FixedLengthScale > 0 {
-		scales = []float64{cfg.FixedLengthScale}
-	} else if len(scales) == 0 {
-		scales = DefaultLengthScales()
-	}
-	noises := cfg.NoiseVars
-	if len(noises) == 0 {
-		noises = DefaultNoiseVars()
-	}
-	if cfg.FixedLengthScale > 0 {
-		noises = noises[:1]
-	}
+	scales, noises := gridScalesNoises(cfg)
 
 	var best *GP
 	for _, ls := range scales {
@@ -209,6 +197,27 @@ func refineARD(cfg Config, isotropic *GP, xs [][]float64, ys []float64) (*GP, er
 	return best, nil
 }
 
+// gridScalesNoises resolves the hyperparameter grid a Config describes,
+// in the fixed iteration order (scales outer, noises inner) both the
+// one-shot Fit and the incremental Fitter must share for candidate
+// selection to be bit-identical.
+func gridScalesNoises(cfg Config) (scales, noises []float64) {
+	scales = cfg.LengthScales
+	if cfg.FixedLengthScale > 0 {
+		scales = []float64{cfg.FixedLengthScale}
+	} else if len(scales) == 0 {
+		scales = DefaultLengthScales()
+	}
+	noises = cfg.NoiseVars
+	if len(noises) == 0 {
+		noises = DefaultNoiseVars()
+	}
+	if cfg.FixedLengthScale > 0 {
+		noises = noises[:1]
+	}
+	return scales, noises
+}
+
 // standardizeParams returns the mean and a safe (non-zero) standard
 // deviation of ys.
 func standardizeParams(ys []float64) (mean, std float64) {
@@ -238,6 +247,20 @@ func fitOnce(kind kernel.Kind, lengthScale, noiseVar float64, xs [][]float64, ys
 // fitKernel factors the jittered Gram matrix of an arbitrary (possibly
 // ARD) kernel and assembles the fitted GP in standardized-target units.
 func fitKernel(kern *kernel.Kernel, noiseVar float64, xs [][]float64, ys []float64) (*GP, error) {
+	chol, err := factorGram(kern, noiseVar, xs)
+	if err != nil {
+		return nil, err
+	}
+	xcopy := make([][]float64, len(xs))
+	for i, row := range xs {
+		xcopy[i] = append([]float64(nil), row...)
+	}
+	return assembleGP(kern, noiseVar, chol, xcopy, ys)
+}
+
+// factorGram builds K + (noiseVar + jitter) I over xs and returns its
+// Cholesky factor.
+func factorGram(kern *kernel.Kernel, noiseVar float64, xs [][]float64) (*mat.Cholesky, error) {
 	n := len(xs)
 	gram, err := kern.Gram(xs)
 	if err != nil {
@@ -253,10 +276,15 @@ func fitKernel(kern *kernel.Kernel, noiseVar float64, xs [][]float64, ys []float
 			k.Set(i, j, v)
 		}
 	}
-	chol, err := mat.NewCholesky(k)
-	if err != nil {
-		return nil, err
-	}
+	return mat.NewCholesky(k)
+}
+
+// assembleGP computes the y-dependent parts of a fit — alpha and the log
+// marginal likelihood — from an existing factor. x is stored as-is (the
+// incremental Fitter shares its append-only copy; fitKernel passes a
+// fresh copy).
+func assembleGP(kern *kernel.Kernel, noiseVar float64, chol *mat.Cholesky, x [][]float64, ys []float64) (*GP, error) {
+	n := len(x)
 	alpha, err := chol.SolveVec(ys)
 	if err != nil {
 		return nil, err
@@ -267,21 +295,16 @@ func fitKernel(kern *kernel.Kernel, noiseVar float64, xs [][]float64, ys []float
 		return nil, err
 	}
 	logML := -0.5*yAlpha - 0.5*chol.LogDet() - 0.5*float64(n)*math.Log(2*math.Pi)
-
-	xcopy := make([][]float64, n)
-	for i, row := range xs {
-		xcopy[i] = append([]float64(nil), row...)
-	}
 	return &GP{
 		kern:    kern,
-		x:       xcopy,
+		x:       x,
 		alpha:   alpha,
 		chol:    chol,
 		yStd:    1,
 		noise:   noiseVar,
 		logML:   logML,
 		numObs:  n,
-		numDims: len(xs[0]),
+		numDims: len(x[0]),
 	}, nil
 }
 

@@ -1,0 +1,219 @@
+package gp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/mat"
+)
+
+// FitInfo reports how a Fitter.Fit call was satisfied, for telemetry.
+type FitInfo struct {
+	// Incremental is true when cached Cholesky factors were reused
+	// (extended by the appended rows, or reused verbatim when the
+	// training set did not grow). False means a full refit: first fit,
+	// training-set prefix change, or an ARD fallback.
+	Incremental bool
+	// ReusedFactors counts hyperparameter-grid candidates whose cached
+	// factor was carried over; TotalFactors is the grid size.
+	ReusedFactors int
+	TotalFactors  int
+}
+
+// Fitter fits GPs over a growing training set, reusing work across calls.
+//
+// The hyperparameter grid is fixed by the Config, so the kernel Gram
+// matrix of each grid candidate depends only on the feature rows — not on
+// the targets or on target standardization. When a Fit call's rows extend
+// the previous call's rows (the Bayesian-optimization loop appends exactly
+// one observation per iteration, and an SLO pass re-fits on identical
+// rows), each candidate's cached Cholesky factor is grown with
+// mat.Cholesky.Extend — O(n^2) per candidate instead of O(n^3) — and only
+// the cheap y-dependent parts (alpha, log marginal likelihood) are
+// recomputed. The Cholesky recurrence is prefix-stable, so the result is
+// bit-identical to a from-scratch Fit with the same Config.
+//
+// When the rows are not an extension (different prefix, fewer rows, or a
+// dimension change) the Fitter transparently falls back to a full refit
+// and re-primes its cache. ARD fits always take the full path: coordinate
+// ascent re-derives kernels per call, so there is nothing stable to cache.
+//
+// The returned GP aliases the Fitter's cache (factor and row storage): it
+// is valid until the next Fit call on the same Fitter. Callers that need a
+// longer-lived model should use Fit. A Fitter is not safe for concurrent
+// use.
+type Fitter struct {
+	cfg    Config
+	dims   int
+	xs     [][]float64 // private append-only copy of the training rows
+	states []*factorState
+	row    []float64 // scratch for the Extend row
+}
+
+// factorState caches one grid candidate's factorization of
+// K + (noise + jitter) I over the Fitter's rows.
+type factorState struct {
+	kern  *kernel.Kernel
+	noise float64
+	chol  *mat.Cholesky
+	// failed records a non-SPD factorization. Growing the training set
+	// cannot repair a non-SPD leading block, so a failed candidate stays
+	// failed until the next full refit — exactly matching the one-shot
+	// Fit, which would hit the same pivot at every later size.
+	failed bool
+}
+
+// NewFitter returns an incremental fitter for the given Config.
+func NewFitter(cfg Config) *Fitter { return &Fitter{cfg: cfg} }
+
+// Fit trains a GP on xs and ys exactly like the package-level Fit with the
+// Fitter's Config, reusing cached factorizations when xs extends the rows
+// of the previous call. See the Fitter doc for the aliasing contract.
+func (f *Fitter) Fit(xs [][]float64, ys []float64) (*GP, FitInfo, error) {
+	if len(xs) == 0 {
+		return nil, FitInfo{}, ErrNoData
+	}
+	if len(xs) != len(ys) {
+		return nil, FitInfo{}, fmt.Errorf("gp: %d rows but %d targets: %w", len(xs), len(ys), mat.ErrShape)
+	}
+	dims := len(xs[0])
+	for i, row := range xs {
+		if len(row) != dims {
+			return nil, FitInfo{}, fmt.Errorf("gp: ragged row %d: %w", i, mat.ErrShape)
+		}
+	}
+	if f.cfg.ARD && dims > 1 {
+		g, err := Fit(f.cfg, xs, ys)
+		return g, FitInfo{}, err
+	}
+
+	incremental := f.states != nil && dims == f.dims && f.isPrefix(xs)
+	if !incremental {
+		if err := f.reset(dims); err != nil {
+			return nil, FitInfo{}, err
+		}
+	}
+	info := FitInfo{Incremental: incremental, TotalFactors: len(f.states)}
+	if incremental {
+		for _, s := range f.states {
+			if !s.failed {
+				info.ReusedFactors++
+			}
+		}
+	}
+	for _, x := range xs[len(f.xs):] {
+		f.xs = append(f.xs, append([]float64(nil), x...))
+	}
+	if err := f.growFactors(); err != nil {
+		return nil, FitInfo{}, err
+	}
+
+	yMean, yStd := standardizeParams(ys)
+	standardized := make([]float64, len(ys))
+	for i, y := range ys {
+		standardized[i] = (y - yMean) / yStd
+	}
+	rows := f.xs[:len(xs):len(xs)]
+	var best *GP
+	for _, s := range f.states {
+		if s.failed {
+			continue
+		}
+		cand, err := assembleGP(s.kern, s.noise, s.chol, rows, standardized)
+		if err != nil {
+			return nil, FitInfo{}, err
+		}
+		if best == nil || cand.logML > best.logML {
+			best = cand
+		}
+	}
+	if best == nil {
+		return nil, FitInfo{}, fmt.Errorf("gp: no hyperparameter candidate produced an SPD kernel matrix: %w", mat.ErrNotSPD)
+	}
+	best.yMean = yMean
+	best.yStd = yStd
+	return best, info, nil
+}
+
+// isPrefix reports whether the Fitter's cached rows are a (bitwise) prefix
+// of xs.
+func (f *Fitter) isPrefix(xs [][]float64) bool {
+	if len(xs) < len(f.xs) {
+		return false
+	}
+	for i, cached := range f.xs {
+		row := xs[i]
+		for j, v := range cached {
+			if row[j] != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// reset discards all cached state and rebuilds the grid candidates.
+func (f *Fitter) reset(dims int) error {
+	scales, noises := gridScalesNoises(f.cfg)
+	f.states = f.states[:0]
+	f.xs = f.xs[:0]
+	f.dims = dims
+	for _, ls := range scales {
+		kern, err := kernel.New(f.cfg.Kernel, ls, 1.0)
+		if err != nil {
+			return err
+		}
+		for _, nv := range noises {
+			f.states = append(f.states, &factorState{kern: kern, noise: nv})
+		}
+	}
+	return nil
+}
+
+// growFactors brings every live candidate's factor up to the current row
+// count: a missing factor is built from scratch, an existing one is
+// extended one row at a time.
+func (f *Fitter) growFactors() error {
+	n := len(f.xs)
+	if cap(f.row) < n {
+		f.row = make([]float64, n)
+	}
+	for _, s := range f.states {
+		if s.failed {
+			continue
+		}
+		if s.chol == nil {
+			chol, err := factorGram(s.kern, s.noise, f.xs)
+			if err != nil {
+				if errors.Is(err, mat.ErrNotSPD) {
+					s.failed = true
+					continue
+				}
+				return err
+			}
+			s.chol = chol
+			continue
+		}
+		for k := s.chol.Size(); k < n; k++ {
+			row := f.row[:k+1]
+			for j := 0; j <= k; j++ {
+				v, err := s.kern.Eval(f.xs[k], f.xs[j])
+				if err != nil {
+					return err
+				}
+				row[j] = v
+			}
+			row[k] += s.noise + jitter
+			if err := s.chol.Extend(row); err != nil {
+				if errors.Is(err, mat.ErrNotSPD) {
+					s.failed = true
+					s.chol = nil
+					break
+				}
+				return err
+			}
+		}
+	}
+	return nil
+}

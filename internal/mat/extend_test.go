@@ -1,0 +1,153 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// leadingBlock returns the top-left n x n block of a.
+func leadingBlock(a *Dense, n int) *Dense {
+	out := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.Set(i, j, a.At(i, j))
+		}
+	}
+	return out
+}
+
+// lastRow returns row n-1 of the leading n x n block, the argument Extend
+// expects when growing from n-1 to n.
+func lastRow(a *Dense, n int) []float64 {
+	row := make([]float64, n)
+	for j := 0; j < n; j++ {
+		row[j] = a.At(n-1, j)
+	}
+	return row
+}
+
+// TestQuickCholeskyExtendMatchesFull: factoring the leading block and
+// extending by the last row must reproduce NewCholesky of the full matrix.
+// The recurrence is prefix-stable, so we get to demand bit-identical
+// factors, stronger than the 1e-10 the incremental-refit contract needs.
+func TestQuickCholeskyExtendMatchesFull(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8) bool {
+		n := int(sizeRaw%18) + 2
+		rng := rand.New(rand.NewSource(seed))
+		a := randomSPD(rng, n)
+		full, err := NewCholesky(a)
+		if err != nil {
+			t.Logf("full factorization failed: %v", err)
+			return false
+		}
+		grown, err := NewCholesky(leadingBlock(a, n-1))
+		if err != nil {
+			t.Logf("prefix factorization failed: %v", err)
+			return false
+		}
+		if err := grown.Extend(lastRow(a, n)); err != nil {
+			t.Logf("Extend failed: %v", err)
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				g, w := grown.l.At(i, j), full.l.At(i, j)
+				if g != w {
+					t.Logf("L(%d,%d): extend %v, full %v (diff %g)", i, j, g, w, math.Abs(g-w))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCholeskyExtendFromScalar grows a factorization one row at a time
+// from 1x1 and checks both the factor and the solves it produces against
+// the from-scratch factorization at every size.
+func TestCholeskyExtendFromScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 12
+	a := randomSPD(rng, n)
+	chol, err := NewCholesky(leadingBlock(a, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for size := 2; size <= n; size++ {
+		if err := chol.Extend(lastRow(a, size)); err != nil {
+			t.Fatalf("extend to %d: %v", size, err)
+		}
+		if chol.Size() != size {
+			t.Fatalf("size %d, want %d", chol.Size(), size)
+		}
+		full, err := NewCholesky(leadingBlock(a, size))
+		if err != nil {
+			t.Fatalf("full factor at %d: %v", size, err)
+		}
+		b := make([]float64, size)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		got, err := chol.SolveVec(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := full.SolveVec(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("size %d solve[%d]: extend %v, full %v", size, i, got[i], want[i])
+			}
+		}
+		if chol.LogDet() != full.LogDet() {
+			t.Fatalf("size %d logdet: extend %v, full %v", size, chol.LogDet(), full.LogDet())
+		}
+	}
+}
+
+// TestCholeskyExtendErrors covers the shape check and the not-SPD pivot,
+// and verifies a failed Extend leaves the factorization untouched.
+func TestCholeskyExtendErrors(t *testing.T) {
+	a := Identity(3)
+	chol, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chol.Extend([]float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Fatalf("short row: got %v, want ErrShape", err)
+	}
+	// Duplicating an existing row makes the grown matrix singular.
+	if err := chol.Extend([]float64{1, 0, 0, 1}); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("singular extension: got %v, want ErrNotSPD", err)
+	}
+	if chol.Size() != 3 {
+		t.Fatalf("failed Extend mutated the factor: size %d", chol.Size())
+	}
+	before := chol.L()
+	if err := chol.Extend([]float64{0, 0, 0, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if chol.Size() != 4 || chol.l.At(3, 3) != 2 {
+		t.Fatalf("extend by diag 4: L = %v", chol.l)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if chol.l.At(i, j) != before.At(i, j) {
+				t.Fatalf("leading block changed at (%d,%d)", i, j)
+			}
+		}
+	}
+	clone := chol.Clone()
+	clone.l.Set(0, 0, 99)
+	if chol.l.At(0, 0) == 99 {
+		t.Fatal("Clone shares backing storage")
+	}
+}

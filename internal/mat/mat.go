@@ -204,6 +204,55 @@ func NewCholesky(a *Dense) (*Cholesky, error) {
 // L returns a copy of the lower-triangular factor.
 func (c *Cholesky) L() *Dense { return c.l.Clone() }
 
+// Size returns the dimension n of the factored matrix.
+func (c *Cholesky) Size() int { return c.l.rows }
+
+// Clone returns a deep copy of the factorization.
+func (c *Cholesky) Clone() *Cholesky { return &Cholesky{l: c.l.Clone()} }
+
+// Extend grows the factorization by one row/column: given the factor of
+// an n x n SPD matrix A, it produces the factor of the (n+1) x (n+1)
+// matrix whose leading n x n block is A and whose last row is `row`
+// (row[j] = A'(n, j) for j < n, row[n] the new diagonal entry).
+//
+// The Cholesky-Banachiewicz recurrence used by NewCholesky computes row i
+// of L from rows < i only, so the first n rows of the grown factor are
+// exactly the existing factor. Extend computes only the new row, with the
+// same summation order as NewCholesky, making the result bit-identical to
+// factoring the grown matrix from scratch — an O(n^2) update instead of
+// O(n^3).
+//
+// On success c is mutated in place. On ErrNotSPD (non-positive pivot,
+// exactly when NewCholesky on the grown matrix would fail at row n) c is
+// left unchanged.
+func (c *Cholesky) Extend(row []float64) error {
+	n := c.l.rows
+	if len(row) != n+1 {
+		return fmt.Errorf("mat: Extend row len %d, want %d: %w", len(row), n+1, ErrShape)
+	}
+	l := NewDense(n+1, n+1)
+	for i := 0; i < n; i++ {
+		copy(l.data[i*(n+1):i*(n+1)+n], c.l.data[i*n:(i+1)*n])
+	}
+	i := n
+	for j := 0; j <= i; j++ {
+		sum := row[j]
+		for k := 0; k < j; k++ {
+			sum -= l.At(i, k) * l.At(j, k)
+		}
+		if i == j {
+			if sum <= 0 || math.IsNaN(sum) {
+				return fmt.Errorf("mat: pivot %d is %v: %w", i, sum, ErrNotSPD)
+			}
+			l.Set(i, i, math.Sqrt(sum))
+		} else {
+			l.Set(i, j, sum/l.At(j, j))
+		}
+	}
+	c.l = l
+	return nil
+}
+
 // SolveVec solves A x = b where A = L Lᵀ, via forward then backward
 // substitution.
 func (c *Cholesky) SolveVec(b []float64) ([]float64, error) {

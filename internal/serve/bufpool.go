@@ -1,0 +1,40 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"sync"
+)
+
+// maxPooledBuf caps the capacity of buffers returned to the pool, so one
+// near-MaxRequestBytes request does not pin a megabyte-sized allocation
+// for the life of the process.
+const maxPooledBuf = 1 << 16
+
+// bufPool recycles request-body and response-encode buffers across
+// requests. Decoding from a recycled buffer is safe because
+// encoding/json copies every string and slice it unmarshals.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func getBuf() *bytes.Buffer {
+	return bufPool.Get().(*bytes.Buffer)
+}
+
+func putBuf(buf *bytes.Buffer) {
+	if buf.Cap() > maxPooledBuf {
+		return
+	}
+	buf.Reset()
+	bufPool.Put(buf)
+}
+
+// readBody drains the request body into a pooled buffer. The caller
+// must putBuf the buffer once the decoded request no longer needs it.
+func readBody(r *http.Request) (*bytes.Buffer, error) {
+	buf := getBuf()
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		putBuf(buf)
+		return nil, err
+	}
+	return buf, nil
+}

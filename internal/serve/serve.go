@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -217,11 +218,12 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) int {
 	if s.down.Load() {
 		return writeErr(w, http.StatusServiceUnavailable, ErrShuttingDown.Error())
 	}
-	body, err := io.ReadAll(r.Body)
+	buf, err := readBody(r)
 	if err != nil {
 		return writeErr(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
 	}
-	req, err := DecodeSessionRequest(body)
+	req, err := DecodeSessionRequest(buf.Bytes())
+	putBuf(buf)
 	if err != nil {
 		return writeErr(w, http.StatusBadRequest, err.Error())
 	}
@@ -326,11 +328,12 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) int {
 	if sess == nil {
 		return status
 	}
-	body, err := io.ReadAll(r.Body)
+	buf, err := readBody(r)
 	if err != nil {
 		return writeErr(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
 	}
-	req, err := DecodeObserveRequest(body)
+	req, err := DecodeObserveRequest(buf.Bytes())
+	putBuf(buf)
 	if err != nil {
 		return writeErr(w, http.StatusBadRequest, err.Error())
 	}
@@ -653,12 +656,20 @@ func (t *sessionTracer) Emit(e telemetry.Event) {
 }
 
 // writeJSON writes v with the given status and returns the status for
-// the audit middleware.
+// the audit middleware. The body is encoded into a pooled buffer first,
+// so the response goes out in one write with a Content-Length header and
+// the encoder's scratch space is recycled across requests.
 func writeJSON(w http.ResponseWriter, status int, v any) int {
+	buf := getBuf()
+	defer putBuf(buf)
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		http.Error(w, "encoding response", http.StatusInternalServerError)
+		return http.StatusInternalServerError
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.Encode(v)
+	w.Write(buf.Bytes())
 	return status
 }
 

@@ -35,6 +35,7 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/cloud"
 	"repro/internal/lowlevel"
@@ -252,8 +253,9 @@ func (s *Simulator) run(w workloads.Workload, vm cloud.VM, trial int64, noisy bo
 	var seed uint64
 	if noisy {
 		seed = noiseSeed(w.ID(), vm.Name(), trial)
-		rng := rand.New(rand.NewSource(int64(seed)))
+		rng := seededRNG(seed)
 		noiseFactor = math.Exp(s.noiseSigma * rng.NormFloat64())
+		rngPool.Put(rng)
 		totalSec *= noiseFactor
 	}
 
@@ -356,10 +358,11 @@ func (s *Simulator) deriveMetrics(w workloads.Workload, vm cloud.VM, in metricIn
 
 	if in.noisy {
 		seed := noiseSeed(w.ID(), vm.Name()+"/metrics", in.trial)
-		rng := rand.New(rand.NewSource(int64(seed)))
+		rng := seededRNG(seed)
 		for m := lowlevel.Metric(0); m < lowlevel.NumMetrics; m++ {
 			v[m] *= math.Exp(metricNoiseSigma * rng.NormFloat64())
 		}
+		rngPool.Put(rng)
 		// Re-clamp percentages that noise may have pushed past their caps.
 		for _, m := range []lowlevel.Metric{lowlevel.CPUUser, lowlevel.IOWait, lowlevel.DiskUtil} {
 			if v[m] > 100 {
@@ -379,8 +382,9 @@ func (s *Simulator) deriveMetrics(w workloads.Workload, vm cloud.VM, in metricIn
 // instance features.
 func affinityFactor(workloadID, vmName string) float64 {
 	seed := noiseSeed(workloadID+"/affinity", vmName, 0)
-	rng := rand.New(rand.NewSource(int64(seed)))
+	rng := seededRNG(seed)
 	f := math.Exp(affinitySigma * rng.NormFloat64())
+	rngPool.Put(rng)
 	if f < affinityMin {
 		f = affinityMin
 	}
@@ -388,6 +392,21 @@ func affinityFactor(workloadID, vmName string) float64 {
 		f = affinityMax
 	}
 	return f
+}
+
+// rngPool recycles the several-KB math/rand source behind each
+// deterministic noise draw: every Measure builds three identity-seeded
+// streams, which made the source the simulator's dominant allocation.
+// Rand.Seed restores the exact NewSource stream, so pooled draws are
+// bit-identical to freshly constructed ones.
+var rngPool = sync.Pool{New: func() any { return rand.New(rand.NewSource(0)) }}
+
+// seededRNG returns a pooled rng reset to the NewSource(seed) stream.
+// The caller hands it back with rngPool.Put once its draws are done.
+func seededRNG(seed uint64) *rand.Rand {
+	rng := rngPool.Get().(*rand.Rand)
+	rng.Seed(int64(seed))
+	return rng
 }
 
 // noiseSeed derives a deterministic 64-bit seed from the run identity.

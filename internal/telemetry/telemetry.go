@@ -49,7 +49,8 @@ const (
 	KindQuarantine Kind = "quarantine"
 	// KindSurrogateFit records one model fit: Detail names the model
 	// ("gp", "gp-time", "forest", "forest-time"), Value is the number of
-	// training rows. Wall carries the fit duration.
+	// training rows. Wall carries the fit duration plus the refit
+	// disposition (incremental vs full, reused-component count).
 	KindSurrogateFit Kind = "surrogate_fit"
 	// KindCandidateScored reports one acquisition evaluation: Candidate/
 	// Name identify the VM, Value the acquisition score (EI and friends
@@ -123,6 +124,16 @@ type Wall struct {
 	// Cache is the cache disposition of a lookup: "hit", "disk",
 	// "shared" or "miss".
 	Cache string `json:"cache,omitempty"`
+	// Refit is the disposition of a surrogate fit: "incremental" when
+	// cached model state (unchanged trees, extended Cholesky factors) was
+	// reused, "full" for a from-scratch fit. Reused counts the reused
+	// components — trees for the forest, hyperparameter-grid
+	// factorizations for the GP. These live in Wall rather than the event
+	// body because incremental and full refits produce bit-identical
+	// searches; only the work performed differs, and that is
+	// environmental, like duration.
+	Refit  string `json:"refit,omitempty"`
+	Reused int    `json:"reused,omitempty"`
 }
 
 // Event is one trace record. The zero value is not a valid event; Kind
