@@ -55,11 +55,20 @@ type Suggestion struct {
 	// Index / Name identify the candidate; Index is -1 when Done.
 	Index int    `json:"index"`
 	Name  string `json:"name,omitempty"`
-	// Step counts the observations delivered before this suggestion.
+	// Step counts the observations delivered before this suggestion. For
+	// a batch suggestion the step is provisional: concurrent suggestions
+	// are delivered to the optimizer in issue order, so a suggestion
+	// observed out of order settles at a later step than advertised.
 	Step int `json:"step"`
+	// Seq is the suggestion's issue ordinal, stable across repeated Next
+	// and NextBatch calls — the key for deduplicating retries.
+	Seq int `json:"seq"`
 	// Done reports that the search has finished.
 	Done bool `json:"done,omitempty"`
 }
+
+// ErrBadBatchSize reports a NextBatch call with k < 1.
+var ErrBadBatchSize = errors.New("arrow: batch size must be at least 1")
 
 // ErrSearchRunning reports a Result call before the advisor finished.
 var ErrSearchRunning = errors.New("arrow: search still running; result not ready")
@@ -123,7 +132,38 @@ func (a *Advisor) Next(ctx context.Context) (Suggestion, error) {
 	if err != nil {
 		return Suggestion{}, err
 	}
-	return Suggestion{Index: sug.Index, Name: sug.Name, Step: sug.Step, Done: sug.Done}, nil
+	return convertSuggestion(sug), nil
+}
+
+// NextBatch returns up to k concurrent suggestions: the suggestion Next
+// would return plus extra candidates planned by fantasizing outcomes for
+// every suggestion still in flight (posterior-mean imputation for the GP
+// methods, virtual pair rows for the forest-backed ones). Fewer than k
+// come back when the optimizer's budget or stopping rule is near, or the
+// method cannot plan ahead at this point; at least one is always
+// returned, and k=1 is exactly Next. Suggestions may be observed in any
+// order — Observe matches on candidate index — and like Next, NextBatch
+// is idempotent: until observations arrive it returns the same
+// suggestions again. After the search ends it returns a single Done
+// suggestion.
+func (a *Advisor) NextBatch(ctx context.Context, k int) ([]Suggestion, error) {
+	sugs, err := a.stepper.NextBatch(ctx, k)
+	if err != nil {
+		if errors.Is(err, core.ErrBadBatchSize) {
+			return nil, fmt.Errorf("%w: got %d", ErrBadBatchSize, k)
+		}
+		return nil, err
+	}
+	out := make([]Suggestion, len(sugs))
+	for i, sug := range sugs {
+		out[i] = convertSuggestion(sug)
+	}
+	return out, nil
+}
+
+// convertSuggestion maps a stepper suggestion onto the public type.
+func convertSuggestion(sug core.StepSuggestion) Suggestion {
+	return Suggestion{Index: sug.Index, Name: sug.Name, Step: sug.Step, Seq: sug.Seq, Done: sug.Done}
 }
 
 // Observe delivers the measurement of the pending suggestion. The index

@@ -65,3 +65,69 @@ func BenchmarkAdvisorNext(b *testing.B) {
 	b.ReportMetric(quantile(0.99), "p99-ns")
 	b.ReportMetric(float64(len(lat))/float64(b.N), "suggestions/session")
 }
+
+// BenchmarkAdvisorNextBatch measures batched planning latency: the same
+// augmented-BO advisor session as BenchmarkAdvisorNext, but each
+// planning round asks NextBatch(4) — one real plan plus up to three
+// fantasized ones — and observes the whole batch before the next round.
+// The p50-ns / p99-ns extra metrics time each NextBatch call, so
+// dividing by suggestions/batch gives the amortized per-suggestion cost
+// a batching client pays.
+func BenchmarkAdvisorNextBatch(b *testing.B) {
+	const k = 4
+	target, err := NewSimulatedTarget("als/spark2.1/medium", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	var lat []time.Duration
+	batches, suggested := 0, 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt, err := New(WithMethod(MethodAugmentedBO), WithSeed(int64(42+i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		advisor, err := opt.NewAdvisor(CatalogCandidates())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			t0 := time.Now()
+			sugs, err := advisor.NextBatch(ctx, k)
+			lat = append(lat, time.Since(t0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sugs[0].Done {
+				break
+			}
+			batches++
+			suggested += len(sugs)
+			for _, sug := range sugs {
+				out, merr := target.Measure(sug.Index)
+				if merr != nil {
+					if err := advisor.ObserveFailure(sug.Index, merr); err != nil {
+						b.Fatal(err)
+					}
+					continue
+				}
+				if err := advisor.Observe(sug.Index, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	quantile := func(q float64) float64 {
+		idx := int(q * float64(len(lat)-1))
+		return float64(lat[idx].Nanoseconds())
+	}
+	b.ReportMetric(quantile(0.50), "p50-ns")
+	b.ReportMetric(quantile(0.99), "p99-ns")
+	if batches > 0 {
+		b.ReportMetric(float64(suggested)/float64(batches), "suggestions/batch")
+	}
+}

@@ -200,9 +200,43 @@ func (c *httpClient) step(id string, target arrow.Target, n int) int {
 			c.t.Fatalf("observe %s: status %d", id, st)
 		}
 		acked++
-		sug = resp.Next
+		if resp.Next != nil {
+			sug = *resp.Next
+		} else {
+			// The server acked early and is speculating; fetch the
+			// follow-up, which the speculative plan makes a cache hit.
+			sug = c.next(id)
+		}
 	}
 	return acked
+}
+
+// nextBatch fetches k concurrent suggestions.
+func (c *httpClient) nextBatch(id string, k int) []arrow.Suggestion {
+	c.t.Helper()
+	var resp serve.NextBatchResponse
+	if st := c.postJSON("/v1/sessions/"+id+"/nextbatch", serve.NextBatchRequest{K: k}, &resp); st != http.StatusOK {
+		c.t.Fatalf("nextbatch %s: status %d", id, st)
+	}
+	if len(resp.Suggestions) == 0 {
+		c.t.Fatalf("nextbatch %s: empty batch", id)
+	}
+	return resp.Suggestions
+}
+
+// observe delivers one measurement for the candidate.
+func (c *httpClient) observe(id string, target arrow.Target, index int) {
+	c.t.Helper()
+	out, merr := target.Measure(index)
+	var req serve.ObserveRequest
+	if merr != nil {
+		req = serve.ObserveRequest{Index: index, Failed: true, Reason: merr.Error()}
+	} else {
+		req = serve.ObserveRequest{Index: index, TimeSec: out.TimeSec, CostUSD: out.CostUSD, Metrics: out.Metrics}
+	}
+	if st := c.postJSON("/v1/sessions/"+id+"/observe", req, nil); st != http.StatusOK {
+		c.t.Fatalf("observe %s: status %d", id, st)
+	}
 }
 
 // finish runs the session to completion and returns the raw result
@@ -229,7 +263,11 @@ func (c *httpClient) finish(id string, target arrow.Target) []byte {
 // real arrow-serve process mid-session, restart it over the same
 // journal directory, and finish every session — with zero acknowledged
 // observations lost and the result byte-identical to an uninterrupted
-// run of the same session.
+// run of the same session. Session C dies with batch suggestions
+// pending, one of them observed out of order, and a speculative plan in
+// flight: recovery must replay only the acked history (the batch record
+// and the one observation — never an unacked fantasy) and still finish
+// byte-identically.
 func TestServeCLIKillNineRecovery(t *testing.T) {
 	target, err := arrow.NewSimulatedTarget("als/spark2.1/medium", 1)
 	if err != nil {
@@ -237,12 +275,21 @@ func TestServeCLIKillNineRecovery(t *testing.T) {
 	}
 	reqA := serve.SessionRequest{Method: "augmented-bo", Seed: 42, Trace: true}
 	reqB := serve.SessionRequest{Method: "naive-bo", Seed: 7}
+	reqC := serve.SessionRequest{Method: "hybrid-bo", Seed: 11, Trace: true}
 
-	// Uninterrupted reference run (no journal, same session ids).
+	// Uninterrupted reference runs (no journal, same session ids — B is
+	// created in between only to keep the id sequence aligned).
 	refBase, refShutdown := startServer(t)
 	ref := &httpClient{t: t, base: refBase}
 	refID := ref.create(reqA)
 	want := ref.finish(refID, target)
+	ref.create(reqB)
+	refCID := ref.create(reqC)
+	refSugs := ref.nextBatch(refCID, 3)
+	if len(refSugs) > 1 {
+		ref.observe(refCID, target, refSugs[1].Index)
+	}
+	wantC := ref.finish(refCID, target)
 	refShutdown()
 
 	// The victim process, journaling with fsync always.
@@ -255,8 +302,28 @@ func TestServeCLIKillNineRecovery(t *testing.T) {
 		t.Fatalf("id skew breaks the byte comparison: %s vs %s", idA, refID)
 	}
 	idB := c1.create(reqB)
+	idC := c1.create(reqC)
+	if idC != refCID {
+		t.Fatalf("id skew breaks the byte comparison: %s vs %s", idC, refCID)
+	}
 	ackedA := c1.step(idA, target, 3)
 	ackedB := c1.step(idB, target, 2)
+
+	// Session C: take a batch of concurrent suggestions, observe one out
+	// of order. The ack kicks off a speculative plan that is (at most
+	// milliseconds later) still in flight when the process dies.
+	sugsC := c1.nextBatch(idC, 3)
+	if len(sugsC) != len(refSugs) {
+		t.Fatalf("batch skew breaks the byte comparison: %d vs %d suggestions", len(sugsC), len(refSugs))
+	}
+	ackedC := 0
+	if len(sugsC) > 1 {
+		if sugsC[1].Index != refSugs[1].Index {
+			t.Fatalf("batch skew: victim suggests %d, reference %d", sugsC[1].Index, refSugs[1].Index)
+		}
+		c1.observe(idC, target, sugsC[1].Index)
+		ackedC = 1
+	}
 
 	// kill -9: no flush, no lease release, no goodbye.
 	p1.kill9(t)
@@ -265,19 +332,21 @@ func TestServeCLIKillNineRecovery(t *testing.T) {
 	// stolen (same replica name and a dead pid), every session replays.
 	p2 := spawnServer(t, jargs...)
 	report := p2.recoveryReport(t)
-	if report.Recovered != 2 {
-		t.Fatalf("recovered %d sessions, want 2 (report %+v)", report.Recovered, report)
+	if report.Recovered != 3 {
+		t.Fatalf("recovered %d sessions, want 3 (report %+v)", report.Recovered, report)
 	}
-	if report.Observations != ackedA+ackedB {
-		t.Fatalf("replayed %d observations, want %d acked (report %+v)", report.Observations, ackedA+ackedB, report)
+	// Only acked observations replay: the speculative plan and the
+	// unobserved batch fantasies left no journal records.
+	if report.Observations != ackedA+ackedB+ackedC {
+		t.Fatalf("replayed %d observations, want %d acked (report %+v)", report.Observations, ackedA+ackedB+ackedC, report)
 	}
 	if len(report.Damaged) != 0 {
 		t.Fatalf("fsync=always journal reported damage after kill -9: %v", report.Damaged)
 	}
 
-	// Finish both sessions against the restarted process. Zero lost
-	// observations: session A's result must be byte-identical to the
-	// uninterrupted run, wall-stripped trace included.
+	// Finish every session against the restarted process. Zero lost
+	// observations: sessions A and C must produce results byte-identical
+	// to the uninterrupted runs, wall-stripped traces included.
 	c2 := &httpClient{t: t, base: p2.base}
 	got := c2.finish(idA, target)
 	if !bytes.Equal(got, want) {
@@ -289,6 +358,10 @@ func TestServeCLIKillNineRecovery(t *testing.T) {
 	}
 	if resB.Result == nil || resB.Result.Partial {
 		t.Fatalf("session B did not finish cleanly after recovery: %+v", resB.Result)
+	}
+	gotC := c2.finish(idC, target)
+	if !bytes.Equal(gotC, wantC) {
+		t.Errorf("post-crash batch session diverged from uninterrupted run:\n got %s\nwant %s", gotC, wantC)
 	}
 
 	p2.terminate(t)

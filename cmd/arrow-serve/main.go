@@ -6,6 +6,7 @@
 //	POST   /v1/sessions               open a session (method, seed, budget…)
 //	GET    /v1/sessions               list live sessions
 //	GET    /v1/sessions/{id}/next     which candidate to measure next
+//	POST   /v1/sessions/{id}/nextbatch  up to k concurrent suggestions
 //	POST   /v1/sessions/{id}/observe  report a measurement (or failure)
 //	GET    /v1/sessions/{id}/result   the recommendation once done
 //	DELETE /v1/sessions/{id}          abort now, salvaging a partial result
@@ -14,7 +15,12 @@
 //
 // The store holds at most -max-sessions advisors and evicts sessions
 // idle past -session-ttl (evicted ids answer 410 Gone). Planning compute
-// is bounded by -workers. On SIGINT/SIGTERM the server stops accepting
+// is bounded by -workers. After every acknowledged observation the
+// server speculatively plans the following suggestion while the client
+// is measuring, so the next GET next is a cache hit (-no-speculate
+// restores the synchronous plan-on-demand path); /nextbatch hands out
+// up to -batch concurrent suggestions per request, which the client may
+// observe in any order. On SIGINT/SIGTERM the server stops accepting
 // sessions, flushes every in-flight session to a salvaged partial
 // result, drains the listener, then exits.
 //
@@ -80,6 +86,8 @@ func run(args []string, errOut io.Writer, stop <-chan struct{}) error {
 		fsyncPolicy = fs.String("fsync", "always", "journal fsync policy: always (durable through kill -9) or never (faster, crash loses the unsynced tail)")
 		replica     = fs.String("replica", "", "replica name for journal shard leases (default host-<hostname>)")
 		claimShards = fs.Int("claim-shards", 0, "max journal shards to claim, 0 = all unclaimed; run R replicas with shards/R each")
+		maxBatch    = fs.Int("batch", serve.DefaultMaxBatch, "per-request cap on the /nextbatch batch size k")
+		noSpeculate = fs.Bool("no-speculate", false, "disable speculative planning; observe responses carry the next suggestion synchronously")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -120,13 +128,18 @@ func run(args []string, errOut io.Writer, stop <-chan struct{}) error {
 		defer jnl.Close()
 	}
 
+	if *maxBatch < 1 {
+		return fmt.Errorf("-batch must be at least 1, got %d", *maxBatch)
+	}
 	srv := serve.New(serve.Config{
-		MaxSessions:    *maxSessions,
-		SessionTTL:     *sessionTTL,
-		RequestTimeout: *reqTimeout,
-		Workers:        *workers,
-		Tracer:         tracer,
-		Journal:        jnl,
+		MaxSessions:        *maxSessions,
+		SessionTTL:         *sessionTTL,
+		RequestTimeout:     *reqTimeout,
+		Workers:            *workers,
+		Tracer:             tracer,
+		Journal:            jnl,
+		MaxBatch:           *maxBatch,
+		DisableSpeculation: *noSpeculate,
 	})
 
 	if jnl != nil {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,6 +20,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"text/tabwriter"
 	"time"
 
@@ -44,6 +46,7 @@ func run(args []string, out io.Writer) (err error) {
 		delta      = fs.Float64("delta", 1.1, "prediction-delta stop threshold for augmented BO (negative disables)")
 		eiStop     = fs.Float64("ei", 0.10, "EI stop fraction for naive BO (negative disables)")
 		maxMeas    = fs.Int("max", 0, "maximum measurements (0 = whole catalog)")
+		batchK     = fs.Int("batch", 1, "concurrent suggestions per planning round: >1 drives the advisor's NextBatch(k) with k measurement workers; 1 is the classic sequential search")
 		slo        = fs.Float64("slo", 0, "maximum execution time SLO in seconds (0 = unconstrained)")
 		increfit   = fs.Bool("incremental-refit", true, "reuse surrogate state across iterations (unchanged trees, extended GP factors); searches are bit-identical either way")
 		list       = fs.Bool("list", false, "list the study workloads and exit")
@@ -168,11 +171,25 @@ func run(args []string, out io.Writer) (err error) {
 		})
 	}
 
+	if *batchK < 1 {
+		return fmt.Errorf("-batch must be at least 1, got %d", *batchK)
+	}
+	// search runs either the classic sequential loop or, with -batch k>1,
+	// the advisor's batch pipeline: NextBatch(k) hands out k concurrent
+	// suggestions, k workers measure them in parallel, and observations
+	// flow back in completion order.
+	search := func() (*arrow.Result, error) {
+		if *batchK == 1 {
+			return opt.Search(target)
+		}
+		return searchBatched(opt, target, *batchK)
+	}
+
 	if *asJSON {
 		// A partial result is still emitted — the failure records and
 		// salvaged observations are the point — before the error makes
 		// the exit code nonzero.
-		res, err := opt.Search(target)
+		res, err := search()
 		if res != nil {
 			enc := json.NewEncoder(out)
 			enc.SetIndent("", "  ")
@@ -187,7 +204,7 @@ func run(args []string, out io.Writer) (err error) {
 	}
 
 	fmt.Fprintf(out, "searching %s for the best VM (%s, objective %s)\n\n", *workloadID, opt.Method(), opt.Objective())
-	res, err := opt.Search(target)
+	res, err := search()
 	if res == nil {
 		if terr := finishTrace(); terr != nil && err == nil {
 			err = terr
@@ -205,6 +222,66 @@ func run(args []string, out io.Writer) (err error) {
 		err = terr
 	}
 	return err
+}
+
+// searchBatched drives an advisor session with k suggestions in flight:
+// each planning round asks NextBatch(k), measures the batch on k worker
+// goroutines, and reports the outcomes as they complete — out of order
+// is fine, the advisor matches observations by candidate index. Note
+// that measurement middleware (retries, timeouts) does not apply here:
+// the advisor never measures, so a transient failure quarantines the
+// candidate exactly as a failed batch-search measurement would.
+func searchBatched(opt *arrow.Optimizer, target arrow.Target, k int) (*arrow.Result, error) {
+	adv, err := opt.NewAdvisor(arrow.TargetCandidates(target))
+	if err != nil {
+		return nil, err
+	}
+	// The simulator (and its chaos wrapper) owns per-target RNG state, so
+	// measurements are serialized; real targets measure genuinely in
+	// parallel, which is the point of the batch pipeline.
+	var measureMu sync.Mutex
+	for {
+		sugs, err := adv.NextBatch(context.Background(), k)
+		if err != nil {
+			res, aerr := adv.Abort(err)
+			if res == nil {
+				return nil, aerr
+			}
+			return res, err
+		}
+		if sugs[0].Done {
+			break
+		}
+		var (
+			wg      sync.WaitGroup
+			obsErrs = make([]error, len(sugs))
+		)
+		for i, sug := range sugs {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				measureMu.Lock()
+				out, merr := target.Measure(sug.Index)
+				measureMu.Unlock()
+				if merr != nil {
+					obsErrs[i] = adv.ObserveFailure(sug.Index, merr)
+				} else {
+					obsErrs[i] = adv.Observe(sug.Index, out)
+				}
+			}()
+		}
+		wg.Wait()
+		for _, oerr := range obsErrs {
+			if oerr != nil {
+				res, aerr := adv.Abort(oerr)
+				if res == nil {
+					return nil, aerr
+				}
+				return res, oerr
+			}
+		}
+	}
+	return adv.Result()
 }
 
 // startProfiles begins CPU profiling (when cpu is non-empty) and returns a

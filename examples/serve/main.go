@@ -51,9 +51,9 @@ func main() {
 	}, &info)
 	fmt.Printf("session %s: %s over %d candidate VMs\n\n", info.ID, info.Method, info.NumCandidates)
 
-	// The advisor loop: next -> measure -> observe. The observe response
-	// already carries the following suggestion, so one round trip per
-	// measurement.
+	// The advisor loop: next -> measure -> observe. While the client is
+	// measuring, the server speculatively plans the following suggestion,
+	// so the next GET is a cache hit — zero planning latency on the wire.
 	var sug arrow.Suggestion
 	get(base+"/v1/sessions/"+info.ID+"/next", &sug)
 	for step := 1; !sug.Done; step++ {
@@ -69,11 +69,8 @@ func main() {
 			obs["metrics"] = out.Metrics
 			fmt.Printf("  step %2d: %-12s %6.0f s  $%.3f\n", step, sug.Name, out.TimeSec, out.CostUSD)
 		}
-		var resp struct {
-			Next arrow.Suggestion `json:"next"`
-		}
-		post(base+"/v1/sessions/"+info.ID+"/observe", obs, &resp)
-		sug = resp.Next
+		post(base+"/v1/sessions/"+info.ID+"/observe", obs, &struct{}{})
+		get(base+"/v1/sessions/"+info.ID+"/next", &sug)
 	}
 
 	// The recommendation.

@@ -146,6 +146,14 @@ func (a *AugmentedBO) Search(target Target) (*Result, error) {
 	st.emitSearchStart()
 	rng := rand.New(rand.NewSource(a.cfg.Seed))
 
+	// Batch planning during the design phase reads ahead in the design
+	// plan; continueSearch swaps in the model-backed planner.
+	if ph, ok := target.(PlanHookSetter); ok {
+		ph.SetPlanHook(func(pending []PendingPoint, extra int) []int {
+			return st.planFromDesign(pendingSet(pending), extra)
+		})
+	}
+
 	if err := st.runInitialDesign(a.cfg.Design, rng); err != nil {
 		return st.abort(a.Name(), err)
 	}
@@ -170,6 +178,11 @@ func (a *AugmentedBO) continueSearch(st *searchState, defaultMinObs int, rng *ra
 	// fresh seed per iteration would reshuffle every tree's row set and
 	// force a full re-grow each time.
 	treeSeed := rng.Int63()
+
+	if ph, ok := st.target.(PlanHookSetter); ok {
+		p := &augPlanner{a: a, st: st, treeSeed: treeSeed, minObs: minObs, maxMeas: maxMeas}
+		ph.SetPlanHook(p.plan)
+	}
 
 	for len(st.obs) < maxMeas {
 		remaining := st.unmeasured()

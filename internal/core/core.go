@@ -275,6 +275,11 @@ type searchState struct {
 	bestIdx int
 	bestVal float64
 
+	// designPlan is the resolved initial design, recorded so batch
+	// planning (internal/core/batch.go) can predict the loop's next picks
+	// while it is still working through the design.
+	designPlan []int
+
 	// pairs is the augmented surrogate's incremental training-set cache,
 	// created lazily on the first pairwise fit. It lives on the state (not
 	// the optimizer) so a hybrid search hands its naive-phase observations

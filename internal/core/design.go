@@ -123,6 +123,7 @@ func (s *searchState) runInitialDesign(cfg DesignConfig, rng *rand.Rand) error {
 	if err != nil {
 		return err
 	}
+	s.designPlan = design
 	k := len(design)
 	successes := 0
 	for _, idx := range design {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/stats"
@@ -84,6 +85,16 @@ func (h *HybridBO) Search(target Target) (*Result, error) {
 	st.emitSearchStart()
 	rng := rand.New(rand.NewSource(h.cfg.Naive.Seed))
 
+	// Batch planning: the naive planner covers the design and the opening
+	// phase (capped at the handover point, where its predictions would
+	// stop matching the loop); continueSearch installs the augmented
+	// planner for phase 2.
+	var planner *naivePlanner
+	if ph, ok := target.(PlanHookSetter); ok {
+		planner = &naivePlanner{n: h.naive, st: st}
+		ph.SetPlanHook(planner.plan)
+	}
+
 	if err := st.runInitialDesign(h.cfg.Naive.Design, rng); err != nil {
 		return st.abort(h.Name(), err)
 	}
@@ -98,6 +109,13 @@ func (h *HybridBO) Search(target Target) (*Result, error) {
 		switchAfter = target.NumCandidates()
 	}
 	scratch := &gpScratch{}
+	if planner != nil {
+		planner.scaled, planner.sc = scaledAll, scratch
+		// The opening phase has no stopping rule (minObs never reached)
+		// and plans only up to the handover point.
+		planner.minObs, planner.maxMeas = math.MaxInt, switchAfter
+		planner.ready = true
+	}
 	for len(st.obs) < switchAfter {
 		remaining := st.unmeasured()
 		if len(remaining) == 0 {

@@ -158,6 +158,16 @@ func (n *NaiveBO) Search(target Target) (*Result, error) {
 	st.emitSearchStart()
 	rng := rand.New(rand.NewSource(n.cfg.Seed))
 
+	// On a batch-capable target, install the fantasization hook before the
+	// design so a Stepper can plan ahead from the very first suggestion.
+	// The hook answers from the design plan until the main loop's state
+	// (scaled features, budgets) is published below.
+	var planner *naivePlanner
+	if ph, ok := target.(PlanHookSetter); ok {
+		planner = &naivePlanner{n: n, st: st}
+		ph.SetPlanHook(planner.plan)
+	}
+
 	if err := st.runInitialDesign(n.cfg.Design, rng); err != nil {
 		return st.abort(n.Name(), err)
 	}
@@ -181,6 +191,11 @@ func (n *NaiveBO) Search(target Target) (*Result, error) {
 	// One scratch for the whole search: the training-set headers, query
 	// rows, and posterior buffers are reused every iteration.
 	scratch := &gpScratch{}
+	if planner != nil {
+		planner.scaled, planner.sc = scaled, scratch
+		planner.minObs, planner.maxMeas = minObs, maxMeas
+		planner.ready = true
+	}
 	for len(st.obs) < maxMeas {
 		remaining := st.unmeasured()
 		if len(remaining) == 0 {

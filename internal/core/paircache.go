@@ -143,6 +143,38 @@ func (c *pairCache) appendObsPair(st *searchState, src, dst *Observation, srcObs
 	c.units = append(c.units, [2]int32{c.warmUnitCount + int32(srcObs), c.warmUnitCount + int32(dstObs)})
 }
 
+// pairMark captures the cache's row-count state so fantasized rows can be
+// rolled back (see rollback).
+type pairMark struct {
+	slab, rows, vals, times, units int
+}
+
+// mark snapshots the current row counts.
+func (c *pairCache) mark() pairMark {
+	return pairMark{
+		slab:  len(c.slab),
+		rows:  len(c.rows),
+		vals:  len(c.logVals),
+		times: len(c.logTimes),
+		units: len(c.units),
+	}
+}
+
+// rollback truncates every appended-to slice back to a mark, discarding
+// the virtual pair rows batch planning appended. synced is untouched: the
+// fantasized destinations were never real observations, so the cache's
+// notion of which st.obs entries it has incorporated is still exact. If an
+// append in between reallocated the slab the earlier row headers keep
+// pointing into the old backing array, whose prefix holds the same values
+// — rollback only has to restore lengths, never contents.
+func (c *pairCache) rollback(m pairMark) {
+	c.slab = c.slab[:m.slab]
+	c.rows = c.rows[:m.rows]
+	c.logVals = c.logVals[:m.vals]
+	c.logTimes = c.logTimes[:m.times]
+	c.units = c.units[:m.units]
+}
+
 // pairTarget selects which recorded target a training set uses.
 type pairTarget int
 

@@ -50,10 +50,16 @@ func (r *RandomSearch) Search(target Target) (*Result, error) {
 		maxMeas = target.NumCandidates()
 	}
 	rng := rand.New(rand.NewSource(r.cfg.Seed))
+	perm := rng.Perm(target.NumCandidates())
+	// Batch planning for random search is just reading ahead in the
+	// permutation.
+	if ph, ok := target.(PlanHookSetter); ok {
+		ph.SetPlanHook((&randomPlanner{st: st, perm: perm, maxMeas: maxMeas}).plan)
+	}
 	// Walk the whole permutation: a failed candidate is quarantined and
 	// does not consume measurement budget, so later permutation entries
 	// stand in for it until the budget or the catalog runs out.
-	for _, idx := range rng.Perm(target.NumCandidates()) {
+	for _, idx := range perm {
 		if len(st.obs) >= maxMeas {
 			break
 		}

@@ -17,6 +17,17 @@ import (
 // the caller observes, so a step-driven search is the same code path as
 // a batch search and produces the same result and trace for the same
 // seed and observations, by construction.
+//
+// NextBatch extends the protocol to k concurrent suggestions without
+// touching the loops: the loop still realizes one suggestion at a time
+// (the head), and the remaining k-1 come from the optimizer's plan hook —
+// a fantasization pass that asks "assuming the pending points come back
+// as imputed, what would you measure next?". Fantasy suggestions are
+// provisional: when the loop's next real suggestion matches one, the
+// fantasy is promoted; observations for fantasies are held until the
+// loop demands the candidate, so delivery to the loop always happens in
+// loop order and the final Result is a deterministic function of the
+// {index -> outcome} map regardless of the caller's observe order.
 
 // Catalog is the measurement-free slice of Target: candidate metadata
 // the advisor needs to plan, with the measurement left to the caller.
@@ -36,11 +47,41 @@ type StepSuggestion struct {
 	// Done is set.
 	Index int
 	Name  string
-	// Step counts the observations delivered before this suggestion.
+	// Step counts the observations delivered before this suggestion. For
+	// batch suggestions the value is provisional: it assumes every
+	// earlier outstanding suggestion is observed first.
 	Step int
+	// Seq is the monotonic issue ordinal of this suggestion within the
+	// session, stable across Next/NextBatch retries — the key callers use
+	// to deduplicate suggestions they have already seen.
+	Seq int
 	// Done reports that the search has finished (stop rule, exhausted
 	// catalog, or abort) and Result will not block.
 	Done bool
+}
+
+// PendingPoint describes one outstanding suggestion to a plan hook:
+// the candidate index, and — when the caller has already observed it
+// out of order — the real outcome to fantasize with instead of an
+// imputed one.
+type PendingPoint struct {
+	Index    int
+	Observed bool
+	Outcome  Outcome
+	Failed   bool
+}
+
+// PlanHook is an optimizer's fantasization entry point: given the
+// outstanding suggestions, return up to extra additional candidate
+// indices to suggest speculatively. Hooks run on the search-loop
+// goroutine (never concurrently with the loop), must not emit trace
+// events, and must leave the search state exactly as found.
+type PlanHook func(pending []PendingPoint, extra int) []int
+
+// PlanHookSetter is implemented by targets that support batch planning;
+// optimizers install their hook at Search start when available.
+type PlanHookSetter interface {
+	SetPlanHook(PlanHook)
 }
 
 // ErrStepperRunning reports a Result call before the search finished.
@@ -52,11 +93,14 @@ var ErrStepperRunning = errors.New("core: search still running; result not ready
 var ErrNoPendingSuggestion = errors.New("core: no pending suggestion to observe")
 
 // ErrSuggestionMismatch reports an Observe whose candidate index does
-// not match the pending suggestion.
+// not match any pending suggestion.
 var ErrSuggestionMismatch = errors.New("core: observation does not match the pending suggestion")
 
 // ErrStepperAborted is the default abort cause.
 var ErrStepperAborted = errors.New("core: stepper aborted")
+
+// ErrBadBatchSize reports a NextBatch call with k < 1.
+var ErrBadBatchSize = errors.New("core: batch size must be at least 1")
 
 // stepObs is one delivered measurement: an outcome or a measurement
 // error (a non-fatal error quarantines the candidate, exactly as a
@@ -66,17 +110,37 @@ type stepObs struct {
 	err error
 }
 
+// pendingPoint is one outstanding suggestion: the loop-realized head or
+// a planner fantasy, plus the caller's observation when it arrived before
+// the loop demanded the candidate.
+type pendingPoint struct {
+	sug      StepSuggestion
+	observed bool
+	obs      stepObs
+}
+
+// planReq asks the parked search loop to run the plan hook on its own
+// goroutine, serializing fantasization with the loop and with Abort.
+type planReq struct {
+	pending []PendingPoint
+	extra   int
+	reply   chan []int
+}
+
 // Stepper drives one Optimizer step by step. Construct with NewStepper;
 // all methods are safe for concurrent use. The expected cycle is
 // Next -> Observe -> Next -> ... -> Next returns Done -> Result. Next is
 // idempotent while a suggestion is pending (concurrent or repeated calls
 // return the same suggestion), and Observe rejects duplicates, index
-// mismatches, and delivery after the search ended.
+// mismatches, and delivery after the search ended. NextBatch(k) widens
+// the window to k outstanding suggestions, each observable out of order
+// by candidate index.
 type Stepper struct {
 	cat Catalog
 
 	suggCh  chan int      // unbuffered: loop's Measure blocks until Next receives
-	obsCh   chan stepObs  // unbuffered: Observe blocks until the loop receives
+	obsCh   chan stepObs  // unbuffered: delivery blocks until the loop receives
+	planCh  chan *planReq // unbuffered: served by the loop parked in Measure
 	abortCh chan struct{} // closed by Abort; unblocks the loop's Measure
 	doneCh  chan struct{} // closed when the search goroutine finished
 
@@ -84,9 +148,11 @@ type Stepper struct {
 	cause     error // abort cause, written once before abortCh closes
 
 	mu        sync.Mutex
-	nextMu    sync.Mutex // serializes blocking Next calls
-	pending   StepSuggestion
-	isPending bool
+	nextMu    sync.Mutex // serializes blocking Next/NextBatch calls
+	head      *pendingPoint
+	fantasies []*pendingPoint
+	seq       int // next suggestion ordinal
+	hook      PlanHook
 	delivered int // observations delivered so far (accepted or not)
 	res       *Result
 	err       error
@@ -102,6 +168,7 @@ func NewStepper(opt Optimizer, cat Catalog) *Stepper {
 		cat:     cat,
 		suggCh:  make(chan int),
 		obsCh:   make(chan stepObs),
+		planCh:  make(chan *planReq),
 		abortCh: make(chan struct{}),
 		doneCh:  make(chan struct{}),
 	}
@@ -124,62 +191,205 @@ func NewStepper(opt Optimizer, cat Catalog) *Stepper {
 func (s *Stepper) Next(ctx context.Context) (StepSuggestion, error) {
 	s.nextMu.Lock()
 	defer s.nextMu.Unlock()
+	sug, _, err := s.ensureHead(ctx)
+	return sug, err
+}
 
-	s.mu.Lock()
-	if s.isPending {
-		sug := s.pending
-		s.mu.Unlock()
-		return sug, nil
+// NextBatch returns up to k concurrent suggestions: every currently
+// outstanding (unobserved) suggestion, topped up with speculative picks
+// from the optimizer's plan hook. It is idempotent — calling it again
+// without observing returns the same suggestions (possibly more than k
+// when earlier calls asked for a larger batch) — and NextBatch(ctx, 1)
+// is exactly Next. The batch may be shorter than k when the optimizer
+// has no plan hook, the measurement budget or catalog is nearly
+// exhausted, or the search finished (a lone Done suggestion). Each
+// suggestion is observed independently via Observe, in any order.
+func (s *Stepper) NextBatch(ctx context.Context, k int) ([]StepSuggestion, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadBatchSize, k)
 	}
-	s.mu.Unlock()
+	s.nextMu.Lock()
+	defer s.nextMu.Unlock()
 
 	var ctxDone <-chan struct{}
 	if ctx != nil {
 		ctxDone = ctx.Done()
 	}
-	select {
-	case idx := <-s.suggCh:
+	for {
+		sug, done, err := s.ensureHead(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return []StepSuggestion{sug}, nil
+		}
+
 		s.mu.Lock()
-		sug := StepSuggestion{Index: idx, Name: s.cat.Name(idx), Step: s.delivered}
-		s.pending, s.isPending = sug, true
+		outstanding := make([]StepSuggestion, 0, 1+len(s.fantasies))
+		outstanding = append(outstanding, s.head.sug)
+		for _, p := range s.fantasies {
+			if !p.observed {
+				outstanding = append(outstanding, p.sug)
+			}
+		}
+		hook := s.hook
+		extra := k - len(outstanding)
+		if extra <= 0 || hook == nil {
+			s.mu.Unlock()
+			return outstanding, nil
+		}
+		pending := make([]PendingPoint, 0, 1+len(s.fantasies))
+		pending = append(pending, PendingPoint{Index: s.head.sug.Index})
+		for _, p := range s.fantasies {
+			pp := PendingPoint{Index: p.sug.Index, Observed: p.observed}
+			if p.observed {
+				pp.Outcome = p.obs.out
+				pp.Failed = p.obs.err != nil
+			}
+			pending = append(pending, pp)
+		}
 		s.mu.Unlock()
-		return sug, nil
-	case <-s.doneCh:
-		return StepSuggestion{Index: -1, Done: true, Step: s.deliveredCount()}, nil
-	case <-ctxDone:
-		return StepSuggestion{}, ctx.Err()
+
+		req := &planReq{pending: pending, extra: extra, reply: make(chan []int, 1)}
+		select {
+		case s.planCh <- req:
+		case idx := <-s.suggCh:
+			// A concurrent Observe released the head and the loop moved
+			// on to its next suggestion; absorb it and re-plan.
+			s.absorb(idx)
+			continue
+		case <-s.doneCh:
+			continue
+		case <-ctxDone:
+			return nil, ctx.Err()
+		}
+		// The hook runs synchronously in the loop's Measure park and
+		// replies to the buffered channel, so this receive cannot block.
+		idxs := <-req.reply
+		s.mu.Lock()
+		for _, idx := range idxs {
+			fsug := StepSuggestion{
+				Index: idx,
+				Name:  s.cat.Name(idx),
+				Step:  s.delivered + 1 + len(s.fantasies),
+				Seq:   s.seq,
+			}
+			s.seq++
+			s.fantasies = append(s.fantasies, &pendingPoint{sug: fsug})
+			outstanding = append(outstanding, fsug)
+		}
+		s.mu.Unlock()
+		return outstanding, nil
 	}
 }
 
-// Observe delivers the measurement of the pending suggestion. index must
-// match the pending suggestion's. A nil merr feeds the outcome to the
-// search loop; a non-nil merr is treated exactly like a failing
-// Target.Measure — the loop quarantines the candidate and continues
-// (wrap with Fatal to abort the whole search instead). Observing when no
-// suggestion is pending (never asked, already observed, search done)
-// returns ErrNoPendingSuggestion.
+// ensureHead blocks until a loop-realized suggestion is outstanding (or
+// the search is done / ctx expires) and returns it. Callers hold nextMu.
+func (s *Stepper) ensureHead(ctx context.Context) (StepSuggestion, bool, error) {
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
+	for {
+		s.mu.Lock()
+		if s.head != nil {
+			sug := s.head.sug
+			s.mu.Unlock()
+			return sug, false, nil
+		}
+		s.mu.Unlock()
+		select {
+		case idx := <-s.suggCh:
+			s.absorb(idx)
+		case <-s.doneCh:
+			return StepSuggestion{Index: -1, Done: true, Step: s.deliveredCount()}, true, nil
+		case <-ctxDone:
+			return StepSuggestion{}, false, ctx.Err()
+		}
+	}
+}
+
+// absorb routes a suggestion the loop just emitted: a matching fantasy is
+// promoted to head (keeping the provisional suggestion the caller already
+// saw) — or, when the caller observed it out of order, its held outcome
+// is delivered straight back to the loop. An unanticipated index becomes
+// a fresh head. Callers hold nextMu.
+func (s *Stepper) absorb(idx int) {
+	s.mu.Lock()
+	for i, p := range s.fantasies {
+		if p.sug.Index != idx {
+			continue
+		}
+		s.fantasies = append(s.fantasies[:i], s.fantasies[i+1:]...)
+		if p.observed {
+			s.delivered++
+			obs := p.obs
+			s.mu.Unlock()
+			// The loop just sent on suggCh, so it is parked on obsCh.
+			select {
+			case s.obsCh <- obs:
+			case <-s.doneCh:
+			}
+			return
+		}
+		s.head = p
+		s.mu.Unlock()
+		return
+	}
+	sug := StepSuggestion{Index: idx, Name: s.cat.Name(idx), Step: s.delivered, Seq: s.seq}
+	s.seq++
+	s.head = &pendingPoint{sug: sug}
+	s.mu.Unlock()
+}
+
+// Observe delivers the measurement for the suggested candidate index. A
+// nil merr feeds the outcome to the search loop; a non-nil merr is
+// treated exactly like a failing Target.Measure — the loop quarantines
+// the candidate and continues (wrap with Fatal to abort the whole search
+// instead). The index may be any outstanding suggestion: observing the
+// head hands the outcome to the loop now, observing a fantasy parks the
+// outcome until the loop demands that candidate. Observing an index with
+// no outstanding suggestion returns ErrNoPendingSuggestion (never asked,
+// already observed, search done) or ErrSuggestionMismatch (a different
+// suggestion is pending).
 func (s *Stepper) Observe(index int, out Outcome, merr error) error {
 	s.mu.Lock()
-	if !s.isPending {
+	if s.head != nil && s.head.sug.Index == index {
+		s.head = nil
+		s.delivered++
 		s.mu.Unlock()
-		return ErrNoPendingSuggestion
+		select {
+		case s.obsCh <- stepObs{out: out, err: merr}:
+			return nil
+		case <-s.doneCh:
+			// The loop aborted between the suggestion and this delivery.
+			return ErrNoPendingSuggestion
+		}
 	}
-	if index != s.pending.Index {
-		want := s.pending.Index
+	for _, p := range s.fantasies {
+		if p.sug.Index != index {
+			continue
+		}
+		if p.observed {
+			s.mu.Unlock()
+			return ErrNoPendingSuggestion
+		}
+		// Park the outcome; it reaches the loop when the loop suggests
+		// this candidate. Acceptance depends only on the outstanding set
+		// — a deterministic function of the delivered history — so a
+		// journal replay of the same calls accepts identically.
+		p.observed = true
+		p.obs = stepObs{out: out, err: merr}
+		s.mu.Unlock()
+		return nil
+	}
+	if s.head != nil {
+		want := s.head.sug.Index
 		s.mu.Unlock()
 		return fmt.Errorf("%w: got candidate %d, candidate %d is pending", ErrSuggestionMismatch, index, want)
 	}
-	s.isPending = false
-	s.delivered++
 	s.mu.Unlock()
-
-	select {
-	case s.obsCh <- stepObs{out: out, err: merr}:
-		return nil
-	case <-s.doneCh:
-		// The loop aborted between the suggestion and this delivery.
-		return ErrNoPendingSuggestion
-	}
+	return ErrNoPendingSuggestion
 }
 
 // Done reports whether the search has finished and Result is ready.
@@ -222,7 +432,9 @@ func (s *Stepper) Abort(cause error) (*Result, error) {
 	})
 	<-s.doneCh
 	s.mu.Lock()
-	s.isPending = false // a pending suggestion can never be observed now
+	// No outstanding suggestion can be observed now.
+	s.head = nil
+	s.fantasies = nil
 	res, err := s.res, s.err
 	s.mu.Unlock()
 	return res, err
@@ -237,17 +449,29 @@ func (s *Stepper) deliveredCount() int {
 
 // stepperTarget is the channel-backed Target the search loop runs
 // against: Measure publishes the candidate as a suggestion and blocks
-// until the caller observes (or aborts).
+// until the caller observes (or aborts). While parked it also services
+// plan requests, so fantasization always runs on the loop goroutine.
 type stepperTarget struct {
 	cat Catalog
 	s   *Stepper
 }
 
-var _ Target = (*stepperTarget)(nil)
+var (
+	_ Target         = (*stepperTarget)(nil)
+	_ PlanHookSetter = (*stepperTarget)(nil)
+)
 
 func (t *stepperTarget) NumCandidates() int       { return t.cat.NumCandidates() }
 func (t *stepperTarget) Features(i int) []float64 { return t.cat.Features(i) }
 func (t *stepperTarget) Name(i int) string        { return t.cat.Name(i) }
+
+// SetPlanHook installs the optimizer's fantasization hook. Optimizers
+// call it once at Search start; it may be called again on a phase switch.
+func (t *stepperTarget) SetPlanHook(h PlanHook) {
+	t.s.mu.Lock()
+	t.s.hook = h
+	t.s.mu.Unlock()
+}
 
 func (t *stepperTarget) Measure(i int) (Outcome, error) {
 	select {
@@ -255,10 +479,21 @@ func (t *stepperTarget) Measure(i int) (Outcome, error) {
 	case <-t.s.abortCh:
 		return Outcome{}, &fatalError{err: t.s.cause}
 	}
-	select {
-	case m := <-t.s.obsCh:
-		return m.out, m.err
-	case <-t.s.abortCh:
-		return Outcome{}, &fatalError{err: t.s.cause}
+	for {
+		select {
+		case m := <-t.s.obsCh:
+			return m.out, m.err
+		case req := <-t.s.planCh:
+			t.s.mu.Lock()
+			h := t.s.hook
+			t.s.mu.Unlock()
+			var idxs []int
+			if h != nil {
+				idxs = h(req.pending, req.extra)
+			}
+			req.reply <- idxs
+		case <-t.s.abortCh:
+			return Outcome{}, &fatalError{err: t.s.cause}
+		}
 	}
 }

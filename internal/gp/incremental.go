@@ -60,8 +60,12 @@ type factorState struct {
 	// failed records a non-SPD factorization. Growing the training set
 	// cannot repair a non-SPD leading block, so a failed candidate stays
 	// failed until the next full refit — exactly matching the one-shot
-	// Fit, which would hit the same pivot at every later size.
-	failed bool
+	// Fit, which would hit the same pivot at every later size. failedAt
+	// is the row count at which the failure surfaced, so Truncate can
+	// revive candidates whose failure was introduced by rows that are
+	// being rolled back.
+	failed   bool
+	failedAt int
 }
 
 // NewFitter returns an incremental fitter for the given Config.
@@ -136,6 +140,48 @@ func (f *Fitter) Fit(xs [][]float64, ys []float64) (*GP, FitInfo, error) {
 	return best, info, nil
 }
 
+// Len returns the number of training rows currently cached.
+func (f *Fitter) Len() int { return len(f.xs) }
+
+// Truncate rolls the cached training set back to its first n rows,
+// shrinking every live candidate's Cholesky factor to match — the exact
+// inverse of the growth a Fit call performed. Batch planning appends
+// fantasized observations, fits through the extended factors, and then
+// Truncates back to the realized history, so the next real Fit extends
+// from precisely the state it would have had without the fantasies.
+//
+// Candidates whose factorization failed at a row count beyond n were
+// broken by the rows now being dropped; they are revived (rebuilt from
+// scratch on the next Fit). Failures at or before n are genuine and stay
+// failed, matching the one-shot Fit. Truncating to the current size is a
+// no-op; n must be in [1, Len()]. Like Fit, Truncate invalidates GPs
+// returned by earlier Fit calls on this Fitter.
+func (f *Fitter) Truncate(n int) error {
+	if n < 1 || n > len(f.xs) {
+		return fmt.Errorf("gp: Truncate to %d of %d rows: %w", n, len(f.xs), mat.ErrShape)
+	}
+	if n == len(f.xs) {
+		return nil
+	}
+	f.xs = f.xs[:n]
+	for _, s := range f.states {
+		if s.failed {
+			if s.failedAt > n {
+				s.failed = false
+				s.failedAt = 0
+				s.chol = nil
+			}
+			continue
+		}
+		if s.chol != nil && s.chol.Size() > n {
+			if err := s.chol.Shrink(n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // isPrefix reports whether the Fitter's cached rows are a (bitwise) prefix
 // of xs.
 func (f *Fitter) isPrefix(xs [][]float64) bool {
@@ -188,6 +234,7 @@ func (f *Fitter) growFactors() error {
 			if err != nil {
 				if errors.Is(err, mat.ErrNotSPD) {
 					s.failed = true
+					s.failedAt = len(f.xs)
 					continue
 				}
 				return err
@@ -208,6 +255,7 @@ func (f *Fitter) growFactors() error {
 			if err := s.chol.Extend(row); err != nil {
 				if errors.Is(err, mat.ErrNotSPD) {
 					s.failed = true
+					s.failedAt = k + 1
 					s.chol = nil
 					break
 				}

@@ -1,0 +1,105 @@
+package gp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/mat"
+)
+
+// TestFitterTruncateRoundTrip drives the batch-planning access pattern:
+// fit on the realized history, append fantasized rows and fit through the
+// extended factors, Truncate back, then continue with real appends. Every
+// post-rollback fit must be bit-identical to a fitter that never saw the
+// fantasies, and must still take the incremental path.
+func TestFitterTruncateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	xs, ys := syntheticRows(rng, 16, 4)
+	fantasy, fantasyYs := syntheticRows(rng, 3, 4)
+	probes, _ := syntheticRows(rng, 5, 4)
+	cfg := Config{Kernel: kernel.Matern52}
+
+	ft := NewFitter(cfg)
+	clean := NewFitter(cfg)
+	const real = 10
+	if _, _, err := ft.Fit(xs[:real], ys[:real]); err != nil {
+		t.Fatal(err)
+	}
+	// Fantasize three extra rows, one at a time, as the planner does.
+	fxs := append(append([][]float64{}, xs[:real]...), fantasy...)
+	fys := append(append([]float64{}, ys[:real]...), fantasyYs...)
+	for n := real + 1; n <= len(fxs); n++ {
+		if _, info, err := ft.Fit(fxs[:n], fys[:n]); err != nil || !info.Incremental {
+			t.Fatalf("fantasy fit n=%d: info %+v err %v", n, info, err)
+		}
+	}
+	if err := ft.Truncate(real); err != nil {
+		t.Fatal(err)
+	}
+	if ft.Len() != real {
+		t.Fatalf("Len after Truncate = %d, want %d", ft.Len(), real)
+	}
+	// Continue the real search on both fitters; they must agree exactly.
+	for n := real; n <= len(xs); n++ {
+		inc, info, err := ft.Fit(xs[:n], ys[:n])
+		if err != nil {
+			t.Fatalf("post-rollback fit n=%d: %v", n, err)
+		}
+		if !info.Incremental || info.ReusedFactors == 0 {
+			t.Fatalf("post-rollback fit n=%d not incremental: %+v", n, info)
+		}
+		want, _, err := clean.Fit(xs[:n], ys[:n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameGP(t, "post-rollback", inc, want, probes)
+	}
+}
+
+// TestFitterTruncateErrors covers bounds, the same-size no-op, and the
+// failed-candidate revival rule: failures introduced by rolled-back rows
+// are retried, failures within the kept prefix stay failed.
+func TestFitterTruncateErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	xs, ys := syntheticRows(rng, 8, 3)
+	ft := NewFitter(Config{Kernel: kernel.RBF})
+	if _, _, err := ft.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	if err := ft.Truncate(0); !errors.Is(err, mat.ErrShape) {
+		t.Fatalf("Truncate(0): got %v, want ErrShape", err)
+	}
+	if err := ft.Truncate(len(xs) + 1); !errors.Is(err, mat.ErrShape) {
+		t.Fatalf("Truncate past Len: got %v, want ErrShape", err)
+	}
+	if err := ft.Truncate(len(xs)); err != nil {
+		t.Fatalf("same-size Truncate: %v", err)
+	}
+	if ft.Len() != len(xs) {
+		t.Fatalf("same-size Truncate changed Len to %d", ft.Len())
+	}
+
+	// Simulate one candidate broken by a fantasy row (failedAt beyond the
+	// rollback point) and one genuinely broken within the kept prefix.
+	revived, kept := ft.states[0], ft.states[1]
+	revived.failed, revived.failedAt, revived.chol = true, len(xs), nil
+	kept.failed, kept.failedAt, kept.chol = true, 2, nil
+	if err := ft.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if revived.failed {
+		t.Fatal("candidate that failed beyond the truncation point was not revived")
+	}
+	if !kept.failed || kept.failedAt != 2 {
+		t.Fatalf("genuine failure within the prefix was revived: %+v", kept)
+	}
+	// The revived candidate rebuilds from scratch on the next Fit.
+	if _, _, err := ft.Fit(xs[:4], ys[:4]); err != nil {
+		t.Fatal(err)
+	}
+	if revived.failed || revived.chol == nil || revived.chol.Size() != 4 {
+		t.Fatalf("revived candidate not rebuilt: failed=%v chol=%v", revived.failed, revived.chol)
+	}
+}

@@ -59,6 +59,12 @@ const (
 	// mismatch means the journal and the optimizer disagree, and the
 	// session is reported damaged rather than silently diverged.
 	KindSuggest Kind = "suggest"
+	// KindSuggestBatch records a batch of concurrent suggestions handed
+	// to the client by /nextbatch: K is the requested batch size, Indices
+	// the candidate indices actually returned, in issue order. Replay
+	// regenerates the batch with NextBatch(K) and asserts the indices
+	// match, exactly as KindSuggest does for single suggestions.
+	KindSuggestBatch Kind = "suggest_batch"
 	// KindObserve records one accepted measurement. It is written (and
 	// synced, under the always policy) before the client's observe is
 	// acknowledged, so an acknowledged observation is never lost.
@@ -87,6 +93,10 @@ type Record struct {
 	Index int `json:"index,omitempty"`
 	// Step is the suggestion's observation count (suggest records).
 	Step int `json:"step,omitempty"`
+	// K and Indices describe a suggest_batch record: the requested batch
+	// size and the candidate indices returned, in issue order.
+	K       int   `json:"k,omitempty"`
+	Indices []int `json:"indices,omitempty"`
 	// TimeSec/CostUSD/Metrics are an observe record's measurement.
 	TimeSec float64   `json:"time_sec,omitempty"`
 	CostUSD float64   `json:"cost_usd,omitempty"`

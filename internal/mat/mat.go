@@ -253,6 +253,29 @@ func (c *Cholesky) Extend(row []float64) error {
 	return nil
 }
 
+// Shrink truncates the factorization back to its leading n x n block:
+// the factor of the matrix whose trailing rows/columns are dropped. The
+// Cholesky-Banachiewicz recurrence computes row i of L from rows < i
+// only, so the leading block of the factor is exactly the factor of the
+// leading block of A — Shrink is the O(n^2) inverse of Extend, and an
+// Extend after a Shrink reproduces the dropped rows bit-identically.
+// Shrinking to the current size is a no-op; n must be in [1, Size()].
+func (c *Cholesky) Shrink(n int) error {
+	old := c.l.rows
+	if n < 1 || n > old {
+		return fmt.Errorf("mat: Shrink to %d of %d: %w", n, old, ErrShape)
+	}
+	if n == old {
+		return nil
+	}
+	l := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		copy(l.data[i*n:i*n+i+1], c.l.data[i*old:i*old+i+1])
+	}
+	c.l = l
+	return nil
+}
+
 // SolveVec solves A x = b where A = L Lᵀ, via forward then backward
 // substitution.
 func (c *Cholesky) SolveVec(b []float64) ([]float64, error) {

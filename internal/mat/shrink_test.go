@@ -1,0 +1,108 @@
+package mat
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickCholeskyShrinkMatchesPrefix: shrinking the full factor to n
+// must reproduce NewCholesky of the leading n x n block bit-identically,
+// and re-extending by the dropped row must reproduce the full factor —
+// Shrink and Extend are exact inverses.
+func TestQuickCholeskyShrinkMatchesPrefix(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8) bool {
+		n := int(sizeRaw%18) + 2
+		rng := rand.New(rand.NewSource(seed))
+		a := randomSPD(rng, n)
+		full, err := NewCholesky(a)
+		if err != nil {
+			t.Logf("full factorization failed: %v", err)
+			return false
+		}
+		shrunk := full.Clone()
+		if err := shrunk.Shrink(n - 1); err != nil {
+			t.Logf("Shrink failed: %v", err)
+			return false
+		}
+		prefix, err := NewCholesky(leadingBlock(a, n-1))
+		if err != nil {
+			t.Logf("prefix factorization failed: %v", err)
+			return false
+		}
+		for i := 0; i < n-1; i++ {
+			for j := 0; j < n-1; j++ {
+				if g, w := shrunk.l.At(i, j), prefix.l.At(i, j); g != w {
+					t.Logf("L(%d,%d): shrink %v, prefix %v", i, j, g, w)
+					return false
+				}
+			}
+		}
+		if err := shrunk.Extend(lastRow(a, n)); err != nil {
+			t.Logf("re-Extend failed: %v", err)
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if g, w := shrunk.l.At(i, j), full.l.At(i, j); g != w {
+					t.Logf("round-trip L(%d,%d): %v, want %v", i, j, g, w)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCholeskyShrinkEdges covers the no-op same-size case, multi-row
+// shrinks, the bounds errors, and independence from the original factor.
+func TestCholeskyShrinkEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 9
+	a := randomSPD(rng, n)
+	full, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := full.Clone()
+	if err := same.Shrink(n); err != nil {
+		t.Fatalf("same-size Shrink: %v", err)
+	}
+	if same.Size() != n {
+		t.Fatalf("same-size Shrink changed size to %d", same.Size())
+	}
+	multi := full.Clone()
+	if err := multi.Shrink(3); err != nil {
+		t.Fatalf("Shrink to 3: %v", err)
+	}
+	prefix, err := NewCholesky(leadingBlock(a, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if multi.l.At(i, j) != prefix.l.At(i, j) {
+				t.Fatalf("multi-row shrink L(%d,%d): %v, want %v", i, j, multi.l.At(i, j), prefix.l.At(i, j))
+			}
+		}
+	}
+	// The shrunk factor owns fresh storage: writing to it must not leak
+	// into the factor it was cloned from.
+	multi.l.Set(0, 0, 42)
+	if full.l.At(0, 0) == 42 {
+		t.Fatal("Shrink shares backing storage with the original")
+	}
+	if err := full.Shrink(0); !errors.Is(err, ErrShape) {
+		t.Fatalf("Shrink to 0: got %v, want ErrShape", err)
+	}
+	if err := full.Shrink(n + 1); !errors.Is(err, ErrShape) {
+		t.Fatalf("Shrink past size: got %v, want ErrShape", err)
+	}
+	if full.Size() != n {
+		t.Fatalf("failed Shrink mutated the factor: size %d", full.Size())
+	}
+}

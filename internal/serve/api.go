@@ -38,6 +38,9 @@ const (
 	MaxCandidates = 4096
 	// MaxFeatureDims bounds one candidate's feature vector.
 	MaxFeatureDims = 256
+	// MaxBatchK bounds the k of one /nextbatch request at the wire; the
+	// server's MaxBatch policy (Config.MaxBatch) clamps below it.
+	MaxBatchK = 64
 )
 
 // SessionRequest is the body of POST /v1/sessions.
@@ -103,15 +106,35 @@ type SessionInfo struct {
 	Done          bool   `json:"done,omitempty"`
 }
 
-// ObserveResponse acknowledges an observation. The server drives the
-// session to its next suggestion before answering (that is where the
-// planning compute happens, bounded by the server-wide semaphore), so
-// Next carries it and the client can skip a GET next round trip.
+// ObserveResponse acknowledges an observation. By default the server
+// acknowledges as soon as the observation is journaled and plans the
+// follow-up suggestion speculatively in the background, so Next is
+// omitted and the client's next GET next is answered from the already-
+// planned head. With speculation disabled (Config.DisableSpeculation)
+// the server drives the session to its next suggestion before answering
+// and Next carries it, the pre-PR8 synchronous shape.
 type ObserveResponse struct {
-	// Step counts the observations delivered so far.
+	// Step counts the observations accepted so far.
 	Step int `json:"step"`
 	// Next is the follow-up suggestion (Done when the stop rule fired).
-	Next arrow.Suggestion `json:"next"`
+	// Omitted when the server plans speculatively; fetch it with GET
+	// next.
+	Next *arrow.Suggestion `json:"next,omitempty"`
+}
+
+// NextBatchRequest is the body of POST /v1/sessions/{id}/nextbatch.
+type NextBatchRequest struct {
+	// K is the number of concurrent suggestions wanted. The server may
+	// return fewer (budget or stopping rule near, or the method cannot
+	// plan ahead at this point), never more.
+	K int `json:"k"`
+}
+
+// NextBatchResponse carries the batch of concurrent suggestions, in
+// issue order (the head — what GET next would return — first). Each may
+// be observed in any order; Seq deduplicates retried batches.
+type NextBatchResponse struct {
+	Suggestions []arrow.Suggestion `json:"suggestions"`
 }
 
 // ResultResponse is the response to GET /v1/sessions/{id}/result and
@@ -186,6 +209,26 @@ func DecodeObserveRequest(data []byte) (*ObserveRequest, error) {
 	}
 	if len(req.Metrics) > MaxFeatureDims {
 		return nil, fmt.Errorf("serve: %d metrics exceed the %d cap", len(req.Metrics), MaxFeatureDims)
+	}
+	return &req, nil
+}
+
+// DecodeNextBatchRequest parses a POST nextbatch body strictly and
+// bounds k to [1, MaxBatchK] so a hostile k cannot balloon planning
+// work through one request.
+func DecodeNextBatchRequest(data []byte) (*NextBatchRequest, error) {
+	if len(data) > MaxRequestBytes {
+		return nil, fmt.Errorf("serve: request body %d bytes exceeds %d", len(data), MaxRequestBytes)
+	}
+	var req NextBatchRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return nil, err
+	}
+	if req.K < 1 {
+		return nil, fmt.Errorf("serve: batch size %d, want at least 1", req.K)
+	}
+	if req.K > MaxBatchK {
+		return nil, fmt.Errorf("serve: batch size %d exceeds the %d cap", req.K, MaxBatchK)
 	}
 	return &req, nil
 }

@@ -87,3 +87,38 @@ func FuzzDecodeObserveRequest(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeNextBatchRequest drives the /nextbatch body decoder.
+// Properties: no panics, every accepted batch size is within
+// [1, MaxBatchK], and acceptance round-trips.
+func FuzzDecodeNextBatchRequest(f *testing.F) {
+	f.Add([]byte(`{"k":4}`))
+	f.Add([]byte(`{"k":1}`))
+	f.Add([]byte(`{"k":64}`))
+	f.Add([]byte(`{"k":65}`))
+	f.Add([]byte(`{"k":0}`))
+	f.Add([]byte(`{"k":-3}`))
+	f.Add([]byte(`{"k":2.5}`))
+	f.Add([]byte(`{"k":1e309}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"k":1,"bogus":true}`))
+	f.Add([]byte(`{"k":1}{"k":2}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeNextBatchRequest(data)
+		if err != nil {
+			return
+		}
+		if req.K < 1 || req.K > MaxBatchK {
+			t.Fatalf("accepted batch size %d outside [1, %d]", req.K, MaxBatchK)
+		}
+		out, merr := json.Marshal(req)
+		if merr != nil {
+			t.Fatalf("accepted request does not re-marshal: %v (input %q)", merr, data)
+		}
+		if _, derr := DecodeNextBatchRequest(out); derr != nil {
+			t.Fatalf("re-marshaled request does not re-decode: %v (input %q -> %q)", derr, data, out)
+		}
+	})
+}

@@ -120,7 +120,8 @@ func (s *Server) replaySession(ctx context.Context, log journal.SessionLog) (*se
 	if err != nil {
 		return nil, 0, fmt.Errorf("create record: %w", err)
 	}
-	sess := &session{id: log.ID, seed: req.Seed, suggJournaled: -1}
+	sess := &session{id: log.ID, seed: req.Seed, journaledSeq: -1}
+	sess.specSeq.Store(-1)
 	sinks := []telemetry.Tracer{}
 	if req.Trace {
 		sess.recorder = telemetry.NewRecorder()
@@ -163,7 +164,30 @@ func (s *Server) replaySession(ctx context.Context, log journal.SessionLog) (*se
 				return fail("seq %d: replay diverged: journal suggested candidate %d at step %d, replay suggests %d at %d",
 					rec.Seq, rec.Index, rec.Step, sug.Index, sug.Step)
 			}
-			sess.suggJournaled = sug.Step
+			if sug.Seq > sess.journaledSeq {
+				sess.journaledSeq = sug.Seq
+			}
+		case journal.KindSuggestBatch:
+			sugs, err := advisor.NextBatch(ctx, rec.K)
+			if err != nil {
+				return fail("seq %d: regenerating suggestion batch: %v", rec.Seq, err)
+			}
+			if sugs[0].Done {
+				return fail("seq %d: journal has a suggestion batch but the replayed search is done", rec.Seq)
+			}
+			if len(sugs) != len(rec.Indices) {
+				return fail("seq %d: replay diverged: journal batch has %d suggestions, replay has %d",
+					rec.Seq, len(rec.Indices), len(sugs))
+			}
+			for i, sug := range sugs {
+				if sug.Index != rec.Indices[i] {
+					return fail("seq %d: replay diverged: journal batch suggested candidate %d at position %d, replay suggests %d",
+						rec.Seq, rec.Indices[i], i, sug.Index)
+				}
+				if sug.Seq > sess.journaledSeq {
+					sess.journaledSeq = sug.Seq
+				}
+			}
 		case journal.KindObserve:
 			err := advisor.Observe(rec.Index, arrow.Outcome{
 				TimeSec: rec.TimeSec,
@@ -174,6 +198,7 @@ func (s *Server) replaySession(ctx context.Context, log journal.SessionLog) (*se
 				return fail("seq %d: replaying observation: %v", rec.Seq, err)
 			}
 			obs++
+			sess.steps++
 		case journal.KindObserveFailure:
 			if err := advisor.ObserveFailure(rec.Index, errors.New(rec.Reason)); err != nil {
 				return fail("seq %d: replaying observe-failure: %v", rec.Seq, err)

@@ -45,7 +45,7 @@ func stepSession(t *testing.T, c *client, id string, target arrow.Target, n int)
 		} else {
 			req = ObserveRequest{Index: sug.Index, TimeSec: out.TimeSec, CostUSD: out.CostUSD, Metrics: out.Metrics}
 		}
-		sug = c.observe(id, req).Next
+		sug = c.followUp(id, c.observe(id, req))
 	}
 	return sug
 }

@@ -24,6 +24,7 @@ const (
 	DefaultMaxSessions    = 256
 	DefaultSessionTTL     = 30 * time.Minute
 	DefaultRequestTimeout = 30 * time.Second
+	DefaultMaxBatch       = 16
 )
 
 // ErrShuttingDown rejects new sessions during graceful shutdown.
@@ -60,6 +61,20 @@ type Config struct {
 	// acquisition passes) running at once, server-wide. 0 means
 	// GOMAXPROCS, resolved through internal/parallel.
 	Workers int
+	// MaxBatch caps the batch size one /nextbatch request may ask for
+	// (larger k values are clamped, not rejected — the wire cap MaxBatchK
+	// rejects). 0 means DefaultMaxBatch.
+	MaxBatch int
+	// DisableSpeculation turns off the speculative planning pipeline and
+	// restores the synchronous observe path: the observe response then
+	// carries the next suggestion, computed before the acknowledgment.
+	// The default (speculation on) acknowledges an observe as soon as it
+	// is journaled and plans the follow-up in the background, so the
+	// client's next GET next is answered from the already-planned head.
+	// Speculative state is recomputable and never journaled ahead of the
+	// acknowledgment: crash recovery replays only acked history and
+	// regenerates any in-flight plan deterministically.
+	DisableSpeculation bool
 	// Tracer receives the audit stream: one http_request event per API
 	// call, session lifecycle events, and every session's search events
 	// stamped with the session id in the Workload field. Nil disables
@@ -124,10 +139,18 @@ type session struct {
 	jmu sync.Mutex
 	// seq is the next journal sequence number; guarded by jmu.
 	seq int
-	// suggJournaled is the Step of the last journaled suggestion (-1
-	// before the first), so the idempotent Next never journals the same
-	// pending suggestion twice; guarded by mu.
-	suggJournaled int
+	// journaledSeq is the highest suggestion issue ordinal (Seq) any
+	// journaled suggest or suggest_batch record covers (-1 before the
+	// first), so idempotent next/nextbatch retries never journal the
+	// same suggestion twice; guarded by mu.
+	journaledSeq int
+	// steps counts the accepted observations, for the speculative
+	// observe acknowledgment that answers before planning; guarded by mu.
+	steps int
+	// specSeq is the issue ordinal of the suggestion the background
+	// speculation planned but no client has fetched yet (-1 when none).
+	// Atomic because endSession reads it without the session mutex.
+	specSeq atomic.Int64
 }
 
 // New builds a Server.
@@ -140,6 +163,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = DefaultMaxBatch
 	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
@@ -159,6 +185,7 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/sessions", s.handleCreate)
 	s.route("GET /v1/sessions", s.handleList)
 	s.route("GET /v1/sessions/{id}/next", s.handleNext)
+	s.route("POST /v1/sessions/{id}/nextbatch", s.handleNextBatch)
 	s.route("POST /v1/sessions/{id}/observe", s.handleObserve)
 	s.route("GET /v1/sessions/{id}/result", s.handleResult)
 	s.route("DELETE /v1/sessions/{id}", s.handleDelete)
@@ -232,7 +259,8 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) int {
 	if err != nil {
 		return writeErr(w, http.StatusServiceUnavailable, err.Error())
 	}
-	sess := &session{id: id, seed: req.Seed, suggJournaled: -1}
+	sess := &session{id: id, seed: req.Seed, journaledSeq: -1}
+	sess.specSeq.Store(-1)
 	sinks := []telemetry.Tracer{}
 	if req.Trace {
 		sess.recorder = telemetry.NewRecorder()
@@ -370,6 +398,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) int {
 	if req.Failed {
 		s.appendRecord(sess, journal.Record{Kind: journal.KindObserveFailure, Index: req.Index, Reason: reason})
 	} else {
+		sess.steps++
 		s.appendRecord(sess, journal.Record{
 			Kind:    journal.KindObserve,
 			Index:   req.Index,
@@ -379,11 +408,52 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) int {
 		})
 	}
 
-	sug, st := s.advance(w, r, sess)
-	if sug == nil {
-		return st
+	if s.cfg.DisableSpeculation {
+		// Synchronous pipeline: plan the follow-up before acknowledging
+		// so the response carries it.
+		sug, st := s.advance(w, r, sess)
+		if sug == nil {
+			return st
+		}
+		return writeJSON(w, http.StatusOK, ObserveResponse{Step: sug.Step, Next: sug})
 	}
-	return writeJSON(w, http.StatusOK, ObserveResponse{Step: sug.Step, Next: *sug})
+	// Speculative pipeline: acknowledge as soon as the journal has the
+	// observation, then plan the follow-up in the background. The
+	// goroutine blocks on the session mutex until this handler returns,
+	// so the acknowledgment is always on the wire first, and speculation
+	// journals nothing — an in-flight plan lost to a crash is
+	// regenerated deterministically from the acked history.
+	go s.speculate(sess)
+	return writeJSON(w, http.StatusOK, ObserveResponse{Step: sess.steps})
+}
+
+// speculate precomputes the session's next suggestion after an observe
+// acknowledgment, under the same server-wide planning semaphore as
+// client-driven planning, so the client's following GET next is
+// answered from the already-planned head at cache-hit latency. It never
+// journals and never ends the session: both are client-visible
+// transitions that belong to the request that serves them.
+func (s *Server) speculate(sess *session) {
+	ctx := context.Background()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if err := s.acquire(ctx); err != nil {
+		return
+	}
+	defer s.release()
+	sug, err := sess.advisor.Next(ctx)
+	if err != nil || sug.Done {
+		return
+	}
+	if sug.Seq > sess.journaledSeq {
+		// A genuinely new plan, not yet served to the client.
+		sess.specSeq.Store(int64(sug.Seq))
+	}
 }
 
 // advance drives the session to its next suggestion (or Done) under the
@@ -402,14 +472,112 @@ func (s *Server) advance(w http.ResponseWriter, r *http.Request, sess *session) 
 		s.endSession(sess, "done")
 		return &sug, 0
 	}
+	if spec := sess.specSeq.Load(); spec >= 0 {
+		switch {
+		case spec == int64(sug.Seq):
+			// The background plan is exactly what the client asked for:
+			// this request paid no planning latency.
+			sess.specSeq.Store(-1)
+			s.emitSpeculate(telemetry.KindSpeculateHit, sess, int(spec))
+		case spec < int64(sug.Seq):
+			// The speculated suggestion was consumed some other way
+			// (observed blind, quarantined); the plan went unserved.
+			sess.specSeq.Store(-1)
+			s.emitSpeculate(telemetry.KindSpeculateWaste, sess, int(spec))
+		}
+	}
 	// Journal each suggestion once (Next is idempotent while one is
-	// pending); replay asserts the regenerated suggestion matches, so a
-	// journal/optimizer divergence is detected instead of served.
-	if sug.Step != sess.suggJournaled {
-		sess.suggJournaled = sug.Step
+	// pending, and a batch may have journaled it already); replay asserts
+	// the regenerated suggestion matches, so a journal/optimizer
+	// divergence is detected instead of served.
+	if sug.Seq > sess.journaledSeq {
+		sess.journaledSeq = sug.Seq
 		s.appendRecord(sess, journal.Record{Kind: journal.KindSuggest, Index: sug.Index, Step: sug.Step})
 	}
 	return &sug, 0
+}
+
+// handleNextBatch answers "what k things should I measure concurrently?"
+// with up to min(k, MaxBatch) suggestions: the pending head plus extra
+// candidates planned by fantasizing outcomes for everything in flight.
+// Idempotent like next — until observations arrive, retries return the
+// same suggestions with the same Seq ordinals.
+func (s *Server) handleNextBatch(w http.ResponseWriter, r *http.Request) int {
+	sess, status := s.resolve(w, r)
+	if sess == nil {
+		return status
+	}
+	buf, err := readBody(r)
+	if err != nil {
+		return writeErr(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+	}
+	req, err := DecodeNextBatchRequest(buf.Bytes())
+	putBuf(buf)
+	if err != nil {
+		return writeErr(w, http.StatusBadRequest, err.Error())
+	}
+	k := req.K
+	if k > s.cfg.MaxBatch {
+		k = s.cfg.MaxBatch
+	}
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if err := s.acquire(r.Context()); err != nil {
+		return writeErr(w, http.StatusGatewayTimeout, fmt.Sprintf("planning queue: %v", err))
+	}
+	defer s.release()
+	sugs, err := sess.advisor.NextBatch(r.Context(), k)
+	if err != nil {
+		return writeErr(w, http.StatusGatewayTimeout, fmt.Sprintf("planning: %v", err))
+	}
+	if sugs[0].Done {
+		s.endSession(sess, "done")
+		return writeJSON(w, http.StatusOK, NextBatchResponse{Suggestions: sugs})
+	}
+	maxSeq := -1
+	indices := make([]int, len(sugs))
+	for i, sug := range sugs {
+		indices[i] = sug.Index
+		if sug.Seq > maxSeq {
+			maxSeq = sug.Seq
+		}
+	}
+	if spec := sess.specSeq.Load(); spec >= 0 && spec <= int64(maxSeq) {
+		// The batch serves (at least) the speculated suggestion.
+		sess.specSeq.Store(-1)
+		s.emitSpeculate(telemetry.KindSpeculateHit, sess, int(spec))
+	}
+	// Journal the batch once: a retry with no new observations reissues
+	// the same Seq ordinals and is skipped. Replay regenerates the batch
+	// with NextBatch(K) and asserts the indices, like suggest records.
+	if maxSeq > sess.journaledSeq {
+		sess.journaledSeq = maxSeq
+		s.appendRecord(sess, journal.Record{Kind: journal.KindSuggestBatch, K: k, Indices: indices})
+	}
+	if s.tracer != nil {
+		s.tracer.Emit(telemetry.Event{
+			Kind:      telemetry.KindSuggestBatch,
+			Name:      sess.id,
+			Candidate: -1,
+			Step:      k,
+			Value:     float64(len(sugs)),
+		})
+	}
+	return writeJSON(w, http.StatusOK, NextBatchResponse{Suggestions: sugs})
+}
+
+// emitSpeculate records a speculation disposition in the audit stream.
+func (s *Server) emitSpeculate(kind telemetry.Kind, sess *session, seq int) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Emit(telemetry.Event{
+		Kind:      kind,
+		Name:      sess.id,
+		Candidate: -1,
+		Value:     float64(seq),
+	})
 }
 
 // handleResult returns the recommendation once the session is done
@@ -425,6 +593,14 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) int {
 	res, err := sess.advisor.Result()
 	if errors.Is(err, arrow.ErrSearchRunning) {
 		return writeErr(w, http.StatusConflict, "session still running; keep observing until next reports done")
+	}
+	// Under speculation a polling client can learn the session finished
+	// from the result itself without ever fetching the Done suggestion;
+	// reading the result is then the terminal client-visible transition.
+	// (endSession is idempotent — a session ended through next or delete
+	// is untouched.)
+	if sess.advisor.Done() {
+		s.endSession(sess, "done")
 	}
 	return writeJSON(w, http.StatusOK, s.resultResponse(sess, res, err))
 }
@@ -530,6 +706,11 @@ func (s *Server) finalizeEvicted(evicted []*session) {
 // rolling restart lossless.
 func (s *Server) endSession(sess *session, disposition string) {
 	sess.endOnce.Do(func() {
+		// A plan speculated but never served dies with the session;
+		// surface the wasted compute in the audit stream.
+		if spec := sess.specSeq.Swap(-1); spec >= 0 {
+			s.emitSpeculate(telemetry.KindSpeculateWaste, sess, int(spec))
+		}
 		switch disposition {
 		case "shutdown-flush":
 			// Not terminal in the journal; see above.

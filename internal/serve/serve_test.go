@@ -88,6 +88,18 @@ func (c *client) observe(id string, req ObserveRequest) ObserveResponse {
 	return resp
 }
 
+// followUp resolves the suggestion after an observe: directly from the
+// response when the server planned synchronously, via GET next when it
+// acknowledged early and is speculating (the default) — the round trip
+// the speculative pipeline makes a cache hit.
+func (c *client) followUp(id string, resp ObserveResponse) arrow.Suggestion {
+	c.t.Helper()
+	if resp.Next != nil {
+		return *resp.Next
+	}
+	return c.next(id)
+}
+
 // result fetches the recommendation.
 func (c *client) result(id string) ResultResponse {
 	c.t.Helper()
@@ -111,7 +123,7 @@ func (c *client) run(id string, target arrow.Target) ResultResponse {
 		} else {
 			req = ObserveRequest{Index: sug.Index, TimeSec: out.TimeSec, CostUSD: out.CostUSD, Metrics: out.Metrics}
 		}
-		sug = c.observe(id, req).Next
+		sug = c.followUp(id, c.observe(id, req))
 	}
 	return c.result(id)
 }
@@ -493,7 +505,7 @@ func TestServeAuditStream(t *testing.T) {
 	_, c := newTestServer(t, Config{Tracer: rec})
 	info := c.create(SessionRequest{Method: "random", Seed: 5, MaxMeasurements: 1})
 	sug := c.next(info.ID)
-	c.observe(info.ID, ObserveRequest{Index: sug.Index, TimeSec: 1, CostUSD: 1})
+	c.followUp(info.ID, c.observe(info.ID, ObserveRequest{Index: sug.Index, TimeSec: 1, CostUSD: 1}))
 	c.result(info.ID)
 
 	var kinds []telemetry.Kind
@@ -552,7 +564,7 @@ func TestServeObserveFailureQuarantines(t *testing.T) {
 		} else {
 			req = ObserveRequest{Index: sug.Index, TimeSec: float64(sug.Index + 1), CostUSD: 1}
 		}
-		sug = c.observe(info.ID, req).Next
+		sug = c.followUp(info.ID, c.observe(info.ID, req))
 	}
 	res := c.result(info.ID)
 	if res.Result == nil {
@@ -560,5 +572,169 @@ func TestServeObserveFailureQuarantines(t *testing.T) {
 	}
 	if len(res.Result.Failures) != 1 || !strings.Contains(res.Result.Failures[0].Reason, "spot instance reclaimed") {
 		t.Errorf("failures = %+v, want the reported reason", res.Result.Failures)
+	}
+}
+
+// nextBatch asks for k concurrent suggestions and fails on any non-200.
+func (c *client) nextBatch(id string, k int) []arrow.Suggestion {
+	c.t.Helper()
+	var resp NextBatchResponse
+	if st := c.do("POST", "/v1/sessions/"+id+"/nextbatch", NextBatchRequest{K: k}, &resp); st != http.StatusOK {
+		c.t.Fatalf("nextbatch: status %d", st)
+	}
+	return resp.Suggestions
+}
+
+// TestServeNextBatch covers the /nextbatch wire semantics: bad batch
+// sizes are 400s, oversized requests clamp to the server's MaxBatch,
+// reissues are idempotent, suggestions may be observed in any order, and
+// a finished session answers with a single Done suggestion.
+func TestServeNextBatch(t *testing.T) {
+	_, c := newTestServer(t, Config{MaxBatch: 3})
+	target, err := arrow.NewSimulatedTarget("als/spark2.1/medium", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := c.create(SessionRequest{Method: "augmented-bo", Seed: 3})
+
+	var errResp ErrorResponse
+	for _, k := range []int{0, -2, MaxBatchK + 1} {
+		if st := c.do("POST", "/v1/sessions/"+info.ID+"/nextbatch", NextBatchRequest{K: k}, &errResp); st != http.StatusBadRequest {
+			t.Errorf("k=%d: status %d, want 400 (%s)", k, st, errResp.Error)
+		}
+	}
+	if st := c.do("POST", "/v1/sessions/"+info.ID+"/nextbatch", []byte(`{`), &errResp); st != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", st)
+	}
+
+	// A legal k past the server's MaxBatch clamps instead of failing.
+	sugs := c.nextBatch(info.ID, MaxBatchK)
+	if len(sugs) == 0 || len(sugs) > 3 {
+		t.Fatalf("got %d suggestions, want 1..3 (k clamped to MaxBatch)", len(sugs))
+	}
+	// Idempotent: a retry returns the same suggestions, same Seq ordinals.
+	if again := c.nextBatch(info.ID, len(sugs)); !reflect.DeepEqual(sugs, again) {
+		t.Errorf("reissued batch diverged:\n first %+v\n again %+v", sugs, again)
+	}
+
+	// Observe the batch out of order — last suggestion first.
+	for i := len(sugs) - 1; i >= 0; i-- {
+		out, merr := target.Measure(sugs[i].Index)
+		if merr != nil {
+			c.observe(info.ID, ObserveRequest{Index: sugs[i].Index, Failed: true, Reason: merr.Error()})
+			continue
+		}
+		c.observe(info.ID, ObserveRequest{Index: sugs[i].Index, TimeSec: out.TimeSec, CostUSD: out.CostUSD, Metrics: out.Metrics})
+	}
+
+	// Drive the rest of the session one suggestion at a time.
+	sug := c.next(info.ID)
+	for !sug.Done {
+		out, merr := target.Measure(sug.Index)
+		var req ObserveRequest
+		if merr != nil {
+			req = ObserveRequest{Index: sug.Index, Failed: true, Reason: merr.Error()}
+		} else {
+			req = ObserveRequest{Index: sug.Index, TimeSec: out.TimeSec, CostUSD: out.CostUSD, Metrics: out.Metrics}
+		}
+		sug = c.followUp(info.ID, c.observe(info.ID, req))
+	}
+
+	// A done session answers nextbatch with a single Done suggestion.
+	done := c.nextBatch(info.ID, 3)
+	if len(done) != 1 || !done[0].Done {
+		t.Errorf("done batch = %+v, want a single Done suggestion", done)
+	}
+	res := c.result(info.ID)
+	if res.Result == nil || res.Result.Partial {
+		t.Fatalf("batch-driven session did not finish cleanly: %+v", res.Result)
+	}
+}
+
+// TestServeSpeculationAudit drives the speculation lifecycle
+// deterministically — observing through the advisor and invoking the
+// server's speculate hook synchronously instead of racing the
+// post-observe goroutine — and checks the audit stream records batch
+// handouts, speculation hits, and wasted plans.
+func TestServeSpeculationAudit(t *testing.T) {
+	rec := telemetry.NewRecorder()
+	s, c := newTestServer(t, Config{Tracer: rec})
+	target, err := arrow.NewSimulatedTarget("als/spark2.1/medium", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random search never stops early, so the session outlives the few
+	// observations this test feeds it.
+	info := c.create(SessionRequest{Method: "random-search", Seed: 5, MaxMeasurements: 10})
+	sess, status, _ := s.store.get(info.ID)
+	if status != lookupOK || sess == nil {
+		t.Fatalf("session %s not live in the store", info.ID)
+	}
+	observe := func(sug arrow.Suggestion) {
+		t.Helper()
+		out, merr := target.Measure(sug.Index)
+		if merr != nil {
+			err = sess.advisor.ObserveFailure(sug.Index, merr)
+		} else {
+			err = sess.advisor.Observe(sug.Index, out)
+		}
+		if err != nil {
+			t.Fatalf("observing %d: %v", sug.Index, err)
+		}
+	}
+
+	// A batch handout is audited with the requested k and the served size.
+	sugs := c.nextBatch(info.ID, 2)
+	for i := len(sugs) - 1; i >= 0; i-- {
+		observe(sugs[i])
+	}
+
+	// Speculate synchronously: the following next must be a recorded hit.
+	s.speculate(sess)
+	if sess.specSeq.Load() < 0 {
+		t.Fatal("speculate left no plan behind")
+	}
+	hit := c.next(info.ID)
+	if hit.Done {
+		t.Fatal("session finished before the speculation hit")
+	}
+	if sess.specSeq.Load() != -1 {
+		t.Error("serving the speculated suggestion did not consume the plan")
+	}
+
+	// Speculate again, then end the session with the plan still in
+	// flight: the teardown must audit it as waste.
+	observe(hit)
+	s.speculate(sess)
+	if sess.specSeq.Load() < 0 {
+		t.Fatal("second speculate left no plan behind")
+	}
+	if st := c.do("DELETE", "/v1/sessions/"+info.ID, nil, nil); st != http.StatusOK {
+		t.Fatalf("delete: status %d", st)
+	}
+
+	want := map[telemetry.Kind]bool{
+		telemetry.KindSuggestBatch:   false,
+		telemetry.KindSpeculateHit:   false,
+		telemetry.KindSpeculateWaste: false,
+	}
+	for _, e := range rec.Events() {
+		if _, ok := want[e.Kind]; !ok {
+			continue
+		}
+		want[e.Kind] = true
+		if e.Name != info.ID {
+			t.Errorf("%s event names %q, want the session id %q", e.Kind, e.Name, info.ID)
+		}
+		if e.Kind == telemetry.KindSuggestBatch {
+			if e.Step != 2 || int(e.Value) != len(sugs) {
+				t.Errorf("suggest_batch event k=%d served=%v, want k=2 served=%d", e.Step, e.Value, len(sugs))
+			}
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("audit stream missing %s events", k)
+		}
 	}
 }

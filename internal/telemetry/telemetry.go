@@ -106,6 +106,23 @@ const (
 	// exempt from the search-trace determinism contract (ordering across
 	// concurrent sessions is environmental).
 	KindHTTPRequest Kind = "http_request"
+	// KindSuggestBatch records one /nextbatch request serviced by the
+	// serving layer: Name is the session id, Step the requested batch
+	// size k, Value the number of suggestions returned. Server-emitted
+	// (like http_request), so exempt from the search-trace determinism
+	// contract; the search trace itself never contains it — batch
+	// planning runs with the tracer detached.
+	KindSuggestBatch Kind = "suggest_batch"
+	// KindSpeculateHit records a /next or /nextbatch answered from the
+	// speculative plan computed after the previous observation: Name is
+	// the session id, Value the suggestion's issue ordinal (Seq). The
+	// suggestion itself is identical either way — only the latency
+	// differs — so the event is serve-audit-only, like http_request.
+	KindSpeculateHit Kind = "speculate_hit"
+	// KindSpeculateWaste records a session ending with an unserved
+	// speculative suggestion still in flight: Name is the session id,
+	// Value the wasted suggestion's issue ordinal. Serve-audit-only.
+	KindSpeculateWaste Kind = "speculate_waste"
 	// KindStudyRun summarizes one (method, workload, seed) search of the
 	// study harness: Method is the method label, Step the measurement
 	// count, Value the normalized best value found, Aux the 1-based step

@@ -163,6 +163,17 @@ func checkTraceInvariants(t *testing.T, res *Result, events []Event) {
 			t.Errorf("event %d (%s) has no method", i, e.Kind)
 		}
 	}
+
+	// Serve-audit kinds never appear in a search trace: batch planning
+	// runs with the tracer detached, and speculation bookkeeping belongs
+	// to the serving layer, not the search.
+	for i, e := range events {
+		switch e.Kind {
+		case EventSuggestBatch, EventSpeculateHit, EventSpeculateWaste,
+			EventHTTPRequest, EventSessionCreate, EventSessionEnd:
+			t.Errorf("event %d: serve-audit kind %s leaked into a search trace", i, e.Kind)
+		}
+	}
 }
 
 func TestTraceInvariants(t *testing.T) {
@@ -178,6 +189,37 @@ func TestTraceInvariants(t *testing.T) {
 				}
 				checkTraceInvariants(t, res, events)
 			}
+		}
+	}
+}
+
+// TestTraceInvariantsUnderBatchAdvisor drives NextBatch(3) sessions and
+// holds their traces to the same structural contract as batch Search —
+// in particular, candidate_selected must still immediately precede the
+// measure_start of the same candidate, and none of the batch-planning
+// machinery may emit events of its own.
+func TestTraceInvariantsUnderBatchAdvisor(t *testing.T) {
+	for _, m := range []Method{MethodNaiveBO, MethodAugmentedBO, MethodHybridBO, MethodRandomSearch} {
+		for _, seed := range []int64{1, 23} {
+			rec := NewTraceRecorder()
+			opt, err := New(WithMethod(m), WithSeed(seed), WithTracer(rec))
+			if err != nil {
+				t.Fatal(err)
+			}
+			target, err := NewSimulatedTarget("terasort/hadoop2.7/large", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			advisor, err := opt.NewAdvisor(TargetCandidates(target))
+			if err != nil {
+				t.Fatal(err)
+			}
+			driveAdvisorBatch(t, advisor, target, 3, seed)
+			res, err := advisor.Result()
+			if err != nil {
+				t.Fatalf("%v/seed %d: %v", m, seed, err)
+			}
+			checkTraceInvariants(t, res, rec.Events())
 		}
 	}
 }

@@ -1,0 +1,222 @@
+package arrow
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// driveAdvisorBatch plays a full advisor session through NextBatch(k),
+// measuring every suggestion of a batch and delivering the observations
+// in a shuffled order. Because the stepper hands outcomes to the search
+// loop in the loop's own order, the session must reproduce the
+// sequential search exactly no matter the batch size or observe order.
+func driveAdvisorBatch(t *testing.T, a *Advisor, target Target, k int, shuffleSeed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(shuffleSeed))
+	for {
+		sugs, err := a.NextBatch(context.Background(), k)
+		if err != nil {
+			t.Fatalf("NextBatch: %v", err)
+		}
+		if len(sugs) == 0 {
+			t.Fatal("NextBatch returned no suggestions")
+		}
+		if sugs[0].Done {
+			if len(sugs) != 1 {
+				t.Fatalf("Done batch has %d suggestions, want 1", len(sugs))
+			}
+			return
+		}
+		for _, i := range rng.Perm(len(sugs)) {
+			sug := sugs[i]
+			out, merr := target.Measure(sug.Index)
+			if merr != nil {
+				if err := a.ObserveFailure(sug.Index, merr); err != nil {
+					t.Fatalf("ObserveFailure(%d): %v", sug.Index, err)
+				}
+				continue
+			}
+			if err := a.Observe(sug.Index, out); err != nil {
+				t.Fatalf("Observe(%d): %v", sug.Index, err)
+			}
+		}
+	}
+}
+
+// batchSearchBaseline runs the plain batch Search for a method and
+// returns its result and trace.
+func batchSearchBaseline(t *testing.T, method Method, target Target) (*Result, *TraceRecorder) {
+	t.Helper()
+	rec := NewTraceRecorder()
+	opt, err := New(WithMethod(method), WithSeed(42), WithTracer(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Search(target)
+	if err != nil {
+		t.Fatalf("batch Search: %v", err)
+	}
+	return res, rec
+}
+
+// assertSameSearch compares an advisor session's outcome and trace to the
+// batch Search baseline, byte for byte (wall-clock stripped).
+func assertSameSearch(t *testing.T, got, want *Result, gotRec, wantRec *TraceRecorder) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("result diverges from batch Search:\n advisor: %+v\n   batch: %+v", got, want)
+	}
+	wantEvents, gotEvents := wantRec.Events(), gotRec.Events()
+	if len(wantEvents) != len(gotEvents) {
+		t.Fatalf("trace length: advisor %d events, batch %d", len(gotEvents), len(wantEvents))
+	}
+	for i := range wantEvents {
+		if w, g := wantEvents[i].StripWall(), gotEvents[i].StripWall(); !reflect.DeepEqual(w, g) {
+			t.Fatalf("trace diverges at event %d:\n advisor: %+v\n   batch: %+v", i, g, w)
+		}
+	}
+}
+
+var nextBatchMethods = map[string]Method{
+	"naive-bo":      MethodNaiveBO,
+	"augmented-bo":  MethodAugmentedBO,
+	"hybrid-bo":     MethodHybridBO,
+	"random-search": MethodRandomSearch,
+}
+
+// TestAdvisorNextBatchOneMatchesSearch: a NextBatch(1) loop must be
+// bit-identical to the sequential path — same Result, same wall-stripped
+// trace — for all four methods. This is the k=1 compatibility guarantee.
+func TestAdvisorNextBatchOneMatchesSearch(t *testing.T) {
+	for name, method := range nextBatchMethods {
+		t.Run(name, func(t *testing.T) {
+			target, err := NewSimulatedTarget("als/spark2.1/medium", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantRec := batchSearchBaseline(t, method, target)
+
+			rec := NewTraceRecorder()
+			opt, err := New(WithMethod(method), WithSeed(42), WithTracer(rec))
+			if err != nil {
+				t.Fatal(err)
+			}
+			advisor, err := opt.NewAdvisor(TargetCandidates(target))
+			if err != nil {
+				t.Fatal(err)
+			}
+			driveAdvisorBatch(t, advisor, target, 1, 99)
+			got, err := advisor.Result()
+			if err != nil {
+				t.Fatalf("Result: %v", err)
+			}
+			assertSameSearch(t, got, want, rec, wantRec)
+		})
+	}
+}
+
+// TestAdvisorNextBatchOutOfOrderMatchesSearch: batches of four,
+// observations delivered in shuffled order, must still reproduce the
+// sequential search exactly — the delivered history the optimizer sees is
+// a function of the {candidate -> outcome} map, not of arrival order.
+func TestAdvisorNextBatchOutOfOrderMatchesSearch(t *testing.T) {
+	for name, method := range nextBatchMethods {
+		t.Run(name, func(t *testing.T) {
+			target, err := NewSimulatedTarget("kmeans/spark2.1/medium", 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantRec := batchSearchBaseline(t, method, target)
+
+			rec := NewTraceRecorder()
+			opt, err := New(WithMethod(method), WithSeed(42), WithTracer(rec))
+			if err != nil {
+				t.Fatal(err)
+			}
+			advisor, err := opt.NewAdvisor(TargetCandidates(target))
+			if err != nil {
+				t.Fatal(err)
+			}
+			driveAdvisorBatch(t, advisor, target, 4, 7)
+			got, err := advisor.Result()
+			if err != nil {
+				t.Fatalf("Result: %v", err)
+			}
+			assertSameSearch(t, got, want, rec, wantRec)
+		})
+	}
+}
+
+// TestAdvisorNextBatchSemantics covers the batch API contract: bad k,
+// idempotent reissue with stable Seq ordinals, per-suggestion dedup of
+// observations, and the head always leading the batch.
+func TestAdvisorNextBatchSemantics(t *testing.T) {
+	target, err := NewSimulatedTarget("als/spark2.1/medium", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := New(WithMethod(MethodHybridBO), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	advisor, err := opt.NewAdvisor(TargetCandidates(target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer advisor.Abort(nil)
+
+	if _, err := advisor.NextBatch(context.Background(), 0); !errors.Is(err, ErrBadBatchSize) {
+		t.Fatalf("NextBatch(0) = %v, want ErrBadBatchSize", err)
+	}
+
+	ctx := context.Background()
+	first, err := advisor.NextBatch(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 || first[0].Done {
+		t.Fatalf("first batch = %+v, want live suggestions", first)
+	}
+	head, err := advisor.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head != first[0] {
+		t.Errorf("Next() = %+v, want the batch head %+v", head, first[0])
+	}
+
+	// Reissue without observing: same suggestions, same Seq ordinals.
+	again, err := advisor.NextBatch(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again[:len(first)], first) {
+		t.Errorf("reissued batch diverges:\n first: %+v\n again: %+v", first, again)
+	}
+	seen := map[int]bool{}
+	for _, sug := range again {
+		if seen[sug.Seq] {
+			t.Errorf("duplicate Seq %d in batch %+v", sug.Seq, again)
+		}
+		seen[sug.Seq] = true
+	}
+
+	// Observe a non-head suggestion out of order, then again: the second
+	// delivery must be rejected.
+	if len(first) > 1 {
+		sug := first[1]
+		out, merr := target.Measure(sug.Index)
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		if err := advisor.Observe(sug.Index, out); err != nil {
+			t.Fatalf("out-of-order Observe: %v", err)
+		}
+		if err := advisor.Observe(sug.Index, out); !errors.Is(err, ErrNoPendingSuggestion) {
+			t.Errorf("double Observe = %v, want ErrNoPendingSuggestion", err)
+		}
+	}
+}
