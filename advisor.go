@@ -91,11 +91,32 @@ type Advisor struct {
 	cat     *advisorCatalog
 }
 
+// ResumeScript is a recorded advisor decision log: every model-phase
+// candidate selection and batch-plan result a live session produced, in
+// order. Export one with Advisor.Script, carry it in a session
+// snapshot, and hand it to NewResumedAdvisor to replay the session's
+// suggest/observe history without refitting a single surrogate.
+type ResumeScript = core.ResumeScript
+
 // NewAdvisor builds a step-wise advisor session for the optimizer's
 // configuration over the given candidates. Measurement middleware
 // options (WithRetry, WithMeasureTimeout) do not apply — the advisor
 // never measures; retrying is the measuring client's decision.
 func (o *Optimizer) NewAdvisor(candidates []Candidate) (*Advisor, error) {
+	return o.newAdvisor(candidates, core.ResumeScript{})
+}
+
+// NewResumedAdvisor builds an advisor that consumes a previously
+// recorded decision script while the caller replays the exact
+// suggestion/observation sequence it was recorded under. Scripted steps
+// skip the surrogate fits, which is what makes snapshot recovery
+// O(snapshot interval) instead of O(session length); once the script is
+// exhausted the advisor computes — and records — like a live one.
+func (o *Optimizer) NewResumedAdvisor(candidates []Candidate, script ResumeScript) (*Advisor, error) {
+	return o.newAdvisor(candidates, script)
+}
+
+func (o *Optimizer) newAdvisor(candidates []Candidate, script core.ResumeScript) (*Advisor, error) {
 	if len(candidates) == 0 {
 		return nil, errors.New("arrow: advisor needs at least one candidate")
 	}
@@ -119,8 +140,14 @@ func (o *Optimizer) NewAdvisor(candidates []Candidate) (*Advisor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Advisor{stepper: core.NewStepper(opt, cat), cat: cat}, nil
+	return &Advisor{stepper: core.ResumeStepper(opt, cat, script), cat: cat}, nil
 }
+
+// Script exports a copy of the decision script recorded so far. It must
+// only be called while a suggestion is pending (right after Next or
+// NextBatch returned one) or after the search finished — called while
+// the optimizer is mid-plan it blocks until the plan parks.
+func (a *Advisor) Script() ResumeScript { return a.stepper.Script() }
 
 // Next returns the candidate the advisor wants measured next, blocking
 // while the optimizer plans (model fit + acquisition — milliseconds, not

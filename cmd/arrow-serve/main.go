@@ -35,6 +35,19 @@
 // kill -9 and graceful rolling restarts with zero acknowledged
 // observations lost.
 //
+// -snapshot-interval N journals a CRC'd checkpoint of each session
+// every N accepted observations (config fingerprint, op history, resume
+// script, trace), so recovery replays from the latest snapshot instead
+// of the chain head — recovery time is bounded by the interval, not the
+// session length. -compact-interval periodically rewrites each owned
+// shard in place (atomic rename), dropping ended and damaged chains
+// into a tombstone index (410s survive) and pre-snapshot history the
+// snapshots already carry; each round prints one JSON stats line per
+// compacted shard to stdout. -reclaim-interval makes survivor replicas
+// periodically take over the shard leases of provably dead peers and
+// adopt their live sessions, printing a JSON reclaim report when
+// anything was claimed.
+//
 // Usage:
 //
 //	arrow-serve -addr :8080
@@ -88,6 +101,12 @@ func run(args []string, errOut io.Writer, stop <-chan struct{}) error {
 		claimShards = fs.Int("claim-shards", 0, "max journal shards to claim, 0 = all unclaimed; run R replicas with shards/R each")
 		maxBatch    = fs.Int("batch", serve.DefaultMaxBatch, "per-request cap on the /nextbatch batch size k")
 		noSpeculate = fs.Bool("no-speculate", false, "disable speculative planning; observe responses carry the next suggestion synchronously")
+
+		snapInterval    = fs.Int("snapshot-interval", 0, "journal a session checkpoint every N accepted observations, 0 disables; recovery replays from the latest snapshot")
+		compactInterval = fs.Duration("compact-interval", 0, "compact owned journal shards this often (drop ended/damaged chains and snapshotted history), 0 disables")
+		compactMinBytes = fs.Int64("compact-min-bytes", 64<<10, "skip compacting shards smaller than this")
+		compactRatio    = fs.Float64("compact-min-dead-ratio", 0.25, "skip rewrites that would shrink a shard by less than this fraction")
+		reclaimInterval = fs.Duration("reclaim-interval", 0, "try to take over dead peers' journal shards this often, 0 disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -138,6 +157,7 @@ func run(args []string, errOut io.Writer, stop <-chan struct{}) error {
 		Workers:            *workers,
 		Tracer:             tracer,
 		Journal:            jnl,
+		SnapshotInterval:   *snapInterval,
 		MaxBatch:           *maxBatch,
 		DisableSpeculation: *noSpeculate,
 	})
@@ -160,6 +180,66 @@ func run(args []string, errOut io.Writer, stop <-chan struct{}) error {
 		for _, d := range report.Damaged {
 			fmt.Fprintf(errOut, "arrow-serve: journal damage: %s\n", d)
 		}
+	}
+
+	// Background journal maintenance: periodic shard compaction and dead-
+	// peer shard reclaim. Both print machine-readable JSON lines to stdout
+	// (like the boot recovery report) and stop at shutdown.
+	maint := make(chan struct{})
+	defer close(maint)
+	if jnl != nil && *compactInterval > 0 {
+		go func() {
+			tick := time.NewTicker(*compactInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-maint:
+					return
+				case <-tick.C:
+				}
+				stats, err := srv.CompactJournal(journal.CompactOptions{
+					MinBytes:     *compactMinBytes,
+					MinDeadRatio: *compactRatio,
+				})
+				if err != nil {
+					fmt.Fprintf(errOut, "arrow-serve: compaction: %v\n", err)
+				}
+				for _, st := range stats {
+					if !st.Compacted {
+						continue
+					}
+					if line, err := json.Marshal(st); err == nil {
+						fmt.Fprintf(os.Stdout, "%s\n", line)
+					}
+				}
+			}
+		}()
+	}
+	if jnl != nil && *reclaimInterval > 0 {
+		go func() {
+			tick := time.NewTicker(*reclaimInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-maint:
+					return
+				case <-tick.C:
+				}
+				report, err := srv.ReclaimShards(context.Background())
+				if err != nil {
+					fmt.Fprintf(errOut, "arrow-serve: shard reclaim: %v\n", err)
+					continue
+				}
+				if len(report.Claimed) == 0 {
+					continue
+				}
+				if line, err := json.Marshal(report); err == nil {
+					fmt.Fprintf(os.Stdout, "%s\n", line)
+				}
+				fmt.Fprintf(errOut, "arrow-serve: reclaimed shards %v from dead peers; adopted %d sessions (%d snapshot restores)\n",
+					report.Claimed, report.Recovered, report.SnapshotRestores)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -202,9 +202,19 @@ func (a *AugmentedBO) continueSearch(st *searchState, defaultMinObs int, rng *ra
 			}
 			continue
 		}
-		next, predicted, err := a.selectByDelta(st, remaining, treeSeed)
-		if err != nil {
-			return st.abort(a.Name(), err)
+		var next int
+		var predicted float64
+		if d, ok := st.scriptedDecision(); ok {
+			// Resumed replay: restore the recorded selection instead of
+			// refitting the pairwise surrogate.
+			next, predicted = d.Index, d.aux()
+		} else {
+			var err error
+			next, predicted, err = a.selectByDelta(st, remaining, treeSeed)
+			if err != nil {
+				return st.abort(a.Name(), err)
+			}
+			st.recordDecision(next, 0, predicted)
 		}
 		// Prediction Delta doubles as the stopping criterion: if even the
 		// most promising unmeasured VM is predicted worse than
@@ -227,6 +237,7 @@ func (a *AugmentedBO) continueSearch(st *searchState, defaultMinObs int, rng *ra
 		}
 		score := 0.0
 		if st.hasIncumbent() {
+			var err error
 			score, err = acquisition.Delta(predicted, st.bestVal)
 			if err != nil {
 				return st.abort(a.Name(), err)

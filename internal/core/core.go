@@ -296,6 +296,11 @@ type searchState struct {
 	// nothing. method is stamped on every event.
 	tracer telemetry.Tracer
 	method string
+
+	// resume is the stepper-owned decision script cursor, discovered
+	// from the target when it carries one (see resume.go). Nil for
+	// batch searches against plain targets.
+	resume *resumeState
 }
 
 func newSearchState(target Target, objective Objective) (*searchState, error) {
@@ -320,7 +325,7 @@ func newSearchState(target Target, objective Objective) (*searchState, error) {
 		}
 		features[i] = append([]float64(nil), f...)
 	}
-	return &searchState{
+	st := &searchState{
 		target:      target,
 		objective:   objective,
 		features:    features,
@@ -330,7 +335,11 @@ func newSearchState(target Target, objective Objective) (*searchState, error) {
 		bestVal:     math.Inf(1),
 		fastestIdx:  -1,
 		fastestTime: math.Inf(1),
-	}, nil
+	}
+	if rc, ok := target.(resumeCarrier); ok {
+		st.resume = rc.resumeState()
+	}
+	return st, nil
 }
 
 // setTracer attaches the event sink (nil disables tracing) and the

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/acquisition"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
@@ -84,6 +85,11 @@ func (h *HybridBO) Search(target Target) (*Result, error) {
 	st.setTracer(h.cfg.Tracer, h.Name())
 	st.emitSearchStart()
 	rng := rand.New(rand.NewSource(h.cfg.Naive.Seed))
+	if h.naive.cfg.Acquisition == acquisition.EntropySearch {
+		// Same constraint as NaiveBO.Search: entropy search consumes
+		// the main RNG during selection, so scripted replay is off.
+		st.voidResumeDecisions()
+	}
 
 	// Batch planning: the naive planner covers the design and the opening
 	// phase (capped at the handover point, where its predictions would
@@ -121,9 +127,18 @@ func (h *HybridBO) Search(target Target) (*Result, error) {
 		if len(remaining) == 0 {
 			break
 		}
-		next, score, maxEI, err := h.naive.selectCandidate(st, scaledAll, remaining, rng, scratch)
-		if err != nil {
-			return st.abort(h.Name(), err)
+		var next int
+		var score, maxEI float64
+		if d, ok := st.scriptedDecision(); ok {
+			// Resumed replay: restore the recorded opening-phase pick.
+			next, score, maxEI = d.Index, d.Score, d.aux()
+		} else {
+			var err error
+			next, score, maxEI, err = h.naive.selectCandidate(st, scaledAll, remaining, rng, scratch)
+			if err != nil {
+				return st.abort(h.Name(), err)
+			}
+			st.recordDecision(next, score, maxEI)
 		}
 		st.emitSelected(next, score, maxEI)
 		if _, err := st.measure(next, score, false); err != nil {

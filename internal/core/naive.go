@@ -157,6 +157,12 @@ func (n *NaiveBO) Search(target Target) (*Result, error) {
 	st.setTracer(n.cfg.Tracer, n.Name())
 	st.emitSearchStart()
 	rng := rand.New(rand.NewSource(n.cfg.Seed))
+	if n.cfg.Acquisition == acquisition.EntropySearch {
+		// Entropy search samples posterior minima from the main RNG in
+		// the selection pass; a scripted selection would skip those
+		// draws and desynchronize every later one.
+		st.voidResumeDecisions()
+	}
 
 	// On a batch-capable target, install the fantasization hook before the
 	// design so a Stepper can plan ahead from the very first suggestion.
@@ -201,9 +207,19 @@ func (n *NaiveBO) Search(target Target) (*Result, error) {
 		if len(remaining) == 0 {
 			break
 		}
-		next, score, maxEI, err := n.selectCandidate(st, scaled, remaining, rng, scratch)
-		if err != nil {
-			return st.abort(n.Name(), err)
+		var next int
+		var score, maxEI float64
+		if d, ok := st.scriptedDecision(); ok {
+			// Resumed replay: the selection was recorded live; restore
+			// it instead of refitting the surrogate.
+			next, score, maxEI = d.Index, d.Score, d.aux()
+		} else {
+			var err error
+			next, score, maxEI, err = n.selectCandidate(st, scaled, remaining, rng, scratch)
+			if err != nil {
+				return st.abort(n.Name(), err)
+			}
+			st.recordDecision(next, score, maxEI)
 		}
 		if n.cfg.EIStopFraction > 0 && len(st.obs) >= minObs && st.hasIncumbent() &&
 			maxEI < n.cfg.EIStopFraction*st.bestVal {

@@ -156,6 +156,12 @@ type Stepper struct {
 	delivered int // observations delivered so far (accepted or not)
 	res       *Result
 	err       error
+
+	// resume is the decision script: recorded live, consumed on a
+	// snapshot resume. Only the loop goroutine touches it; Script()
+	// exports a copy through scriptCh, serviced in the Measure park.
+	resume   *resumeState
+	scriptCh chan chan ResumeScript
 }
 
 // NewStepper starts the optimizer's search loop against cat and returns
@@ -164,13 +170,31 @@ type Stepper struct {
 // parked on a channel, so an idle Stepper costs one blocked goroutine.
 // Callers that abandon a Stepper must call Abort to release it.
 func NewStepper(opt Optimizer, cat Catalog) *Stepper {
+	return newStepper(opt, cat, ResumeScript{})
+}
+
+// ResumeStepper starts the search loop with a recorded decision script:
+// while the script lasts, the loops take their selections from it
+// instead of refitting surrogates, which makes replaying a journaled
+// suggest/observe prefix cheap. Once the script is exhausted the
+// stepper behaves — and keeps recording — exactly like a live one. The
+// caller must feed back precisely the suggest/observe sequence the
+// script was recorded under; any divergence surfaces as a suggestion
+// mismatch in the replay's assertions.
+func ResumeStepper(opt Optimizer, cat Catalog, script ResumeScript) *Stepper {
+	return newStepper(opt, cat, script)
+}
+
+func newStepper(opt Optimizer, cat Catalog, script ResumeScript) *Stepper {
 	s := &Stepper{
-		cat:     cat,
-		suggCh:  make(chan int),
-		obsCh:   make(chan stepObs),
-		planCh:  make(chan *planReq),
-		abortCh: make(chan struct{}),
-		doneCh:  make(chan struct{}),
+		cat:      cat,
+		suggCh:   make(chan int),
+		obsCh:    make(chan stepObs),
+		planCh:   make(chan *planReq),
+		abortCh:  make(chan struct{}),
+		doneCh:   make(chan struct{}),
+		resume:   newResumeState(script),
+		scriptCh: make(chan chan ResumeScript),
 	}
 	go func() {
 		res, err := opt.Search(&stepperTarget{cat: cat, s: s})
@@ -180,6 +204,23 @@ func NewStepper(opt Optimizer, cat Catalog) *Stepper {
 		close(s.doneCh)
 	}()
 	return s
+}
+
+// Script exports a copy of the decision script recorded so far. It may
+// only be called while the loop is parked on a pending suggestion (the
+// state after Next or NextBatch returned a non-Done suggestion) or
+// after the search finished; called mid-computation it blocks until the
+// loop parks. The serve layer calls it right after journaling a suggest
+// record, when the loop is parked by construction.
+func (s *Stepper) Script() ResumeScript {
+	req := make(chan ResumeScript, 1)
+	select {
+	case s.scriptCh <- req:
+		return <-req
+	case <-s.doneCh:
+		// The loop exited; nothing mutates the script anymore.
+		return s.resume.script.clone()
+	}
 }
 
 // Next returns the candidate the search wants measured next, blocking
@@ -466,12 +507,28 @@ func (t *stepperTarget) Features(i int) []float64 { return t.cat.Features(i) }
 func (t *stepperTarget) Name(i int) string        { return t.cat.Name(i) }
 
 // SetPlanHook installs the optimizer's fantasization hook. Optimizers
-// call it once at Search start; it may be called again on a phase switch.
+// call it once at Search start; it may be called again on a phase
+// switch. The hook is wrapped through the resume state so batch plans
+// are consumed from a resumed script (or recorded into a live one);
+// hooks run on the loop goroutine, which is the only toucher of that
+// state.
 func (t *stepperTarget) SetPlanHook(h PlanHook) {
+	wrapped := h
+	if h != nil {
+		rs := t.s.resume
+		wrapped = func(pending []PendingPoint, extra int) []int {
+			return rs.plan(pending, extra, h)
+		}
+	}
 	t.s.mu.Lock()
-	t.s.hook = h
+	t.s.hook = wrapped
 	t.s.mu.Unlock()
 }
+
+// resumeState implements resumeCarrier: newSearchState picks the script
+// cursor up from here so the search loops can consume and record
+// decisions.
+func (t *stepperTarget) resumeState() *resumeState { return t.s.resume }
 
 func (t *stepperTarget) Measure(i int) (Outcome, error) {
 	select {
@@ -492,6 +549,10 @@ func (t *stepperTarget) Measure(i int) (Outcome, error) {
 				idxs = h(req.pending, req.extra)
 			}
 			req.reply <- idxs
+		case req := <-t.s.scriptCh:
+			// Script export runs here, on the loop goroutine, so the
+			// copy never races decision recording.
+			req <- t.s.resume.script.clone()
 		case <-t.s.abortCh:
 			return Outcome{}, &fatalError{err: t.s.cause}
 		}

@@ -1,0 +1,283 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// This file is online shard compaction: an owned shard is scanned,
+// dead weight dropped, and the survivors rewritten into a fresh file
+// swapped in by atomic rename. Dead weight is (a) ended and aborted
+// session chains — replaced by a shard-level tombstone_index record so
+// the sessions still answer 410 Gone, (b) chains broken by damage,
+// (c) undecodable lines, and (d) for live sessions with a valid
+// snapshot, every op below the snapshot's watermark plus every older
+// snapshot — the chosen snapshot carries that history itself. The
+// whole read-rewrite-rename runs under the shard's append lock, so
+// compaction is safe while the shard is being served.
+
+// CompactOptions gates when a shard is actually rewritten.
+type CompactOptions struct {
+	// MinBytes skips shards smaller than this — rewriting a tiny file
+	// buys nothing. Zero means no size floor.
+	MinBytes int64
+	// MinDeadRatio skips a rewrite that would shrink the shard by less
+	// than this fraction (0.25 = at least a quarter smaller). Zero means
+	// any shrink qualifies.
+	MinDeadRatio float64
+	// Force rewrites regardless of thresholds (and even with nothing to
+	// drop) — the test hook and the operator's big hammer.
+	Force bool
+}
+
+// CompactStats reports one shard's compaction outcome.
+type CompactStats struct {
+	Shard       int    `json:"shard"`
+	Compacted   bool   `json:"compacted"`
+	SkipReason  string `json:"skip_reason,omitempty"`
+	BytesBefore int64  `json:"bytes_before"`
+	BytesAfter  int64  `json:"bytes_after"`
+	// LiveSessions counts the session chains kept.
+	LiveSessions int `json:"live_sessions"`
+	// DroppedEnded / DroppedDamaged count the chains dropped (and
+	// tombstoned) because they ended or were broken.
+	DroppedEnded   int `json:"dropped_ended"`
+	DroppedDamaged int `json:"dropped_damaged"`
+	// TruncatedChains counts live chains whose pre-watermark history was
+	// dropped in favor of a snapshot.
+	TruncatedChains int `json:"truncated_chains"`
+	// Tombstones is the size of the shard's merged tombstone index.
+	Tombstones int `json:"tombstones"`
+}
+
+// Compact scans one owned shard and, when the thresholds say it is
+// worth it, rewrites it without the droppable weight. The rewrite is a
+// temp-file write, fsync and atomic rename under the shard's append
+// lock; a crash at any point leaves either the old or the new file,
+// both valid.
+func (j *Journal) Compact(shard int, opts CompactOptions) (CompactStats, error) {
+	stats := CompactStats{Shard: shard}
+	if shard < 0 || shard >= j.shards {
+		return stats, fmt.Errorf("journal: compacting shard %d of %d", shard, j.shards)
+	}
+	if !j.ownsShard(shard) {
+		return stats, fmt.Errorf("%w: shard %d", ErrNotOwned, shard)
+	}
+	sf := &j.files[shard]
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+
+	path := j.shardPath(shard)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) || len(data) == 0 {
+		stats.SkipReason = "empty"
+		return stats, nil
+	}
+	if err != nil {
+		return stats, fmt.Errorf("journal: reading %s: %w", path, err)
+	}
+	stats.BytesBefore = int64(len(data))
+
+	// Decode every line, dropping undecodable ones (mid-file damage and
+	// torn tails alike — compaction rewrites the file, so there is
+	// nothing to preserve about a broken line).
+	var (
+		good       []Record
+		bySession  = make(map[string][]Record)
+		order      []string
+		tombstones = make(map[string]bool)
+	)
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		r, derr := DecodeLine(line)
+		if derr != nil {
+			continue
+		}
+		if r.Kind == KindTombstoneIndex {
+			// Merge prior indexes so 410s survive repeated compactions.
+			for _, id := range r.Tombstones {
+				tombstones[id] = true
+			}
+			continue
+		}
+		good = append(good, r)
+		if _, seen := bySession[r.Session]; !seen {
+			order = append(order, r.Session)
+		}
+		bySession[r.Session] = append(bySession[r.Session], r)
+	}
+
+	// Partition the chains: ended and damaged drop into the tombstone
+	// index, live chains truncate at their latest usable snapshot.
+	var kept [][]Record
+	for _, id := range order {
+		records := bySession[id]
+		sort.SliceStable(records, func(a, b int) bool { return records[a].Seq < records[b].Seq })
+		_, ended, problem := ValidateChain(id, records)
+		switch {
+		case problem != "":
+			stats.DroppedDamaged++
+			tombstones[id] = true
+			continue
+		case ended:
+			stats.DroppedEnded++
+			tombstones[id] = true
+			continue
+		}
+		truncated, didTruncate := truncateAtSnapshot(records)
+		if didTruncate {
+			stats.TruncatedChains++
+		}
+		stats.LiveSessions++
+		kept = append(kept, truncated)
+	}
+
+	// Rebuild the shard content: the merged tombstone index first, then
+	// each surviving chain in first-seen order.
+	var buf bytes.Buffer
+	if len(tombstones) > 0 {
+		ids := make([]string, 0, len(tombstones))
+		for id := range tombstones {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		line, err := EncodeLine(Record{Kind: KindTombstoneIndex, Tombstones: ids})
+		if err != nil {
+			return stats, err
+		}
+		buf.Write(line)
+		stats.Tombstones = len(ids)
+	}
+	for _, records := range kept {
+		for _, r := range records {
+			line, err := EncodeLine(r)
+			if err != nil {
+				return stats, err
+			}
+			buf.Write(line)
+		}
+	}
+	stats.BytesAfter = int64(buf.Len())
+
+	if !opts.Force {
+		if stats.BytesBefore < opts.MinBytes {
+			stats.SkipReason = "below size floor"
+			stats.BytesAfter = stats.BytesBefore
+			return stats, nil
+		}
+		dead := 1 - float64(stats.BytesAfter)/float64(stats.BytesBefore)
+		if dead < opts.MinDeadRatio || stats.BytesAfter >= stats.BytesBefore {
+			stats.SkipReason = fmt.Sprintf("dead ratio %.3f below threshold", dead)
+			stats.BytesAfter = stats.BytesBefore
+			return stats, nil
+		}
+	}
+
+	// Swap the rewrite in: temp file, fsync, rename, directory fsync.
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return stats, fmt.Errorf("journal: creating %s: %w", tmp, err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return stats, fmt.Errorf("journal: writing %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return stats, fmt.Errorf("journal: syncing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return stats, fmt.Errorf("journal: closing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return stats, fmt.Errorf("journal: swapping in %s: %w", tmp, err)
+	}
+	syncDir(filepath.Dir(path))
+	// The cached append handle points at the replaced inode; drop it so
+	// the next append lazily reopens the compacted file.
+	if sf.f != nil {
+		sf.f.Close()
+		sf.f = nil
+	}
+	stats.Compacted = true
+	return stats, nil
+}
+
+// CompactOwned compacts every shard this replica holds, continuing past
+// per-shard failures and joining them into the returned error.
+func (j *Journal) CompactOwned(opts CompactOptions) ([]CompactStats, error) {
+	var (
+		out  []CompactStats
+		errs []error
+	)
+	for _, shard := range j.Owned() {
+		stats, err := j.Compact(shard, opts)
+		if err != nil {
+			j.warnf("compacting shard %d: %v", shard, err)
+			errs = append(errs, err)
+			continue
+		}
+		out = append(out, stats)
+	}
+	return out, errors.Join(errs...)
+}
+
+// truncateAtSnapshot drops the history a live chain's latest usable
+// snapshot already carries: everything between the create record and
+// the snapshot, plus every other snapshot record. A snapshot is usable
+// when its payload decodes (inner CRC and invariants) and its
+// fingerprint matches the create record's request. Chains without one
+// are returned unchanged.
+func truncateAtSnapshot(records []Record) ([]Record, bool) {
+	if len(records) == 0 || records[0].Kind != KindCreate {
+		return records, false
+	}
+	fp := Fingerprint(records[0].Request)
+	chosen := -1
+	for i, r := range records {
+		if r.Kind != KindSnapshot {
+			continue
+		}
+		snap, err := DecodeSnapshot(r.Request)
+		if err != nil || snap.Fingerprint != fp || snap.Watermark != r.Seq {
+			continue
+		}
+		chosen = i
+	}
+	if chosen == -1 {
+		return records, false
+	}
+	out := make([]Record, 0, 2+len(records)-chosen)
+	out = append(out, records[0], records[chosen])
+	dropped := chosen > 1
+	for _, r := range records[chosen+1:] {
+		if r.Kind == KindSnapshot {
+			dropped = true
+			continue
+		}
+		out = append(out, r)
+	}
+	return out, dropped
+}
+
+// syncDir fsyncs a directory so a rename survives power loss; failures
+// are ignored (the rename itself already happened).
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -80,6 +80,20 @@ const (
 	// drained session is still live in the journal and the next boot
 	// rehydrates it.
 	KindEnd Kind = "end"
+	// KindSnapshot is a seq-transparent checkpoint of one live session:
+	// Request carries a CRC'd Snapshot payload (config fingerprint, the
+	// full op history below the Seq watermark, the resume script and
+	// trace events), and Seq carries the watermark without consuming it.
+	// Recovery replays from the latest valid snapshot instead of the
+	// chain head; compaction may drop the ops below the watermark
+	// because the snapshot carries them.
+	KindSnapshot Kind = "snapshot"
+	// KindTombstoneIndex is a shard-level (not per-session) record
+	// compaction writes: Tombstones lists every session id whose chain
+	// was dropped from this shard, so ended sessions still answer 410
+	// Gone after their records are gone. It is the only record kind with
+	// no session id.
+	KindTombstoneIndex Kind = "tombstone_index"
 )
 
 // Record is one journal entry. Session and Seq order it: a session's
@@ -103,8 +117,11 @@ type Record struct {
 	Metrics []float64 `json:"metrics,omitempty"`
 	// Reason is an observe_failure's cause or an end's disposition.
 	Reason string `json:"reason,omitempty"`
-	// Request is a create record's session request, verbatim JSON.
+	// Request is a create record's session request, verbatim JSON, or a
+	// snapshot record's CRC'd Snapshot payload.
 	Request json.RawMessage `json:"request,omitempty"`
+	// Tombstones is a tombstone_index record's dropped-session list.
+	Tombstones []string `json:"tombs,omitempty"`
 }
 
 // envelope is one shard line: the record bytes plus their checksum.
@@ -227,6 +244,11 @@ type Journal struct {
 	shards  int
 	sync    Sync
 	warnf   func(format string, args ...any)
+
+	// ownedMu guards owned: the map is written at Open, by Reclaim at
+	// runtime when this replica takes over a dead peer's shards, and by
+	// Close; every append and ownership check reads it.
+	ownedMu sync.RWMutex
 	owned   map[int]bool
 
 	files []shardFile
@@ -332,10 +354,12 @@ func (j *Journal) Shards() int { return j.shards }
 
 // Owned lists the shard numbers this replica holds leases on, sorted.
 func (j *Journal) Owned() []int {
+	j.ownedMu.RLock()
 	out := make([]int, 0, len(j.owned))
 	for shard := range j.owned {
 		out = append(out, shard)
 	}
+	j.ownedMu.RUnlock()
 	sort.Ints(out)
 	return out
 }
@@ -350,7 +374,14 @@ func ShardOf(session string, n int) int {
 // Owns reports whether this replica holds the lease for the session's
 // shard — i.e. whether it may serve and journal this session.
 func (j *Journal) Owns(session string) bool {
-	return j.owned[ShardOf(session, j.shards)]
+	return j.ownsShard(ShardOf(session, j.shards))
+}
+
+// ownsShard reads the ownership map under its lock.
+func (j *Journal) ownsShard(shard int) bool {
+	j.ownedMu.RLock()
+	defer j.ownedMu.RUnlock()
+	return j.owned[shard]
 }
 
 func (j *Journal) shardPath(shard int) string {
@@ -366,7 +397,7 @@ func (j *Journal) leasePath(shard int) string {
 // and syncs it per the policy.
 func (j *Journal) Append(rec Record) error {
 	shard := ShardOf(rec.Session, j.shards)
-	if !j.owned[shard] {
+	if !j.ownsShard(shard) {
 		return fmt.Errorf("%w: session %s, shard %d", ErrNotOwned, rec.Session, shard)
 	}
 	line, err := EncodeLine(rec)
@@ -423,7 +454,7 @@ func DecodeLine(line []byte) (Record, error) {
 	if err := json.Unmarshal(env.Rec, &rec); err != nil {
 		return Record{}, fmt.Errorf("journal: undecodable record: %w", err)
 	}
-	if rec.Session == "" {
+	if rec.Session == "" && rec.Kind != KindTombstoneIndex {
 		return Record{}, errors.New("journal: record has no session id")
 	}
 	if rec.Seq < 0 {
@@ -449,6 +480,11 @@ type Recovery struct {
 	// Damage reports every problem found: mid-file corrupt lines,
 	// broken record chains. One entry per problem, human-readable.
 	Damage []string
+	// Tombstones lists session ids recorded in tombstone_index records:
+	// sessions compaction dropped from a shard after they ended. The
+	// serving layer answers 410 Gone for them without any chain left to
+	// scan.
+	Tombstones []string
 	// TruncatedTails counts shard files whose torn final line was
 	// truncated away (the normal aftermath of kill -9 mid-write).
 	TruncatedTails int
@@ -459,10 +495,16 @@ type Recovery struct {
 // chains are broken by damage land in Damage, not in Live — a session
 // either replays exactly or not at all.
 func (j *Journal) Scan() (*Recovery, error) {
+	return j.ScanShards(j.Owned())
+}
+
+// ScanShards is Scan over an explicit shard list — the reclaim path
+// scans just the shards it took over from a dead peer.
+func (j *Journal) ScanShards(shards []int) (*Recovery, error) {
 	rec := &Recovery{}
 	bySession := make(map[string][]Record)
 	var order []string // first-seen order, for deterministic output
-	for _, shard := range j.Owned() {
+	for _, shard := range shards {
 		if err := j.scanShard(shard, rec, bySession, &order); err != nil {
 			return nil, err
 		}
@@ -485,26 +527,55 @@ func (j *Journal) Scan() (*Recovery, error) {
 
 // ValidateChain checks one session's seq-sorted records: contiguous
 // seqs from 0, a create first, create only first, terminal records
-// terminal. It returns the replayable log, whether the session ended,
-// or a non-empty damage report.
+// terminal. Snapshot records are seq-transparent — they carry the
+// session's watermark without consuming a seq — and a valid snapshot
+// may bridge a gap below its watermark, because compaction drops the
+// ops the snapshot carries. It returns the replayable log, whether the
+// session ended, or a non-empty damage report.
 func ValidateChain(id string, records []Record) (SessionLog, bool, string) {
+	if len(records) == 0 {
+		return SessionLog{}, false, fmt.Sprintf("session %s: no records", id)
+	}
 	ended := false
+	expect := 0 // the next seq a seq-consuming record must carry
 	for i, r := range records {
-		if r.Seq != i {
-			return SessionLog{}, false, fmt.Sprintf("session %s: record chain broken at seq %d (found %d); dropping session", id, i, r.Seq)
+		if ended {
+			return SessionLog{}, false, fmt.Sprintf("session %s: record after terminal record at seq %d; dropping session", id, r.Seq)
+		}
+		if r.Kind == KindSnapshot {
+			switch {
+			case i == 0:
+				return SessionLog{}, false, fmt.Sprintf("session %s: snapshot before create record; dropping session", id)
+			case r.Seq == expect:
+				// In-place checkpoint of an intact chain: transparent.
+			case r.Seq > expect:
+				// A gap below the watermark is legitimate only when the
+				// snapshot itself carries the dropped ops (compaction) —
+				// which requires the payload to decode and its watermark
+				// to match the record's seq.
+				snap, err := DecodeSnapshot(r.Request)
+				if err != nil {
+					return SessionLog{}, false, fmt.Sprintf("session %s: snapshot at seq %d cannot bridge gap from %d: %v; dropping session", id, r.Seq, expect, err)
+				}
+				if snap.Watermark != r.Seq {
+					return SessionLog{}, false, fmt.Sprintf("session %s: snapshot at seq %d has watermark %d; dropping session", id, r.Seq, snap.Watermark)
+				}
+				expect = r.Seq
+			default:
+				return SessionLog{}, false, fmt.Sprintf("session %s: snapshot at stale seq %d (chain at %d); dropping session", id, r.Seq, expect)
+			}
+			continue
 		}
 		if (r.Kind == KindCreate) != (i == 0) {
-			return SessionLog{}, false, fmt.Sprintf("session %s: create record out of place at seq %d; dropping session", id, i)
+			return SessionLog{}, false, fmt.Sprintf("session %s: create record out of place at seq %d; dropping session", id, r.Seq)
 		}
-		if ended {
-			return SessionLog{}, false, fmt.Sprintf("session %s: record after terminal record at seq %d; dropping session", id, i)
+		if r.Seq != expect {
+			return SessionLog{}, false, fmt.Sprintf("session %s: record chain broken at seq %d (found %d); dropping session", id, expect, r.Seq)
 		}
+		expect++
 		if r.Kind == KindEnd || r.Kind == KindAbort {
 			ended = true
 		}
-	}
-	if len(records) == 0 {
-		return SessionLog{}, false, fmt.Sprintf("session %s: no records", id)
 	}
 	return SessionLog{ID: id, Records: records}, ended, ""
 }
@@ -590,6 +661,11 @@ func (j *Journal) scanShard(shard int, rec *Recovery, bySession map[string][]Rec
 		}
 	}
 	for _, r := range good {
+		if r.Kind == KindTombstoneIndex {
+			// Shard-level record, not part of any session chain.
+			rec.Tombstones = append(rec.Tombstones, r.Tombstones...)
+			continue
+		}
 		if _, seen := bySession[r.Session]; !seen {
 			*order = append(*order, r.Session)
 		}
@@ -628,12 +704,43 @@ func truncateAt(path string, n int64) error {
 
 // releaseLeases removes this replica's lease files.
 func (j *Journal) releaseLeases() {
+	j.ownedMu.Lock()
+	defer j.ownedMu.Unlock()
 	for shard := range j.owned {
 		if err := os.Remove(j.leasePath(shard)); err != nil && !os.IsNotExist(err) {
 			j.warnf("releasing lease %d: %v", shard, err)
 		}
 	}
 	j.owned = make(map[int]bool)
+}
+
+// Reclaim attempts to take over every shard this replica does not own,
+// claiming only leases whose holders are provably gone (a dead pid on
+// this host, or this replica's own stale lease). It returns the shards
+// newly claimed, sorted. Survivor replicas call it periodically so a
+// kill -9'd peer's sessions come back without an operator; the caller
+// is expected to Scan the claimed shards and adopt their live sessions.
+func (j *Journal) Reclaim() ([]int, error) {
+	var claimed []int
+	for shard := 0; shard < j.shards; shard++ {
+		if j.ownsShard(shard) {
+			continue
+		}
+		ok, err := claimLease(j.leasePath(shard), j.replica)
+		if err != nil {
+			j.warnf("reclaiming shard %d: %v", shard, err)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		j.ownedMu.Lock()
+		j.owned[shard] = true
+		j.ownedMu.Unlock()
+		claimed = append(claimed, shard)
+	}
+	sort.Ints(claimed)
+	return claimed, nil
 }
 
 // Close releases the shard leases and file handles. A closed journal

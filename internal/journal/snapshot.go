@@ -1,0 +1,146 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+)
+
+// This file is the snapshot payload format. A snapshot record's Request
+// field carries a second CRC'd envelope — independent of the line-level
+// envelope, because compaction copies snapshot records between files
+// and the payload must stay verifiable on its own — wrapping a Snapshot
+// object: everything recovery needs to rebuild a live session from the
+// watermark instead of from the chain head.
+
+// Snapshot is one live session's checkpoint: the session-config
+// fingerprint, the full op history below the watermark, the optimizer's
+// resume script and the trace events recorded so far. Recovery replays
+// Ops against a resumed advisor (the script skips the surrogate fits),
+// then continues from the watermark with the chain's remaining records.
+type Snapshot struct {
+	// Fingerprint identifies the session configuration (the create
+	// record's request bytes, hashed); recovery refuses a snapshot whose
+	// fingerprint does not match the chain's create record.
+	Fingerprint string `json:"fp"`
+	// Watermark is the session's next seq at capture time: every
+	// seq-consuming record below it is carried in Ops, and the snapshot
+	// record itself is journaled with Seq = Watermark.
+	Watermark int `json:"watermark"`
+	// Observations counts the accepted measurements in Ops — a cheap
+	// cross-check that the op list was not truncated.
+	Observations int `json:"obs"`
+	// Ops is the session's seq-consuming history after the create
+	// record: seqs 1..Watermark-1, contiguous, suggest / suggest_batch /
+	// observe / observe_failure only, with the Session field stripped
+	// (the enclosing record identifies the session).
+	Ops []Record `json:"ops,omitempty"`
+	// Script is the optimizer's recorded decision log (an
+	// arrow.ResumeScript), verbatim JSON. Advisory: a stale or damaged
+	// script only costs recovery the surrogate-fit skip, never
+	// correctness.
+	Script json.RawMessage `json:"script,omitempty"`
+	// Events is the session's wall-stripped telemetry trace up to the
+	// watermark, verbatim JSON, so a snapshot-restored session serves
+	// byte-identical traces.
+	Events json.RawMessage `json:"events,omitempty"`
+}
+
+// snapEnvelope wraps the snapshot payload with its own checksum.
+type snapEnvelope struct {
+	CRC  uint32          `json:"crc"`
+	Snap json.RawMessage `json:"snap"`
+}
+
+// Fingerprint hashes a create record's request bytes into the session
+// config fingerprint snapshots carry.
+func Fingerprint(request []byte) string {
+	h := fnv.New64a()
+	h.Write(request)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// snapshotOpKinds is what a snapshot's op history may contain: the
+// seq-consuming, non-terminal record kinds.
+var snapshotOpKinds = map[Kind]bool{
+	KindSuggest:        true,
+	KindSuggestBatch:   true,
+	KindObserve:        true,
+	KindObserveFailure: true,
+}
+
+// EncodeSnapshot renders a snapshot as the CRC'd payload a snapshot
+// record carries in its Request field.
+func EncodeSnapshot(snap Snapshot) (json.RawMessage, error) {
+	if err := validateSnapshot(snap); err != nil {
+		return nil, fmt.Errorf("journal: encoding snapshot: %w", err)
+	}
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return nil, fmt.Errorf("journal: marshaling snapshot: %w", err)
+	}
+	env, err := json.Marshal(snapEnvelope{CRC: crc32.ChecksumIEEE(payload), Snap: payload})
+	if err != nil {
+		return nil, fmt.Errorf("journal: marshaling snapshot envelope: %w", err)
+	}
+	return env, nil
+}
+
+// DecodeSnapshot parses, checksum-verifies and invariant-checks a
+// snapshot record's Request payload. Any failure means the snapshot is
+// unusable and recovery falls back — to an older snapshot or a full
+// replay — never to a guess.
+func DecodeSnapshot(data []byte) (Snapshot, error) {
+	var env snapEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return Snapshot{}, fmt.Errorf("journal: undecodable snapshot envelope: %w", err)
+	}
+	if len(env.Snap) == 0 {
+		return Snapshot{}, errors.New("journal: snapshot envelope has no payload")
+	}
+	if got := crc32.ChecksumIEEE(env.Snap); got != env.CRC {
+		return Snapshot{}, fmt.Errorf("journal: snapshot crc mismatch: envelope says %d, payload hashes to %d", env.CRC, got)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(env.Snap, &snap); err != nil {
+		return Snapshot{}, fmt.Errorf("journal: undecodable snapshot: %w", err)
+	}
+	if err := validateSnapshot(snap); err != nil {
+		return Snapshot{}, fmt.Errorf("journal: invalid snapshot: %w", err)
+	}
+	return snap, nil
+}
+
+// validateSnapshot checks the payload invariants shared by encode and
+// decode: a fingerprint, a watermark past the create record, and an op
+// history that is exactly the seqs 1..Watermark-1 in order, of allowed
+// kinds, with the observation count matching.
+func validateSnapshot(snap Snapshot) error {
+	if snap.Fingerprint == "" {
+		return errors.New("no config fingerprint")
+	}
+	if snap.Watermark < 1 {
+		return fmt.Errorf("watermark %d below the create record", snap.Watermark)
+	}
+	if len(snap.Ops) != snap.Watermark-1 {
+		return fmt.Errorf("op history has %d records, watermark %d wants %d", len(snap.Ops), snap.Watermark, snap.Watermark-1)
+	}
+	observes := 0
+	for i, op := range snap.Ops {
+		if op.Seq != i+1 {
+			return fmt.Errorf("op %d has seq %d, want %d", i, op.Seq, i+1)
+		}
+		if !snapshotOpKinds[op.Kind] {
+			return fmt.Errorf("op %d has kind %q, not a session op", i, op.Kind)
+		}
+		if op.Kind == KindObserve {
+			observes++
+		}
+	}
+	if observes != snap.Observations {
+		return fmt.Errorf("op history has %d observations, snapshot says %d", observes, snap.Observations)
+	}
+	return nil
+}

@@ -94,6 +94,14 @@ type Config struct {
 	// keeps the PR5 behavior: in-memory sessions that die with the
 	// process.
 	Journal *journal.Journal
+	// SnapshotInterval journals a session checkpoint every N accepted
+	// observations: the config fingerprint, the op history, the
+	// optimizer's resume script and the trace so far, CRC'd inside the
+	// record. Recover replays from the latest valid snapshot instead of
+	// the chain head, bounding recovery time by the interval instead of
+	// the session length; compaction drops the history a snapshot
+	// carries. 0 disables snapshots. Ignored without a Journal.
+	SnapshotInterval int
 	// Warnf routes non-fatal serving warnings (journal append
 	// failures). Nil writes to os.Stderr.
 	Warnf func(format string, args ...any)
@@ -147,6 +155,20 @@ type session struct {
 	// steps counts the accepted observations, for the speculative
 	// observe acknowledgment that answers before planning; guarded by mu.
 	steps int
+	// lastSnapSteps is the observation count at the last snapshot, so
+	// the capture cadence follows SnapshotInterval; guarded by mu.
+	lastSnapSteps int
+	// fingerprint hashes the session's create request; snapshots carry
+	// it so recovery refuses a snapshot from a different config.
+	fingerprint string
+	// ops mirrors the session's seq-consuming journal records (Session
+	// stripped) so a snapshot can carry the pre-watermark history
+	// without re-reading the shard; maintained only when snapshots are
+	// enabled. Guarded by jmu.
+	ops []journal.Record
+	// terminal marks that a terminal record was journaled, fencing a
+	// racing snapshot capture out of an ended chain; guarded by jmu.
+	terminal bool
 	// specSeq is the issue ordinal of the suggestion the background
 	// speculation planned but no client has fetched yet (-1 when none).
 	// Atomic because endSession reads it without the session mutex.
@@ -294,6 +316,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) int {
 		reqJSON, merr := json.Marshal(req)
 		var jerr error
 		if merr == nil {
+			sess.fingerprint = journal.Fingerprint(reqJSON)
 			jerr = s.appendRecord(sess, journal.Record{Kind: journal.KindCreate, Request: reqJSON})
 		}
 		if merr != nil || jerr != nil {
@@ -493,6 +516,7 @@ func (s *Server) advance(w http.ResponseWriter, r *http.Request, sess *session) 
 	if sug.Seq > sess.journaledSeq {
 		sess.journaledSeq = sug.Seq
 		s.appendRecord(sess, journal.Record{Kind: journal.KindSuggest, Index: sug.Index, Step: sug.Step})
+		s.maybeSnapshot(sess)
 	}
 	return &sug, 0
 }
@@ -554,6 +578,7 @@ func (s *Server) handleNextBatch(w http.ResponseWriter, r *http.Request) int {
 	if maxSeq > sess.journaledSeq {
 		sess.journaledSeq = maxSeq
 		s.appendRecord(sess, journal.Record{Kind: journal.KindSuggestBatch, K: k, Indices: indices})
+		s.maybeSnapshot(sess)
 	}
 	if s.tracer != nil {
 		s.tracer.Emit(telemetry.Event{
@@ -776,11 +801,102 @@ func (s *Server) appendRecord(sess *session, rec journal.Record) error {
 	rec.Session = sess.id
 	rec.Seq = sess.seq
 	sess.seq++
+	if rec.Kind == journal.KindAbort || rec.Kind == journal.KindEnd {
+		sess.terminal = true
+	}
 	if err := j.Append(rec); err != nil {
 		s.warnf("session %s: %s record lost: %v", sess.id, rec.Kind, err)
 		return err
 	}
+	if s.snapshotsEnabled() {
+		switch rec.Kind {
+		case journal.KindSuggest, journal.KindSuggestBatch, journal.KindObserve, journal.KindObserveFailure:
+			op := rec
+			op.Session = "" // the snapshot record identifies the session
+			sess.ops = append(sess.ops, op)
+		}
+	}
 	return nil
+}
+
+// snapshotsEnabled reports whether sessions checkpoint themselves.
+func (s *Server) snapshotsEnabled() bool {
+	return s.cfg.Journal != nil && s.cfg.SnapshotInterval > 0
+}
+
+// maybeSnapshot journals a session checkpoint when SnapshotInterval
+// observations have accumulated since the last one. Callers hold the
+// session mutex right after journaling a suggestion, so the advisor's
+// search loop is parked on the pending suggestion — the one moment the
+// resume script and the trace recorder are both quiescent and
+// exportable. The snapshot record is seq-transparent: it carries the
+// session's watermark without consuming a sequence number, so replay
+// chains are unchanged whether snapshots exist or not.
+func (s *Server) maybeSnapshot(sess *session) {
+	if !s.snapshotsEnabled() || sess.steps-sess.lastSnapSteps < s.cfg.SnapshotInterval {
+		return
+	}
+	script := sess.advisor.Script()
+	scriptJSON, err := json.Marshal(script)
+	if err != nil {
+		s.warnf("session %s: snapshot skipped: marshaling resume script: %v", sess.id, err)
+		return
+	}
+	var eventsJSON json.RawMessage
+	if sess.recorder != nil {
+		events := sess.recorder.Events()
+		stripped := make([]telemetry.Event, len(events))
+		for i, e := range events {
+			stripped[i] = e.StripWall()
+		}
+		eventsJSON, err = json.Marshal(stripped)
+		if err != nil {
+			s.warnf("session %s: snapshot skipped: marshaling trace: %v", sess.id, err)
+			return
+		}
+	}
+	sess.jmu.Lock()
+	defer sess.jmu.Unlock()
+	if sess.terminal {
+		return
+	}
+	observes := 0
+	for _, op := range sess.ops {
+		if op.Kind == journal.KindObserve {
+			observes++
+		}
+	}
+	snap := journal.Snapshot{
+		Fingerprint:  sess.fingerprint,
+		Watermark:    sess.seq,
+		Observations: observes,
+		Ops:          append([]journal.Record(nil), sess.ops...),
+		Script:       scriptJSON,
+		Events:       eventsJSON,
+	}
+	payload, err := journal.EncodeSnapshot(snap)
+	if err != nil {
+		// A mirror that fails the snapshot invariants means an earlier
+		// append already failed and left a seq gap; the chain is damaged
+		// either way, so just skip the checkpoint.
+		s.warnf("session %s: snapshot skipped: %v", sess.id, err)
+		return
+	}
+	rec := journal.Record{Session: sess.id, Seq: sess.seq, Kind: journal.KindSnapshot, Request: payload}
+	if err := s.cfg.Journal.Append(rec); err != nil {
+		s.warnf("session %s: snapshot record lost: %v", sess.id, err)
+		return
+	}
+	sess.lastSnapSteps = sess.steps
+	if s.tracer != nil {
+		s.tracer.Emit(telemetry.Event{
+			Kind:      telemetry.KindSnapshot,
+			Name:      sess.id,
+			Candidate: -1,
+			Step:      sess.steps,
+			Value:     float64(snap.Watermark),
+		})
+	}
 }
 
 // warnf routes a non-fatal serving warning.

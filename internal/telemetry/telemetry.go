@@ -130,6 +130,21 @@ const (
 	// stopped early. Identical for cache hits and misses, which is what
 	// keeps study traces byte-identical cold vs warm.
 	KindStudyRun Kind = "study_run"
+	// KindSnapshot records one session checkpoint written to the journal:
+	// Name is the session id, Step the observation count at capture,
+	// Value the snapshot's seq watermark. Serve-audit-only, like
+	// http_request — snapshot cadence is a serving policy, not part of
+	// the search.
+	KindSnapshot Kind = "snapshot"
+	// KindCompact records one journal-shard compaction: Candidate is the
+	// shard number, Value the bytes before, Aux the bytes after, Step the
+	// dropped (ended + damaged) chain count, Detail the skip reason when
+	// the shard was scanned but not rewritten. Serve-audit-only.
+	KindCompact Kind = "compact"
+	// KindShardReclaim records a replica taking over a dead peer's
+	// journal shard at runtime: Candidate is the shard number, Step the
+	// live sessions adopted from it. Serve-audit-only.
+	KindShardReclaim Kind = "shard_reclaim"
 )
 
 // Wall isolates every environment-dependent field of an Event. Golden

@@ -1,0 +1,267 @@
+package arrow
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// This file pins the resume-script contract under session snapshots: an
+// advisor resumed with a recorded decision script and fed the exact
+// suggestion/observation history it was recorded under must reproduce
+// every suggestion, every post-script decision and the final result of
+// the live session — while skipping the surrogate fits the script
+// covers.
+
+// advisorStep is one recorded interaction of a live session.
+type advisorStep struct {
+	index   int
+	outcome Outcome
+}
+
+// recordAdvisorRun drives a live advisor to completion, capturing the
+// interaction history, a script snapshot after each suggestion (the
+// moment the serve layer captures), and the final result bytes.
+func recordAdvisorRun(t *testing.T, opt *Optimizer, target Target) ([]advisorStep, []ResumeScript, []byte) {
+	t.Helper()
+	a, err := opt.NewAdvisor(TargetCandidates(target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var steps []advisorStep
+	var scripts []ResumeScript
+	for {
+		sug, err := a.Next(context.Background())
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if sug.Done {
+			break
+		}
+		scripts = append(scripts, a.Script())
+		out, merr := target.Measure(sug.Index)
+		if merr != nil {
+			t.Fatalf("Measure(%d): %v", sug.Index, merr)
+		}
+		steps = append(steps, advisorStep{index: sug.Index, outcome: out})
+		if err := a.Observe(sug.Index, out); err != nil {
+			t.Fatalf("Observe(%d): %v", sug.Index, err)
+		}
+	}
+	res, err := a.Result()
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return steps, scripts, data
+}
+
+// replayWithScript replays the full recorded history against a resumed
+// advisor, asserting every suggestion matches, and returns the final
+// result bytes.
+func replayWithScript(t *testing.T, opt *Optimizer, target Target, steps []advisorStep, script ResumeScript) []byte {
+	t.Helper()
+	a, err := opt.NewResumedAdvisor(TargetCandidates(target), script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, step := range steps {
+		sug, err := a.Next(context.Background())
+		if err != nil {
+			t.Fatalf("step %d: Next: %v", i, err)
+		}
+		if sug.Done {
+			t.Fatalf("step %d: resumed advisor finished early", i)
+		}
+		if sug.Index != step.index {
+			t.Fatalf("step %d: resumed advisor suggested %d, live session suggested %d", i, sug.Index, step.index)
+		}
+		if err := a.Observe(sug.Index, step.outcome); err != nil {
+			t.Fatalf("step %d: Observe: %v", i, err)
+		}
+	}
+	sug, err := a.Next(context.Background())
+	if err != nil {
+		t.Fatalf("final Next: %v", err)
+	}
+	if !sug.Done {
+		t.Fatalf("resumed advisor wants more measurements after the full history (suggested %d)", sug.Index)
+	}
+	res, err := a.Result()
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestResumedAdvisorMatchesLive: for every method, a resumed advisor
+// consuming a mid-session script (exactly what a snapshot carries) and
+// replaying the full history reproduces the live session's suggestions
+// and result — and so does an empty script (pure recompute) and the
+// complete final script.
+func TestResumedAdvisorMatchesLive(t *testing.T) {
+	methods := map[string]Method{
+		"naive-bo":      MethodNaiveBO,
+		"augmented-bo":  MethodAugmentedBO,
+		"hybrid-bo":     MethodHybridBO,
+		"random-search": MethodRandomSearch,
+	}
+	for name, method := range methods {
+		t.Run(name, func(t *testing.T) {
+			target, err := NewSimulatedTarget("als/spark2.1/medium", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt, err := New(WithMethod(method), WithSeed(42))
+			if err != nil {
+				t.Fatal(err)
+			}
+			steps, scripts, want := recordAdvisorRun(t, opt, target)
+			if len(steps) < 4 {
+				t.Fatalf("session too short (%d steps) to exercise a mid-session resume", len(steps))
+			}
+			cases := map[string]ResumeScript{
+				"empty-script": {},
+				"mid-script":   scripts[len(scripts)/2],
+				"full-script":  scripts[len(scripts)-1],
+			}
+			for label, script := range cases {
+				got := replayWithScript(t, opt, target, steps, script)
+				if string(got) != string(want) {
+					t.Errorf("%s: resumed result diverged:\n got %s\nwant %s", label, got, want)
+				}
+			}
+			if method != MethodRandomSearch {
+				// The initial design records no decisions, so a midpoint
+				// script on a short session can legitimately be empty —
+				// the full script must not be.
+				full := scripts[len(scripts)-1]
+				if len(full.Decisions) == 0 {
+					t.Error("full script recorded no decisions; the fast path would never skip a fit")
+				}
+			}
+		})
+	}
+}
+
+// TestResumedAdvisorBatchPlans: batch suggestions exercise the plan
+// side of the script — fantasized picks recorded live must be consumed
+// by the resumed replay's NextBatch calls.
+func TestResumedAdvisorBatchPlans(t *testing.T) {
+	target, err := NewSimulatedTarget("als/spark2.1/medium", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := New(WithMethod(MethodAugmentedBO), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type batchRound struct {
+		indices  []int
+		outcomes []Outcome
+	}
+	drive := func(script ResumeScript, resumed bool) ([]batchRound, ResumeScript, []byte) {
+		var a *Advisor
+		var err error
+		if resumed {
+			a, err = opt.NewResumedAdvisor(TargetCandidates(target), script)
+		} else {
+			a, err = opt.NewAdvisor(TargetCandidates(target))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rounds []batchRound
+		var last ResumeScript
+		for {
+			sugs, err := a.NextBatch(context.Background(), 3)
+			if err != nil {
+				t.Fatalf("NextBatch: %v", err)
+			}
+			if sugs[0].Done {
+				break
+			}
+			last = a.Script()
+			round := batchRound{}
+			for _, sug := range sugs {
+				out, merr := target.Measure(sug.Index)
+				if merr != nil {
+					t.Fatalf("Measure(%d): %v", sug.Index, merr)
+				}
+				round.indices = append(round.indices, sug.Index)
+				round.outcomes = append(round.outcomes, out)
+			}
+			rounds = append(rounds, round)
+			for i, idx := range round.indices {
+				if err := a.Observe(idx, round.outcomes[i]); err != nil {
+					t.Fatalf("Observe(%d): %v", idx, err)
+				}
+			}
+		}
+		res, err := a.Result()
+		if err != nil {
+			t.Fatalf("Result: %v", err)
+		}
+		data, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rounds, last, data
+	}
+
+	liveRounds, script, want := drive(ResumeScript{}, false)
+	if len(script.Plans) == 0 {
+		t.Fatal("live batch session recorded no plans")
+	}
+	gotRounds, _, got := drive(script, true)
+	if string(got) != string(want) {
+		t.Errorf("resumed batch result diverged:\n got %s\nwant %s", got, want)
+	}
+	if len(gotRounds) != len(liveRounds) {
+		t.Fatalf("resumed session took %d batch rounds, live took %d", len(gotRounds), len(liveRounds))
+	}
+	for i := range liveRounds {
+		if len(gotRounds[i].indices) != len(liveRounds[i].indices) {
+			t.Fatalf("round %d: %d suggestions vs %d", i, len(gotRounds[i].indices), len(liveRounds[i].indices))
+		}
+		for jj, idx := range liveRounds[i].indices {
+			if gotRounds[i].indices[jj] != idx {
+				t.Fatalf("round %d position %d: suggested %d, live suggested %d", i, jj, gotRounds[i].indices[jj], idx)
+			}
+		}
+	}
+}
+
+// TestEntropySearchVoidsDecisionScript: entropy search draws posterior
+// samples from the main RNG inside the selection pass, so scripted
+// decision skipping would desynchronize the stream. The script must
+// stay empty — and a resumed replay (recomputing everything) must still
+// be exact.
+func TestEntropySearchVoidsDecisionScript(t *testing.T) {
+	target, err := NewSimulatedTarget("als/spark2.1/medium", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := New(WithMethod(MethodNaiveBO), WithSeed(11), WithAcquisition(AcquisitionMES))
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, scripts, want := recordAdvisorRun(t, opt, target)
+	for i, script := range scripts {
+		if len(script.Decisions) != 0 {
+			t.Fatalf("script %d recorded %d decisions under entropy search", i, len(script.Decisions))
+		}
+	}
+	got := replayWithScript(t, opt, target, steps, scripts[len(scripts)-1])
+	if string(got) != string(want) {
+		t.Errorf("entropy-search resumed result diverged:\n got %s\nwant %s", got, want)
+	}
+}
