@@ -1,0 +1,288 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	arrow "repro"
+	"repro/internal/registry"
+	"repro/internal/serve"
+)
+
+// This file is the fast registry-mode cluster smoke that rides `go
+// test` / make check: one process hosts the shard registry, three
+// replicas — each with its OWN journal directory, no shared filesystem
+// — lease shards from it over HTTP. It exercises the two failover
+// paths end to end across real processes: SIGKILL one replica and let
+// heartbeat expiry hand its shards (and its in-flight sessions, adopted
+// from its directory) to the survivors with bumped lease epochs; then
+// SIGTERM a -drain-migrate replica and check it streamed its live
+// sessions to a successor before exiting. The nightly registry-mode
+// soak scales the same topology to thousands of sessions.
+
+// registryState fetches the lease table through the hosting process's
+// serving port.
+func registryState(t *testing.T, base string) *registry.StateResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/registry/v1/state")
+	if err != nil {
+		t.Fatalf("registry state: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("registry state: status %d", resp.StatusCode)
+	}
+	var st registry.StateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("undecodable registry state: %v", err)
+	}
+	return &st
+}
+
+// waitForState polls the registry until cond holds, returning the state
+// that satisfied it.
+func waitForState(t *testing.T, base, desc string, cond func(*registry.StateResponse) bool) *registry.StateResponse {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := registryState(t, base)
+		if cond(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			dump, _ := json.Marshal(st)
+			t.Fatalf("registry never reached %q: %s", desc, dump)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func containsShard(shards []int, shard int) bool {
+	for _, s := range shards {
+		if s == shard {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRegistryClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster smoke skipped in -short mode")
+	}
+	target, err := arrow.NewSimulatedTarget("als/spark2.1/medium", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := t.TempDir()
+	regProc := spawnServer(t,
+		"-registry",
+		"-registry-state", filepath.Join(parent, "registry.json"),
+		"-lease-ttl", "2s",
+	)
+
+	const replicas = 3
+	sc := &soakCluster{
+		alive: make([]atomic.Bool, replicas),
+		hc:    &http.Client{Timeout: 60 * time.Second},
+	}
+	for i := 0; i < replicas; i++ {
+		args := []string{
+			"-journal-dir", filepath.Join(parent, fmt.Sprintf("journal-%d", i)),
+			"-fsync", "always",
+			"-replica", fmt.Sprintf("smoke-%d", i),
+			"-registry-addr", regProc.base,
+			"-claim-shards", "3",
+			"-snapshot-interval", "2",
+			"-heartbeat-interval", "200ms",
+			"-reclaim-interval", "200ms",
+			"-session-ttl", "30s",
+		}
+		if i == replicas-1 {
+			args = append(args, "-drain-migrate")
+		}
+		p := spawnServer(t, args...)
+		sc.procs = append(sc.procs, p)
+		sc.alive[i].Store(true)
+	}
+
+	// Boot order fixes the claim split: 3 + 3 + 2 of the 8 shards.
+	heldBy := map[string][]int{}
+	epochs := map[int]uint64{}
+	pre := registryState(t, regProc.base)
+	for _, l := range pre.Leases {
+		if l.Holder == "" {
+			t.Fatalf("shard %d unclaimed after cluster boot: %+v", l.Shard, pre.Leases)
+		}
+		heldBy[l.Holder] = append(heldBy[l.Holder], l.Shard)
+		epochs[l.Shard] = l.Epoch
+	}
+	if len(heldBy["smoke-0"]) != 3 || len(heldBy["smoke-1"]) != 3 || len(heldBy["smoke-2"]) != 2 {
+		t.Fatalf("unexpected claim split: %v", heldBy)
+	}
+
+	// Healthy-cluster traffic: a couple of sessions through the
+	// retrying cluster client, observations acked == observed.
+	for i := 0; i < 2; i++ {
+		body, acked, err := soakSession(sc, soakRequest(i, false), target)
+		if err != nil {
+			t.Fatalf("healthy session %d: %v", i, err)
+		}
+		var res serve.ResultResponse
+		if err := json.Unmarshal(body, &res); err != nil {
+			t.Fatalf("healthy session %d: undecodable result: %v", i, err)
+		}
+		if res.Result == nil || res.Result.Partial || len(res.Result.Observations) != acked {
+			t.Fatalf("healthy session %d: %d acked, result %s", i, acked, body)
+		}
+	}
+
+	// Three sessions pinned to the victim (a create answered by a
+	// replica lives on that replica's shards), each two observations
+	// in. DeltaThreshold -1 disarms the early stop so they are still
+	// mid-flight when the process dies.
+	longReq := func(seed int64) serve.SessionRequest {
+		return serve.SessionRequest{Method: "augmented-bo", Seed: seed, DeltaThreshold: -1, MaxMeasurements: 8}
+	}
+	vc := &httpClient{t: t, base: sc.procs[0].base}
+	var victimIDs []string
+	for k := 0; k < 3; k++ {
+		id := vc.create(longReq(int64(100 + k)))
+		if got := vc.step(id, target, 2); got != 2 {
+			t.Fatalf("session %s acked %d of 2 pre-kill observations", id, got)
+		}
+		victimIDs = append(victimIDs, id)
+	}
+	sc.alive[0].Store(false)
+	sc.procs[0].kill9(t)
+
+	// No release, no goodbye: the shards move by heartbeat expiry
+	// alone, and every regrant mints a strictly larger epoch — the
+	// fence that keeps a paused old owner from acking into them.
+	post := waitForState(t, regProc.base, "victim's shards reassigned", func(st *registry.StateResponse) bool {
+		for _, l := range st.Leases {
+			if l.Holder == "smoke-0" || l.Holder == "" {
+				return false
+			}
+		}
+		return true
+	})
+	for _, l := range post.Leases {
+		if containsShard(heldBy["smoke-0"], l.Shard) && l.Epoch <= epochs[l.Shard] {
+			t.Errorf("reclaimed shard %d kept epoch %d (was %d)", l.Shard, l.Epoch, epochs[l.Shard])
+		}
+	}
+
+	// The victim's sessions finish through the survivors, who adopted
+	// them by scanning the victim's journal directory: zero lost acked
+	// observations, no duplicates.
+	for _, id := range victimIDs {
+		body, total, err := driveSession(sc, id, "", target, 2)
+		if err != nil {
+			t.Fatalf("finishing adopted session %s: %v", id, err)
+		}
+		var res serve.ResultResponse
+		if err := json.Unmarshal(body, &res); err != nil {
+			t.Fatalf("adopted session %s: undecodable result: %v", id, err)
+		}
+		if res.Result == nil || res.Result.Partial {
+			t.Fatalf("adopted session %s did not finish cleanly: %s", id, body)
+		}
+		if len(res.Result.Observations) != total {
+			t.Errorf("adopted session %s: %d observations in the result, %d acked on the wire",
+				id, len(res.Result.Observations), total)
+		}
+	}
+
+	// The survivors' stdout reclaim reports must cover exactly the
+	// victim's shards.
+	claimed := map[int]bool{}
+	for i := 1; i < replicas; i++ {
+		for _, line := range strings.Split(sc.procs[i].stdout.String(), "\n") {
+			line = strings.TrimSpace(line)
+			if !strings.HasPrefix(line, "{") {
+				continue
+			}
+			var probe map[string]json.RawMessage
+			if err := json.Unmarshal([]byte(line), &probe); err != nil || probe["claimed"] == nil {
+				continue
+			}
+			var rep serve.ReclaimReport
+			if err := json.Unmarshal([]byte(line), &rep); err != nil {
+				t.Fatalf("undecodable reclaim report %q: %v", line, err)
+			}
+			for _, shard := range rep.Claimed {
+				claimed[shard] = true
+			}
+		}
+	}
+	if len(claimed) != len(heldBy["smoke-0"]) {
+		t.Errorf("survivors reclaimed shards %v, want the victim's %v", sortedKeys(claimed), heldBy["smoke-0"])
+	}
+
+	// Graceful exit second: a session mid-flight on the -drain-migrate
+	// replica survives a SIGTERM by being streamed to a successor. Wait
+	// for the dead victim to drop out of the live set first — the
+	// drainer picks the first live peer by name, and a freshly-dead
+	// "smoke-0" would sort ahead of "smoke-1".
+	waitForState(t, regProc.base, "victim aged out of the live set", func(st *registry.StateResponse) bool {
+		for _, r := range st.Replicas {
+			if r.Replica == "smoke-0" && r.Live {
+				return false
+			}
+		}
+		return true
+	})
+	dc := &httpClient{t: t, base: sc.procs[2].base}
+	drainID := dc.create(longReq(999))
+	if got := dc.step(drainID, target, 2); got != 2 {
+		t.Fatalf("drain session acked %d of 2 observations", got)
+	}
+	sc.alive[2].Store(false)
+	sc.procs[2].terminate(t)
+
+	var mig *serve.MigrateReport
+	for _, line := range strings.Split(sc.procs[2].stdout.String(), "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "{") || !strings.Contains(line, `"successor"`) {
+			continue
+		}
+		mig = &serve.MigrateReport{}
+		if err := json.Unmarshal([]byte(line), mig); err != nil {
+			t.Fatalf("undecodable migration report %q: %v", line, err)
+		}
+	}
+	if mig == nil {
+		t.Fatalf("draining replica printed no migration report:\nstdout: %s\nstderr: %s",
+			sc.procs[2].stdout.String(), sc.procs[2].stderr.String())
+	}
+	if mig.Successor != sc.procs[1].base {
+		t.Errorf("drained to %q, want the surviving replica %q", mig.Successor, sc.procs[1].base)
+	}
+	if mig.Sessions != 1 || mig.Observations != 2 || len(mig.Damaged) != 0 {
+		t.Errorf("migration report moved %d sessions / %d observations (damage %v), want 1/2 clean",
+			mig.Sessions, mig.Observations, mig.Damaged)
+	}
+
+	// The migrated session finishes on the successor, nothing lost.
+	body, total, err := driveSession(sc, drainID, sc.procs[1].base, target, 2)
+	if err != nil {
+		t.Fatalf("finishing migrated session: %v", err)
+	}
+	var res serve.ResultResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("migrated session: undecodable result: %v", err)
+	}
+	if res.Result == nil || res.Result.Partial || len(res.Result.Observations) != total {
+		t.Errorf("migrated session: %d acked, result %s", total, body)
+	}
+
+	sc.procs[1].terminate(t)
+	regProc.terminate(t)
+}

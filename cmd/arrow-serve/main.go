@@ -10,6 +10,7 @@
 //	POST   /v1/sessions/{id}/observe  report a measurement (or failure)
 //	GET    /v1/sessions/{id}/result   the recommendation once done
 //	DELETE /v1/sessions/{id}          abort now, salvaging a partial result
+//	POST   /v1/migrate                adopt a shard streamed by a draining peer
 //	GET    /healthz                   liveness + session count
 //	GET    /metricsz                  aggregated telemetry counters
 //
@@ -48,11 +49,27 @@
 // adopt their live sessions, printing a JSON reclaim report when
 // anything was claimed.
 //
+// Cross-host clusters replace the pid-checked filesystem lease files
+// with a network registry. One process hosts the lease table with
+// -registry (mounted under /registry/v1/, persisted to -registry-state,
+// grants live -lease-ttl without renewal); every replica points at it
+// with -registry-addr and then needs no shared filesystem — each keeps
+// its own -journal-dir, heartbeats every -heartbeat-interval, and a
+// replica that stops renewing loses its shards to a survivor, which
+// adopts the sessions by scanning the dead peer's directory (the
+// registry remembers whose directory holds what). -advertise is how
+// peers reach this replica; -drain-migrate makes a graceful shutdown
+// stream each owned shard's live sessions (latest snapshot + journal
+// suffix) straight to a surviving replica, so planned restarts hand
+// over in milliseconds instead of a lease timeout.
+//
 // Usage:
 //
 //	arrow-serve -addr :8080
 //	arrow-serve -addr :8080 -audit audit.jsonl -max-sessions 128 -session-ttl 10m
 //	arrow-serve -addr :8080 -journal-dir /var/lib/arrow/journal -fsync always
+//	arrow-serve -addr :8080 -registry -registry-state /var/lib/arrow/registry.json -journal-dir /var/lib/arrow/j0
+//	arrow-serve -addr :8081 -registry-addr http://host0:8080 -journal-dir /var/lib/arrow/j1 -drain-migrate
 package main
 
 import (
@@ -65,10 +82,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"syscall"
 	"time"
 
 	"repro/internal/journal"
+	"repro/internal/registry"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
 )
@@ -78,6 +98,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "arrow-serve:", err)
 		os.Exit(1)
 	}
+}
+
+// clusterPeer is what the maintenance loops need from registry mode,
+// satisfied by both the HTTP client and the in-process LocalManager of
+// a self-hosted registry.
+type clusterPeer interface {
+	Heartbeat() error
+	State() (*registry.StateResponse, error)
+}
+
+// advertiseBase turns the bound listener address into a base URL peers
+// can dial. A wildcard host (":8080" binds "[::]" or "0.0.0.0") is
+// rewritten to the loopback address — right for single-host clusters
+// and tests; multi-host deployments pass -advertise explicitly.
+func advertiseBase(addr net.Addr) string {
+	host, port, err := net.SplitHostPort(addr.String())
+	if err != nil {
+		return "http://" + addr.String()
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
 }
 
 // run parses flags, serves until a signal or until stop is closed, and
@@ -107,12 +150,29 @@ func run(args []string, errOut io.Writer, stop <-chan struct{}) error {
 		compactMinBytes = fs.Int64("compact-min-bytes", 64<<10, "skip compacting shards smaller than this")
 		compactRatio    = fs.Float64("compact-min-dead-ratio", 0.25, "skip rewrites that would shrink a shard by less than this fraction")
 		reclaimInterval = fs.Duration("reclaim-interval", 0, "try to take over dead peers' journal shards this often, 0 disables")
+
+		hostRegistry   = fs.Bool("registry", false, "host the cluster shard registry in this process (mounted under /registry/v1/)")
+		registryState  = fs.String("registry-state", "", "persist the registry lease table to this file (with -registry), surviving registry restarts")
+		registryAddr   = fs.String("registry-addr", "", "base URL of the cluster registry, e.g. http://host:8080; replaces filesystem shard leases with heartbeat leases")
+		leaseTTL       = fs.Duration("lease-ttl", registry.DefaultLeaseTTL, "how long a registry shard lease lives without renewal (with -registry)")
+		heartbeatEvery = fs.Duration("heartbeat-interval", time.Second, "how often to heartbeat the registry and renew shard leases (registry mode)")
+		advertise      = fs.String("advertise", "", "base URL peers use to reach this replica (default http://<bound addr>)")
+		drainMigrate   = fs.Bool("drain-migrate", false, "on graceful shutdown, stream owned shards' live sessions to a surviving replica (registry mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *hostRegistry && *registryAddr != "" {
+		return fmt.Errorf("-registry and -registry-addr are exclusive: a registry host uses its own lease table in-process")
+	}
+	if *drainMigrate && !*hostRegistry && *registryAddr == "" {
+		return fmt.Errorf("-drain-migrate needs registry mode (-registry or -registry-addr): filesystem leases have no fenced transfer")
+	}
+	if *heartbeatEvery <= 0 {
+		return fmt.Errorf("-heartbeat-interval must be positive, got %v", *heartbeatEvery)
 	}
 
 	var tracer telemetry.Tracer
@@ -127,20 +187,81 @@ func run(args []string, errOut io.Writer, stop <-chan struct{}) error {
 		tracer = jw
 	}
 
+	// Bind before opening the journal: registry mode advertises the
+	// bound address to peers, and the default -advertise derives from
+	// it. Nothing is served until hs.Serve below.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	selfBase := *advertise
+	if selfBase == "" {
+		selfBase = advertiseBase(ln.Addr())
+	}
+	replicaName := *replica
+	if replicaName == "" {
+		host, _ := os.Hostname()
+		replicaName = "host-" + host
+	}
+
+	var reg *registry.Registry
+	if *hostRegistry {
+		reg, err = registry.New(registry.Config{
+			LeaseTTL:  *leaseTTL,
+			StatePath: *registryState,
+			Warnf: func(format string, args ...any) {
+				fmt.Fprintf(errOut, "arrow-serve: registry: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	var peer clusterPeer
 	var jnl *journal.Journal
 	if *journalDir != "" {
 		sync, err := journal.ParseSync(*fsyncPolicy)
 		if err != nil {
 			return err
 		}
-		opts := []journal.Option{journal.WithSync(sync)}
-		if *replica != "" {
-			opts = append(opts, journal.WithReplica(*replica))
-		}
+		opts := []journal.Option{journal.WithSync(sync), journal.WithReplica(replicaName)}
 		if *claimShards > 0 {
 			opts = append(opts, journal.WithClaimLimit(*claimShards))
 		}
-		jnl, err = journal.Open(*journalDir, opts...)
+		absDir, err := filepath.Abs(*journalDir)
+		if err != nil {
+			return fmt.Errorf("journal dir: %w", err)
+		}
+		switch {
+		case *registryAddr != "":
+			client := registry.NewClient(*registryAddr, replicaName, selfBase, absDir)
+			// The registry may still be booting alongside this replica
+			// (cluster bring-up is unordered); retry registration briefly
+			// before giving up.
+			var rerr error
+			for deadline := time.Now().Add(10 * time.Second); ; {
+				if rerr = client.Register(); rerr == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					return fmt.Errorf("registering with %s: %w", *registryAddr, rerr)
+				}
+				time.Sleep(100 * time.Millisecond)
+			}
+			n, err := client.Shards()
+			if err != nil {
+				return err
+			}
+			opts = append(opts, journal.WithShards(n), journal.WithLeaseManager(client))
+			peer = client
+		case reg != nil:
+			mgr := reg.LocalManager(replicaName, selfBase, absDir)
+			opts = append(opts, journal.WithShards(reg.Shards()), journal.WithLeaseManager(mgr))
+			peer = mgr
+		}
+		jnl, err = journal.Open(absDir, opts...)
 		if err != nil {
 			return err
 		}
@@ -160,6 +281,7 @@ func run(args []string, errOut io.Writer, stop <-chan struct{}) error {
 		SnapshotInterval:   *snapInterval,
 		MaxBatch:           *maxBatch,
 		DisableSpeculation: *noSpeculate,
+		Registry:           reg,
 	})
 
 	if jnl != nil {
@@ -182,9 +304,10 @@ func run(args []string, errOut io.Writer, stop <-chan struct{}) error {
 		}
 	}
 
-	// Background journal maintenance: periodic shard compaction and dead-
-	// peer shard reclaim. Both print machine-readable JSON lines to stdout
-	// (like the boot recovery report) and stop at shutdown.
+	// Background journal maintenance: periodic shard compaction, dead-
+	// peer shard reclaim, and (registry mode) the heartbeat/renew loop.
+	// The first two print machine-readable JSON lines to stdout (like
+	// the boot recovery report); all stop at shutdown.
 	maint := make(chan struct{})
 	defer close(maint)
 	if jnl != nil && *compactInterval > 0 {
@@ -241,14 +364,41 @@ func run(args []string, errOut io.Writer, stop <-chan struct{}) error {
 			}
 		}()
 	}
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return err
+	if jnl != nil && peer != nil {
+		go func() {
+			tick := time.NewTicker(*heartbeatEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-maint:
+					return
+				case <-tick.C:
+				}
+				if err := peer.Heartbeat(); err != nil {
+					fmt.Fprintf(errOut, "arrow-serve: heartbeat: %v\n", err)
+				}
+				lost, err := jnl.RenewLeases()
+				if err != nil {
+					fmt.Fprintf(errOut, "arrow-serve: lease renew: %v\n", err)
+				}
+				if len(lost) > 0 {
+					evicted := srv.DropShards(lost)
+					fmt.Fprintf(errOut, "arrow-serve: lost shard leases %v; evicted %d sessions for their new owner\n", lost, evicted)
+				}
+			}
+		}()
 	}
+
 	hs := &http.Server{Handler: srv}
-	fmt.Fprintf(errOut, "arrow-serve: listening on %s (max-sessions %d, session-ttl %v, workers %d)\n",
-		ln.Addr(), *maxSessions, *sessionTTL, *workers)
+	mode := "filesystem leases"
+	switch {
+	case *registryAddr != "":
+		mode = "registry " + *registryAddr
+	case reg != nil:
+		mode = fmt.Sprintf("hosting registry (%d shards, lease ttl %v)", reg.Shards(), reg.LeaseTTL())
+	}
+	fmt.Fprintf(errOut, "arrow-serve: listening on %s (max-sessions %d, session-ttl %v, workers %d, %s)\n",
+		ln.Addr(), *maxSessions, *sessionTTL, *workers, mode)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
@@ -271,6 +421,16 @@ func run(args []string, errOut io.Writer, stop <-chan struct{}) error {
 		}
 	}
 
+	// With -drain-migrate, hand owned shards to a surviving replica
+	// before flushing: sessions keep running on the successor instead of
+	// being salvaged here. The listener is still serving, so the
+	// successor's lease transfer and any client retries land normally.
+	if *drainMigrate && jnl != nil && peer != nil {
+		if err := migrateOnDrain(jnl, srv, peer, replicaName, *drainWait, errOut); err != nil {
+			fmt.Fprintf(errOut, "arrow-serve: drain migration: %v (remaining sessions will be salvaged; shards move by lease expiry)\n", err)
+		}
+	}
+
 	// Flush every in-flight session to a salvaged partial result first —
 	// those results stay readable while the listener drains — then stop
 	// the listener.
@@ -284,4 +444,40 @@ func run(args []string, errOut io.Writer, stop <-chan struct{}) error {
 	}
 	fmt.Fprintln(errOut, "arrow-serve: drained, bye")
 	return nil
+}
+
+// migrateOnDrain picks the first live peer (by name) from the registry's
+// view and streams every owned shard to it. The migration report goes
+// to stdout as one JSON line, mirroring the recovery report.
+func migrateOnDrain(jnl *journal.Journal, srv *serve.Server, peer clusterPeer, self string, wait time.Duration, errOut io.Writer) error {
+	if len(jnl.Owned()) == 0 {
+		return nil
+	}
+	st, err := peer.State()
+	if err != nil {
+		return fmt.Errorf("cluster state: %w", err)
+	}
+	var succ *registry.ReplicaInfo
+	sort.Slice(st.Replicas, func(a, b int) bool { return st.Replicas[a].Replica < st.Replicas[b].Replica })
+	for i := range st.Replicas {
+		r := &st.Replicas[i]
+		if r.Live && r.Replica != self && r.Addr != "" {
+			succ = r
+			break
+		}
+	}
+	if succ == nil {
+		return fmt.Errorf("no live successor registered")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), wait)
+	defer cancel()
+	report, err := srv.MigrateShards(ctx, succ.Addr)
+	if report != nil && len(report.Shards) > 0 {
+		if line, jerr := json.Marshal(report); jerr == nil {
+			fmt.Fprintf(os.Stdout, "%s\n", line)
+		}
+		fmt.Fprintf(errOut, "arrow-serve: migrated shards %v (%d sessions, %d observations) to %s at %s\n",
+			report.Shards, report.Sessions, report.Observations, succ.Replica, succ.Addr)
+	}
+	return err
 }

@@ -46,6 +46,18 @@ func soakSessions() int {
 	return 120
 }
 
+// soakRegistryMode switches the cluster topology: ARROW_SOAK_REGISTRY=1
+// replaces the shared journal directory and its pid-checked lease files
+// with a network registry process, per-replica journal directories and
+// heartbeat leases — the cross-host deployment, soaked on one host.
+func soakRegistryMode() bool {
+	switch os.Getenv("ARROW_SOAK_REGISTRY") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
 // soakCluster tracks the replica processes and which are still alive.
 type soakCluster struct {
 	procs []*chaosProc
@@ -140,9 +152,14 @@ func soakSession(sc *soakCluster, req serve.SessionRequest, target arrow.Target)
 	if err := json.Unmarshal(data, &info); err != nil {
 		return nil, 0, err
 	}
-	id := info.ID
+	return driveSession(sc, info.ID, base, target, 0)
+}
 
-	acked := 0
+// driveSession finishes an already-created session through the cluster
+// from wherever it stands — the session may have been created elsewhere
+// and adopted since — returning the result body and the total acked
+// observation count, starting from acked.
+func driveSession(sc *soakCluster, id, base string, target arrow.Target, acked int) ([]byte, int, error) {
 	for {
 		st, data, b, err := sc.request("GET", base, "/v1/sessions/"+id+"/next", nil)
 		if err != nil {
@@ -184,7 +201,7 @@ func soakSession(sc *soakCluster, req serve.SessionRequest, target arrow.Target)
 			return nil, acked, fmt.Errorf("observe %s: status %d: %s", id, st, data)
 		}
 	}
-	st, data, _, err = sc.request("GET", base, "/v1/sessions/"+id+"/result", nil)
+	st, data, _, err := sc.request("GET", base, "/v1/sessions/"+id+"/result", nil)
 	if err != nil {
 		return nil, acked, err
 	}
@@ -242,15 +259,24 @@ func TestSoakMultiReplicaChaos(t *testing.T) {
 	refBase, refShutdown := startServer(t, "-max-sessions", "512", "-session-ttl", "15s")
 	defer refShutdown()
 
-	dir := filepath.Join(t.TempDir(), "journal")
+	registryMode := soakRegistryMode()
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "journal")
 	const replicas = 4
 	sc := &soakCluster{
 		alive: make([]atomic.Bool, replicas),
 		hc:    &http.Client{Timeout: 60 * time.Second},
 	}
+	var regProc *chaosProc
+	if registryMode {
+		regProc = spawnServer(t,
+			"-registry",
+			"-registry-state", filepath.Join(parent, "registry.json"),
+			"-lease-ttl", "2s",
+		)
+	}
 	for i := 0; i < replicas; i++ {
-		p := spawnServer(t,
-			"-journal-dir", dir,
+		args := []string{
 			"-fsync", "always",
 			"-replica", fmt.Sprintf("soak-%d", i),
 			"-claim-shards", "2",
@@ -261,7 +287,20 @@ func TestSoakMultiReplicaChaos(t *testing.T) {
 			"-compact-min-bytes", "1024",
 			"-compact-min-dead-ratio", "0.05",
 			"-reclaim-interval", "300ms",
-		)
+		}
+		if registryMode {
+			// No shared filesystem: each replica journals into its own
+			// directory and leases shards from the registry; the victim's
+			// sessions are adopted by scanning its directory read-only.
+			args = append(args,
+				"-journal-dir", filepath.Join(parent, fmt.Sprintf("journal-%d", i)),
+				"-registry-addr", regProc.base,
+				"-heartbeat-interval", "250ms",
+			)
+		} else {
+			args = append(args, "-journal-dir", dir)
+		}
+		p := spawnServer(t, args...)
 		sc.procs = append(sc.procs, p)
 		sc.alive[i].Store(true)
 	}
@@ -370,39 +409,55 @@ func TestSoakMultiReplicaChaos(t *testing.T) {
 
 	// The survivors' stdout carries the machine-readable half of the
 	// story: reclaim reports for the victim's shards and compaction
-	// stats lines from the concurrent compactor.
-	claimed := map[int]bool{}
-	compactions := 0
-	var worstP99 int64
-	for i, p := range sc.procs {
-		if i == victim {
-			continue
-		}
-		for _, line := range strings.Split(p.stdout.String(), "\n") {
-			line = strings.TrimSpace(line)
-			if !strings.HasPrefix(line, "{") {
+	// stats lines from the concurrent compactor. The reclaim may trail
+	// the traffic — in registry mode the victim's leases take a full
+	// TTL to expire after the kill — so poll until it surfaces.
+	var (
+		claimed     map[int]bool
+		compactions int
+		worstP99    int64
+	)
+	collect := func() {
+		claimed = map[int]bool{}
+		compactions = 0
+		worstP99 = 0
+		for i, p := range sc.procs {
+			if i == victim {
 				continue
 			}
-			var probe map[string]json.RawMessage
-			if err := json.Unmarshal([]byte(line), &probe); err != nil {
-				t.Fatalf("replica %d printed undecodable JSON %q: %v", i, line, err)
-			}
-			switch {
-			case probe["claimed"] != nil:
-				var rep serve.ReclaimReport
-				if err := json.Unmarshal([]byte(line), &rep); err != nil {
-					t.Fatalf("undecodable reclaim report %q: %v", line, err)
+			for _, line := range strings.Split(p.stdout.String(), "\n") {
+				line = strings.TrimSpace(line)
+				if !strings.HasPrefix(line, "{") {
+					continue
 				}
-				for _, shard := range rep.Claimed {
-					claimed[shard] = true
+				var probe map[string]json.RawMessage
+				if err := json.Unmarshal([]byte(line), &probe); err != nil {
+					t.Fatalf("replica %d printed undecodable JSON %q: %v", i, line, err)
 				}
-				if rep.RecoverP99Micros > worstP99 {
-					worstP99 = rep.RecoverP99Micros
+				switch {
+				case probe["claimed"] != nil:
+					var rep serve.ReclaimReport
+					if err := json.Unmarshal([]byte(line), &rep); err != nil {
+						t.Fatalf("undecodable reclaim report %q: %v", line, err)
+					}
+					for _, shard := range rep.Claimed {
+						claimed[shard] = true
+					}
+					if rep.RecoverP99Micros > worstP99 {
+						worstP99 = rep.RecoverP99Micros
+					}
+				case probe["compacted"] != nil:
+					compactions++
 				}
-			case probe["compacted"] != nil:
-				compactions++
 			}
 		}
+	}
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		collect()
+		if len(claimed) >= 2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
 	}
 	if len(claimed) != 2 {
 		t.Errorf("survivors reclaimed shards %v, want the victim's 2", claimed)
@@ -423,15 +478,23 @@ func TestSoakMultiReplicaChaos(t *testing.T) {
 			p.terminate(t)
 		}
 	}
+	if regProc != nil {
+		regProc.terminate(t)
+	}
 
+	mode := "filesystem"
+	if registryMode {
+		mode = "registry"
+	}
 	writeSoakSummary(t, soakSummary{
+		Mode:             mode,
 		Sessions:         sessions,
 		Replicas:         replicas,
 		Victim:           victim,
 		ClaimedShards:    sortedKeys(claimed),
 		Compactions:      compactions,
 		ReclaimP99Micros: worstP99,
-		JournalBytes:     dirBytes(t, dir),
+		JournalBytes:     dirBytes(t, parent),
 	})
 }
 
@@ -440,13 +503,14 @@ func TestSoakMultiReplicaChaos(t *testing.T) {
 // concurrent compaction and the worst per-session recovery p99 across
 // every reclaim are the two numbers the recovery-time model predicts.
 type soakSummary struct {
-	Sessions         int   `json:"sessions"`
-	Replicas         int   `json:"replicas"`
-	Victim           int   `json:"victim"`
-	ClaimedShards    []int `json:"claimed_shards"`
-	Compactions      int   `json:"compactions"`
-	ReclaimP99Micros int64 `json:"reclaim_p99_micros"`
-	JournalBytes     int64 `json:"journal_bytes"`
+	Mode             string `json:"mode"`
+	Sessions         int    `json:"sessions"`
+	Replicas         int    `json:"replicas"`
+	Victim           int    `json:"victim"`
+	ClaimedShards    []int  `json:"claimed_shards"`
+	Compactions      int    `json:"compactions"`
+	ReclaimP99Micros int64  `json:"reclaim_p99_micros"`
+	JournalBytes     int64  `json:"journal_bytes"`
 }
 
 // writeSoakSummary records the run summary at $ARROW_SOAK_OUT; unset

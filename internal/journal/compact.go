@@ -119,7 +119,9 @@ func (j *Journal) Compact(shard int, opts CompactOptions) (CompactStats, error) 
 	for _, id := range order {
 		records := bySession[id]
 		sort.SliceStable(records, func(a, b int) bool { return records[a].Seq < records[b].Seq })
-		_, ended, problem := ValidateChain(id, records)
+		// Use the validated log's records: ValidateChain drops the
+		// byte-identical duplicates cross-host adoption re-journals.
+		log, ended, problem := ValidateChain(id, records)
 		switch {
 		case problem != "":
 			stats.DroppedDamaged++
@@ -130,7 +132,7 @@ func (j *Journal) Compact(shard int, opts CompactOptions) (CompactStats, error) 
 			tombstones[id] = true
 			continue
 		}
-		truncated, didTruncate := truncateAtSnapshot(records)
+		truncated, didTruncate := truncateAtSnapshot(log.Records)
 		if didTruncate {
 			stats.TruncatedChains++
 		}
@@ -231,6 +233,13 @@ func (j *Journal) CompactOwned(opts CompactOptions) ([]CompactStats, error) {
 		out = append(out, stats)
 	}
 	return out, errors.Join(errs...)
+}
+
+// TrimToSnapshot is truncateAtSnapshot for external callers: live
+// migration streams a session as create + latest usable snapshot +
+// post-watermark suffix, exactly the compacted form of its chain.
+func TrimToSnapshot(records []Record) ([]Record, bool) {
+	return truncateAtSnapshot(records)
 }
 
 // truncateAtSnapshot drops the history a live chain's latest usable

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // corpusLine renders one valid shard line for the seed corpus.
@@ -165,9 +166,10 @@ func FuzzScanShard(f *testing.F) {
 		// skipping Open's lease/meta writes keeps the loop fast.
 		j := &Journal{
 			dir: dir, shards: 1, replica: "fuzz",
-			owned: map[int]bool{0: true},
+			owned: map[int]Lease{0: {Epoch: 1}},
 			files: make([]shardFile, 1),
 			warnf: func(string, ...any) {},
+			now:   time.Now,
 		}
 		if err := os.WriteFile(filepath.Join(dir, "journal-00.jsonl"), data, 0o644); err != nil {
 			t.Fatal(err)

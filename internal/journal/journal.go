@@ -34,6 +34,7 @@ package journal
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -44,6 +45,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Kind names one session state transition.
@@ -178,6 +180,8 @@ type config struct {
 	replica string
 	sync    Sync
 	warnf   func(format string, args ...any)
+	leases  LeaseManager
+	now     func() time.Time
 }
 
 // WithShards sets the shard count for a fresh journal directory. An
@@ -220,6 +224,23 @@ func WithSync(s Sync) Option {
 	return func(c *config) { c.sync = s }
 }
 
+// WithLeaseManager replaces the filesystem lease protocol with an
+// external one — a registry client issuing time-bound, epoch-fenced
+// grants. The default (nil) keeps the pid-checked lease files.
+func WithLeaseManager(m LeaseManager) Option {
+	return func(c *config) { c.leases = m }
+}
+
+// WithNow injects the clock lease-expiry fencing reads. Tests use it to
+// move a holder past its grant without sleeping.
+func WithNow(now func() time.Time) Option {
+	return func(c *config) {
+		if now != nil {
+			c.now = now
+		}
+	}
+}
+
 // WithWarnf routes non-fatal warnings (skipped damaged lines, lease
 // oddities). The default writes to os.Stderr.
 func WithWarnf(fn func(format string, args ...any)) Option {
@@ -244,12 +265,14 @@ type Journal struct {
 	shards  int
 	sync    Sync
 	warnf   func(format string, args ...any)
+	leases  LeaseManager
+	now     func() time.Time
 
-	// ownedMu guards owned: the map is written at Open, by Reclaim at
-	// runtime when this replica takes over a dead peer's shards, and by
-	// Close; every append and ownership check reads it.
+	// ownedMu guards owned: the map is written at Open, by Reclaim /
+	// TakeOver / DropShard at runtime, and by Close; every append and
+	// ownership check reads it.
 	ownedMu sync.RWMutex
-	owned   map[int]bool
+	owned   map[int]Lease
 
 	files []shardFile
 
@@ -293,20 +316,29 @@ func Open(dir string, opts ...Option) (*Journal, error) {
 		shards:  shards,
 		sync:    cfg.sync,
 		warnf:   cfg.warnf,
-		owned:   make(map[int]bool),
+		leases:  cfg.leases,
+		now:     cfg.now,
+		owned:   make(map[int]Lease),
 		files:   make([]shardFile, shards),
+	}
+	if j.now == nil {
+		j.now = time.Now
+	}
+	if j.leases == nil {
+		j.leases = &fsLeases{dir: dir, replica: cfg.replica, leasePath: j.leasePath, warnf: cfg.warnf}
 	}
 	for shard := 0; shard < shards; shard++ {
 		if cfg.limit > 0 && len(j.owned) >= cfg.limit {
 			break
 		}
-		ok, err := claimLease(j.leasePath(shard), cfg.replica)
+		l, ok, err := j.leases.Acquire(shard)
 		if err != nil {
 			j.releaseLeases()
 			return nil, err
 		}
 		if ok {
-			j.owned[shard] = true
+			l.Shard = shard
+			j.owned[shard] = l
 		}
 	}
 	return j, nil
@@ -371,18 +403,35 @@ func ShardOf(session string, n int) int {
 	return int(h.Sum32() % uint32(n))
 }
 
-// Owns reports whether this replica holds the lease for the session's
-// shard — i.e. whether it may serve and journal this session.
+// Owns reports whether this replica holds a live lease for the
+// session's shard — i.e. whether it may serve and journal this session.
+// An expired (unrenewed) grant does not count: the shard may already
+// have been re-granted elsewhere.
 func (j *Journal) Owns(session string) bool {
 	return j.ownsShard(ShardOf(session, j.shards))
 }
 
 // ownsShard reads the ownership map under its lock.
 func (j *Journal) ownsShard(shard int) bool {
+	l, ok := j.leaseFor(shard)
+	return ok && !l.Expired(j.now())
+}
+
+// leaseFor reads one shard's grant under the ownership lock.
+func (j *Journal) leaseFor(shard int) (Lease, bool) {
 	j.ownedMu.RLock()
 	defer j.ownedMu.RUnlock()
-	return j.owned[shard]
+	l, ok := j.owned[shard]
+	return l, ok
 }
+
+// Lease returns the grant this replica holds on a shard, if any.
+func (j *Journal) Lease(shard int) (Lease, bool) {
+	return j.leaseFor(shard)
+}
+
+// Dir returns the journal directory path.
+func (j *Journal) Dir() string { return j.dir }
 
 func (j *Journal) shardPath(shard int) string {
 	return filepath.Join(j.dir, fmt.Sprintf("journal-%02d.jsonl", shard))
@@ -396,9 +445,19 @@ func (j *Journal) leasePath(shard int) string {
 // acknowledge the transition to their client only after Append returns)
 // and syncs it per the policy.
 func (j *Journal) Append(rec Record) error {
-	shard := ShardOf(rec.Session, j.shards)
-	if !j.ownsShard(shard) {
-		return fmt.Errorf("%w: session %s, shard %d", ErrNotOwned, rec.Session, shard)
+	return j.AppendShard(ShardOf(rec.Session, j.shards), rec)
+}
+
+// AppendShard is Append targeted at an explicit shard — for
+// tombstone_index records, which carry no session id. The same
+// ownership and expiry fencing applies.
+func (j *Journal) AppendShard(shard int, rec Record) error {
+	l, held := j.leaseFor(shard)
+	if !held {
+		return fmt.Errorf("%w: session %q, shard %d", ErrNotOwned, rec.Session, shard)
+	}
+	if l.Expired(j.now()) {
+		return fmt.Errorf("%w: session %q, shard %d, epoch %d", ErrLeaseExpired, rec.Session, shard, l.Epoch)
 	}
 	line, err := EncodeLine(rec)
 	if err != nil {
@@ -505,10 +564,52 @@ func (j *Journal) ScanShards(shards []int) (*Recovery, error) {
 	bySession := make(map[string][]Record)
 	var order []string // first-seen order, for deterministic output
 	for _, shard := range shards {
-		if err := j.scanShard(shard, rec, bySession, &order); err != nil {
+		if err := scanShardFile(j.shardPath(shard), true, j.warnf, rec, bySession, &order); err != nil {
 			return nil, err
 		}
 	}
+	finishScan(rec, bySession, order)
+	return rec, nil
+}
+
+// ScanDir scans explicit shards of a foreign journal directory
+// read-only — no torn-tail truncation, no newline repair — so a
+// replica that reclaimed a dead cross-host peer's shards can adopt the
+// sessions from the peer's (reattached or shared) journal directory
+// without mutating it. The directory's meta must agree on the shard
+// count.
+func ScanDir(dir string, shards []int, warnf func(format string, args ...any)) (*Recovery, error) {
+	if warnf == nil {
+		warnf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "journal: "+format+"\n", args...)
+		}
+	}
+	if data, err := os.ReadFile(filepath.Join(dir, "journal.meta")); err == nil {
+		var m meta
+		if jerr := json.Unmarshal(data, &m); jerr == nil && m.Shards > 0 {
+			for _, shard := range shards {
+				if shard >= m.Shards {
+					return nil, fmt.Errorf("journal: %s has %d shards, cannot scan shard %d", dir, m.Shards, shard)
+				}
+			}
+		}
+	}
+	rec := &Recovery{}
+	bySession := make(map[string][]Record)
+	var order []string
+	for _, shard := range shards {
+		path := filepath.Join(dir, fmt.Sprintf("journal-%02d.jsonl", shard))
+		if err := scanShardFile(path, false, warnf, rec, bySession, &order); err != nil {
+			return nil, err
+		}
+	}
+	finishScan(rec, bySession, order)
+	return rec, nil
+}
+
+// finishScan validates the per-session chains a shard sweep collected
+// and partitions them into the Recovery buckets.
+func finishScan(rec *Recovery, bySession map[string][]Record, order []string) {
 	for _, id := range order {
 		records := bySession[id]
 		sort.SliceStable(records, func(a, b int) bool { return records[a].Seq < records[b].Seq })
@@ -522,7 +623,6 @@ func (j *Journal) ScanShards(shards []int) (*Recovery, error) {
 			rec.Live = append(rec.Live, log)
 		}
 	}
-	return rec, nil
 }
 
 // ValidateChain checks one session's seq-sorted records: contiguous
@@ -533,6 +633,7 @@ func (j *Journal) ScanShards(shards []int) (*Recovery, error) {
 // ops the snapshot carries. It returns the replayable log, whether the
 // session ended, or a non-empty damage report.
 func ValidateChain(id string, records []Record) (SessionLog, bool, string) {
+	records = dedupeSorted(records)
 	if len(records) == 0 {
 		return SessionLog{}, false, fmt.Sprintf("session %s: no records", id)
 	}
@@ -580,11 +681,49 @@ func ValidateChain(id string, records []Record) (SessionLog, bool, string) {
 	return SessionLog{ID: id, Records: records}, ended, ""
 }
 
-// scanShard reads one shard file line by line. The final line is
-// allowed to be torn (truncated away, counted); any earlier damage is
+// dedupeSorted drops byte-identical duplicate records from one
+// session's seq-sorted chain, keeping the first of each. Cross-host
+// adoption re-journals a reclaimed chain into the survivor's own
+// directory, and a shard that bounces back delivers the same records
+// twice; the records are byte-identical by the deterministic-trace
+// contract, so dropping the copies is exact. Two records sharing a seq
+// with *different* bytes are left in place for ValidateChain to report
+// as a broken chain.
+func dedupeSorted(records []Record) []Record {
+	out := records[:0:0]
+	for i := 0; i < len(records); {
+		k := i
+		for k < len(records) && records[k].Seq == records[i].Seq {
+			k++
+		}
+		var kept [][]byte
+		for _, r := range records[i:k] {
+			line, err := json.Marshal(r)
+			dup := false
+			if err == nil {
+				for _, prev := range kept {
+					if bytes.Equal(prev, line) {
+						dup = true
+						break
+					}
+				}
+			}
+			if !dup {
+				kept = append(kept, line)
+				out = append(out, r)
+			}
+		}
+		i = k
+	}
+	return out
+}
+
+// scanShardFile reads one shard file line by line. The final line is
+// allowed to be torn; with repair set it is truncated away (counted)
+// and a missing final newline is patched — a foreign directory is
+// scanned with repair off and left untouched. Any earlier damage is
 // reported and skipped.
-func (j *Journal) scanShard(shard int, rec *Recovery, bySession map[string][]Record, order *[]string) error {
-	path := j.shardPath(shard)
+func scanShardFile(path string, repair bool, warnf func(format string, args ...any), rec *Recovery, bySession map[string][]Record, order *[]string) error {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return nil
@@ -641,23 +780,26 @@ func (j *Journal) scanShard(shard int, rec *Recovery, bySession map[string][]Rec
 	}
 	switch {
 	case len(bad) > 0:
-		// The damaged suffix is the torn tail; cut it off.
-		if terr := truncateAt(path, lastGoodEnd); terr != nil {
-			j.warnf("%s: could not truncate torn tail: %v", path, terr)
+		// The damaged suffix is the torn tail; cut it off (or, scanning
+		// a foreign directory read-only, just skip it).
+		if repair {
+			if terr := truncateAt(path, lastGoodEnd); terr != nil {
+				warnf("%s: could not truncate torn tail: %v", path, terr)
+			}
 		}
 		rec.TruncatedTails++
-		j.warnf("%s: truncated %d-line torn tail (first: line %d, %v)", path, len(bad), bad[0].lineNo, bad[0].err)
+		warnf("%s: %d-line torn tail (first: line %d, %v)", path, len(bad), bad[0].lineNo, bad[0].err)
 		// A multi-line damaged suffix is more than one crash's torn
 		// write; surface the extra lines as damage so heavy tail
 		// corruption stays visible while recovery still proceeds.
 		for _, b := range bad[1:] {
 			rec.Damage = append(rec.Damage, fmt.Sprintf("%s:%d: truncated with tail: %v", path, b.lineNo, b.err))
 		}
-	case lastTorn:
+	case lastTorn && repair:
 		// The final record survived intact but its newline did not;
 		// repair it so the next append starts on a fresh line.
 		if rerr := appendNewline(path); rerr != nil {
-			j.warnf("%s: could not repair missing final newline: %v", path, rerr)
+			warnf("%s: could not repair missing final newline: %v", path, rerr)
 		}
 	}
 	for _, r := range good {
@@ -702,31 +844,103 @@ func truncateAt(path string, n int64) error {
 	return os.Truncate(path, n)
 }
 
-// releaseLeases removes this replica's lease files.
+// releaseLeases gives this replica's grants back to the manager.
 func (j *Journal) releaseLeases() {
 	j.ownedMu.Lock()
 	defer j.ownedMu.Unlock()
-	for shard := range j.owned {
-		if err := os.Remove(j.leasePath(shard)); err != nil && !os.IsNotExist(err) {
+	for shard, l := range j.owned {
+		if err := j.leases.Release(l); err != nil {
 			j.warnf("releasing lease %d: %v", shard, err)
 		}
 	}
-	j.owned = make(map[int]bool)
+	j.owned = make(map[int]Lease)
+}
+
+// RenewLeases extends every held grant through the manager and drops
+// the ones the manager reports lost (expired and re-granted elsewhere).
+// It returns the shards dropped, sorted; the serving layer evicts their
+// sessions. A manager error keeps the grant — local expiry fencing
+// stops appends on its own if the outage outlasts the TTL.
+func (j *Journal) RenewLeases() ([]int, error) {
+	var lost []int
+	var firstErr error
+	for _, shard := range j.Owned() {
+		l, held := j.leaseFor(shard)
+		if !held {
+			continue
+		}
+		nl, ok, err := j.leases.Renew(l)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			j.warnf("renewing lease %d: %v", shard, err)
+			continue
+		}
+		j.ownedMu.Lock()
+		if ok {
+			nl.Shard = shard
+			j.owned[shard] = nl
+		} else {
+			delete(j.owned, shard)
+			lost = append(lost, shard)
+		}
+		j.ownedMu.Unlock()
+	}
+	sort.Ints(lost)
+	return lost, firstErr
+}
+
+// DropShard forgets a shard locally without releasing the grant — the
+// migrate-out path, where the grant was already transferred to the
+// successor and releasing it here would yank it back out from under
+// them.
+func (j *Journal) DropShard(shard int) {
+	j.ownedMu.Lock()
+	delete(j.owned, shard)
+	j.ownedMu.Unlock()
+	sf := &j.files[shard]
+	sf.mu.Lock()
+	if sf.f != nil {
+		sf.f.Close()
+		sf.f = nil
+	}
+	sf.mu.Unlock()
+}
+
+// TakeOver claims a shard directly from its current holder through the
+// manager's transfer extension, fenced by the holder's epoch — the
+// migrate-in path. ok=false without error means the transfer was
+// refused (stale epoch, holder changed).
+func (j *Journal) TakeOver(shard int, from string, fromEpoch uint64) (Lease, bool, error) {
+	tl, can := j.leases.(TransferLeaser)
+	if !can {
+		return Lease{}, false, fmt.Errorf("journal: lease manager %T does not support transfers", j.leases)
+	}
+	l, ok, err := tl.Transfer(shard, from, fromEpoch)
+	if err != nil || !ok {
+		return Lease{}, false, err
+	}
+	l.Shard = shard
+	j.ownedMu.Lock()
+	j.owned[shard] = l
+	j.ownedMu.Unlock()
+	return l, true, nil
 }
 
 // Reclaim attempts to take over every shard this replica does not own,
-// claiming only leases whose holders are provably gone (a dead pid on
-// this host, or this replica's own stale lease). It returns the shards
-// newly claimed, sorted. Survivor replicas call it periodically so a
-// kill -9'd peer's sessions come back without an operator; the caller
-// is expected to Scan the claimed shards and adopt their live sessions.
-func (j *Journal) Reclaim() ([]int, error) {
-	var claimed []int
+// claiming only grants the manager says are up for grabs (a dead pid's
+// filesystem lease, or a registry grant past its TTL). It returns the
+// grants newly claimed, sorted by shard; each carries the previous
+// holder's journal directory so the caller can scan and adopt the
+// shard's live sessions even when the dead peer journaled elsewhere.
+func (j *Journal) Reclaim() ([]Lease, error) {
+	var claimed []Lease
 	for shard := 0; shard < j.shards; shard++ {
-		if j.ownsShard(shard) {
+		if _, held := j.leaseFor(shard); held {
 			continue
 		}
-		ok, err := claimLease(j.leasePath(shard), j.replica)
+		l, ok, err := j.leases.Acquire(shard)
 		if err != nil {
 			j.warnf("reclaiming shard %d: %v", shard, err)
 			continue
@@ -734,12 +948,13 @@ func (j *Journal) Reclaim() ([]int, error) {
 		if !ok {
 			continue
 		}
+		l.Shard = shard
 		j.ownedMu.Lock()
-		j.owned[shard] = true
+		j.owned[shard] = l
 		j.ownedMu.Unlock()
-		claimed = append(claimed, shard)
+		claimed = append(claimed, l)
 	}
-	sort.Ints(claimed)
+	sort.Slice(claimed, func(a, b int) bool { return claimed[a].Shard < claimed[b].Shard })
 	return claimed, nil
 }
 

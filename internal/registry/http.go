@@ -1,0 +1,219 @@
+package registry
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// The wire types. All durations cross the wire as relative milliseconds
+// so registry and replicas never compare absolute clocks.
+
+// RegisterRequest announces (or refreshes) a replica's identity: how to
+// reach it and where it journals.
+type RegisterRequest struct {
+	Replica string `json:"replica"`
+	Addr    string `json:"addr,omitempty"`
+	DataDir string `json:"data_dir,omitempty"`
+}
+
+// RegisterResponse carries the cluster constants the replica must adopt.
+type RegisterResponse struct {
+	Shards         int   `json:"shards"`
+	LeaseTTLMillis int64 `json:"lease_ttl_ms"`
+}
+
+// AcquireRequest asks for shard grants. Nil Shards means "any shard";
+// Limit caps how many grants come back (0 = no cap).
+type AcquireRequest struct {
+	Replica string `json:"replica"`
+	Shards  []int  `json:"shards,omitempty"`
+	Limit   int    `json:"limit,omitempty"`
+}
+
+// LeaseGrant is one shard grant: the fencing epoch, the remaining TTL,
+// and the previous holder (so a reclaimer knows whose journal directory
+// holds the shard's sessions).
+type LeaseGrant struct {
+	Shard       int    `json:"shard"`
+	Epoch       uint64 `json:"epoch"`
+	TTLMillis   int64  `json:"ttl_ms"`
+	PrevReplica string `json:"prev_replica,omitempty"`
+	PrevAddr    string `json:"prev_addr,omitempty"`
+	PrevDataDir string `json:"prev_data_dir,omitempty"`
+}
+
+// AcquireResponse lists the grants won.
+type AcquireResponse struct {
+	Granted []LeaseGrant `json:"granted,omitempty"`
+}
+
+// LeaseRef cites a held grant by shard and epoch.
+type LeaseRef struct {
+	Shard int    `json:"shard"`
+	Epoch uint64 `json:"epoch"`
+}
+
+// RenewRequest heartbeats a replica and extends the cited grants. An
+// empty Leases list is a pure liveness ping.
+type RenewRequest struct {
+	Replica string     `json:"replica"`
+	Leases  []LeaseRef `json:"leases,omitempty"`
+}
+
+// RenewResponse partitions the cited grants into kept and lost.
+type RenewResponse struct {
+	Renewed        []int `json:"renewed,omitempty"`
+	Lost           []int `json:"lost,omitempty"`
+	LeaseTTLMillis int64 `json:"lease_ttl_ms"`
+}
+
+// ReleaseRequest hands one grant back.
+type ReleaseRequest struct {
+	Replica string `json:"replica"`
+	Shard   int    `json:"shard"`
+	Epoch   uint64 `json:"epoch"`
+}
+
+// ReleaseResponse reports whether the cited grant was actually held.
+type ReleaseResponse struct {
+	Released bool `json:"released"`
+}
+
+// TransferRequest moves a live grant from From (at FromEpoch) to To.
+type TransferRequest struct {
+	Shard     int    `json:"shard"`
+	From      string `json:"from"`
+	FromEpoch uint64 `json:"from_epoch"`
+	To        string `json:"to"`
+}
+
+// TransferResponse carries the successor's grant, or a refusal reason.
+type TransferResponse struct {
+	Granted *LeaseGrant `json:"granted,omitempty"`
+	Reason  string      `json:"reason,omitempty"`
+}
+
+// ReplicaInfo is one replica row of the state view.
+type ReplicaInfo struct {
+	Replica string `json:"replica"`
+	Addr    string `json:"addr,omitempty"`
+	DataDir string `json:"data_dir,omitempty"`
+	// AgeMillis is how long ago the replica was last heard from.
+	AgeMillis int64 `json:"age_ms"`
+	// Live is AgeMillis within two lease TTLs.
+	Live bool `json:"live"`
+}
+
+// ShardInfo is one lease row of the state view.
+type ShardInfo struct {
+	Shard           int    `json:"shard"`
+	Holder          string `json:"holder,omitempty"`
+	Epoch           uint64 `json:"epoch"`
+	ExpiresInMillis int64  `json:"expires_in_ms,omitempty"`
+}
+
+// StateResponse is the operator/successor-pick view of the cluster.
+type StateResponse struct {
+	Shards         int           `json:"shards"`
+	LeaseTTLMillis int64         `json:"lease_ttl_ms"`
+	Replicas       []ReplicaInfo `json:"replicas,omitempty"`
+	Leases         []ShardInfo   `json:"leases,omitempty"`
+}
+
+// errorBody is every non-200 response's payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(payload)
+}
+
+// decode parses a request body, bounded — registry payloads are tiny.
+func decode(w http.ResponseWriter, req *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, req.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "decoding request: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// fail maps core-layer errors onto statuses: an unknown replica gets
+// 428 Precondition Required, the cue for clients to re-register (the
+// stateless-registry-restart self-heal).
+func fail(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if errors.Is(err, errUnknownReplica) {
+		status = http.StatusPreconditionRequired
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (r *Registry) handleRegister(w http.ResponseWriter, req *http.Request) {
+	var in RegisterRequest
+	if !decode(w, req, &in) {
+		return
+	}
+	if in.Replica == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "replica name required"})
+		return
+	}
+	shards, ttl := r.register(in.Replica, in.Addr, in.DataDir)
+	writeJSON(w, http.StatusOK, RegisterResponse{Shards: shards, LeaseTTLMillis: ttl.Milliseconds()})
+}
+
+func (r *Registry) handleAcquire(w http.ResponseWriter, req *http.Request) {
+	var in AcquireRequest
+	if !decode(w, req, &in) {
+		return
+	}
+	granted, err := r.acquire(in.Replica, in.Shards, in.Limit)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, AcquireResponse{Granted: granted})
+}
+
+func (r *Registry) handleRenew(w http.ResponseWriter, req *http.Request) {
+	var in RenewRequest
+	if !decode(w, req, &in) {
+		return
+	}
+	renewed, lost, err := r.renew(in.Replica, in.Leases)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RenewResponse{Renewed: renewed, Lost: lost, LeaseTTLMillis: r.ttl.Milliseconds()})
+}
+
+func (r *Registry) handleRelease(w http.ResponseWriter, req *http.Request) {
+	var in ReleaseRequest
+	if !decode(w, req, &in) {
+		return
+	}
+	writeJSON(w, http.StatusOK, ReleaseResponse{Released: r.release(in.Replica, in.Shard, in.Epoch)})
+}
+
+func (r *Registry) handleTransfer(w http.ResponseWriter, req *http.Request) {
+	var in TransferRequest
+	if !decode(w, req, &in) {
+		return
+	}
+	grant, reason := r.transfer(in.Shard, in.From, in.FromEpoch, in.To)
+	writeJSON(w, http.StatusOK, TransferResponse{Granted: grant, Reason: reason})
+}
+
+func (r *Registry) handleState(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, r.StateSnapshot())
+}

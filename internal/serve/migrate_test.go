@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	arrow "repro"
+	"repro/internal/journal"
+	"repro/internal/registry"
+)
+
+// registryFixture is one cluster registry over HTTP for serve tests. A
+// generous TTL keeps expiry out of the picture: these tests pin the
+// graceful-transfer fencing, not the heartbeat timeout.
+func registryFixture(t *testing.T) (*registry.Registry, *httptest.Server) {
+	t.Helper()
+	reg, err := registry.New(registry.Config{LeaseTTL: time.Minute, Warnf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(reg)
+	t.Cleanup(ts.Close)
+	return reg, ts
+}
+
+// registryServer builds a serve.Server whose journal leases come from
+// the registry instead of lease files — dir is this replica's own
+// journal directory, not a shared one.
+func registryServer(t *testing.T, regURL, name, dir string, snapInterval int) (*Server, *client, *journal.Journal) {
+	t.Helper()
+	cl := registry.NewClient(regURL, name, "", dir)
+	j, err := journal.Open(dir,
+		journal.WithReplica(name), journal.WithLeaseManager(cl), journal.WithWarnf(t.Logf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Journal: j, SnapshotInterval: snapInterval, Warnf: t.Logf})
+	hs := httptest.NewServer(s)
+	t.Cleanup(hs.Close)
+	return s, newClient(t, hs), j
+}
+
+// TestMigrateStreamsLiveSessions is the graceful-migration acceptance
+// test: a session started on replica A, drained to replica B over HTTP
+// mid-flight, and finished through a B restart must produce a result —
+// recommendation AND wall-stripped trace — byte-identical to an
+// uninterrupted journal-less run. Deleting A's journal directory before
+// B's restart proves the stream alone carried the session: the
+// successor never re-reads the drained replica's disk.
+func TestMigrateStreamsLiveSessions(t *testing.T) {
+	// DeltaThreshold -1 disarms the early-stop rule so the session is
+	// guaranteed to survive both handoffs; MaxMeasurements bounds it.
+	req := SessionRequest{Method: "augmented-bo", Seed: 42, Trace: true, DeltaThreshold: -1, MaxMeasurements: 8}
+	target, err := arrow.NewSimulatedTarget("als/spark2.1/medium", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ref := newTestServer(t, Config{})
+	refInfo := ref.create(req)
+	want := mustJSON(t, ref.run(refInfo.ID, target))
+
+	_, regURL := registryFixture(t)
+	dirA, dirB := t.TempDir(), t.TempDir()
+	sA, cA, jA := registryServer(t, regURL.URL, "a", dirA, 2)
+	if got := len(jA.Owned()); got != journal.DefaultShards {
+		t.Fatalf("first replica claimed %d shards, want all %d", got, journal.DefaultShards)
+	}
+	sB, cB, jB := registryServer(t, regURL.URL, "b", dirB, 2)
+	if got := len(jB.Owned()); got != 0 {
+		t.Fatalf("second replica claimed shards %v from a fully-claimed cluster", jB.Owned())
+	}
+
+	info := cA.create(req)
+	if info.ID != refInfo.ID {
+		t.Fatalf("id skew breaks the byte comparison: %s vs %s", info.ID, refInfo.ID)
+	}
+	if sug := stepSession(t, cA, info.ID, target, 3); sug.Done {
+		t.Fatal("session finished before the drain point; pick a longer method")
+	}
+
+	report, err := sA.MigrateShards(context.Background(), cB.base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Sessions != 1 || report.Observations != 3 {
+		t.Fatalf("migrated %d sessions / %d observations, want 1/3 (report %+v)", report.Sessions, report.Observations, report)
+	}
+	if len(report.Shards) != journal.DefaultShards {
+		t.Fatalf("drained %d shards, want all %d: %v", len(report.Shards), journal.DefaultShards, report.Shards)
+	}
+	if len(report.Damaged) != 0 {
+		t.Fatalf("clean migration reported damage: %v", report.Damaged)
+	}
+
+	// The drained replica no longer answers for the session — 421, the
+	// same misdirection signal shard partitioning uses — and the
+	// successor serves it immediately, no restart in between.
+	if st := cA.do("GET", "/v1/sessions/"+info.ID+"/next", nil, nil); st != http.StatusMisdirectedRequest {
+		t.Fatalf("drained replica answered %d, want 421", st)
+	}
+	if sug := stepSession(t, cB, info.ID, target, 1); sug.Done {
+		t.Fatalf("session finished on the successor before the restart point: %+v", sug)
+	}
+
+	// Kill the drained replica's directory entirely, then restart the
+	// successor from its own directory alone. If adoption had leaned on
+	// A's disk instead of re-journaling the stream, this recovery (and
+	// the byte comparison after it) would fail.
+	if err := sB.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := jB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dirA); err != nil {
+		t.Fatal(err)
+	}
+	sB2, cB2, jB2 := registryServer(t, regURL.URL, "b", dirB, 2)
+	rep, err := sB2.Recover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recovered != 1 || len(rep.Damaged) != 0 {
+		t.Fatalf("successor restart recovered %d sessions (damage %v), want 1 clean", rep.Recovered, rep.Damaged)
+	}
+	if rep.SnapshotRestores != 1 {
+		t.Fatalf("successor replayed from the chain head (%d snapshot restores); the streamed snapshot was lost", rep.SnapshotRestores)
+	}
+	if got := len(jB2.Owned()); got != journal.DefaultShards {
+		t.Fatalf("restarted successor owns %d shards, want all %d", got, journal.DefaultShards)
+	}
+
+	if got := mustJSON(t, cB2.run(info.ID, target)); !bytes.Equal(got, want) {
+		t.Errorf("migrated result diverged from uninterrupted run:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestMigrateRejectsStaleEpoch pins the serve-level fence: a migration
+// stream citing an outdated lease epoch is refused with 409 and adopts
+// nothing — the drainer was superseded and must not hand off sessions
+// it no longer owns.
+func TestMigrateRejectsStaleEpoch(t *testing.T) {
+	_, regURL := registryFixture(t)
+	dirA, dirB := t.TempDir(), t.TempDir()
+	_, _, jA := registryServer(t, regURL.URL, "a", dirA, 0)
+	_, cB, jB := registryServer(t, regURL.URL, "b", dirB, 0)
+
+	shard := jA.Owned()[0]
+	lease, ok := jA.Lease(shard)
+	if !ok {
+		t.Fatalf("no lease for owned shard %d", shard)
+	}
+	stale := MigrateRequest{Shard: shard, From: "a", FromEpoch: lease.Epoch + 5}
+	if st := cB.do("POST", "/v1/migrate", stale, nil); st != http.StatusConflict {
+		t.Fatalf("stale-epoch migration answered %d, want 409", st)
+	}
+	if jB.Owns("anything") || len(jB.Owned()) != 0 {
+		t.Fatalf("refused migration still moved shards: %v", jB.Owned())
+	}
+
+	// The genuine epoch goes through, and ownership flips.
+	good := MigrateRequest{Shard: shard, From: "a", FromEpoch: lease.Epoch}
+	var resp MigrateResponse
+	if st := cB.do("POST", "/v1/migrate", good, &resp); st != http.StatusOK {
+		t.Fatalf("current-epoch migration answered %d", st)
+	}
+	if resp.Epoch <= lease.Epoch {
+		t.Fatalf("adoption epoch %d did not advance past %d", resp.Epoch, lease.Epoch)
+	}
+	if len(jB.Owned()) != 1 || jB.Owned()[0] != shard {
+		t.Fatalf("successor owns %v after adoption, want [%d]", jB.Owned(), shard)
+	}
+}
+
+// TestTrimToSnapshot pins the migration stream's chain form: with a
+// usable snapshot the stream is create + snapshot + suffix; without
+// one the chain travels whole.
+func TestTrimToSnapshot(t *testing.T) {
+	chain := []journal.Record{
+		{Session: "s", Seq: 0, Kind: journal.KindCreate},
+		{Session: "s", Seq: 1, Kind: journal.KindSuggest},
+		{Session: "s", Seq: 2, Kind: journal.KindObserve},
+	}
+	got, dropped := journal.TrimToSnapshot(chain)
+	if dropped || len(got) != 3 {
+		t.Fatalf("snapshot-less chain was trimmed: %d records, dropped=%v", len(got), dropped)
+	}
+}

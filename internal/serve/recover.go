@@ -54,6 +54,10 @@ type RecoveryReport struct {
 // from dead peers plus the recovery of their sessions.
 type ReclaimReport struct {
 	Claimed []int `json:"claimed"`
+	// ForeignDirs lists the dead peers' journal directories the claimed
+	// sessions were adopted (and re-journaled) from — non-empty only in
+	// registry mode, where each replica journals into its own directory.
+	ForeignDirs []string `json:"foreign_dirs,omitempty"`
 	RecoveryReport
 }
 
@@ -73,17 +77,123 @@ func (s *Server) Recover(ctx context.Context) (*RecoveryReport, error) {
 	if j == nil {
 		return &RecoveryReport{}, nil
 	}
-	scan, err := j.Scan()
-	if err != nil {
+	report := &RecoveryReport{
+		Replica:     j.Replica(),
+		OwnedShards: j.Owned(),
+	}
+	// Boot-time claims can already be takeovers: in registry mode a
+	// fresh replica may win a dead peer's expired shards at Open, and
+	// those sessions live in the peer's journal directory, not ours.
+	leases := make([]journal.Lease, 0, len(report.OwnedShards))
+	for _, shard := range report.OwnedShards {
+		if l, ok := j.Lease(shard); ok {
+			leases = append(leases, l)
+		}
+	}
+	if _, err := s.adoptLeases(ctx, leases, report); err != nil {
 		return nil, err
 	}
-	report := &RecoveryReport{
-		Replica:        j.Replica(),
-		OwnedShards:    j.Owned(),
-		TruncatedTails: scan.TruncatedTails,
+	return report, nil
+}
+
+// adoptLeases adopts the sessions behind a batch of just-claimed
+// grants. Shards whose previous holder journaled into this replica's
+// own directory (the shared-filesystem topology, or a first grant)
+// scan locally with tail repair; shards claimed from a dead cross-host
+// peer scan the peer's directory read-only and re-journal everything
+// adopted into our own directory first, so this replica is
+// self-sufficient for the next failover. It returns the foreign
+// directories visited, sorted.
+func (s *Server) adoptLeases(ctx context.Context, leases []journal.Lease, report *RecoveryReport) ([]string, error) {
+	j := s.cfg.Journal
+	var ownShards []int
+	foreign := make(map[string][]int)
+	for _, l := range leases {
+		if l.PrevDataDir == "" || l.PrevDataDir == j.Dir() {
+			ownShards = append(ownShards, l.Shard)
+		} else {
+			foreign[l.PrevDataDir] = append(foreign[l.PrevDataDir], l.Shard)
+		}
+	}
+	if len(ownShards) > 0 {
+		scan, err := j.ScanShards(ownShards)
+		if err != nil {
+			return nil, err
+		}
+		report.TruncatedTails += scan.TruncatedTails
+		s.adoptScan(ctx, scan, report)
+	}
+	dirs := make([]string, 0, len(foreign))
+	for dir := range foreign {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	for _, dir := range dirs {
+		scan, err := journal.ScanDir(dir, foreign[dir], s.warnf)
+		if err != nil {
+			// The peer's directory may be gone or unreachable; the shard
+			// is still serviceable for new sessions, so report the loss
+			// and keep going rather than refusing the lease.
+			report.Damaged = append(report.Damaged,
+				fmt.Sprintf("shards %v: scanning previous holder's directory %s: %v", foreign[dir], dir, err))
+			continue
+		}
+		report.TruncatedTails += scan.TruncatedTails
+		s.adoptForeign(ctx, scan, report)
+	}
+	return dirs, nil
+}
+
+// adoptForeign adopts a scan of a dead peer's journal directory:
+// every live chain is re-journaled verbatim into this replica's own
+// directory first (write-ahead — the records must be locally durable
+// before their sessions are served again), the ended and tombstoned
+// ids collapse into local tombstone_index records for 410 continuity,
+// and then the scan is adopted as usual. Records keep their original
+// session and seq, so a chain that bounces back to a directory that
+// already holds a prefix of it just produces the byte-identical
+// duplicates the scan dedup drops.
+func (s *Server) adoptForeign(ctx context.Context, scan *journal.Recovery, report *RecoveryReport) {
+	j := s.cfg.Journal
+	kept := scan.Live[:0]
+	for _, log := range scan.Live {
+		ok := true
+		for _, rec := range log.Records {
+			if err := j.Append(rec); err != nil {
+				report.Damaged = append(report.Damaged,
+					fmt.Sprintf("session %s: re-journaling reclaimed chain: %v", log.ID, err))
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, log)
+		}
+	}
+	scan.Live = kept
+	byShard := make(map[int][]string)
+	for _, id := range scan.Ended {
+		shard := journal.ShardOf(id, j.Shards())
+		byShard[shard] = append(byShard[shard], id)
+	}
+	for _, id := range scan.Tombstones {
+		shard := journal.ShardOf(id, j.Shards())
+		byShard[shard] = append(byShard[shard], id)
+	}
+	shards := make([]int, 0, len(byShard))
+	for shard := range byShard {
+		shards = append(shards, shard)
+	}
+	sort.Ints(shards)
+	for _, shard := range shards {
+		ids := byShard[shard]
+		sort.Strings(ids)
+		if err := j.AppendShard(shard, journal.Record{Kind: journal.KindTombstoneIndex, Tombstones: ids}); err != nil {
+			report.Damaged = append(report.Damaged,
+				fmt.Sprintf("shard %d: re-journaling %d reclaimed tombstones: %v", shard, len(ids), err))
+		}
 	}
 	s.adoptScan(ctx, scan, report)
-	return report, nil
 }
 
 // ReclaimShards takes over journal shards whose lease holders are
@@ -96,33 +206,42 @@ func (s *Server) ReclaimShards(ctx context.Context) (*ReclaimReport, error) {
 	if j == nil {
 		return &ReclaimReport{}, nil
 	}
-	claimed, err := j.Reclaim()
+	leases, err := j.Reclaim()
 	if err != nil {
 		return nil, err
+	}
+	claimed := make([]int, 0, len(leases))
+	for _, l := range leases {
+		claimed = append(claimed, l.Shard)
 	}
 	report := &ReclaimReport{Claimed: claimed}
 	report.Replica = j.Replica()
 	report.OwnedShards = j.Owned()
-	if len(claimed) == 0 {
+	if len(leases) == 0 {
 		return report, nil
 	}
-	scan, err := j.ScanShards(claimed)
+	dirs, err := s.adoptLeases(ctx, leases, &report.RecoveryReport)
 	if err != nil {
 		return nil, err
 	}
-	report.TruncatedTails = scan.TruncatedTails
-	s.adoptScan(ctx, scan, &report.RecoveryReport)
+	report.ForeignDirs = dirs
 	if s.tracer != nil {
-		for _, shard := range claimed {
+		for _, l := range leases {
+			s.tracer.Emit(telemetry.Event{
+				Kind:      telemetry.KindLeaseAcquire,
+				Candidate: l.Shard,
+				Value:     float64(l.Epoch),
+				Detail:    l.PrevReplica,
+			})
 			adopted := 0
 			for _, sess := range s.store.all() {
-				if journal.ShardOf(sess.id, j.Shards()) == shard {
+				if journal.ShardOf(sess.id, j.Shards()) == l.Shard {
 					adopted++
 				}
 			}
 			s.tracer.Emit(telemetry.Event{
 				Kind:      telemetry.KindShardReclaim,
-				Candidate: shard,
+				Candidate: l.Shard,
 				Step:      adopted,
 				Detail:    j.Replica(),
 			})

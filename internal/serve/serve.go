@@ -105,6 +105,10 @@ type Config struct {
 	// Warnf routes non-fatal serving warnings (journal append
 	// failures). Nil writes to os.Stderr.
 	Warnf func(format string, args ...any)
+	// Registry, when non-nil, is mounted under /registry/v1/ so one
+	// replica can host the cluster's shard-lease registry on its own
+	// serving port (the internal/registry handler).
+	Registry http.Handler
 }
 
 // Server is the optimizer-as-a-service HTTP handler. Construct with
@@ -119,6 +123,12 @@ type Server struct {
 	nextID  atomic.Int64
 	down    atomic.Bool
 	flushMu sync.Mutex
+
+	// drainMu guards draining: the shards mid-migration. A draining
+	// shard refuses session traffic (421) so the outgoing stream is a
+	// quiescent prefix of the shard, never racing an in-flight append.
+	drainMu  sync.RWMutex
+	draining map[int]bool
 }
 
 // session is one live advisor with its serving bookkeeping.
@@ -197,12 +207,13 @@ func New(cfg Config) *Server {
 		metrics = telemetry.NewMetrics()
 	}
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		store:   newStore(cfg.MaxSessions, cfg.SessionTTL, cfg.Now),
-		sem:     make(chan struct{}, parallel.Workers(cfg.Workers, cfg.MaxSessions)),
-		tracer:  telemetry.Multi(cfg.Tracer, metrics),
-		metrics: metrics,
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		store:    newStore(cfg.MaxSessions, cfg.SessionTTL, cfg.Now),
+		sem:      make(chan struct{}, parallel.Workers(cfg.Workers, cfg.MaxSessions)),
+		tracer:   telemetry.Multi(cfg.Tracer, metrics),
+		metrics:  metrics,
+		draining: make(map[int]bool),
 	}
 	s.route("POST /v1/sessions", s.handleCreate)
 	s.route("GET /v1/sessions", s.handleList)
@@ -211,8 +222,14 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/sessions/{id}/observe", s.handleObserve)
 	s.route("GET /v1/sessions/{id}/result", s.handleResult)
 	s.route("DELETE /v1/sessions/{id}", s.handleDelete)
+	// A migration stream carries whole session chains, so it gets its
+	// own, far larger body cap.
+	s.routeCap("POST /v1/migrate", MaxMigrateBytes, s.handleMigrate)
 	s.route("GET /healthz", s.handleHealth)
 	s.route("GET /metricsz", s.handleMetrics)
+	if cfg.Registry != nil {
+		s.mux.Handle("/registry/v1/", cfg.Registry)
+	}
 	return s
 }
 
@@ -226,6 +243,12 @@ func (s *Server) SessionCount() int { return s.store.len() }
 // request-scoped deadline, a body cap, and one http_request event per
 // call carrying the route, session id, status and handling duration.
 func (s *Server) route(pattern string, h func(http.ResponseWriter, *http.Request) int) {
+	s.routeCap(pattern, MaxRequestBytes, h)
+}
+
+// routeCap is route with an explicit body cap, for the endpoints whose
+// payloads legitimately dwarf a session request.
+func (s *Server) routeCap(pattern string, bodyCap int64, h func(http.ResponseWriter, *http.Request) int) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		if s.cfg.RequestTimeout > 0 {
@@ -233,7 +256,7 @@ func (s *Server) route(pattern string, h func(http.ResponseWriter, *http.Request
 			defer cancel()
 			r = r.WithContext(ctx)
 		}
-		r.Body = http.MaxBytesReader(w, r.Body, MaxRequestBytes)
+		r.Body = http.MaxBytesReader(w, r.Body, bodyCap)
 		status := h(w, r)
 		if s.tracer != nil {
 			s.tracer.Emit(telemetry.Event{
@@ -363,6 +386,9 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) int {
 	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	if st := s.drainFence(w, sess); st != 0 {
+		return st
+	}
 	sug, st := s.advance(w, r, sess)
 	if sug == nil {
 		return st
@@ -391,6 +417,9 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) int {
 
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	if st := s.drainFence(w, sess); st != 0 {
+		return st
+	}
 	reason := req.Reason
 	if reason == "" {
 		reason = "measurement failed"
@@ -547,6 +576,9 @@ func (s *Server) handleNextBatch(w http.ResponseWriter, r *http.Request) int {
 
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	if st := s.drainFence(w, sess); st != 0 {
+		return st
+	}
 	if err := s.acquire(r.Context()); err != nil {
 		return writeErr(w, http.StatusGatewayTimeout, fmt.Sprintf("planning queue: %v", err))
 	}
@@ -615,6 +647,9 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) int {
 	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	if st := s.drainFence(w, sess); st != 0 {
+		return st
+	}
 	res, err := sess.advisor.Result()
 	if errors.Is(err, arrow.ErrSearchRunning) {
 		return writeErr(w, http.StatusConflict, "session still running; keep observing until next reports done")
@@ -639,6 +674,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) int {
 	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	if st := s.drainFence(w, sess); st != 0 {
+		return st
+	}
 	res, err := sess.advisor.Abort(errSessionAborted)
 	s.endSession(sess, "aborted")
 	return writeJSON(w, http.StatusOK, s.resultResponse(sess, res, err))
@@ -698,9 +736,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // lookup's sweep are finalized here.
 func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (*session, int) {
 	id := r.PathValue("id")
-	if j := s.cfg.Journal; j != nil && !j.Owns(id) {
-		return nil, writeErr(w, http.StatusMisdirectedRequest,
-			fmt.Sprintf("session %s maps to a journal shard this replica does not own; ask the owning replica", id))
+	if j := s.cfg.Journal; j != nil {
+		if !j.Owns(id) {
+			return nil, writeErr(w, http.StatusMisdirectedRequest,
+				fmt.Sprintf("session %s maps to a journal shard this replica does not own; ask the owning replica", id))
+		}
+		if s.shardDraining(journal.ShardOf(id, j.Shards())) {
+			return nil, writeErr(w, http.StatusMisdirectedRequest,
+				fmt.Sprintf("session %s maps to a journal shard mid-migration; retry against the cluster", id))
+		}
 	}
 	sess, status, evicted := s.store.get(id)
 	s.finalizeEvicted(evicted)
@@ -774,12 +818,18 @@ func (s *Server) newSessionID() (string, error) {
 	if j == nil {
 		return fmt.Sprintf("s-%06d", s.nextID.Add(1)), nil
 	}
-	if len(j.Owned()) == 0 {
+	usable := 0
+	for _, shard := range j.Owned() {
+		if !s.shardDraining(shard) {
+			usable++
+		}
+	}
+	if usable == 0 {
 		return "", errors.New("serve: this replica holds no journal shard leases; another replica owns them all")
 	}
 	for {
 		id := fmt.Sprintf("s-%06d", s.nextID.Add(1))
-		if j.Owns(id) {
+		if j.Owns(id) && !s.shardDraining(journal.ShardOf(id, j.Shards())) {
 			return id, nil
 		}
 	}

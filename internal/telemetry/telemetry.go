@@ -145,6 +145,19 @@ const (
 	// journal shard at runtime: Candidate is the shard number, Step the
 	// live sessions adopted from it. Serve-audit-only.
 	KindShardReclaim Kind = "shard_reclaim"
+	// KindLeaseAcquire records a registry shard-lease grant: Candidate
+	// is the shard number, Value the fencing epoch, Detail the previous
+	// holder (empty for a first grant). Serve-audit-only.
+	KindLeaseAcquire Kind = "lease_acquire"
+	// KindLeaseExpire records a lease this replica lost (heartbeat
+	// lapsed, registry re-granted elsewhere): Candidate is the shard
+	// number, Step the live sessions evicted with it. Serve-audit-only.
+	KindLeaseExpire Kind = "lease_expire"
+	// KindMigrate records a live shard migration: Candidate is the
+	// shard number, Step the sessions streamed, Value the successor's
+	// fencing epoch, Detail "to <addr>" on the draining side and
+	// "from <replica>" on the adopting side. Serve-audit-only.
+	KindMigrate Kind = "migrate"
 )
 
 // Wall isolates every environment-dependent field of an Event. Golden
