@@ -891,6 +891,33 @@ func (j *Journal) RenewLeases() ([]int, error) {
 	return lost, firstErr
 }
 
+// RenewShard re-verifies one held grant with the manager, immediately:
+// held=false means the grant was superseded (another replica owns the
+// shard now) and it has been dropped from the owned set; the caller
+// must evict the shard's sessions. A manager error keeps the grant, as
+// in RenewLeases — local expiry fencing bounds the damage. Used where
+// ownership is suddenly in doubt, e.g. a migration handoff whose
+// outcome was lost in transit.
+func (j *Journal) RenewShard(shard int) (bool, error) {
+	l, held := j.leaseFor(shard)
+	if !held {
+		return false, nil
+	}
+	nl, ok, err := j.leases.Renew(l)
+	if err != nil {
+		return true, err
+	}
+	j.ownedMu.Lock()
+	if ok {
+		nl.Shard = shard
+		j.owned[shard] = nl
+	} else {
+		delete(j.owned, shard)
+	}
+	j.ownedMu.Unlock()
+	return ok, nil
+}
+
 // DropShard forgets a shard locally without releasing the grant — the
 // migrate-out path, where the grant was already transferred to the
 // successor and releasing it here would yank it back out from under

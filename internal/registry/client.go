@@ -29,6 +29,14 @@ func leaseMargin(ttl time.Duration) time.Duration {
 }
 
 // grantLease anchors a wire grant on the local clock, margin applied.
+// Callers pass the clock reading taken BEFORE the request went out, not
+// after the response came back: the registry anchors the grant's expiry
+// when it processes the request, which is never earlier than the send,
+// so a send-time local anchor keeps local expiry ≤ registry expiry no
+// matter how long the response took to arrive. Anchoring at receipt
+// would let a slow response (latency > margin) push the local expiry
+// past the registry's, re-opening the split-brain the fence exists to
+// prevent.
 func grantLease(g LeaseGrant, now time.Time) journal.Lease {
 	l := journal.Lease{
 		Shard:       g.Shard,
@@ -204,6 +212,7 @@ func (c *Client) do(path string, in, out any) error {
 
 // Acquire implements journal.LeaseManager.
 func (c *Client) Acquire(shard int) (journal.Lease, bool, error) {
+	start := c.now()
 	var out AcquireResponse
 	if err := c.post("/registry/v1/acquire", AcquireRequest{
 		Replica: c.replica, Shards: []int{shard}, Limit: 1,
@@ -213,11 +222,12 @@ func (c *Client) Acquire(shard int) (journal.Lease, bool, error) {
 	if len(out.Granted) == 0 {
 		return journal.Lease{}, false, nil
 	}
-	return grantLease(out.Granted[0], c.now()), true, nil
+	return grantLease(out.Granted[0], start), true, nil
 }
 
 // Renew implements journal.LeaseManager.
 func (c *Client) Renew(l journal.Lease) (journal.Lease, bool, error) {
+	start := c.now()
 	var out RenewResponse
 	if err := c.post("/registry/v1/renew", RenewRequest{
 		Replica: c.replica, Leases: []LeaseRef{{Shard: l.Shard, Epoch: l.Epoch}},
@@ -228,7 +238,7 @@ func (c *Client) Renew(l journal.Lease) (journal.Lease, bool, error) {
 		if shard == l.Shard {
 			if out.LeaseTTLMillis > 0 {
 				ttl := time.Duration(out.LeaseTTLMillis) * time.Millisecond
-				l.Expiry = c.now().Add(ttl - leaseMargin(ttl))
+				l.Expiry = start.Add(ttl - leaseMargin(ttl))
 			}
 			return l, true, nil
 		}
@@ -246,6 +256,7 @@ func (c *Client) Release(l journal.Lease) error {
 // Transfer implements journal.TransferLeaser: this replica is the
 // successor taking the shard over from its draining holder.
 func (c *Client) Transfer(shard int, from string, fromEpoch uint64) (journal.Lease, bool, error) {
+	start := c.now()
 	var out TransferResponse
 	if err := c.post("/registry/v1/transfer", TransferRequest{
 		Shard: shard, From: from, FromEpoch: fromEpoch, To: c.replica,
@@ -255,7 +266,7 @@ func (c *Client) Transfer(shard int, from string, fromEpoch uint64) (journal.Lea
 	if out.Granted == nil {
 		return journal.Lease{}, false, nil
 	}
-	return grantLease(*out.Granted, c.now()), true, nil
+	return grantLease(*out.Granted, start), true, nil
 }
 
 // Heartbeat is a pure liveness ping — a replica holding zero shards
@@ -303,15 +314,17 @@ type LocalManager struct {
 
 // Acquire implements journal.LeaseManager.
 func (m *LocalManager) Acquire(shard int) (journal.Lease, bool, error) {
+	start := m.reg.now()
 	granted, err := m.reg.acquire(m.replica, []int{shard}, 1)
 	if err != nil || len(granted) == 0 {
 		return journal.Lease{}, false, err
 	}
-	return grantLease(granted[0], m.reg.now()), true, nil
+	return grantLease(granted[0], start), true, nil
 }
 
 // Renew implements journal.LeaseManager.
 func (m *LocalManager) Renew(l journal.Lease) (journal.Lease, bool, error) {
+	start := m.reg.now()
 	renewed, _, err := m.reg.renew(m.replica, []LeaseRef{{Shard: l.Shard, Epoch: l.Epoch}})
 	if err != nil {
 		return l, false, err
@@ -319,7 +332,7 @@ func (m *LocalManager) Renew(l journal.Lease) (journal.Lease, bool, error) {
 	for _, shard := range renewed {
 		if shard == l.Shard {
 			ttl := m.reg.ttl
-			l.Expiry = m.reg.now().Add(ttl - leaseMargin(ttl))
+			l.Expiry = start.Add(ttl - leaseMargin(ttl))
 			return l, true, nil
 		}
 	}
@@ -334,11 +347,12 @@ func (m *LocalManager) Release(l journal.Lease) error {
 
 // Transfer implements journal.TransferLeaser.
 func (m *LocalManager) Transfer(shard int, from string, fromEpoch uint64) (journal.Lease, bool, error) {
+	start := m.reg.now()
 	grant, _ := m.reg.transfer(shard, from, fromEpoch, m.replica)
 	if grant == nil {
 		return journal.Lease{}, false, nil
 	}
-	return grantLease(*grant, m.reg.now()), true, nil
+	return grantLease(*grant, start), true, nil
 }
 
 // Heartbeat keeps the replica live in the registry's view.

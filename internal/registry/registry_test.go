@@ -163,6 +163,81 @@ func TestTwoClaimantsRaceOneShard(t *testing.T) {
 	}
 }
 
+// laggedTransport delivers responses late: it advances the shared fake
+// clock AFTER the registry has processed the request, modeling network
+// delay (or a client pause) between the registry anchoring a grant's
+// expiry and the client seeing the response.
+type laggedTransport struct {
+	clock *fakeClock
+	lag   time.Duration
+}
+
+func (t *laggedTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	resp, err := http.DefaultTransport.RoundTrip(r)
+	t.clock.Advance(t.lag)
+	return resp, err
+}
+
+// TestLeaseAnchoredAtSendTime pins the grant-anchoring rule: the client
+// must anchor a grant's local expiry at the clock reading taken before
+// the request went out, never at response receipt. With response lag
+// exceeding the local margin (ttl/4), a receipt-time anchor would place
+// the local expiry AFTER the registry-side expiry, letting a holder
+// keep acking appends into a shard the registry already re-granted.
+func TestLeaseAnchoredAtSendTime(t *testing.T) {
+	clock := newFakeClock()
+	reg := newTestRegistry(t, clock, Config{Shards: 1, LeaseTTL: time.Second})
+	ts := httptest.NewServer(reg)
+	defer ts.Close()
+
+	const ttl = time.Second
+	lag := 600 * time.Millisecond // > margin of ttl/4
+	hc := &http.Client{Transport: &laggedTransport{clock: clock, lag: lag}}
+	a := NewClient(ts.URL, "a", "http://a", t.TempDir(),
+		WithClientNow(clock.Now), WithHTTPClient(hc))
+	b := NewClient(ts.URL, "b", "http://b", t.TempDir(),
+		WithClientNow(clock.Now), WithHTTPClient(hc))
+	// Register up front so each leg below is exactly one lagged round
+	// trip; a lazy registration inside Acquire/Transfer would burn lease
+	// time before the call under test even reaches the registry.
+	if err := a.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Register(); err != nil {
+		t.Fatal(err)
+	}
+
+	start := clock.Now()
+	la, ok, err := a.Acquire(0)
+	if err != nil || !ok {
+		t.Fatalf("acquire: ok=%v err=%v", ok, err)
+	}
+	want := start.Add(ttl - leaseMargin(ttl))
+	if !la.Expiry.Equal(want) {
+		t.Fatalf("acquire expiry anchored at %v, want send-time anchor %v", la.Expiry, want)
+	}
+
+	start = clock.Now()
+	la, ok, err = a.Renew(la)
+	if err != nil || !ok {
+		t.Fatalf("renew: ok=%v err=%v", ok, err)
+	}
+	want = start.Add(ttl - leaseMargin(ttl))
+	if !la.Expiry.Equal(want) {
+		t.Fatalf("renew expiry anchored at %v, want send-time anchor %v", la.Expiry, want)
+	}
+
+	start = clock.Now()
+	lb, ok, err := b.Transfer(0, "a", la.Epoch)
+	if err != nil || !ok {
+		t.Fatalf("transfer: ok=%v err=%v", ok, err)
+	}
+	want = start.Add(ttl - leaseMargin(ttl))
+	if !lb.Expiry.Equal(want) {
+		t.Fatalf("transfer expiry anchored at %v, want send-time anchor %v", lb.Expiry, want)
+	}
+}
+
 // TestTransferFencesStaleEpoch pins the migration fence: a transfer
 // citing an outdated (shard, epoch) pair is refused, while the current
 // one moves the lease and bumps the epoch.

@@ -37,6 +37,11 @@ import (
 // chains, snapshots included, dwarf ordinary session requests.
 const MaxMigrateBytes = 64 << 20
 
+// createDrainHook, when non-nil, runs between a create record's append
+// and handleCreate's post-append drain re-check — tests use it to land
+// a drain exactly inside the race window. Never set in production.
+var createDrainHook func()
+
 // errSessionMigrated is the salvage cause for sessions handed off to a
 // successor replica; their advisors abort locally while the journal
 // keeps the chain alive for the successor's replay.
@@ -150,6 +155,14 @@ func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) int {
 			continue
 		}
 		id := chain[0].Session
+		// The transfer fenced exactly req.Shard; a chain hashing
+		// elsewhere would re-journal into a shard outside the fence —
+		// silent corruption if this replica owns it, a stray file if not.
+		if got := journal.ShardOf(id, j.Shards()); got != req.Shard {
+			resp.Damaged = append(resp.Damaged,
+				fmt.Sprintf("session %s: maps to shard %d, not migrating shard %d", id, got, req.Shard))
+			continue
+		}
 		sort.SliceStable(chain, func(a, b int) bool { return chain[a].Seq < chain[b].Seq })
 		log, ended, problem := journal.ValidateChain(id, chain)
 		if problem != "" {
@@ -175,8 +188,16 @@ func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) int {
 			scan.Live = append(scan.Live, log)
 		}
 	}
-	if len(req.Tombstones) > 0 {
-		ids := append([]string(nil), req.Tombstones...)
+	var ids []string
+	for _, id := range req.Tombstones {
+		if journal.ShardOf(id, j.Shards()) == req.Shard {
+			ids = append(ids, id)
+		} else {
+			resp.Damaged = append(resp.Damaged,
+				fmt.Sprintf("tombstone %s: maps outside migrating shard %d", id, req.Shard))
+		}
+	}
+	if len(ids) > 0 {
 		sort.Strings(ids)
 		if err := j.AppendShard(req.Shard, journal.Record{Kind: journal.KindTombstoneIndex, Tombstones: ids}); err != nil {
 			resp.Damaged = append(resp.Damaged, fmt.Sprintf("shard %d: journaling %d migrated tombstones: %v", req.Shard, len(ids), err))
@@ -287,6 +308,32 @@ func (s *Server) migrateShard(ctx context.Context, successor string, shard int, 
 
 	resp, err := postMigrate(ctx, successor, req)
 	if err != nil {
+		// The POST failing does not mean the handoff failed: the
+		// successor may have committed the transfer (epoch bumped) and
+		// only the 200 was lost. Resuming on our stale, locally-unexpired
+		// lease would double-serve the shard until the next heartbeat
+		// notices. Re-verify the grant with the registry first; if the
+		// epoch was superseded, the successor owns the shard — evict
+		// rather than resume.
+		held, rerr := j.RenewShard(shard)
+		if rerr == nil && !held {
+			for _, sess := range moving {
+				sess.advisor.Abort(errLeaseLost)
+				s.store.remove(sess.id)
+			}
+			j.DropShard(shard)
+			if s.tracer != nil {
+				s.tracer.Emit(telemetry.Event{
+					Kind:      telemetry.KindLeaseExpire,
+					Candidate: shard,
+					Step:      len(moving),
+					Detail:    j.Replica(),
+				})
+			}
+			return fmt.Errorf("handoff outcome lost and lease superseded; shard dropped: %w", err)
+		}
+		// Grant still ours (or registry unreachable — local expiry
+		// fencing covers that): the transfer did not commit, resume.
 		return err
 	}
 

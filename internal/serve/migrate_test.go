@@ -3,6 +3,8 @@ package serve
 import (
 	"bytes"
 	"context"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -174,6 +176,156 @@ func TestMigrateRejectsStaleEpoch(t *testing.T) {
 	}
 	if len(jB.Owned()) != 1 || jB.Owned()[0] != shard {
 		t.Fatalf("successor owns %v after adoption, want [%d]", jB.Owned(), shard)
+	}
+}
+
+// TestMigrateLostResponseDropsShard pins the failed-handoff fence: when
+// the successor commits the transfer but the drainer never sees the 200
+// (connection torn down mid-response), the drainer must NOT resume
+// serving the shard on its stale, locally-unexpired lease — it
+// re-verifies with the registry, finds its epoch superseded, and evicts.
+// Otherwise drainer and successor both ack writes for the shard until
+// the next heartbeat, into divergent journals.
+func TestMigrateLostResponseDropsShard(t *testing.T) {
+	req := SessionRequest{Method: "augmented-bo", Seed: 7, DeltaThreshold: -1, MaxMeasurements: 8}
+	target, err := arrow.NewSimulatedTarget("als/spark2.1/medium", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, regURL := registryFixture(t)
+	sA, cA, jA := registryServer(t, regURL.URL, "a", t.TempDir(), 0)
+	_, cB, jB := registryServer(t, regURL.URL, "b", t.TempDir(), 0)
+
+	info := cA.create(req)
+	if sug := stepSession(t, cA, info.ID, target, 2); sug.Done {
+		t.Fatal("session finished before the drain point")
+	}
+	shard := journal.ShardOf(info.ID, jA.Shards())
+
+	// The proxy delivers the stream to the real successor, then kills
+	// the connection so the drainer's POST errors after the commit.
+	relayed := make(chan int, 1)
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			panic(http.ErrAbortHandler)
+		}
+		resp, err := http.Post(cB.base+r.URL.Path, "application/json", bytes.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+			relayed <- resp.StatusCode
+		}
+		panic(http.ErrAbortHandler)
+	}))
+	t.Cleanup(proxy.Close)
+
+	report := &MigrateReport{Successor: proxy.URL}
+	if err := sA.migrateShard(context.Background(), proxy.URL, shard, report); err == nil {
+		t.Fatal("migrateShard returned nil though the response was torn down")
+	}
+	if st := <-relayed; st != http.StatusOK {
+		t.Fatalf("successor answered %d to the relayed stream, want 200", st)
+	}
+
+	// The drainer must have noticed its epoch was superseded: shard
+	// dropped, session evicted, drain flag not left dangling.
+	for _, sh := range jA.Owned() {
+		if sh == shard {
+			t.Fatalf("drainer still owns shard %d after a committed handoff", shard)
+		}
+	}
+	if sA.shardDraining(shard) {
+		t.Fatalf("shard %d left marked draining after the drop", shard)
+	}
+	if st := cA.do("GET", "/v1/sessions/"+info.ID+"/next", nil, nil); st != http.StatusMisdirectedRequest {
+		t.Fatalf("drained replica answered %d for the lost shard, want 421", st)
+	}
+
+	// And the successor really owns it and serves the session.
+	if !jB.Owns(info.ID) {
+		t.Fatalf("successor does not own the transferred session's shard %d", shard)
+	}
+	stepSession(t, cB, info.ID, target, 1)
+}
+
+// TestCreateRacingDrainIsRefused pins the create-vs-drain fence: a
+// create whose record lands after a migration's shard scan could hand
+// the client a 201 for a session the successor never receives. The
+// post-append re-check must renege — evict the half-born session and
+// answer 421 — instead of acking it.
+func TestCreateRacingDrainIsRefused(t *testing.T) {
+	_, regURL := registryFixture(t)
+	sA, cA, jA := registryServer(t, regURL.URL, "a", t.TempDir(), 0)
+
+	// The hook fires between the create append and the re-check — the
+	// exact window where migrateShard's setDraining can slip in.
+	createDrainHook = func() {
+		for _, shard := range jA.Owned() {
+			sA.setDraining(shard, true)
+		}
+	}
+	defer func() { createDrainHook = nil }()
+
+	req := SessionRequest{Method: "random-search", Seed: 1, MaxMeasurements: 4}
+	if st := cA.do("POST", "/v1/sessions", req, nil); st != http.StatusMisdirectedRequest {
+		t.Fatalf("create racing a drain answered %d, want 421", st)
+	}
+
+	// Clear the simulated drain (a failed migration resuming); the
+	// reneged session must be gone from the store, not half-alive.
+	createDrainHook = nil
+	for _, shard := range jA.Owned() {
+		sA.setDraining(shard, false)
+	}
+	if st := cA.do("GET", "/v1/sessions/s-000001/next", nil, nil); st != http.StatusNotFound {
+		t.Fatalf("reneged session still answers %d, want 404", st)
+	}
+	cA.create(req) // and creates work again once the drain is down
+}
+
+// TestMigrateRejectsForeignShardChains pins the stream-content fence: a
+// chain or tombstone whose session id hashes outside the migrating
+// shard must be reported damaged, not re-journaled into a shard the
+// transfer never fenced.
+func TestMigrateRejectsForeignShardChains(t *testing.T) {
+	_, regURL := registryFixture(t)
+	_, _, jA := registryServer(t, regURL.URL, "a", t.TempDir(), 0)
+	_, cB, _ := registryServer(t, regURL.URL, "b", t.TempDir(), 0)
+
+	shard := jA.Owned()[0]
+	lease, ok := jA.Lease(shard)
+	if !ok {
+		t.Fatalf("no lease for owned shard %d", shard)
+	}
+	inShard, outShard := "", ""
+	for i := 0; inShard == "" || outShard == ""; i++ {
+		id := fmt.Sprintf("x-%06d", i)
+		if journal.ShardOf(id, jA.Shards()) == shard {
+			if inShard == "" {
+				inShard = id
+			}
+		} else if outShard == "" {
+			outShard = id
+		}
+	}
+
+	req := MigrateRequest{
+		Shard: shard, From: "a", FromEpoch: lease.Epoch,
+		Sessions:   [][]journal.Record{{{Session: outShard, Seq: 0, Kind: journal.KindCreate}}},
+		Tombstones: []string{inShard, outShard},
+	}
+	var resp MigrateResponse
+	if st := cB.do("POST", "/v1/migrate", req, &resp); st != http.StatusOK {
+		t.Fatalf("migration answered %d", st)
+	}
+	if resp.Adopted != 0 {
+		t.Fatalf("adopted %d foreign-shard sessions, want 0", resp.Adopted)
+	}
+	if len(resp.Damaged) != 2 {
+		t.Fatalf("damage reports %v, want one per foreign chain and tombstone", resp.Damaged)
+	}
+	if resp.Tombstones != 1 {
+		t.Fatalf("folded %d tombstones, want only the in-shard one", resp.Tombstones)
 	}
 }
 

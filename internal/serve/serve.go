@@ -347,6 +347,26 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) int {
 			advisor.Abort(errJournalFailed)
 			return writeErr(w, http.StatusServiceUnavailable, "session journal unavailable; session not created")
 		}
+		if createDrainHook != nil {
+			createDrainHook()
+		}
+		// Drain fence, create flavor: newSessionID checked the flag, but
+		// a migration starting between that check and the append above
+		// may have scanned the shard before our create record landed —
+		// the 201 would then name a session the successor never received.
+		// Renege instead: evict locally WITHOUT a terminal record (the
+		// chain may have made the scan and be live on the successor; an
+		// abort record here could tombstone it there) and misdirect the
+		// client to retry against the cluster. If instead the flag rose
+		// after this check, store.add above already happened-before the
+		// migration's session snapshot, so the barrier covers us and the
+		// chain migrates: the 201 is good.
+		if s.shardDraining(journal.ShardOf(id, s.cfg.Journal.Shards())) {
+			s.store.remove(id)
+			advisor.Abort(errSessionMigrated)
+			return writeErr(w, http.StatusMisdirectedRequest,
+				fmt.Sprintf("session %s maps to a journal shard mid-migration; retry against the cluster", id))
+		}
 	}
 	if s.tracer != nil {
 		s.tracer.Emit(telemetry.Event{
